@@ -1,0 +1,2 @@
+//! Example applications for the DHARMA stack. The runnable sources live
+//! in the top-level `examples/` directory (see Cargo.toml `[[example]]`).

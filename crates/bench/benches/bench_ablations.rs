@@ -1,0 +1,49 @@
+//! Bench for the **ablation studies**: replay cost across approximation
+//! policies (A1) and across k (A2) — the protocol's client-side cost knob.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dharma_dataset::{GeneratorConfig, Scale};
+use dharma_folksonomy::{ApproxPolicy, BPolicy};
+use dharma_sim::replay::{replay, EventOrder, ReplayConfig};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_policies");
+    group.sample_size(10);
+
+    let dataset = GeneratorConfig::lastfm_like(Scale::Tiny, 42).generate();
+
+    let policies: Vec<(&str, ApproxPolicy)> = vec![
+        ("exact", ApproxPolicy::EXACT),
+        ("a_only_k5", ApproxPolicy::a_only(5)),
+        ("b_only", ApproxPolicy::b_only()),
+        ("paper_k5", ApproxPolicy::paper(5)),
+        (
+            "literal_b_k5",
+            ApproxPolicy {
+                connection_k: Some(5),
+                b_policy: BPolicy::LiteralB,
+            },
+        ),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(format!("replay_{name}"), |b| {
+            let cfg = ReplayConfig {
+                policy,
+                order: EventOrder::PopularityBiased,
+                seed: 7,
+            };
+            b.iter(|| replay(&dataset.trg, &cfg))
+        });
+    }
+
+    for k in [1usize, 10, 100] {
+        group.bench_function(format!("replay_k{k}"), |b| {
+            b.iter(|| replay(&dataset.trg, &ReplayConfig::paper(k, 7)))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench for **Figure 5 / Table II**: dataset generation, exact-FG
+//! derivation and degree-CDF extraction at Tiny scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dharma_dataset::{GeneratorConfig, Scale};
+use dharma_folksonomy::{cdf_points, Fg, TagId};
+
+fn bench_dataset_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_dataset");
+    group.sample_size(10);
+
+    group.bench_function("generate_tiny", |b| {
+        b.iter(|| GeneratorConfig::lastfm_like(Scale::Tiny, 42).generate())
+    });
+
+    let dataset = GeneratorConfig::lastfm_like(Scale::Tiny, 42).generate();
+    group.bench_function("derive_exact_fg", |b| {
+        b.iter(|| Fg::derive_exact(&dataset.trg))
+    });
+
+    let fg = Fg::derive_exact(&dataset.trg);
+    group.bench_function("degree_cdf", |b| {
+        b.iter(|| {
+            let degrees: Vec<u64> = (0..fg.num_tags() as u32)
+                .map(|t| fg.out_degree(TagId(t)) as u64)
+                .filter(|&d| d > 0)
+                .collect();
+            cdf_points(degrees)
+        })
+    });
+
+    group.bench_function("dataset_stats", |b| b.iter(|| dataset.stats()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset_pipeline);
+criterion_main!(benches);

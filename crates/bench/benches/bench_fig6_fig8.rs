@@ -1,0 +1,35 @@
+//! Bench for **Figures 6 and 8**: the replay protocol and scatter-series
+//! extraction (degree pairs and weight pairs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dharma_dataset::{GeneratorConfig, Scale};
+use dharma_folksonomy::compare::{degree_pairs, weight_pairs};
+use dharma_folksonomy::Fg;
+use dharma_sim::replay::{replay, ReplayConfig};
+
+fn bench_replay_and_scatter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_fig8_replay");
+    group.sample_size(10);
+
+    let dataset = GeneratorConfig::lastfm_like(Scale::Tiny, 42).generate();
+
+    for k in [1usize, 100] {
+        group.bench_function(format!("replay_k{k}"), |b| {
+            b.iter(|| replay(&dataset.trg, &ReplayConfig::paper(k, 7)))
+        });
+    }
+
+    let exact = Fg::derive_exact(&dataset.trg);
+    let model = replay(&dataset.trg, &ReplayConfig::paper(1, 7));
+    group.bench_function("degree_pairs", |b| {
+        b.iter(|| degree_pairs(&exact, model.fg()))
+    });
+    group.bench_function("weight_pairs", |b| {
+        b.iter(|| weight_pairs(&exact, model.fg(), false))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay_and_scatter);
+criterion_main!(benches);

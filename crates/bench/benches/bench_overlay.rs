@@ -1,0 +1,51 @@
+//! Bench for the **overlay substrate (A3)**: bootstrap cost and per-lookup
+//! cost as the simulated network grows — the `O(log n)` sanity check in
+//! wall-clock form.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dharma_sim::overlay::{build_overlay, OverlayConfig};
+use dharma_types::sha1;
+
+fn bench_overlay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay");
+    group.sample_size(10);
+
+    for nodes in [16usize, 64, 256] {
+        group.bench_function(format!("bootstrap_{nodes}"), |b| {
+            b.iter(|| {
+                build_overlay(&OverlayConfig {
+                    nodes,
+                    seed: 1,
+                    ..OverlayConfig::default()
+                })
+            })
+        });
+    }
+
+    for nodes in [16usize, 64, 256] {
+        group.bench_function(format!("get_roundtrip_{nodes}"), |b| {
+            let mut net = build_overlay(&OverlayConfig {
+                nodes,
+                seed: 2,
+                ..OverlayConfig::default()
+            });
+            let key = sha1(b"bench-key");
+            net.with_node(1, |n, ctx| n.put_blob(ctx, key, vec![0u8; 64]));
+            net.run_until_idle(u64::MAX);
+            net.take_completions();
+            let mut i = 0u32;
+            b.iter(|| {
+                i += 1;
+                let reader = 1 + (i % (nodes as u32 - 1));
+                net.with_node(reader, |n, ctx| n.get(ctx, key, 0));
+                net.run_until_idle(u64::MAX);
+                net.take_completions()
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlay);
+criterion_main!(benches);

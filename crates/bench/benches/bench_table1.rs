@@ -1,0 +1,112 @@
+//! Bench for **Table I**: wall-clock of the DHARMA primitives on a live
+//! simulated overlay (the lookup *counts* are asserted in the integration
+//! tests; here we measure the cost of executing them end-to-end).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dharma_core::{ApproxPolicy, DharmaClient, DharmaConfig};
+use dharma_likir::CertificationAuthority;
+use dharma_sim::overlay::{build_overlay, OverlayConfig};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_primitives");
+    group.sample_size(10);
+
+    let ca = CertificationAuthority::new(b"bench");
+    let identity = ca.register("bench-user", 0);
+
+    group.bench_function("insert_m5", |b| {
+        let mut net = build_overlay(&OverlayConfig {
+            nodes: 32,
+            seed: 1,
+            ..OverlayConfig::default()
+        });
+        let mut client = DharmaClient::new(1, identity.clone(), DharmaConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let tags: Vec<String> = (0..5).map(|t| format!("i{i}t{t}")).collect();
+            let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+            client
+                .insert_resource(&mut net, &format!("res-{i}"), "uri://x", &refs)
+                .unwrap()
+        });
+    });
+
+    group.bench_function("tag_approx_k1", |b| {
+        let mut net = build_overlay(&OverlayConfig {
+            nodes: 32,
+            seed: 2,
+            ..OverlayConfig::default()
+        });
+        let mut client = DharmaClient::new(
+            1,
+            identity.clone(),
+            DharmaConfig {
+                policy: ApproxPolicy::paper(1),
+                ..DharmaConfig::default()
+            },
+        );
+        let tags: Vec<String> = (0..10).map(|t| format!("base-{t}")).collect();
+        let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+        client
+            .insert_resource(&mut net, "hot-res", "uri://x", &refs)
+            .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            client
+                .tag(&mut net, "hot-res", &format!("fresh-{i}"))
+                .unwrap()
+        });
+    });
+
+    group.bench_function("tag_naive_deg10", |b| {
+        let mut net = build_overlay(&OverlayConfig {
+            nodes: 32,
+            seed: 3,
+            ..OverlayConfig::default()
+        });
+        let mut client = DharmaClient::new(
+            1,
+            identity.clone(),
+            DharmaConfig {
+                policy: ApproxPolicy::EXACT,
+                ..DharmaConfig::default()
+            },
+        );
+        let tags: Vec<String> = (0..10).map(|t| format!("nb-{t}")).collect();
+        let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+        client
+            .insert_resource(&mut net, "naive-res", "uri://x", &refs)
+            .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            client
+                .tag(&mut net, "naive-res", &format!("nfresh-{i}"))
+                .unwrap()
+        });
+    });
+
+    group.bench_function("search_step", |b| {
+        let mut net = build_overlay(&OverlayConfig {
+            nodes: 32,
+            seed: 4,
+            ..OverlayConfig::default()
+        });
+        let mut client = DharmaClient::new(1, identity.clone(), DharmaConfig::default());
+        client
+            .insert_resource(&mut net, "r", "uri://x", &["rock", "metal", "live"])
+            .unwrap();
+        b.iter_batched(
+            || (),
+            |_| client.search_step(&mut net, "rock").unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench for **Table III**: the parallel exact-vs-approximated graph
+//! comparison (Kendall τ-b, cosine, recall, sim1% over every tag), at 1, 2
+//! and all available worker threads — the speedup ratio documents the
+//! `dharma-par` pipeline's effectiveness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dharma_dataset::{GeneratorConfig, Scale};
+use dharma_folksonomy::compare::compare_graphs;
+use dharma_folksonomy::Fg;
+use dharma_par::ThreadPool;
+use dharma_sim::replay::{replay, ReplayConfig};
+
+fn bench_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_compare");
+    group.sample_size(10);
+
+    let dataset = GeneratorConfig::lastfm_like(Scale::Tiny, 42).generate();
+    let exact = Fg::derive_exact(&dataset.trg);
+    let model = replay(&dataset.trg, &ReplayConfig::paper(5, 7));
+
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    for threads in [1usize, 2, max_threads] {
+        let pool = ThreadPool::new(threads);
+        group.bench_function(format!("compare_graphs_t{threads}"), |b| {
+            b.iter(|| compare_graphs(&pool, &exact, model.fg(), 2))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_comparison);
+criterion_main!(benches);

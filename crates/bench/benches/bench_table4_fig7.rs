@@ -1,0 +1,52 @@
+//! Bench for **Table IV / Figure 7**: the faceted-search simulation
+//! (first/last/random strategies over popular seeds) and single walks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dharma_dataset::{GeneratorConfig, Scale};
+use dharma_folksonomy::{FacetedSearch, Fg, SearchConfig, Strategy};
+use dharma_par::ThreadPool;
+use dharma_sim::search_sim::{simulate_searches, SearchSimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_search");
+    group.sample_size(10);
+
+    let dataset = GeneratorConfig::lastfm_like(Scale::Tiny, 42).generate();
+    let fg = Fg::derive_exact(&dataset.trg);
+    let pool = ThreadPool::with_default_threads();
+
+    group.bench_function("full_simulation_30_seeds", |b| {
+        let cfg = SearchSimConfig {
+            seeds: 30,
+            random_runs: 20,
+            seed: 5,
+            ..SearchSimConfig::default()
+        };
+        b.iter(|| simulate_searches(&pool, &dataset, &fg, &cfg))
+    });
+
+    group.bench_function("index_build", |b| {
+        b.iter(|| FacetedSearch::new(&dataset.trg, &fg))
+    });
+
+    let index = FacetedSearch::new(&dataset.trg, &fg);
+    let seed_tag = dataset.most_popular_tags(1)[0];
+    let cfg = SearchConfig::default();
+    for (name, strat) in [
+        ("walk_first", Strategy::First),
+        ("walk_last", Strategy::Last),
+        ("walk_random", Strategy::Random),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| index.run(seed_tag, strat, &cfg, &mut rng))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Criterion benchmark harness for the DHARMA reproduction. See the
+//! `benches/` directory; this library intentionally exposes nothing.

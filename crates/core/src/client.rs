@@ -1,0 +1,577 @@
+//! The DHARMA client: tagging primitives over the DHT (paper §IV).
+//!
+//! A [`DharmaClient`] is bound to one overlay node (its *home node*) and
+//! drives the simulated network synchronously: each overlay lookup is
+//! issued, the simulation is run until the operation completes, and the
+//! client accounts one lookup on its [`OpCost`] receipt. This mirrors the
+//! deployment model of the paper, where the tagging application sits on a
+//! Likir node and performs blocking PUT/GET primitives.
+//!
+//! The **naive vs approximated** tagging split of §IV-B is a client-side
+//! policy ([`ApproxPolicy`]): the DHT neither knows nor cares — which is the
+//! point, since Approximation A only *bounds how many `τ̂` blocks the client
+//! updates* and Approximation B only *changes the increment it appends*.
+
+use dharma_folksonomy::{ApproxPolicy, BPolicy};
+use dharma_kademlia::{KadOutput, KademliaNode, StoredEntry};
+use dharma_likir::{AuthenticatedRecord, Identity};
+use dharma_net::SimNet;
+use dharma_types::{block_key, BlockType, DharmaError, FxHashMap, Result};
+
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cost::OpCost;
+
+/// Client configuration.
+#[derive(Clone, Debug)]
+pub struct DharmaConfig {
+    /// Approximation policy for tagging operations.
+    pub policy: ApproxPolicy,
+    /// Index-side filtering limit for search-step `GET t̂` (paper: 100).
+    pub search_top_n: u32,
+    /// Likir application namespace used when signing URI records.
+    pub namespace: String,
+    /// Client-side RNG seed (Approximation A subset selection).
+    pub seed: u64,
+    /// Safety cap on simulator events per blocking operation.
+    pub max_events_per_op: u64,
+}
+
+impl Default for DharmaConfig {
+    fn default() -> Self {
+        DharmaConfig {
+            policy: ApproxPolicy::paper(1),
+            search_top_n: 100,
+            namespace: "dharma".into(),
+            seed: 0,
+            max_events_per_op: 5_000_000,
+        }
+    }
+}
+
+/// What a tagging operation reports beyond its cost.
+#[derive(Clone, Debug)]
+pub struct TagReceipt {
+    /// Lookup/message cost.
+    pub cost: OpCost,
+    /// `|Tags(r)|` as observed from the fetched `r̄` block (excluding `t`).
+    pub neighborhood: usize,
+    /// How many `τ̂` blocks were updated (≤ k under Approximation A).
+    pub updated: usize,
+    /// Whether `t` was newly attached to `r`.
+    pub newly_attached: bool,
+}
+
+/// A fetched block: entries (name → weight) plus truncation flag.
+#[derive(Clone, Debug, Default)]
+pub struct BlockView {
+    /// Entries of the weighted set.
+    pub entries: Vec<(String, u64)>,
+    /// True if the server cut the list (top-n filtering or MTU).
+    pub truncated: bool,
+    /// Blob content, if the block stores one.
+    pub blob: Option<Vec<u8>>,
+}
+
+/// The DHARMA tagging client.
+pub struct DharmaClient {
+    home: dharma_net::NodeAddr,
+    identity: Identity,
+    cfg: DharmaConfig,
+    rng: StdRng,
+    /// Completions that arrived while waiting for other ops.
+    stash: FxHashMap<u64, KadOutput>,
+}
+
+impl DharmaClient {
+    /// Binds a client to its home overlay node.
+    pub fn new(home: dharma_net::NodeAddr, identity: Identity, cfg: DharmaConfig) -> Self {
+        let seed = cfg.seed;
+        DharmaClient {
+            home,
+            identity,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            stash: FxHashMap::default(),
+        }
+    }
+
+    /// The configured approximation policy.
+    pub fn policy(&self) -> ApproxPolicy {
+        self.cfg.policy
+    }
+
+    /// The home node's transport address.
+    pub fn home(&self) -> dharma_net::NodeAddr {
+        self.home
+    }
+
+    /// **Resource insertion** (§IV-A): publishes `r` with URI and tags,
+    /// in `2 + 2m` lookups.
+    ///
+    /// 1. `PUT r̃` — the signed URI record;
+    /// 2. `APPEND r̄` — all `m` tag entries at weight 1 (one block update);
+    /// 3. per tag `tᵢ`: `APPEND t̄ᵢ` (the reverse edge) and `APPEND t̂ᵢ`
+    ///    (the `m − 1` new FG arcs) — `2m` block updates.
+    pub fn insert_resource(
+        &mut self,
+        net: &mut SimNet<KademliaNode>,
+        resource: &str,
+        uri: &str,
+        tags: &[&str],
+    ) -> Result<OpCost> {
+        let mut unique: Vec<&str> = tags.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        if unique.is_empty() {
+            return Err(DharmaError::InvalidArgument(
+                "a resource needs at least one tag".into(),
+            ));
+        }
+        let mut cost = OpCost::default();
+
+        // 1. r̃ — the URI record, signed by the author (Likir content
+        //    authentication).
+        let record = AuthenticatedRecord::sign(
+            &self.identity,
+            &self.cfg.namespace,
+            uri.as_bytes().to_vec(),
+        );
+        let blob = dharma_types::WireEncode::encode_to_bytes(&record).to_vec();
+        let key = block_key(resource, BlockType::ResourceUri);
+        cost.absorb(self.run_write(net, |n, ctx| n.put_blob(ctx, key, blob))?);
+
+        // 2. r̄ — all tags of the new resource in one block update.
+        let key = block_key(resource, BlockType::ResourceTags);
+        let entries: Vec<StoredEntry> = unique
+            .iter()
+            .map(|t| StoredEntry {
+                name: (*t).to_owned(),
+                weight: 1,
+            })
+            .collect();
+        cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, key, entries))?);
+
+        // 3. per tag: t̄ᵢ reverse edge + t̂ᵢ pairwise FG arcs.
+        for &t in &unique {
+            let key = block_key(t, BlockType::TagResources);
+            let entry = vec![StoredEntry {
+                name: resource.to_owned(),
+                weight: 1,
+            }];
+            cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, key, entry))?);
+
+            let key = block_key(t, BlockType::TagNeighbors);
+            let arcs: Vec<StoredEntry> = unique
+                .iter()
+                .filter(|&&other| other != t)
+                .map(|&other| StoredEntry {
+                    name: other.to_owned(),
+                    weight: 1,
+                })
+                .collect();
+            if arcs.is_empty() {
+                // Single-tag resource: the t̂ update would be empty; the
+                // paper still counts the lookup (the block is touched to
+                // ensure existence). We append a zero-entry update.
+                cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, key, vec![]))?);
+            } else {
+                cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, key, arcs))?);
+            }
+        }
+        Ok(cost)
+    }
+
+    /// **Tag insertion** (§IV-A/B): attaches `t` to existing resource `r`.
+    ///
+    /// Naive policy: `4 + |Tags(r)|` lookups. Approximated: `4 + k`.
+    ///
+    /// 1. `APPEND r̄ (t, +1)`;
+    /// 2. `APPEND t̄ (r, +1)`;
+    /// 3. `GET r̄` — retrieve `Tags(r)` with weights;
+    /// 4. `APPEND t̂` — forward arcs `(t, τ)` for **all** `τ ∈ Tags(r)` in
+    ///    one block update (empty when `t` was already on `r`: the exact
+    ///    model leaves `sim(t, ·)` unchanged in that case);
+    /// 5. per selected `τ` (all of them naive, ≤ k under Approximation A):
+    ///    `APPEND τ̂ (t, +1)` — the reverse arcs, one lookup each.
+    ///
+    /// Steps 1–3 plus the `t̂` touch make the constant 4; step 5 contributes
+    /// `|Tags(r)|` or `k`. When `t` was already present, step 4 is a no-op
+    /// append so the lookup count stays at the paper's constant.
+    pub fn tag(
+        &mut self,
+        net: &mut SimNet<KademliaNode>,
+        resource: &str,
+        tag: &str,
+    ) -> Result<TagReceipt> {
+        let mut cost = OpCost::default();
+
+        // 1. u(t, r) += 1 on r̄.
+        let r_bar = block_key(resource, BlockType::ResourceTags);
+        let e = vec![StoredEntry {
+            name: tag.to_owned(),
+            weight: 1,
+        }];
+        cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, r_bar, e))?);
+
+        // 2. u(t, r) += 1 on t̄.
+        let t_bar = block_key(tag, BlockType::TagResources);
+        let e = vec![StoredEntry {
+            name: resource.to_owned(),
+            weight: 1,
+        }];
+        cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, t_bar, e))?);
+
+        // 3. Fetch Tags(r) from r̄ (unfiltered: tagging needs the full set;
+        //    resources carry few tags compared to popular tags' blocks).
+        let (view, get_cost) = self.run_get(net, r_bar, 0)?;
+        cost.absorb(get_cost);
+        let view = view.ok_or_else(|| {
+            DharmaError::NotFound(format!("resource '{resource}' has no r̄ block"))
+        })?;
+
+        // The weight of t after our own step-1 increment tells us whether
+        // this tagging attached t to r for the first time.
+        let t_weight = view
+            .entries
+            .iter()
+            .find(|(n, _)| n == tag)
+            .map(|(_, w)| *w)
+            .unwrap_or(1);
+        let newly_attached = t_weight <= 1;
+
+        // Neighborhood τ ∈ Tags(r) \ {t}.
+        let mut neighbors: Vec<(String, u64)> = view
+            .entries
+            .into_iter()
+            .filter(|(n, _)| n != tag)
+            .collect();
+        let neighborhood = neighbors.len();
+
+        // 4. Forward arcs (t, τ) on t̂ — only when newly attached. This is a
+        //    single block update whatever its entry count, so Approximation A
+        //    does not subset it (Table I's constant-4 term); Approximation B
+        //    replaces the u(τ, r) bulk increment with one token.
+        let t_hat = block_key(tag, BlockType::TagNeighbors);
+        let forward: Vec<StoredEntry> = if newly_attached {
+            neighbors
+                .iter()
+                .map(|(name, u_tau_r)| {
+                    let delta = match self.cfg.policy.b_policy {
+                        BPolicy::Exact | BPolicy::LiteralB => *u_tau_r,
+                        BPolicy::UnitIncrement => 1,
+                    };
+                    StoredEntry {
+                        name: name.clone(),
+                        weight: delta,
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, t_hat, forward))?);
+
+        // Approximation A: the per-neighbor τ̂ updates below are each a full
+        // overlay lookup, so they are capped at k random neighbors.
+        if let Some(k) = self.cfg.policy.connection_k {
+            if neighbors.len() > k {
+                neighbors.partial_shuffle(&mut self.rng, k);
+                neighbors.truncate(k);
+            }
+        }
+
+        // 5. Reverse arcs (τ, t) on each τ̂ — the linear/k term.
+        let mut updated = 0usize;
+        for (name, _) in &neighbors {
+            let tau_hat = block_key(name, BlockType::TagNeighbors);
+            let e = vec![StoredEntry {
+                name: tag.to_owned(),
+                weight: 1,
+            }];
+            cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, tau_hat, e))?);
+            updated += 1;
+        }
+
+        Ok(TagReceipt {
+            cost,
+            neighborhood,
+            updated,
+            newly_attached,
+        })
+    }
+
+    /// One **faceted-search step** (§IV-A): fetch `t̂` (filtered to the top
+    /// `search_top_n` by `sim`) and `t̄`. Two lookups; intersections happen
+    /// locally in [`crate::search::DhtFacetedSearch`].
+    pub fn search_step(
+        &mut self,
+        net: &mut SimNet<KademliaNode>,
+        tag: &str,
+    ) -> Result<(BlockView, BlockView, OpCost)> {
+        let mut cost = OpCost::default();
+        let t_hat = block_key(tag, BlockType::TagNeighbors);
+        let (nbrs, c1) = self.run_get(net, t_hat, self.cfg.search_top_n)?;
+        cost.absorb(c1);
+        let t_bar = block_key(tag, BlockType::TagResources);
+        let (res, c2) = self.run_get(net, t_bar, 0)?;
+        cost.absorb(c2);
+        Ok((nbrs.unwrap_or_default(), res.unwrap_or_default(), cost))
+    }
+
+    /// Resolves a resource name to its signed URI record (`GET r̃`).
+    pub fn resolve_uri(
+        &mut self,
+        net: &mut SimNet<KademliaNode>,
+        resource: &str,
+    ) -> Result<(Option<Vec<u8>>, OpCost)> {
+        let key = block_key(resource, BlockType::ResourceUri);
+        let (view, cost) = self.run_get(net, key, 0)?;
+        Ok((view.and_then(|v| v.blob), cost))
+    }
+
+    // ----- blocking operation drivers ---------------------------------
+
+    /// Issues a write op on the home node and runs the net to completion.
+    /// Counts as **one overlay lookup**.
+    fn run_write(
+        &mut self,
+        net: &mut SimNet<KademliaNode>,
+        issue: impl FnOnce(&mut KademliaNode, &mut dharma_net::Ctx<KadOutput>) -> u64,
+    ) -> Result<OpCost> {
+        let before = net.counters().sent();
+        let op = net.with_node(self.home, issue);
+        let out = self.wait_for(net, op)?;
+        match out {
+            KadOutput::Written { .. } => Ok(OpCost {
+                lookups: 1,
+                messages: net.counters().sent() - before,
+            }),
+            other => Err(DharmaError::Protocol(format!(
+                "expected write completion, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Issues a filtered GET and runs the net to completion. One lookup.
+    fn run_get(
+        &mut self,
+        net: &mut SimNet<KademliaNode>,
+        key: dharma_types::Id160,
+        top_n: u32,
+    ) -> Result<(Option<BlockView>, OpCost)> {
+        let before = net.counters().sent();
+        let op = net.with_node(self.home, |n, ctx| n.get(ctx, key, top_n));
+        let out = self.wait_for(net, op)?;
+        let cost = OpCost {
+            lookups: 1,
+            messages: net.counters().sent() - before,
+        };
+        match out {
+            KadOutput::Value { value, .. } => Ok((
+                value.map(|v| BlockView {
+                    entries: v.entries.into_iter().map(|e| (e.name, e.weight)).collect(),
+                    truncated: v.truncated,
+                    blob: v.blob,
+                }),
+                cost,
+            )),
+            other => Err(DharmaError::Protocol(format!(
+                "expected value completion, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Runs the simulation until operation `op` completes.
+    fn wait_for(&mut self, net: &mut SimNet<KademliaNode>, op: u64) -> Result<KadOutput> {
+        if let Some(out) = self.stash.remove(&op) {
+            return Ok(out);
+        }
+        let mut budget = self.cfg.max_events_per_op;
+        loop {
+            for (id, out) in net.take_completions() {
+                self.stash.insert(id, out);
+            }
+            if let Some(out) = self.stash.remove(&op) {
+                return Ok(out);
+            }
+            let stepped = net.run_until_idle(1024);
+            if stepped == 0 {
+                // Queue drained without completing: one more completion scan.
+                for (id, out) in net.take_completions() {
+                    self.stash.insert(id, out);
+                }
+                return self.stash.remove(&op).ok_or_else(|| {
+                    DharmaError::Timeout(format!("operation {op} never completed"))
+                });
+            }
+            budget = budget.saturating_sub(stepped);
+            if budget == 0 {
+                return Err(DharmaError::Timeout(format!(
+                    "operation {op} exceeded the event budget"
+                )));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::overlay;
+    use dharma_likir::CertificationAuthority;
+    use dharma_types::{block_key, BlockType};
+
+    fn client(policy: ApproxPolicy, home: u32) -> DharmaClient {
+        let ca = CertificationAuthority::new(b"dharma-tests");
+        let identity = ca.register("alice", 0);
+        DharmaClient::new(
+            home,
+            identity,
+            DharmaConfig {
+                policy,
+                ..DharmaConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn insert_costs_2_plus_2m() {
+        let mut net = overlay(16, 10);
+        let mut c = client(ApproxPolicy::EXACT, 1);
+        for (m, tags) in [
+            (1usize, vec!["rock"]),
+            (3, vec!["rock", "metal", "live"]),
+            (5, vec!["a", "b", "c", "d", "e"]),
+        ] {
+            let cost = c
+                .insert_resource(&mut net, &format!("res-{m}"), "uri://x", &tags)
+                .unwrap();
+            assert_eq!(cost.lookups as usize, 2 + 2 * m, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn tag_costs_match_table1() {
+        let mut net = overlay(16, 11);
+        // Insert a resource with 5 tags, then tag it with a 6th.
+        let mut naive = client(ApproxPolicy::EXACT, 1);
+        naive
+            .insert_resource(&mut net, "res", "uri://x", &["a", "b", "c", "d", "e"])
+            .unwrap();
+        let receipt = naive.tag(&mut net, "res", "fresh").unwrap();
+        assert_eq!(receipt.neighborhood, 5);
+        assert!(receipt.newly_attached);
+        assert_eq!(receipt.cost.lookups, 4 + 5, "naive: 4 + |Tags(r)|");
+
+        // Approximated with k = 2 on a second fresh tag.
+        let mut approx = client(ApproxPolicy::paper(2), 1);
+        let receipt = approx.tag(&mut net, "res", "fresh2").unwrap();
+        assert_eq!(receipt.cost.lookups, 4 + 2, "approx: 4 + k");
+        assert_eq!(receipt.updated, 2);
+        // Neighborhood now includes "fresh" from the previous op.
+        assert_eq!(receipt.neighborhood, 6);
+    }
+
+    #[test]
+    fn search_step_costs_2() {
+        let mut net = overlay(16, 12);
+        let mut c = client(ApproxPolicy::EXACT, 2);
+        c.insert_resource(&mut net, "r1", "uri://1", &["rock", "metal"])
+            .unwrap();
+        let (nbrs, res, cost) = c.search_step(&mut net, "rock").unwrap();
+        assert_eq!(cost.lookups, 2);
+        assert_eq!(nbrs.entries.len(), 1);
+        assert_eq!(nbrs.entries[0].0, "metal");
+        assert_eq!(res.entries.len(), 1);
+        assert_eq!(res.entries[0].0, "r1");
+    }
+
+    #[test]
+    fn tagging_updates_blocks_consistently() {
+        let mut net = overlay(12, 13);
+        let mut c = client(ApproxPolicy::EXACT, 1);
+        c.insert_resource(&mut net, "album", "uri://album", &["rock", "metal"])
+            .unwrap();
+        // Tag twice with an existing tag and once with a new one.
+        c.tag(&mut net, "album", "rock").unwrap();
+        let receipt = c.tag(&mut net, "album", "grunge").unwrap();
+        assert!(receipt.newly_attached);
+
+        // Read back r̄: u(rock) = 2, u(metal) = 1, u(grunge) = 1.
+        let (_, _, _) = c.search_step(&mut net, "rock").unwrap();
+        let key = block_key("album", BlockType::ResourceTags);
+        let (view, _) = c.run_get(&mut net, key, 0).unwrap();
+        let view = view.unwrap();
+        let get = |n: &str| view.entries.iter().find(|(e, _)| e == n).map(|(_, w)| *w);
+        assert_eq!(get("rock"), Some(2));
+        assert_eq!(get("metal"), Some(1));
+        assert_eq!(get("grunge"), Some(1));
+
+        // FG arcs: sim(rock → grunge) = u(grunge, album) = 1 (exact policy),
+        // sim(grunge → rock) = u(rock, album) = 2 at attach time.
+        let key = block_key("grunge", BlockType::TagNeighbors);
+        let (view, _) = c.run_get(&mut net, key, 0).unwrap();
+        let entries = view.unwrap().entries;
+        let rock = entries.iter().find(|(n, _)| n == "rock").unwrap();
+        assert_eq!(rock.1, 2, "exact B adds u(rock, album)");
+
+        let key = block_key("rock", BlockType::TagNeighbors);
+        let (view, _) = c.run_get(&mut net, key, 0).unwrap();
+        let entries = view.unwrap().entries;
+        let grunge = entries.iter().find(|(n, _)| n == "grunge").unwrap();
+        assert_eq!(grunge.1, 1);
+    }
+
+    #[test]
+    fn approximation_b_appends_unit() {
+        let mut net = overlay(12, 14);
+        let mut c = client(ApproxPolicy::paper(10), 1);
+        c.insert_resource(&mut net, "album", "uri://album", &["rock"])
+            .unwrap();
+        c.tag(&mut net, "album", "rock").unwrap();
+        c.tag(&mut net, "album", "rock").unwrap(); // u(rock, album) = 3
+        c.tag(&mut net, "album", "grunge").unwrap();
+        let key = block_key("grunge", BlockType::TagNeighbors);
+        let (view, _) = c.run_get(&mut net, key, 0).unwrap();
+        let entries = view.unwrap().entries;
+        let rock = entries.iter().find(|(n, _)| n == "rock").unwrap();
+        assert_eq!(rock.1, 1, "Approximation B: unit token, not u(τ, r) = 3");
+    }
+
+    #[test]
+    fn uri_record_roundtrips_and_verifies() {
+        let mut net = overlay(12, 15);
+        let ca = CertificationAuthority::new(b"dharma-tests");
+        let identity = ca.register("alice", 0);
+        let mut c = DharmaClient::new(3, identity, DharmaConfig::default());
+        c.insert_resource(&mut net, "song", "uri://song.mp3", &["pop"])
+            .unwrap();
+        let (blob, cost) = c.resolve_uri(&mut net, "song").unwrap();
+        assert_eq!(cost.lookups, 1);
+        let record = <AuthenticatedRecord as dharma_types::WireDecode>::decode_exact(
+            &blob.expect("record stored"),
+        )
+        .unwrap();
+        let verifier = ca.verifier();
+        assert_eq!(record.verify(&verifier, 0).unwrap(), b"uri://song.mp3");
+        // A different CA cannot verify it.
+        let other = CertificationAuthority::new(b"other");
+        assert!(record.verify(&other.verifier(), 0).is_err());
+    }
+
+    #[test]
+    fn tagging_unknown_resource_creates_degenerate_entry() {
+        // The paper's Tag(r, t) assumes r exists; the blind first append
+        // means an unknown name simply becomes a one-tag resource (no
+        // pre-flight existence lookup — that would break Table I's constant).
+        let mut net = overlay(8, 16);
+        let mut c = client(ApproxPolicy::EXACT, 1);
+        let receipt = c.tag(&mut net, "ghost", "rock").unwrap();
+        assert_eq!(receipt.neighborhood, 0);
+        assert!(receipt.newly_attached);
+        assert_eq!(receipt.cost.lookups, 4);
+    }
+}

@@ -1,0 +1,42 @@
+//! **DHARMA** — *DHT-based Approach for Resource Mapping through
+//! Approximation* (Aiello, Milanesio, Ruffo, Schifanella; arXiv:1101.3761).
+//!
+//! This crate is the paper's primary contribution: a collaborative tagging
+//! system with faceted search deployed on a Kademlia/Likir overlay. The
+//! folksonomy graphs of §III are shredded into four kinds of *blocks*, each
+//! stored under `SHA1(name ‖ type)`:
+//!
+//! | block | key | content |
+//! |---|---|---|
+//! | `r̄` | `H(r ‖ "1")` | `{(t, u(t, r))}` — the tags of resource `r` |
+//! | `t̄` | `H(t ‖ "2")` | `{(r, u(t, r))}` — the resources of tag `t` |
+//! | `t̂` | `H(t ‖ "3")` | `{(t', sim(t, t'))}` — the FG neighbors of `t` |
+//! | `r̃` | `H(r ‖ "4")` | the resource URI (a Likir-signed record) |
+//!
+//! [`client::DharmaClient`] implements the three primitives with exactly the
+//! lookup complexity of Table I:
+//!
+//! * **Insert(r, t₁…tₘ)** — `2 + 2m` lookups;
+//! * **Tag(r, t)** — `4 + |Tags(r)|` naive, `4 + k` under Approximation A;
+//! * **Search step** — `2` lookups (filtered `GET t̂` + `GET t̄`).
+//!
+//! Every operation returns an [`cost::OpCost`] receipt; integration tests
+//! assert the Table I formulas hold *exactly*.
+//!
+//! [`search::DhtFacetedSearch`] runs the §III-C narrowing process over the
+//! DHT, with the index-side filtering of §V-A (top-`N` by weight within one
+//! UDP payload) applied by the storing nodes.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cost;
+pub mod search;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use client::{DharmaClient, DharmaConfig};
+pub use cost::{CostBook, OpCost, OpKind};
+pub use dharma_folksonomy::{ApproxPolicy, BPolicy};
+pub use search::DhtFacetedSearch;

@@ -1,0 +1,45 @@
+//! Shared test helpers (test builds only).
+
+use dharma_kademlia::{KadConfig, KademliaNode};
+use dharma_net::{SimConfig, SimNet};
+use dharma_types::Id160;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds and bootstraps an `n`-node overlay with fast links and a large
+/// MTU (tests focus on protocol behaviour, not payload limits).
+pub(crate) fn overlay(n: usize, seed: u64) -> SimNet<KademliaNode> {
+    let mut net = SimNet::new(SimConfig {
+        latency_min_us: 1_000,
+        latency_max_us: 8_000,
+        drop_rate: 0.0,
+        mtu: 64 * 1024,
+        seed,
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = KadConfig {
+        k: 8,
+        alpha: 3,
+        rpc_timeout_us: 300_000,
+        reply_budget: 60_000,
+        ..KadConfig::default()
+    };
+    let mut first = None;
+    for i in 0..n {
+        let id = Id160::random(&mut rng);
+        let node = KademliaNode::new(id, i as u32, cfg.clone());
+        let addr = net.add_node(node);
+        if let Some(seed_contact) = &first {
+            net.node_mut(addr)
+                .add_seed(dharma_kademlia::Contact::clone(seed_contact));
+            net.with_node(addr, |node, ctx| {
+                node.bootstrap(ctx);
+            });
+        } else {
+            first = Some(net.node(addr).contact().clone());
+        }
+    }
+    net.run_until_idle(5_000_000);
+    net.take_completions();
+    net
+}

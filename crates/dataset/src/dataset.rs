@@ -1,0 +1,165 @@
+//! The [`Dataset`] container: a reference TRG plus naming.
+
+use dharma_folksonomy::{DegreeStats, Interner, ResId, TagId, Trg};
+
+/// An annotation dataset: the reference Tag-Resource Graph plus (optional)
+/// human-readable names for tags and resources.
+///
+/// Synthetic datasets name entities `tag-<id>` / `res-<id>` on the fly;
+/// datasets loaded from TSV keep their original names in interners.
+pub struct Dataset {
+    /// The reference Tag-Resource Graph (weights are user counts).
+    pub trg: Trg,
+    /// Tag names, when loaded from real data.
+    pub tag_names: Option<Interner>,
+    /// Resource names, when loaded from real data.
+    pub res_names: Option<Interner>,
+}
+
+impl Dataset {
+    /// Wraps a TRG with synthetic naming.
+    pub fn from_trg(trg: Trg) -> Self {
+        Dataset {
+            trg,
+            tag_names: None,
+            res_names: None,
+        }
+    }
+
+    /// The display/lookup name of a tag.
+    pub fn tag_name(&self, t: TagId) -> String {
+        match &self.tag_names {
+            Some(i) => i.name(t.0).to_owned(),
+            None => format!("tag-{}", t.0),
+        }
+    }
+
+    /// The display/lookup name of a resource.
+    pub fn res_name(&self, r: ResId) -> String {
+        match &self.res_names {
+            Some(i) => i.name(r.0).to_owned(),
+            None => format!("res-{}", r.0),
+        }
+    }
+
+    /// Tags sorted by descending `|Res(t)|` — "the 100 most popular tags"
+    /// seed set of §V-C. Ties break by tag id for determinism.
+    pub fn most_popular_tags(&self, n: usize) -> Vec<TagId> {
+        let mut tags: Vec<(usize, TagId)> = (0..self.trg.num_tags() as u32)
+            .map(TagId)
+            .map(|t| (self.trg.res_degree(t), t))
+            .filter(|&(d, _)| d > 0)
+            .collect();
+        tags.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        tags.truncate(n);
+        tags.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Structural statistics of the dataset (the TRG half of Table II).
+    pub fn stats(&self) -> DatasetStats {
+        let trg = &self.trg;
+        let tags_per_resource = DegreeStats::from_sizes(
+            (0..trg.num_resources() as u32)
+                .map(|r| trg.tag_degree(ResId(r)) as u64)
+                .filter(|&d| d > 0),
+        );
+        let res_per_tag = DegreeStats::from_sizes(
+            (0..trg.num_tags() as u32)
+                .map(|t| trg.res_degree(TagId(t)) as u64)
+                .filter(|&d| d > 0),
+        );
+        let singleton_tags = (0..trg.num_tags() as u32)
+            .filter(|&t| trg.res_degree(TagId(t)) == 1)
+            .count();
+        let singleton_resources = (0..trg.num_resources() as u32)
+            .filter(|&r| trg.tag_degree(ResId(r)) == 1)
+            .count();
+        DatasetStats {
+            active_tags: res_per_tag.count,
+            active_resources: tags_per_resource.count,
+            annotations: trg.num_annotations(),
+            edges: trg.num_edges(),
+            tags_per_resource,
+            res_per_tag,
+            singleton_tag_fraction: if res_per_tag.count == 0 {
+                0.0
+            } else {
+                singleton_tags as f64 / res_per_tag.count as f64
+            },
+            singleton_resource_fraction: if tags_per_resource.count == 0 {
+                0.0
+            } else {
+                singleton_resources as f64 / tags_per_resource.count as f64
+            },
+        }
+    }
+}
+
+/// Summary statistics of a dataset (compare with the paper's §V-A numbers).
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetStats {
+    /// Tags annotating at least one resource.
+    pub active_tags: usize,
+    /// Resources carrying at least one tag.
+    pub active_resources: usize,
+    /// Total annotation mass `Σ u(t, r)` (the paper's ~11 M triples).
+    pub annotations: u64,
+    /// Distinct `(t, r)` edges.
+    pub edges: usize,
+    /// Distribution of `|Tags(r)|` (paper: μ=5, σ=13, max=1182).
+    pub tags_per_resource: DegreeStats,
+    /// Distribution of `|Res(t)|` (paper: μ=26, σ=525, max=109717).
+    pub res_per_tag: DegreeStats,
+    /// Fraction of tags marking exactly one resource (paper: ≈55 %).
+    pub singleton_tag_fraction: f64,
+    /// Fraction of resources carrying exactly one tag (paper: ≈40 %).
+    pub singleton_resource_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        let mut trg = Trg::new();
+        // t0 on 3 resources, t1 on 2, t2 on 1.
+        trg.add_annotations(TagId(0), ResId(0), 2);
+        trg.add_annotations(TagId(0), ResId(1), 1);
+        trg.add_annotations(TagId(0), ResId(2), 1);
+        trg.add_annotations(TagId(1), ResId(0), 1);
+        trg.add_annotations(TagId(1), ResId(1), 3);
+        trg.add_annotations(TagId(2), ResId(2), 1);
+        Dataset::from_trg(trg)
+    }
+
+    #[test]
+    fn popularity_ranking() {
+        let d = small();
+        let top = d.most_popular_tags(2);
+        assert_eq!(top, vec![TagId(0), TagId(1)]);
+        assert_eq!(d.most_popular_tags(10).len(), 3);
+    }
+
+    #[test]
+    fn stats_basics() {
+        let d = small();
+        let s = d.stats();
+        assert_eq!(s.active_tags, 3);
+        assert_eq!(s.active_resources, 3);
+        assert_eq!(s.annotations, 9);
+        assert_eq!(s.edges, 6);
+        // t2 is the only singleton tag (1 of 3).
+        assert!((s.singleton_tag_fraction - 1.0 / 3.0).abs() < 1e-12);
+        // r2 carries 2 tags, r0 and r1 carry 2 → no singleton resources...
+        // r0: t0,t1; r1: t0,t1; r2: t0,t2 — all have 2 tags.
+        assert_eq!(s.singleton_resource_fraction, 0.0);
+        assert!((s.tags_per_resource.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_names() {
+        let d = small();
+        assert_eq!(d.tag_name(TagId(7)), "tag-7");
+        assert_eq!(d.res_name(ResId(3)), "res-3");
+    }
+}

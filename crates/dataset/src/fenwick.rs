@@ -1,0 +1,216 @@
+//! A Fenwick (binary indexed) tree for dynamic weighted sampling.
+//!
+//! The replay protocol of §V-B repeatedly draws a resource proportionally to
+//! its popularity *among resources that still have unplayed annotations*.
+//! That is weighted sampling without replacement over a changing weight
+//! vector — exactly what a Fenwick tree over weights gives in `O(log n)`
+//! per draw and per update.
+
+use rand::Rng;
+
+/// Fenwick tree over `u64` weights with prefix-sum search.
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    tree: Vec<u64>,
+    n: usize,
+}
+
+impl Fenwick {
+    /// A tree of `n` zero weights.
+    pub fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+            n,
+        }
+    }
+
+    /// Builds from an initial weight vector in `O(n)`.
+    pub fn from_weights(weights: &[u64]) -> Self {
+        let n = weights.len();
+        let mut tree = vec![0u64; n + 1];
+        for (i, &w) in weights.iter().enumerate() {
+            tree[i + 1] += w;
+            let parent = (i + 1) + ((i + 1) & (i + 1).wrapping_neg());
+            if parent <= n {
+                let v = tree[i + 1];
+                tree[parent] += v;
+            }
+        }
+        Fenwick { tree, n }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the tree has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds `delta` to slot `i` (may be negative via `sub`).
+    pub fn add(&mut self, i: usize, delta: u64) {
+        let mut i = i + 1;
+        while i <= self.n {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Subtracts `delta` from slot `i`. Panics in debug builds if the slot
+    /// would go negative.
+    pub fn sub(&mut self, i: usize, delta: u64) {
+        debug_assert!(self.weight(i) >= delta, "fenwick slot underflow");
+        let mut i = i + 1;
+        while i <= self.n {
+            self.tree[i] -= delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of weights in `0..=i`.
+    pub fn prefix_sum(&self, i: usize) -> u64 {
+        let mut i = (i + 1).min(self.n);
+        let mut s = 0u64;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> u64 {
+        self.prefix_sum(self.n.saturating_sub(1))
+    }
+
+    /// Weight of slot `i`.
+    pub fn weight(&self, i: usize) -> u64 {
+        let hi = self.prefix_sum(i);
+        let lo = if i == 0 { 0 } else { self.prefix_sum(i - 1) };
+        hi - lo
+    }
+
+    /// Finds the smallest index `i` with `prefix_sum(i) > target`
+    /// (i.e. the slot a uniform draw `target ∈ [0, total)` lands in).
+    pub fn find(&self, target: u64) -> usize {
+        debug_assert!(target < self.total(), "target beyond total weight");
+        let mut pos = 0usize;
+        let mut remaining = target;
+        // Highest power of two ≤ n.
+        let mut step = self.n.next_power_of_two();
+        if step > self.n {
+            step /= 2;
+        }
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.n && self.tree[next] <= remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            step /= 2;
+        }
+        pos // 0-based slot index
+    }
+
+    /// Draws a slot proportionally to its weight. Panics if total is zero.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = self.total();
+        assert!(total > 0, "sampling from an empty weight vector");
+        self.find(rng.gen_range(0..total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_weights_matches_incremental() {
+        let w = [3u64, 0, 7, 1, 4, 9, 2];
+        let bulk = Fenwick::from_weights(&w);
+        let mut inc = Fenwick::new(w.len());
+        for (i, &x) in w.iter().enumerate() {
+            inc.add(i, x);
+        }
+        for i in 0..w.len() {
+            assert_eq!(bulk.prefix_sum(i), inc.prefix_sum(i), "prefix {i}");
+            assert_eq!(bulk.weight(i), w[i]);
+        }
+        assert_eq!(bulk.total(), 26);
+    }
+
+    #[test]
+    fn find_maps_targets_to_slots() {
+        let f = Fenwick::from_weights(&[3, 0, 7]);
+        // Slot 0 covers targets 0..3, slot 2 covers 3..10 (slot 1 is empty).
+        assert_eq!(f.find(0), 0);
+        assert_eq!(f.find(2), 0);
+        assert_eq!(f.find(3), 2);
+        assert_eq!(f.find(9), 2);
+    }
+
+    #[test]
+    fn sub_removes_mass() {
+        let mut f = Fenwick::from_weights(&[5, 5, 5]);
+        f.sub(1, 5);
+        assert_eq!(f.weight(1), 0);
+        assert_eq!(f.total(), 10);
+        // Draws can no longer land in slot 1.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_ne!(f.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn sampling_distribution_tracks_weights() {
+        let f = Fenwick::from_weights(&[1, 2, 3, 4]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[f.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = (i + 1) as f64 / 10.0;
+            let emp = f64::from(c) / n as f64;
+            assert!((emp - expect).abs() < 0.01, "slot {i}: {emp} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn single_slot_tree() {
+        let mut f = Fenwick::new(1);
+        f.add(0, 42);
+        assert_eq!(f.total(), 42);
+        assert_eq!(f.find(41), 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(f.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [1usize, 2, 3, 5, 7, 13, 100, 1000] {
+            let w: Vec<u64> = (0..n as u64).map(|i| i % 5 + 1).collect();
+            let f = Fenwick::from_weights(&w);
+            let expect: u64 = w.iter().sum();
+            assert_eq!(f.total(), expect, "n = {n}");
+            // Every weight retrievable.
+            for i in 0..n {
+                assert_eq!(f.weight(i), w[i]);
+            }
+            // find is the inverse of prefix sums at boundaries.
+            let mut acc = 0u64;
+            for i in 0..n {
+                if w[i] > 0 {
+                    assert_eq!(f.find(acc), i, "boundary of slot {i}");
+                    acc += w[i];
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Annotation datasets for the DHARMA experiments.
+//!
+//! The paper's evaluation runs on a Last.fm crawl (99,405 users, ~11 M
+//! `(user, item, tag)` triples, 1,413,657 resources, 285,182 tags) that is
+//! not publicly archived. This crate provides:
+//!
+//! * [`generator`] — a seeded synthetic generator whose output reproduces
+//!   the *structural* statistics the evaluation depends on (Table II:
+//!   heavy-tailed `Tags(r)`, `Res(t)` and `N_FG(t)` distributions with a
+//!   core–periphery split — ≈55 % of tags annotate a single resource,
+//!   ≈40 % of resources carry a single tag), at configurable scales;
+//! * [`io`] — a TSV loader/writer for real `(user, item, tag)` triples, so
+//!   an actual crawl can be dropped in unchanged;
+//! * [`zipf`] / [`fenwick`] — the sampling machinery: bounded Zipf with
+//!   binary-searched CDF tables and a Fenwick tree for dynamic weighted
+//!   sampling without replacement (used by the replay protocol of §V-B).
+//!
+//! Every randomised component takes an explicit seed; a given
+//! `(config, seed)` pair generates the identical dataset on every run.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod fenwick;
+pub mod generator;
+pub mod io;
+pub mod zipf;
+
+pub use dataset::{Dataset, DatasetStats};
+pub use fenwick::Fenwick;
+pub use generator::{GeneratorConfig, Scale};
+pub use zipf::Zipf;

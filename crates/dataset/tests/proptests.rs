@@ -1,0 +1,116 @@
+//! Property tests for the sampling machinery and dataset IO.
+
+use dharma_dataset::{Fenwick, GeneratorConfig, Scale, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fenwick prefix sums agree with a naive accumulator under arbitrary
+    /// add/sub sequences.
+    #[test]
+    fn fenwick_matches_naive(
+        n in 1usize..64,
+        ops in proptest::collection::vec((any::<u16>(), 0u64..100, any::<bool>()), 0..200),
+    ) {
+        let mut naive = vec![0u64; n];
+        let mut fenwick = Fenwick::new(n);
+        for (slot, amount, add) in ops {
+            let i = slot as usize % n;
+            if add {
+                naive[i] += amount;
+                fenwick.add(i, amount);
+            } else {
+                let take = amount.min(naive[i]);
+                naive[i] -= take;
+                fenwick.sub(i, take);
+            }
+        }
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc += naive[i];
+            prop_assert_eq!(fenwick.prefix_sum(i), acc, "prefix at {}", i);
+            prop_assert_eq!(fenwick.weight(i), naive[i], "weight at {}", i);
+        }
+        prop_assert_eq!(fenwick.total(), acc);
+    }
+
+    /// `find` always lands in a slot whose cumulative range contains the
+    /// target, and sampling never selects a zero-weight slot.
+    #[test]
+    fn fenwick_find_is_consistent(
+        weights in proptest::collection::vec(0u64..50, 1..64),
+        seed in any::<u64>(),
+    ) {
+        let total: u64 = weights.iter().sum();
+        prop_assume!(total > 0);
+        let f = Fenwick::from_weights(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let slot = f.sample(&mut rng);
+            prop_assert!(weights[slot] > 0, "sampled empty slot {}", slot);
+        }
+        // Boundary checks on find.
+        let mut acc = 0u64;
+        for (i, &w) in weights.iter().enumerate() {
+            if w > 0 {
+                prop_assert_eq!(f.find(acc), i);
+                prop_assert_eq!(f.find(acc + w - 1), i);
+                acc += w;
+            }
+        }
+    }
+
+    /// Zipf pmf is normalized, monotone decreasing, and sampling stays in
+    /// range for arbitrary parameters.
+    #[test]
+    fn zipf_properties(n in 1usize..500, s in 0.0f64..3.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for i in 1..n {
+            prop_assert!(z.pmf(i - 1) >= z.pmf(i) - 1e-12);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Generated datasets always satisfy the structural invariants the
+    /// replay machinery depends on.
+    #[test]
+    fn generated_datasets_are_wellformed(seed in any::<u64>()) {
+        let mut cfg = GeneratorConfig::lastfm_like(Scale::Tiny, seed);
+        cfg.resources = 300; // keep the property fast
+        let d = cfg.generate();
+        let s = d.stats();
+        prop_assert_eq!(s.active_resources, 300);
+        prop_assert!(s.annotations >= s.edges as u64, "u(t,r) ≥ 1 per edge");
+        // Mirror consistency: Σ|Tags(r)| == Σ|Res(t)| == edges.
+        let trg = &d.trg;
+        let from_res: usize = (0..trg.num_resources() as u32)
+            .map(|r| trg.tag_degree(dharma_folksonomy::ResId(r)))
+            .sum();
+        let from_tags: usize = (0..trg.num_tags() as u32)
+            .map(|t| trg.res_degree(dharma_folksonomy::TagId(t)))
+            .sum();
+        prop_assert_eq!(from_res, s.edges);
+        prop_assert_eq!(from_tags, s.edges);
+    }
+
+    /// TSV roundtrip preserves the TRG (weights included) for any seed.
+    #[test]
+    fn tsv_roundtrip_preserves_weights(seed in any::<u64>()) {
+        let mut cfg = GeneratorConfig::lastfm_like(Scale::Tiny, seed);
+        cfg.resources = 120;
+        let d = cfg.generate();
+        let mut buf = Vec::new();
+        dharma_dataset::io::write_triples(&d, 300, 0.9, seed, &mut buf).unwrap();
+        let reloaded = dharma_dataset::io::read_triples(buf.as_slice()).unwrap();
+        prop_assert_eq!(reloaded.trg.num_annotations(), d.trg.num_annotations());
+        prop_assert_eq!(reloaded.trg.num_edges(), d.trg.num_edges());
+    }
+}

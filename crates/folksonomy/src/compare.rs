@@ -1,0 +1,269 @@
+//! Exact-vs-approximated graph comparison (Table III, Figures 6 and 8).
+//!
+//! For every tag `t` the paper compares the out-arc set of the exact FG with
+//! the same set in the approximated FG:
+//!
+//! * **Kendall τ** and **cosine θ** over the *common* arcs — do the
+//!   approximated weights preserve rank order and proportions?
+//! * **recall** — what fraction of exact arcs survived the approximation?
+//! * **sim1%** — of the arcs that were lost, what fraction had weight 1 in
+//!   the exact graph (i.e. were vocabulary noise)?
+//!
+//! Table III reports mean and standard deviation of each metric over tags.
+//! The computation is embarrassingly parallel per tag and is chunked over
+//! `dharma-par`.
+
+use dharma_par::ThreadPool;
+
+use crate::fg::Fg;
+use crate::ids::TagId;
+use crate::kendall::{cosine, tau_b};
+use crate::stats::MeanStd;
+
+/// Per-tag comparison of exact vs approximated out-arcs.
+#[derive(Clone, Debug, Default)]
+pub struct TagComparison {
+    /// Kendall τ-b over common arcs (`None` when undefined, e.g. < 2 common
+    /// arcs or constant weights).
+    pub tau: Option<f64>,
+    /// Cosine similarity over common arcs.
+    pub theta: Option<f64>,
+    /// `|approx arcs| / |exact arcs|` (`None` when the tag has no exact arcs).
+    pub recall: Option<f64>,
+    /// Fraction of *missing* arcs whose exact weight is 1 (`None` when no
+    /// arcs are missing).
+    pub sim1: Option<f64>,
+    /// Number of arcs present in both graphs.
+    pub common_arcs: usize,
+    /// Number of exact arcs.
+    pub exact_arcs: usize,
+}
+
+/// Compares one tag's out-neighborhoods.
+pub fn compare_tag(exact: &Fg, approx: &Fg, t: TagId) -> TagComparison {
+    let exact_arcs: Vec<(TagId, u64)> = {
+        let mut v: Vec<(TagId, u64)> = exact.neighbors(t).collect();
+        v.sort_unstable_by_key(|&(n, _)| n);
+        v
+    };
+    if exact_arcs.is_empty() {
+        return TagComparison::default();
+    }
+
+    let mut common_exact: Vec<u64> = Vec::new();
+    let mut common_approx: Vec<u64> = Vec::new();
+    let mut missing = 0usize;
+    let mut missing_weight_one = 0usize;
+    for &(n, w_exact) in &exact_arcs {
+        let w_approx = approx.sim(t, n);
+        if w_approx > 0 {
+            common_exact.push(w_exact);
+            common_approx.push(w_approx);
+        } else {
+            missing += 1;
+            if w_exact == 1 {
+                missing_weight_one += 1;
+            }
+        }
+    }
+
+    TagComparison {
+        tau: tau_b(&common_exact, &common_approx),
+        theta: cosine(&common_exact, &common_approx),
+        recall: Some(common_exact.len() as f64 / exact_arcs.len() as f64),
+        sim1: if missing > 0 {
+            Some(missing_weight_one as f64 / missing as f64)
+        } else {
+            None
+        },
+        common_arcs: common_exact.len(),
+        exact_arcs: exact_arcs.len(),
+    }
+}
+
+/// Aggregated comparison over all tags — the numbers of Table III.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GraphComparison {
+    /// Kendall τ-b aggregated over tags where it is defined.
+    pub tau: MeanStd,
+    /// Cosine θ aggregated over tags where it is defined.
+    pub theta: MeanStd,
+    /// Recall aggregated over tags with at least one exact arc.
+    pub recall: MeanStd,
+    /// sim1% aggregated over tags with at least one missing arc.
+    pub sim1: MeanStd,
+    /// Tags with at least one exact out-arc (the comparison population).
+    pub tags_with_arcs: u64,
+}
+
+impl GraphComparison {
+    fn absorb(mut self, c: &TagComparison) -> Self {
+        if c.exact_arcs > 0 {
+            self.tags_with_arcs += 1;
+        }
+        if let Some(v) = c.tau {
+            self.tau.push(v);
+        }
+        if let Some(v) = c.theta {
+            self.theta.push(v);
+        }
+        if let Some(v) = c.recall {
+            self.recall.push(v);
+        }
+        if let Some(v) = c.sim1 {
+            self.sim1.push(v);
+        }
+        self
+    }
+
+    fn merge(self, other: GraphComparison) -> GraphComparison {
+        GraphComparison {
+            tau: self.tau.merge(other.tau),
+            theta: self.theta.merge(other.theta),
+            recall: self.recall.merge(other.recall),
+            sim1: self.sim1.merge(other.sim1),
+            tags_with_arcs: self.tags_with_arcs + other.tags_with_arcs,
+        }
+    }
+}
+
+/// Compares the approximated graph against the exact one over every tag,
+/// in parallel. Only tags with ≥ `min_arcs` exact out-arcs participate
+/// (the paper's rank metrics are meaningless on singleton neighborhoods;
+/// pass 1 to include everything).
+pub fn compare_graphs(
+    pool: &ThreadPool,
+    exact: &Fg,
+    approx: &Fg,
+    min_arcs: usize,
+) -> GraphComparison {
+    let tags: Vec<u32> = (0..exact.num_tags() as u32).collect();
+    let chunk = dharma_par::chunk_size(tags.len(), pool.threads(), 64);
+    dharma_par::par_map_reduce(
+        pool,
+        &tags,
+        chunk,
+        GraphComparison::default(),
+        |&t| {
+            let t = TagId(t);
+            if exact.out_degree(t) < min_arcs {
+                GraphComparison::default()
+            } else {
+                GraphComparison::default().absorb(&compare_tag(exact, approx, t))
+            }
+        },
+        GraphComparison::merge,
+    )
+}
+
+/// `(exact out-degree, approx out-degree)` pairs for every tag with at least
+/// one exact arc — the scatter data of Figure 6.
+pub fn degree_pairs(exact: &Fg, approx: &Fg) -> Vec<(u64, u64)> {
+    (0..exact.num_tags() as u32)
+        .map(TagId)
+        .filter(|&t| exact.out_degree(t) > 0)
+        .map(|t| (exact.out_degree(t) as u64, approx.out_degree(t) as u64))
+        .collect()
+}
+
+/// `(exact weight, approx weight)` pairs for arcs of the exact graph —
+/// the scatter data of Figure 8. `include_missing` controls whether arcs
+/// absent from the approximated graph appear (with weight 0).
+pub fn weight_pairs(exact: &Fg, approx: &Fg, include_missing: bool) -> Vec<(u64, u64)> {
+    exact
+        .arcs()
+        .filter_map(|(t1, t2, w)| {
+            let wa = approx.sim(t1, t2);
+            if wa > 0 || include_missing {
+                Some((w, wa))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fg_from(arcs: &[(u32, u32, u64)]) -> Fg {
+        let mut fg = Fg::new();
+        for &(a, b, w) in arcs {
+            fg.add_sim(TagId(a), TagId(b), w);
+        }
+        fg
+    }
+
+    #[test]
+    fn identical_graphs_are_perfect() {
+        let exact = fg_from(&[(0, 1, 5), (0, 2, 3), (0, 3, 1), (1, 0, 2), (1, 2, 9)]);
+        let c = compare_tag(&exact, &exact, TagId(0));
+        assert!((c.tau.unwrap() - 1.0).abs() < 1e-12);
+        assert!((c.theta.unwrap() - 1.0).abs() < 1e-12);
+        assert!((c.recall.unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(c.sim1, None, "nothing missing");
+        assert_eq!(c.common_arcs, 3);
+    }
+
+    #[test]
+    fn missing_arcs_lower_recall_and_fill_sim1() {
+        let exact = fg_from(&[(0, 1, 5), (0, 2, 1), (0, 3, 1), (0, 4, 7)]);
+        // Approximation kept only the two heavy arcs.
+        let approx = fg_from(&[(0, 1, 3), (0, 4, 4)]);
+        let c = compare_tag(&exact, &approx, TagId(0));
+        assert!((c.recall.unwrap() - 0.5).abs() < 1e-12);
+        // Both missing arcs had weight 1.
+        assert!((c.sim1.unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(c.common_arcs, 2);
+    }
+
+    #[test]
+    fn scaled_weights_keep_theta_high() {
+        let exact = fg_from(&[(0, 1, 10), (0, 2, 20), (0, 3, 30)]);
+        let approx = fg_from(&[(0, 1, 1), (0, 2, 2), (0, 3, 3)]);
+        let c = compare_tag(&exact, &approx, TagId(0));
+        assert!((c.theta.unwrap() - 1.0).abs() < 1e-12);
+        assert!((c.tau.unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tag_yields_default() {
+        let exact = fg_from(&[(0, 1, 5)]);
+        let approx = Fg::new();
+        let c = compare_tag(&exact, &approx, TagId(7));
+        assert_eq!(c.exact_arcs, 0);
+        assert_eq!(c.recall, None);
+    }
+
+    #[test]
+    fn aggregate_over_graph() {
+        let pool = ThreadPool::new(2);
+        let exact = fg_from(&[
+            (0, 1, 5),
+            (0, 2, 3),
+            (1, 0, 5),
+            (1, 2, 2),
+            (2, 0, 3),
+            (2, 1, 2),
+        ]);
+        let agg = compare_graphs(&pool, &exact, &exact, 1);
+        assert_eq!(agg.tags_with_arcs, 3);
+        assert!((agg.recall.mean() - 1.0).abs() < 1e-12);
+        assert!((agg.theta.mean() - 1.0).abs() < 1e-12);
+        assert_eq!(agg.sim1.count(), 0);
+    }
+
+    #[test]
+    fn figure_data_extraction() {
+        let exact = fg_from(&[(0, 1, 5), (0, 2, 1), (1, 0, 4)]);
+        let approx = fg_from(&[(0, 1, 2), (1, 0, 4)]);
+        let degrees = degree_pairs(&exact, &approx);
+        assert!(degrees.contains(&(2, 1)) && degrees.contains(&(1, 1)));
+        let common = weight_pairs(&exact, &approx, false);
+        assert_eq!(common.len(), 2);
+        let all = weight_pairs(&exact, &approx, true);
+        assert_eq!(all.len(), 3);
+        assert!(all.contains(&(1, 0)));
+    }
+}

@@ -1,0 +1,244 @@
+//! The Folksonomy Graph (paper §III-A).
+//!
+//! `FG = (T, E_F)` with a (directed) arc `(t1, t2)` iff
+//! `sim(t1, t2) = Σ_{r ∈ Res(t1)} u(t2, r) ≥ 1`. Arc existence is symmetric
+//! by construction (`sim(t1,t2) ≠ 0 ⇔ sim(t2,t1) ≠ 0` in the exact model)
+//! but the two weights generally differ, so the graph stores both directions
+//! explicitly — exactly like the paper's "bidirectional arcs with two
+//! weights" (Figure 1).
+
+use dharma_types::FxHashMap;
+
+use crate::ids::TagId;
+use crate::trg::Trg;
+
+/// The directed, weighted tag-similarity graph.
+#[derive(Default, Clone, Debug)]
+pub struct Fg {
+    /// `out[t]` = `{t' → sim(t, t')}`, i.e. the `t̂` block of §IV-A.
+    out: Vec<FxHashMap<TagId, u64>>,
+    /// Number of directed arcs with weight ≥ 1.
+    arcs: usize,
+}
+
+impl Fg {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph pre-sized for `tags` tag vertices.
+    pub fn with_capacity(tags: usize) -> Self {
+        Fg {
+            out: vec![FxHashMap::default(); tags],
+            arcs: 0,
+        }
+    }
+
+    /// Ensures vertices `0..tags` exist.
+    pub fn ensure(&mut self, tags: usize) {
+        if self.out.len() < tags {
+            self.out.resize_with(tags, FxHashMap::default);
+        }
+    }
+
+    /// Number of tag vertices (including isolated ones).
+    pub fn num_tags(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of directed arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs
+    }
+
+    /// `sim(t1, t2)`, 0 when the arc is absent.
+    #[inline]
+    pub fn sim(&self, t1: TagId, t2: TagId) -> u64 {
+        self.out
+            .get(t1.idx())
+            .and_then(|m| m.get(&t2).copied())
+            .unwrap_or(0)
+    }
+
+    /// `N_FG(t)`: the out-neighborhood with weights.
+    pub fn neighbors(&self, t: TagId) -> impl Iterator<Item = (TagId, u64)> + '_ {
+        self.out
+            .get(t.idx())
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&n, &w)| (n, w)))
+    }
+
+    /// `|N_FG(t)|` (out-degree).
+    pub fn out_degree(&self, t: TagId) -> usize {
+        self.out.get(t.idx()).map_or(0, FxHashMap::len)
+    }
+
+    /// Adds `delta` to `sim(t1, t2)` (creating the arc if absent), growing
+    /// the vertex set if needed. Returns the previous weight.
+    pub fn add_sim(&mut self, t1: TagId, t2: TagId, delta: u64) -> u64 {
+        debug_assert_ne!(t1, t2, "self-arcs are not part of the model");
+        if delta == 0 {
+            return self.sim(t1, t2);
+        }
+        let need = t1.idx().max(t2.idx()) + 1;
+        self.ensure(need);
+        let slot = self.out[t1.idx()].entry(t2).or_insert(0);
+        let prev = *slot;
+        *slot += delta;
+        if prev == 0 {
+            self.arcs += 1;
+        }
+        prev
+    }
+
+    /// True if the arc `(t1, t2)` exists with weight ≥ 1.
+    #[inline]
+    pub fn has_arc(&self, t1: TagId, t2: TagId) -> bool {
+        self.sim(t1, t2) > 0
+    }
+
+    /// Iterates all arcs as `(t1, t2, sim(t1, t2))`.
+    pub fn arcs(&self) -> impl Iterator<Item = (TagId, TagId, u64)> + '_ {
+        self.out.iter().enumerate().flat_map(|(t1, m)| {
+            m.iter()
+                .map(move |(&t2, &w)| (TagId(t1 as u32), t2, w))
+        })
+    }
+
+    /// The top-`n` out-neighbors of `t` by descending weight (ties broken by
+    /// a popularity-neutral deterministic key — see [`TagId::tie_key`]).
+    /// This mirrors the index-side filtering a DHT node applies before
+    /// answering a `GET t̂` within one UDP payload (§V-A).
+    pub fn top_neighbors(&self, t: TagId, n: usize) -> Vec<(TagId, u64)> {
+        let mut all: Vec<(TagId, u64)> = self.neighbors(t).collect();
+        let ord = |a: &(TagId, u64), b: &(TagId, u64)| {
+            b.1.cmp(&a.1).then(a.0.tie_key().cmp(&b.0.tie_key()))
+        };
+        if all.len() > n {
+            // Partial selection first: O(d) average instead of O(d log d).
+            all.select_nth_unstable_by(n - 1, ord);
+            all.truncate(n);
+        }
+        all.sort_unstable_by(ord);
+        all
+    }
+
+    /// Derives the **exact** folksonomy graph of a TRG from the definition
+    /// `sim(t1, t2) = Σ_{r ∈ Res(t1)} u(t2, r)`.
+    ///
+    /// Cost is `Σ_r |Tags(r)|²`, the same aggregation the paper performs on
+    /// the Last.fm snapshot. Resources are the outer loop so each `Tags(r)`
+    /// neighborhood is enumerated once.
+    pub fn derive_exact(trg: &Trg) -> Fg {
+        let mut fg = Fg::with_capacity(trg.num_tags());
+        for r_idx in 0..trg.num_resources() {
+            let r = crate::ids::ResId(r_idx as u32);
+            let tags: Vec<(TagId, u32)> = trg.tags_of(r).collect();
+            for &(t1, _) in &tags {
+                for &(t2, u2) in &tags {
+                    if t1 != t2 {
+                        fg.add_sim(t1, t2, u64::from(u2));
+                    }
+                }
+            }
+        }
+        fg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ResId;
+
+    /// Builds the Figure 1 example: two resources, both tagged with t1 and
+    /// t2 (r1: 1×t1, 3×t2 — r2: 4×t1, 2×t2), plus r3 with t2 and t3.
+    fn figure1_trg() -> Trg {
+        let mut g = Trg::new();
+        let (t1, t2, t3) = (TagId(0), TagId(1), TagId(2));
+        let (r1, r2, r3) = (ResId(0), ResId(1), ResId(2));
+        for _ in 0..1 {
+            g.add_annotation(t1, r1);
+        }
+        for _ in 0..3 {
+            g.add_annotation(t2, r1);
+        }
+        for _ in 0..4 {
+            g.add_annotation(t1, r2);
+        }
+        for _ in 0..2 {
+            g.add_annotation(t2, r2);
+        }
+        for _ in 0..2 {
+            g.add_annotation(t2, r3);
+        }
+        for _ in 0..6 {
+            g.add_annotation(t3, r3);
+        }
+        g
+    }
+
+    #[test]
+    fn derive_matches_definition() {
+        // Paper example: sim(t1, t2) = 3 + 2 = 5 and sim(t2, t1) = 1 + 4 = 5?
+        // In Figure 1 the weights differ because resource sets differ; here:
+        // Res(t1) = {r1, r2} so sim(t1,t2) = u(t2,r1) + u(t2,r2) = 3 + 2 = 5.
+        // Res(t2) = {r1, r2, r3} so sim(t2,t1) = 1 + 4 + 0 = 5... and
+        // sim(t2,t3) = u(t3,r3) = 6, sim(t3,t2) = u(t2,r3) = 2.
+        let trg = figure1_trg();
+        let fg = Fg::derive_exact(&trg);
+        let (t1, t2, t3) = (TagId(0), TagId(1), TagId(2));
+        assert_eq!(fg.sim(t1, t2), 5);
+        assert_eq!(fg.sim(t2, t1), 5);
+        assert_eq!(fg.sim(t2, t3), 6);
+        assert_eq!(fg.sim(t3, t2), 2);
+        assert_eq!(fg.sim(t1, t3), 0);
+        assert_eq!(fg.sim(t3, t1), 0);
+    }
+
+    #[test]
+    fn arc_existence_is_symmetric_in_exact_model() {
+        let trg = figure1_trg();
+        let fg = Fg::derive_exact(&trg);
+        for (a, b, _) in fg.arcs() {
+            assert!(fg.has_arc(b, a), "({a:?},{b:?}) present but reverse missing");
+        }
+    }
+
+    #[test]
+    fn add_sim_creates_then_increments() {
+        let mut fg = Fg::new();
+        assert_eq!(fg.add_sim(TagId(0), TagId(1), 3), 0);
+        assert_eq!(fg.add_sim(TagId(0), TagId(1), 2), 3);
+        assert_eq!(fg.sim(TagId(0), TagId(1)), 5);
+        assert_eq!(fg.sim(TagId(1), TagId(0)), 0); // directed
+        assert_eq!(fg.num_arcs(), 1);
+    }
+
+    #[test]
+    fn top_neighbors_orders_by_weight_then_id() {
+        let mut fg = Fg::new();
+        let t = TagId(0);
+        fg.add_sim(t, TagId(1), 5);
+        fg.add_sim(t, TagId(2), 9);
+        fg.add_sim(t, TagId(3), 5);
+        fg.add_sim(t, TagId(4), 1);
+        let top = fg.top_neighbors(t, 3);
+        assert_eq!(top[0], (TagId(2), 9), "heaviest first");
+        // The two weight-5 entries follow in tie_key order.
+        let mut tied: Vec<TagId> = top[1..].iter().map(|&(t, _)| t).collect();
+        tied.sort_unstable();
+        assert_eq!(tied, vec![TagId(1), TagId(3)]);
+        assert_eq!(fg.top_neighbors(t, 100).len(), 4);
+        assert_eq!(fg.top_neighbors(TagId(99), 5), vec![]);
+    }
+
+    #[test]
+    fn zero_delta_is_a_noop() {
+        let mut fg = Fg::new();
+        fg.add_sim(TagId(0), TagId(1), 0);
+        assert_eq!(fg.num_arcs(), 0);
+        assert!(!fg.has_arc(TagId(0), TagId(1)));
+    }
+}

@@ -1,0 +1,130 @@
+//! Dense integer identifiers for tags and resources.
+//!
+//! The model works on `u32` indices (cache-friendly, and at Last.fm scale —
+//! 1.4 M resources, 285 k tags — well within range); [`Interner`] maps
+//! human-readable names to indices and back at the system boundary.
+
+use dharma_types::FxHashMap;
+
+/// Index of a tag in the model (dense, 0-based).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TagId(pub u32);
+
+/// Index of a resource in the model (dense, 0-based).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ResId(pub u32);
+
+impl TagId {
+    /// The index as usize, for direct vector addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// A deterministic tie-break key with no correlation to the id value
+    /// (Knuth multiplicative hash). Weight-sorted candidate lists use this
+    /// instead of the raw id: synthetic datasets allocate ids in popularity
+    /// order, and breaking ties by raw id would systematically favor hub
+    /// tags, biasing the search simulations.
+    #[inline]
+    pub fn tie_key(self) -> u32 {
+        self.0.wrapping_mul(2654435761)
+    }
+}
+
+impl ResId {
+    /// The index as usize, for direct vector addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional map between names and dense indices.
+///
+/// ```
+/// let mut interner = dharma_folksonomy::Interner::new();
+/// let a = interner.intern("rock");
+/// let b = interner.intern("rock");
+/// assert_eq!(a, b);
+/// assert_eq!(interner.name(a), "rock");
+/// ```
+#[derive(Default, Clone, Debug)]
+pub struct Interner {
+    names: Vec<String>,
+    by_name: FxHashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the index of `name`, inserting it if new.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing name.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name behind an index. Panics on out-of-range indices.
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(index, name)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("rock");
+        let b = i.intern("pop");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("rock"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.name(a), "rock");
+        assert_eq!(i.get("pop"), Some(b));
+        assert_eq!(i.get("jazz"), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        for n in 0..100 {
+            assert_eq!(i.intern(&format!("t{n}")), n);
+        }
+        let collected: Vec<u32> = i.iter().map(|(id, _)| id).collect();
+        assert_eq!(collected, (0..100).collect::<Vec<_>>());
+    }
+}

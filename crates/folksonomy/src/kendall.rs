@@ -1,0 +1,283 @@
+//! Kendall rank correlation (τ-b) in `O(n log n)`.
+//!
+//! Table III of the paper compares, per tag, the ranking of out-arc weights
+//! in the exact FG against the approximated FG. Arc weights carry *many*
+//! ties (most weights are 1–3), so the tie-corrected τ-b variant is the
+//! meaningful one:
+//!
+//! ```text
+//! τ_b = (P − Q) / √((n₀ − n₁)(n₀ − n₂))
+//! ```
+//!
+//! with `n₀ = n(n−1)/2`, `n₁`/`n₂` the tied-pair counts in each input and
+//! `P − Q` the concordant-minus-discordant pair count. The implementation is
+//! Knight's algorithm: sort by `(x, y)`, then count discordant pairs as
+//! strict inversions of `y` with a merge sort — `O(n log n)` instead of the
+//! `O(n²)` all-pairs scan (which is kept as a test oracle).
+
+/// Computes Kendall τ-b between two paired slices.
+///
+/// Returns `None` when fewer than two observations exist or when either
+/// input is constant (τ-b is undefined: zero variance).
+pub fn tau_b(x: &[u64], y: &[u64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "paired inputs must have equal length");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let n0 = pairs(n as u64);
+
+    // Sort index pairs by (x, y).
+    let mut xy: Vec<(u64, u64)> = x.iter().copied().zip(y.iter().copied()).collect();
+    xy.sort_unstable();
+
+    // n1: pairs tied in x; n3: pairs tied in both.
+    let mut n1 = 0u64;
+    let mut n3 = 0u64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && xy[j].0 == xy[i].0 {
+            j += 1;
+        }
+        n1 += pairs((j - i) as u64);
+        // Inside an equal-x run, entries are sorted by y: count equal-(x,y) runs.
+        let mut a = i;
+        while a < j {
+            let mut b = a + 1;
+            while b < j && xy[b].1 == xy[a].1 {
+                b += 1;
+            }
+            n3 += pairs((b - a) as u64);
+            a = b;
+        }
+        i = j;
+    }
+
+    // n2: pairs tied in y.
+    let mut ys: Vec<u64> = y.to_vec();
+    ys.sort_unstable();
+    let mut n2 = 0u64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && ys[j] == ys[i] {
+            j += 1;
+        }
+        n2 += pairs((j - i) as u64);
+        i = j;
+    }
+
+    if n0 == n1 || n0 == n2 {
+        return None; // one of the inputs is constant
+    }
+
+    // Discordant pairs = strict inversions of the y sequence (x-ties are
+    // sorted by y, so they contribute no inversions and no concordance).
+    let mut seq: Vec<u64> = xy.iter().map(|&(_, yv)| yv).collect();
+    let mut scratch = vec![0u64; n];
+    let discordant = count_inversions(&mut seq, &mut scratch);
+
+    let p_minus_q = n0 as i128 - n1 as i128 - n2 as i128 + n3 as i128
+        - 2 * discordant as i128;
+    let denom = ((n0 - n1) as f64).sqrt() * ((n0 - n2) as f64).sqrt();
+    Some(p_minus_q as f64 / denom)
+}
+
+/// `O(n²)` reference implementation (test oracle).
+pub fn tau_b_reference(x: &[u64], y: &[u64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let (mut conc, mut disc, mut tx, mut ty) = (0i64, 0i64, 0u64, 0u64);
+    for i in 0..n {
+        for j in i + 1..n {
+            let dx = x[i].cmp(&x[j]);
+            let dy = y[i].cmp(&y[j]);
+            use std::cmp::Ordering::*;
+            match (dx, dy) {
+                (Equal, Equal) => {
+                    tx += 1;
+                    ty += 1;
+                }
+                (Equal, _) => tx += 1,
+                (_, Equal) => ty += 1,
+                (a, b) if a == b => conc += 1,
+                _ => disc += 1,
+            }
+        }
+    }
+    let n0 = pairs(n as u64);
+    if tx == n0 || ty == n0 {
+        return None;
+    }
+    let denom = ((n0 - tx) as f64).sqrt() * ((n0 - ty) as f64).sqrt();
+    Some((conc - disc) as f64 / denom)
+}
+
+#[inline]
+fn pairs(n: u64) -> u64 {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Counts strict inversions (`i < j` with `a[i] > a[j]`) while merge-sorting
+/// `a` in place. `scratch` must be the same length as `a`.
+fn count_inversions(a: &mut [u64], scratch: &mut [u64]) -> u64 {
+    let n = a.len();
+    if n < 2 {
+        return 0;
+    }
+    // Bottom-up merge sort avoids recursion on ~100k-arc neighborhoods.
+    let mut inversions = 0u64;
+    let mut width = 1usize;
+    while width < n {
+        let mut lo = 0usize;
+        while lo + width < n {
+            let mid = lo + width;
+            let hi = (lo + 2 * width).min(n);
+            inversions += merge_count(&a[lo..hi], mid - lo, &mut scratch[lo..hi]);
+            a[lo..hi].copy_from_slice(&scratch[lo..hi]);
+            lo += 2 * width;
+        }
+        width *= 2;
+    }
+    inversions
+}
+
+/// Merges the two sorted halves of `src` (split at `mid`) into `dst`,
+/// returning the number of strict inversions across the split.
+fn merge_count(src: &[u64], mid: usize, dst: &mut [u64]) -> u64 {
+    let (left, right) = src.split_at(mid);
+    let mut inversions = 0u64;
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        if right[j] < left[i] {
+            // right[j] precedes every remaining left element: one strict
+            // inversion per remaining left element.
+            inversions += (left.len() - i) as u64;
+            dst[k] = right[j];
+            j += 1;
+        } else {
+            dst[k] = left[i];
+            i += 1;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        dst[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        dst[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    inversions
+}
+
+/// Cosine similarity between two paired weight vectors (the paper's θ).
+///
+/// Returns `None` when either vector has zero norm.
+pub fn cosine(x: &[u64], y: &[u64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "paired inputs must have equal length");
+    let mut dot = 0f64;
+    let mut nx = 0f64;
+    let mut ny = 0f64;
+    for (&a, &b) in x.iter().zip(y) {
+        let (a, b) = (a as f64, b as f64);
+        dot += a * b;
+        nx += a * a;
+        ny += b * b;
+    }
+    if nx == 0.0 || ny == 0.0 {
+        return None;
+    }
+    Some(dot / (nx.sqrt() * ny.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement() {
+        let x = [1u64, 2, 3, 4, 5];
+        let y = [10u64, 20, 30, 40, 50];
+        assert!((tau_b(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_disagreement() {
+        let x = [1u64, 2, 3, 4, 5];
+        let y = [50u64, 40, 30, 20, 10];
+        assert!((tau_b(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_input_undefined() {
+        assert_eq!(tau_b(&[1, 1, 1], &[1, 2, 3]), None);
+        assert_eq!(tau_b(&[1, 2, 3], &[7, 7, 7]), None);
+        assert_eq!(tau_b(&[1], &[2]), None);
+        assert_eq!(tau_b(&[], &[]), None);
+    }
+
+    #[test]
+    fn ties_match_reference() {
+        let x = [1u64, 1, 2, 2, 3, 3, 3, 10];
+        let y = [2u64, 1, 2, 5, 5, 1, 3, 9];
+        let fast = tau_b(&x, &y).unwrap();
+        let slow = tau_b_reference(&x, &y).unwrap();
+        assert!((fast - slow).abs() < 1e-12, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn known_scipy_value() {
+        // scipy.stats.kendalltau([12,2,1,12,2],[1,4,7,1,0]) = -0.4714045...
+        let x = [12u64, 2, 1, 12, 2];
+        let y = [1u64, 4, 7, 1, 0];
+        let t = tau_b(&x, &y).unwrap();
+        assert!((t - (-0.47140452079103173)).abs() < 1e-12, "{t}");
+    }
+
+    #[test]
+    fn inversion_counting() {
+        let mut a = [5u64, 4, 3, 2, 1];
+        let mut s = [0u64; 5];
+        assert_eq!(count_inversions(&mut a, &mut s), 10);
+        assert_eq!(a, [1, 2, 3, 4, 5]);
+
+        let mut b = [1u64, 2, 3];
+        let mut s = [0u64; 3];
+        assert_eq!(count_inversions(&mut b, &mut s), 0);
+
+        // Equal elements are not inversions.
+        let mut c = [2u64, 2, 2, 1];
+        let mut s = [0u64; 4];
+        assert_eq!(count_inversions(&mut c, &mut s), 3);
+    }
+
+    #[test]
+    fn cosine_known_values() {
+        // Perfectly scaled vectors → 1 (the paper's example).
+        let t = cosine(&[1, 2, 3], &[100, 200, 300]).unwrap();
+        assert!((t - 1.0).abs() < 1e-12);
+        // Orthogonal-ish.
+        let t = cosine(&[1, 0], &[0, 1]).unwrap();
+        assert!(t.abs() < 1e-12);
+        assert_eq!(cosine(&[0, 0], &[1, 2]), None);
+    }
+
+    #[test]
+    fn large_input_agreement_with_reference() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let x: Vec<u64> = (0..500).map(|_| rng.gen_range(0..20)).collect();
+        let y: Vec<u64> = (0..500).map(|_| rng.gen_range(0..20)).collect();
+        let fast = tau_b(&x, &y).unwrap();
+        let slow = tau_b_reference(&x, &y).unwrap();
+        assert!((fast - slow).abs() < 1e-10);
+    }
+}

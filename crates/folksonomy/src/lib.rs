@@ -1,0 +1,40 @@
+//! The DHARMA tagging-system model (paper §III).
+//!
+//! A collaborative tagging system is modelled as two graphs obtained by
+//! aggregating the `(user, resource, tag)` tripartite hypergraph across the
+//! user dimension:
+//!
+//! * the **Tag-Resource Graph** ([`Trg`]) — a weighted bipartite graph where
+//!   `u(t, r)` counts how many users tagged resource `r` with tag `t`;
+//! * the **Folksonomy Graph** ([`Fg`]) — a directed weighted graph over tags
+//!   with `sim(t1, t2) = Σ_{r ∈ Res(t1)} u(t2, r)`: how often resources
+//!   carrying `t1` also carry `t2`.
+//!
+//! [`Folksonomy`] couples the two and implements the paper's maintenance
+//! operations (§III-B) — *resource insertion* and *tag insertion* — in both
+//! their **exact** form and the **approximated** form of §IV-B
+//! (Approximation A: bound FG updates per tagging by the connection
+//! parameter `k`; Approximation B: unit increments instead of `u(τ, r)`).
+//!
+//! [`faceted`] implements the faceted-search narrowing process of §III-C,
+//! and [`compare`]/[`kendall`] the graph-quality metrics of the evaluation
+//! (§V-B): Kendall τ-b, cosine similarity, recall and `sim1%`.
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod faceted;
+pub mod fg;
+pub mod ids;
+pub mod kendall;
+pub mod model;
+pub mod stats;
+pub mod trg;
+
+pub use compare::{compare_graphs, GraphComparison, TagComparison};
+pub use faceted::{FacetedSearch, SearchConfig, SearchOutcome, Strategy};
+pub use fg::Fg;
+pub use ids::{Interner, ResId, TagId};
+pub use model::{ApproxPolicy, BPolicy, Folksonomy, TaggingOutcome};
+pub use stats::{cdf_points, DegreeStats};
+pub use trg::Trg;

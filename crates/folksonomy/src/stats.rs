@@ -1,0 +1,228 @@
+//! Summary statistics and CDFs for graph degree distributions
+//! (Table II and Figure 5 of the paper).
+
+/// Mean / standard deviation / max / count of a degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation (the paper reports σ over the full
+    /// snapshot, not a sample estimate).
+    pub std: f64,
+    /// Maximum observed value.
+    pub max: u64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl DegreeStats {
+    /// Computes stats over an iterator of sizes.
+    pub fn from_sizes<I: IntoIterator<Item = u64>>(sizes: I) -> DegreeStats {
+        let mut count = 0usize;
+        let mut sum = 0f64;
+        let mut sum_sq = 0f64;
+        let mut max = 0u64;
+        for s in sizes {
+            count += 1;
+            let f = s as f64;
+            sum += f;
+            sum_sq += f * f;
+            max = max.max(s);
+        }
+        if count == 0 {
+            return DegreeStats {
+                mean: 0.0,
+                std: 0.0,
+                max: 0,
+                count: 0,
+            };
+        }
+        let mean = sum / count as f64;
+        let var = (sum_sq / count as f64 - mean * mean).max(0.0);
+        DegreeStats {
+            mean,
+            std: var.sqrt(),
+            max,
+            count,
+        }
+    }
+}
+
+/// Welford-style accumulator for mean/σ of f64 observations (used for the
+/// metric aggregations of Table III and the path-length stats of Table IV).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeanStd {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanStd {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator (parallel reduction; Chan et al.).
+    pub fn merge(mut self, other: MeanStd) -> MeanStd {
+        if other.n == 0 {
+            return self;
+        }
+        if self.n == 0 {
+            return other;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (0 when fewer than 2 observations).
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0).sqrt()
+        }
+    }
+}
+
+/// Empirical CDF of a set of sizes: returns `(value, P[X ≤ value])` points,
+/// one per distinct value, suitable for the log-x CDF plot of Figure 5.
+pub fn cdf_points(mut sizes: Vec<u64>) -> Vec<(u64, f64)> {
+    if sizes.is_empty() {
+        return Vec::new();
+    }
+    sizes.sort_unstable();
+    let n = sizes.len() as f64;
+    let mut out: Vec<(u64, f64)> = Vec::new();
+    let mut seen = 0usize;
+    let mut i = 0usize;
+    while i < sizes.len() {
+        let v = sizes[i];
+        let mut j = i;
+        while j < sizes.len() && sizes[j] == v {
+            j += 1;
+        }
+        seen += j - i;
+        out.push((v, seen as f64 / n));
+        i = j;
+    }
+    out
+}
+
+/// Median of a slice (averaging the two middle elements for even lengths).
+pub fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs in medians"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_stats_basic() {
+        let s = DegreeStats::from_sizes([2u64, 4, 4, 4, 5, 5, 7, 9]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.0).abs() < 1e-12); // classic population-σ example
+        assert_eq!(s.max, 9);
+        assert_eq!(s.count, 8);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        let s = DegreeStats::from_sizes(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn mean_std_matches_direct_computation() {
+        let xs = [1.0f64, 2.0, 3.5, 7.25, 11.0];
+        let mut acc = MeanStd::new();
+        for x in xs {
+            acc.push(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((acc.mean() - mean).abs() < 1e-12);
+        assert!((acc.std() - var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * i) as f64 * 0.37).collect();
+        let mut whole = MeanStd::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = MeanStd::new();
+        let mut b = MeanStd::new();
+        for &x in &xs[..33] {
+            a.push(x);
+        }
+        for &x in &xs[33..] {
+            b.push(x);
+        }
+        let merged = a.merge(b);
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        assert!((merged.std() - whole.std()).abs() < 1e-9);
+        // Merging with empty is identity.
+        let id = MeanStd::new().merge(whole);
+        assert!((id.mean() - whole.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let pts = cdf_points(vec![5, 1, 1, 2, 9, 9, 9]);
+        assert_eq!(pts.first().unwrap().0, 1);
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        // P[X ≤ 1] = 2/7.
+        assert!((pts[0].1 - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+    }
+}

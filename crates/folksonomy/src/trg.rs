@@ -1,0 +1,249 @@
+//! The Tag-Resource Graph (paper §III-A).
+//!
+//! `TRG = (T ∪ R, E_TR)` with an edge `(t, r)` iff at least one user tagged
+//! `r` with `t`, weighted by `u(t, r)` = the number of users who did. Both
+//! directions are materialized (`Tags(r)` and `Res(t)`) because every paper
+//! operation needs one or the other: tagging reads `Tags(r)`, search reads
+//! `Res(t)`, and the `sim` definition sums over `Res(t1)`.
+
+use dharma_types::FxHashMap;
+
+use crate::ids::{ResId, TagId};
+
+/// The weighted bipartite Tag-Resource Graph.
+#[derive(Default, Clone, Debug)]
+pub struct Trg {
+    /// `tags_of[r]` = `{t → u(t, r)}`, the `Tags(r)` adjacency of §III-A.
+    tags_of: Vec<FxHashMap<TagId, u32>>,
+    /// `res_of[t]` = `{r → u(t, r)}`, the `Res(t)` adjacency.
+    res_of: Vec<FxHashMap<ResId, u32>>,
+    /// Total number of edges (unordered (t, r) pairs with u ≥ 1).
+    edges: usize,
+    /// Total annotation mass `Σ u(t, r)`.
+    annotations: u64,
+}
+
+impl Trg {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph pre-sized for `tags` tags and `resources` resources
+    /// (all isolated) — the starting state of the paper's replay simulation.
+    pub fn with_capacity(tags: usize, resources: usize) -> Self {
+        Trg {
+            tags_of: vec![FxHashMap::default(); resources],
+            res_of: vec![FxHashMap::default(); tags],
+            edges: 0,
+            annotations: 0,
+        }
+    }
+
+    /// Ensures indices up to (and including) the given ids exist.
+    pub fn ensure(&mut self, tags: usize, resources: usize) {
+        if self.res_of.len() < tags {
+            self.res_of.resize_with(tags, FxHashMap::default);
+        }
+        if self.tags_of.len() < resources {
+            self.tags_of.resize_with(resources, FxHashMap::default);
+        }
+    }
+
+    /// Number of tag vertices (including isolated ones).
+    pub fn num_tags(&self) -> usize {
+        self.res_of.len()
+    }
+
+    /// Number of resource vertices (including isolated ones).
+    pub fn num_resources(&self) -> usize {
+        self.tags_of.len()
+    }
+
+    /// Number of `(t, r)` edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Total annotation mass `Σ_{(t,r)} u(t, r)`.
+    pub fn num_annotations(&self) -> u64 {
+        self.annotations
+    }
+
+    /// The weight `u(t, r)`, 0 when the edge is absent.
+    #[inline]
+    pub fn weight(&self, t: TagId, r: ResId) -> u32 {
+        self.tags_of
+            .get(r.idx())
+            .and_then(|m| m.get(&t).copied())
+            .unwrap_or(0)
+    }
+
+    /// `Tags(r)` with weights. Empty iterator for unknown resources.
+    pub fn tags_of(&self, r: ResId) -> impl Iterator<Item = (TagId, u32)> + '_ {
+        self.tags_of
+            .get(r.idx())
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&t, &u)| (t, u)))
+    }
+
+    /// `Res(t)` with weights. Empty iterator for unknown tags.
+    pub fn res_of(&self, t: TagId) -> impl Iterator<Item = (ResId, u32)> + '_ {
+        self.res_of
+            .get(t.idx())
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&r, &u)| (r, u)))
+    }
+
+    /// `|Tags(r)|`.
+    pub fn tag_degree(&self, r: ResId) -> usize {
+        self.tags_of.get(r.idx()).map_or(0, FxHashMap::len)
+    }
+
+    /// `|Res(t)|`.
+    pub fn res_degree(&self, t: TagId) -> usize {
+        self.res_of.get(t.idx()).map_or(0, FxHashMap::len)
+    }
+
+    /// Increments `u(t, r)` by `n` (creating the edge if absent), growing the
+    /// vertex sets if needed. Returns the previous weight. Used by dataset
+    /// builders that know edge multiplicities upfront.
+    pub fn add_annotations(&mut self, t: TagId, r: ResId, n: u32) -> u32 {
+        if n == 0 {
+            return self.weight(t, r);
+        }
+        self.ensure(t.idx() + 1, r.idx() + 1);
+        let prev = {
+            let slot = self.tags_of[r.idx()].entry(t).or_insert(0);
+            let prev = *slot;
+            *slot += n;
+            prev
+        };
+        *self.res_of[t.idx()].entry(r).or_insert(0) += n;
+        if prev == 0 {
+            self.edges += 1;
+        }
+        self.annotations += u64::from(n);
+        prev
+    }
+
+    /// Increments `u(t, r)` by one (creating the edge at weight 1), growing
+    /// the vertex sets if needed. Returns the *previous* weight.
+    pub fn add_annotation(&mut self, t: TagId, r: ResId) -> u32 {
+        self.ensure(t.idx() + 1, r.idx() + 1);
+        let prev = {
+            let slot = self.tags_of[r.idx()].entry(t).or_insert(0);
+            let prev = *slot;
+            *slot += 1;
+            prev
+        };
+        *self.res_of[t.idx()].entry(r).or_insert(0) += 1;
+        if prev == 0 {
+            self.edges += 1;
+        }
+        self.annotations += 1;
+        prev
+    }
+
+    /// Iterates every edge as `(t, r, u(t, r))`, grouped by resource.
+    pub fn edges(&self) -> impl Iterator<Item = (TagId, ResId, u32)> + '_ {
+        self.tags_of.iter().enumerate().flat_map(|(r, m)| {
+            m.iter()
+                .map(move |(&t, &u)| (t, ResId(r as u32), u))
+        })
+    }
+
+    /// Structural equality of the edge multiset (used to verify that a replay
+    /// reconstructs the reference TRG exactly).
+    pub fn same_edges(&self, other: &Trg) -> bool {
+        if self.edges != other.edges || self.annotations != other.annotations {
+            return false;
+        }
+        self.edges()
+            .all(|(t, r, u)| other.weight(t, r) == u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotation_updates_both_directions() {
+        let mut g = Trg::new();
+        let t = TagId(3);
+        let r = ResId(5);
+        assert_eq!(g.add_annotation(t, r), 0);
+        assert_eq!(g.add_annotation(t, r), 1);
+        assert_eq!(g.weight(t, r), 2);
+        assert_eq!(g.tag_degree(r), 1);
+        assert_eq!(g.res_degree(t), 1);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_annotations(), 2);
+        // Mirror consistency.
+        let from_res: Vec<_> = g.res_of(t).collect();
+        assert_eq!(from_res, vec![(r, 2)]);
+    }
+
+    #[test]
+    fn vertices_grow_on_demand() {
+        let mut g = Trg::new();
+        g.add_annotation(TagId(10), ResId(20));
+        assert_eq!(g.num_tags(), 11);
+        assert_eq!(g.num_resources(), 21);
+        // Isolated vertices have empty neighborhoods.
+        assert_eq!(g.tag_degree(ResId(0)), 0);
+        assert_eq!(g.res_degree(TagId(0)), 0);
+    }
+
+    #[test]
+    fn figure1_example() {
+        // Figure 1 (left): r1 tagged with t1 by 1 user and t2 by 3 users, etc.
+        let mut g = Trg::new();
+        let (t1, t2) = (TagId(0), TagId(1));
+        let (r1, r2) = (ResId(0), ResId(1));
+        g.add_annotation(t1, r1);
+        for _ in 0..3 {
+            g.add_annotation(t2, r1);
+        }
+        for _ in 0..2 {
+            g.add_annotation(t2, r2);
+        }
+        assert_eq!(g.weight(t2, r1), 3);
+        assert_eq!(g.weight(t2, r2), 2);
+        assert_eq!(g.res_degree(t2), 2);
+        assert_eq!(g.tag_degree(r1), 2);
+    }
+
+    #[test]
+    fn same_edges_detects_differences() {
+        let mut a = Trg::new();
+        let mut b = Trg::new();
+        a.add_annotation(TagId(0), ResId(0));
+        b.add_annotation(TagId(0), ResId(0));
+        assert!(a.same_edges(&b));
+        b.add_annotation(TagId(0), ResId(0));
+        assert!(!a.same_edges(&b));
+        a.add_annotation(TagId(1), ResId(0));
+        b.add_annotation(TagId(1), ResId(0));
+        assert!(!a.same_edges(&b)); // annotation mass differs
+    }
+
+    #[test]
+    fn edges_iterator_covers_all() {
+        let mut g = Trg::new();
+        g.add_annotation(TagId(0), ResId(0));
+        g.add_annotation(TagId(1), ResId(0));
+        g.add_annotation(TagId(0), ResId(1));
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort();
+        assert_eq!(
+            edges,
+            vec![
+                (TagId(0), ResId(0), 1),
+                (TagId(0), ResId(1), 1),
+                (TagId(1), ResId(0), 1),
+            ]
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the folksonomy model — the invariants the paper's
+//! correctness rests on.
+
+use dharma_folksonomy::kendall::{tau_b, tau_b_reference};
+use dharma_folksonomy::{ApproxPolicy, Fg, Folksonomy, ResId, TagId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An arbitrary sequence of tagging events over small id spaces.
+fn events() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..12, 0u32..10), 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental exact evolution ≡ batch derivation from the final TRG —
+    /// the central §III-B invariant.
+    #[test]
+    fn exact_evolution_equals_derivation(evs in events()) {
+        let mut f = Folksonomy::new(ApproxPolicy::EXACT);
+        let mut rng = StdRng::seed_from_u64(0);
+        for (t, r) in &evs {
+            f.tag(ResId(*r), TagId(*t), &mut rng);
+        }
+        let derived = Fg::derive_exact(f.trg());
+        prop_assert_eq!(f.fg().num_arcs(), derived.num_arcs());
+        for (t1, t2, w) in f.fg().arcs() {
+            prop_assert_eq!(derived.sim(t1, t2), w, "arc {:?}->{:?}", t1, t2);
+        }
+    }
+
+    /// In the exact FG, arc existence is symmetric (weights may differ).
+    #[test]
+    fn exact_fg_arc_symmetry(evs in events()) {
+        let mut f = Folksonomy::new(ApproxPolicy::EXACT);
+        let mut rng = StdRng::seed_from_u64(0);
+        for (t, r) in &evs {
+            f.tag(ResId(*r), TagId(*t), &mut rng);
+        }
+        for (t1, t2, _) in f.fg().arcs() {
+            prop_assert!(f.fg().has_arc(t2, t1));
+        }
+    }
+
+    /// Approximated arcs are a subset of exact arcs with weights bounded by
+    /// the exact weights (Approximations A and B only ever *drop* updates).
+    #[test]
+    fn approx_is_conservative(evs in events(), k in 1usize..5) {
+        let mut exact = Folksonomy::new(ApproxPolicy::EXACT);
+        let mut approx = Folksonomy::new(ApproxPolicy::paper(k));
+        let mut rng_e = StdRng::seed_from_u64(1);
+        let mut rng_a = StdRng::seed_from_u64(2);
+        for (t, r) in &evs {
+            exact.tag(ResId(*r), TagId(*t), &mut rng_e);
+            approx.tag(ResId(*r), TagId(*t), &mut rng_a);
+        }
+        // Identical TRGs: approximation only touches the FG.
+        prop_assert!(exact.trg().same_edges(approx.trg()));
+        for (t1, t2, w) in approx.fg().arcs() {
+            let we = exact.fg().sim(t1, t2);
+            prop_assert!(we >= w, "approx weight {} exceeds exact {}", w, we);
+        }
+    }
+
+    /// The tagging outcome's accounting matches reality: the updated subset
+    /// is bounded by k and by the pre-op neighborhood.
+    #[test]
+    fn outcome_accounting(evs in events(), k in 1usize..4) {
+        let mut f = Folksonomy::new(ApproxPolicy::paper(k));
+        let mut rng = StdRng::seed_from_u64(3);
+        for (t, r) in &evs {
+            let before = f.trg().tag_degree(ResId(*r));
+            let had = f.trg().weight(TagId(*t), ResId(*r)) > 0;
+            let out = f.tag(ResId(*r), TagId(*t), &mut rng);
+            let expected_neighborhood = if had { before - 1 } else { before };
+            prop_assert_eq!(out.neighborhood_size, expected_neighborhood);
+            prop_assert!(out.updated_neighbors.len() <= k.min(expected_neighborhood));
+        }
+    }
+
+    /// Fast Kendall τ-b agrees with the O(n²) oracle on tie-heavy data.
+    #[test]
+    fn kendall_matches_oracle(
+        pairs in proptest::collection::vec((0u64..8, 0u64..8), 2..120)
+    ) {
+        let x: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+        let fast = tau_b(&x, &y);
+        let slow = tau_b_reference(&x, &y);
+        match (fast, slow) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b),
+            (a, b) => prop_assert_eq!(a.is_none(), b.is_none()),
+        }
+    }
+
+    /// τ-b is antisymmetric under order reversal on tie-free data.
+    #[test]
+    fn kendall_antisymmetry(xs in proptest::collection::vec(0u64..1000, 2..60)) {
+        // Deduplicate to keep the input tie-free.
+        let mut x = xs.clone();
+        x.sort_unstable();
+        x.dedup();
+        prop_assume!(x.len() >= 2);
+        let fwd: Vec<u64> = x.clone();
+        let rev: Vec<u64> = x.iter().rev().copied().collect();
+        let t1 = tau_b(&x, &fwd).unwrap();
+        let t2 = tau_b(&x, &rev).unwrap();
+        prop_assert!((t1 - 1.0).abs() < 1e-12);
+        prop_assert!((t2 + 1.0).abs() < 1e-12);
+    }
+}

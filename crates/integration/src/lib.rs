@@ -1,0 +1,2 @@
+//! Cross-crate integration tests. The test sources live in the top-level
+//! `tests/` directory (see Cargo.toml `[[test]]`).

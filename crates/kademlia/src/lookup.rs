@@ -1,0 +1,294 @@
+//! The iterative lookup state machine.
+//!
+//! Kademlia locates the `k` closest nodes to a target by repeatedly querying
+//! the `α` closest not-yet-queried contacts it knows, merging every reply's
+//! contacts into a shortlist ordered by XOR distance. The procedure
+//! converges when the `k` closest live entries of the shortlist have all
+//! responded and nothing closer remains to ask.
+//!
+//! This module is pure state (no I/O): the node layer feeds it responses
+//! and failures and asks it which contacts to query next, which makes the
+//! convergence logic unit-testable without a network.
+
+use dharma_types::{Distance, Id160};
+
+use crate::messages::Contact;
+
+/// Per-contact status in the shortlist.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotState {
+    /// Known but not yet queried.
+    New,
+    /// Query sent, awaiting reply.
+    Inflight,
+    /// Replied.
+    Responded,
+    /// Timed out.
+    Failed,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    contact: Contact,
+    distance: Distance,
+    state: SlotState,
+}
+
+/// Iterative lookup over a shortlist.
+#[derive(Clone, Debug)]
+pub struct LookupState {
+    target: Id160,
+    k: usize,
+    alpha: usize,
+    slots: Vec<Slot>,
+    inflight: usize,
+}
+
+impl LookupState {
+    /// Starts a lookup toward `target` seeded with the local routing table's
+    /// closest contacts.
+    pub fn new(target: Id160, seeds: Vec<Contact>, k: usize, alpha: usize) -> Self {
+        let mut state = LookupState {
+            target,
+            k: k.max(1),
+            alpha: alpha.max(1),
+            slots: Vec::new(),
+            inflight: 0,
+        };
+        for c in seeds {
+            state.insert(c);
+        }
+        state
+    }
+
+    /// The lookup target.
+    pub fn target(&self) -> Id160 {
+        self.target
+    }
+
+    /// Inserts a contact if unseen, keeping distance order.
+    fn insert(&mut self, contact: Contact) {
+        if self.slots.iter().any(|s| s.contact.id == contact.id) {
+            return;
+        }
+        let distance = contact.id.distance(&self.target);
+        let pos = self
+            .slots
+            .partition_point(|s| s.distance < distance);
+        self.slots.insert(
+            pos,
+            Slot {
+                contact,
+                distance,
+                state: SlotState::New,
+            },
+        );
+    }
+
+    /// Contacts to query now: the nearest `New` entries, bounded so that at
+    /// most `alpha` queries are in flight. Returned contacts are marked
+    /// in flight. Only candidates among the `k` nearest non-failed entries
+    /// (or anything nearer than the k-th responder) are eligible — querying
+    /// beyond that cannot improve the result.
+    pub fn next_queries(&mut self) -> Vec<Contact> {
+        let mut out = Vec::new();
+        while self.inflight < self.alpha {
+            let Some(idx) = self.next_candidate() else {
+                break;
+            };
+            self.slots[idx].state = SlotState::Inflight;
+            self.inflight += 1;
+            out.push(self.slots[idx].contact.clone());
+        }
+        out
+    }
+
+    /// Index of the nearest `New` slot within the active window.
+    fn next_candidate(&self) -> Option<usize> {
+        let mut live_seen = 0usize;
+        for (i, s) in self.slots.iter().enumerate() {
+            match s.state {
+                SlotState::Failed => continue,
+                SlotState::New => return Some(i),
+                SlotState::Inflight | SlotState::Responded => {
+                    live_seen += 1;
+                    if live_seen >= self.k {
+                        // The k nearest live slots are already queried or
+                        // answered; nothing beyond them can enter the result.
+                        return None;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Records a reply from `from` carrying new candidate contacts.
+    pub fn on_response(&mut self, from: &Id160, contacts: Vec<Contact>) {
+        if let Some(s) = self
+            .slots
+            .iter_mut()
+            .find(|s| s.contact.id == *from && s.state == SlotState::Inflight)
+        {
+            s.state = SlotState::Responded;
+            self.inflight -= 1;
+        }
+        for c in contacts {
+            self.insert(c);
+        }
+    }
+
+    /// Records an RPC failure (timeout) for `from`.
+    pub fn on_failure(&mut self, from: &Id160) {
+        if let Some(s) = self
+            .slots
+            .iter_mut()
+            .find(|s| s.contact.id == *from && s.state == SlotState::Inflight)
+        {
+            s.state = SlotState::Failed;
+            self.inflight -= 1;
+        }
+    }
+
+    /// True when no further queries can be issued and none are in flight.
+    pub fn is_converged(&self) -> bool {
+        self.inflight == 0 && self.next_candidate().is_none()
+    }
+
+    /// Queries currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// The `k` closest responded contacts, ascending by distance — the
+    /// lookup result.
+    pub fn closest_responded(&self) -> Vec<Contact> {
+        self.slots
+            .iter()
+            .filter(|s| s.state == SlotState::Responded)
+            .take(self.k)
+            .map(|s| s.contact.clone())
+            .collect()
+    }
+
+    /// Total known contacts (diagnostics).
+    pub fn known(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dharma_types::sha1;
+
+    fn c(n: u64) -> Contact {
+        Contact {
+            id: sha1(&n.to_le_bytes()),
+            addr: n as u32,
+        }
+    }
+
+    #[test]
+    fn empty_lookup_is_converged() {
+        let l = LookupState::new(sha1(b"t"), vec![], 20, 3);
+        assert!(l.is_converged());
+        assert!(l.closest_responded().is_empty());
+    }
+
+    #[test]
+    fn queries_nearest_first_and_respects_alpha() {
+        let target = sha1(b"t");
+        let seeds: Vec<Contact> = (0..10).map(c).collect();
+        let mut l = LookupState::new(target, seeds.clone(), 20, 3);
+        let q = l.next_queries();
+        assert_eq!(q.len(), 3, "alpha bound");
+        assert_eq!(l.inflight(), 3);
+        // They must be the 3 seeds closest to the target.
+        let mut sorted = seeds;
+        sorted.sort_by_key(|s| s.id.distance(&target));
+        let expect: Vec<u32> = sorted[..3].iter().map(|s| s.addr).collect();
+        let got: Vec<u32> = q.iter().map(|s| s.addr).collect();
+        assert_eq!(got, expect);
+        // No more queries until replies arrive.
+        assert!(l.next_queries().is_empty());
+    }
+
+    #[test]
+    fn responses_unlock_more_queries_and_converge() {
+        let target = sha1(b"t");
+        let mut l = LookupState::new(target, (0..4).map(c).collect(), 3, 2);
+        loop {
+            let q = l.next_queries();
+            if q.is_empty() && l.inflight() == 0 {
+                break;
+            }
+            for contact in q {
+                // Every node answers with two more contacts.
+                let more = vec![c(contact.addr as u64 + 100), c(contact.addr as u64 + 200)];
+                l.on_response(&contact.id, more);
+            }
+        }
+        assert!(l.is_converged());
+        let result = l.closest_responded();
+        assert!(!result.is_empty() && result.len() <= 3);
+        // Result is sorted by distance.
+        for w in result.windows(2) {
+            assert!(w[0].id.distance(&target) <= w[1].id.distance(&target));
+        }
+    }
+
+    #[test]
+    fn failures_do_not_block_convergence() {
+        let target = sha1(b"t");
+        let mut l = LookupState::new(target, (0..5).map(c).collect(), 3, 3);
+        loop {
+            let q = l.next_queries();
+            if q.is_empty() && l.inflight() == 0 {
+                break;
+            }
+            for contact in q {
+                l.on_failure(&contact.id);
+            }
+        }
+        assert!(l.is_converged());
+        assert!(l.closest_responded().is_empty(), "everyone failed");
+    }
+
+    #[test]
+    fn duplicate_contacts_ignored() {
+        let mut l = LookupState::new(sha1(b"t"), vec![c(1), c(1), c(2)], 20, 3);
+        assert_eq!(l.known(), 2);
+        let q = l.next_queries();
+        l.on_response(&q[0].id, vec![c(1), c(2), c(3)]);
+        assert_eq!(l.known(), 3);
+    }
+
+    #[test]
+    fn stale_response_is_ignored() {
+        let mut l = LookupState::new(sha1(b"t"), vec![c(1)], 20, 3);
+        // Response from a contact that was never queried.
+        l.on_response(&c(9).id, vec![c(5)]);
+        // c(9) itself is not marked responded (it's not even in the list),
+        // but its contacts are learned.
+        assert_eq!(l.known(), 2);
+        assert_eq!(l.closest_responded().len(), 0);
+    }
+
+    #[test]
+    fn window_prevents_unbounded_crawling() {
+        // With k = 2, once the 2 closest entries responded, farther New
+        // entries are not queried.
+        let target = sha1(b"t");
+        let mut seeds: Vec<Contact> = (0..10).map(c).collect();
+        seeds.sort_by_key(|s| s.id.distance(&target));
+        let mut l = LookupState::new(target, seeds.clone(), 2, 2);
+        let q = l.next_queries();
+        for contact in q {
+            l.on_response(&contact.id, vec![]);
+        }
+        // The two closest responded; the other 8 remain New but ineligible.
+        assert!(l.is_converged());
+        assert_eq!(l.closest_responded().len(), 2);
+    }
+}

@@ -1,0 +1,512 @@
+//! Kademlia RPC wire messages.
+//!
+//! Every message is one UDP datagram encoded with the explicit codec of
+//! [`dharma_types::wire`] — a type byte, a request id, then fields. Replies
+//! echo the request id so the client can match them to pending RPCs and
+//! cancel the corresponding timeout.
+//!
+//! Values come in two shapes (the two DHARMA needs):
+//!
+//! * **blobs** — opaque bytes (`r̃` URI records);
+//! * **weighted sets** — named entries with token counts (`r̄`, `t̄`, `t̂`
+//!   blocks). `Append` adds tokens to one entry; a filtered `FindValue`
+//!   returns only the heaviest `top_n` entries that fit the MTU.
+
+use bytes::{Bytes, BytesMut};
+
+use dharma_types::{DharmaError, Id160, ReadBytes, Result, WireDecode, WireEncode, WriteBytes};
+
+/// A node's contact record: overlay id + transport address.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Contact {
+    /// Overlay identifier.
+    pub id: Id160,
+    /// Transport address (simulator index or UDP address-book slot).
+    pub addr: u32,
+}
+
+impl WireEncode for Contact {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_id(&self.id);
+        buf.put_varint(u64::from(self.addr));
+    }
+}
+
+impl WireDecode for Contact {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        let id = buf.get_id()?;
+        let addr = buf.get_varint()? as u32;
+        Ok(Contact { id, addr })
+    }
+}
+
+/// One entry of a weighted-set value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoredEntry {
+    /// Entry name (a tag or resource name in DHARMA blocks).
+    pub name: String,
+    /// Token count (the arc/edge weight).
+    pub weight: u64,
+}
+
+impl WireEncode for StoredEntry {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_str(&self.name);
+        buf.put_varint(self.weight);
+    }
+}
+
+impl WireDecode for StoredEntry {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        let name = buf.get_str()?;
+        let weight = buf.get_varint()?;
+        Ok(StoredEntry { name, weight })
+    }
+}
+
+/// A fetched value: blob and/or weighted entries.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FetchedValue {
+    /// Blob payload, if the key stores one.
+    pub blob: Option<Vec<u8>>,
+    /// Weighted entries (possibly filtered to the top-n by the server).
+    pub entries: Vec<StoredEntry>,
+    /// True if the server truncated the entry list (filtering or MTU).
+    pub truncated: bool,
+}
+
+/// The RPC messages.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Message {
+    /// Liveness probe.
+    Ping {
+        /// Request id.
+        rpc: u64,
+        /// Sender contact (routing-table maintenance).
+        from: Contact,
+    },
+    /// Reply to [`Message::Ping`].
+    Pong {
+        /// Echoed request id.
+        rpc: u64,
+        /// Responder contact.
+        from: Contact,
+    },
+    /// Ask for the `k` closest contacts to `target`.
+    FindNode {
+        /// Request id.
+        rpc: u64,
+        /// Sender contact.
+        from: Contact,
+        /// Lookup target.
+        target: Id160,
+    },
+    /// Reply to [`Message::FindNode`].
+    FoundNodes {
+        /// Echoed request id.
+        rpc: u64,
+        /// Responder contact.
+        from: Contact,
+        /// Closest contacts known to the responder.
+        contacts: Vec<Contact>,
+    },
+    /// Ask for the value at `key` (or closest contacts), optionally with
+    /// index-side filtering to the heaviest `top_n` entries.
+    FindValue {
+        /// Request id.
+        rpc: u64,
+        /// Sender contact.
+        from: Contact,
+        /// Storage key.
+        key: Id160,
+        /// Index-side filtering limit (0 = unfiltered).
+        top_n: u32,
+    },
+    /// Value-bearing reply to [`Message::FindValue`].
+    FoundValue {
+        /// Echoed request id.
+        rpc: u64,
+        /// Responder contact.
+        from: Contact,
+        /// Blob part, if any.
+        blob: Option<Vec<u8>>,
+        /// Weighted entries (filtered server-side).
+        entries: Vec<StoredEntry>,
+        /// Whether the entry list was truncated.
+        truncated: bool,
+    },
+    /// Store a blob at `key` (replaces any previous blob).
+    Store {
+        /// Request id.
+        rpc: u64,
+        /// Sender contact.
+        from: Contact,
+        /// Storage key.
+        key: Id160,
+        /// Blob payload.
+        blob: Vec<u8>,
+    },
+    /// Append one-bit tokens to entries of the weighted set at `key`
+    /// (creating entries at 0). A block update is **one** overlay operation
+    /// regardless of how many entries it touches — that is what makes
+    /// Table I's `2 + 2m` / `4 + k` lookup counts achievable. Appends
+    /// commute — the concurrency-safe primitive behind Approximation B.
+    Append {
+        /// Request id.
+        rpc: u64,
+        /// Sender contact.
+        from: Contact,
+        /// Storage key.
+        key: Id160,
+        /// Entries to add tokens to: `(name, tokens)` pairs.
+        entries: Vec<StoredEntry>,
+    },
+    /// Replication repair: a full value snapshot pushed during republish.
+    /// Applied with **merge-max** semantics (idempotent), unlike `Append`.
+    Replicate {
+        /// Request id.
+        rpc: u64,
+        /// Sender contact.
+        from: Contact,
+        /// Storage key.
+        key: Id160,
+        /// Blob snapshot, if the value has one.
+        blob: Option<Vec<u8>>,
+        /// Entry snapshot.
+        entries: Vec<StoredEntry>,
+    },
+    /// Acknowledgement for [`Message::Store`] / [`Message::Append`] /
+    /// [`Message::Replicate`].
+    Ack {
+        /// Echoed request id.
+        rpc: u64,
+        /// Responder contact.
+        from: Contact,
+    },
+}
+
+impl Message {
+    /// The request id (echoed by replies).
+    pub fn rpc_id(&self) -> u64 {
+        match self {
+            Message::Ping { rpc, .. }
+            | Message::Pong { rpc, .. }
+            | Message::FindNode { rpc, .. }
+            | Message::FoundNodes { rpc, .. }
+            | Message::FindValue { rpc, .. }
+            | Message::FoundValue { rpc, .. }
+            | Message::Store { rpc, .. }
+            | Message::Append { rpc, .. }
+            | Message::Replicate { rpc, .. }
+            | Message::Ack { rpc, .. } => *rpc,
+        }
+    }
+
+    /// The sender's contact record.
+    pub fn sender(&self) -> &Contact {
+        match self {
+            Message::Ping { from, .. }
+            | Message::Pong { from, .. }
+            | Message::FindNode { from, .. }
+            | Message::FoundNodes { from, .. }
+            | Message::FindValue { from, .. }
+            | Message::FoundValue { from, .. }
+            | Message::Store { from, .. }
+            | Message::Append { from, .. }
+            | Message::Replicate { from, .. }
+            | Message::Ack { from, .. } => from,
+        }
+    }
+
+    const T_PING: u8 = 1;
+    const T_PONG: u8 = 2;
+    const T_FIND_NODE: u8 = 3;
+    const T_FOUND_NODES: u8 = 4;
+    const T_FIND_VALUE: u8 = 5;
+    const T_FOUND_VALUE: u8 = 6;
+    const T_STORE: u8 = 7;
+    const T_APPEND: u8 = 8;
+    const T_ACK: u8 = 9;
+    const T_REPLICATE: u8 = 10;
+}
+
+impl WireEncode for Message {
+    fn encode(&self, buf: &mut BytesMut) {
+        use bytes::BufMut;
+        match self {
+            Message::Ping { rpc, from } => {
+                buf.put_u8(Self::T_PING);
+                buf.put_varint(*rpc);
+                from.encode(buf);
+            }
+            Message::Pong { rpc, from } => {
+                buf.put_u8(Self::T_PONG);
+                buf.put_varint(*rpc);
+                from.encode(buf);
+            }
+            Message::FindNode { rpc, from, target } => {
+                buf.put_u8(Self::T_FIND_NODE);
+                buf.put_varint(*rpc);
+                from.encode(buf);
+                buf.put_id(target);
+            }
+            Message::FoundNodes { rpc, from, contacts } => {
+                buf.put_u8(Self::T_FOUND_NODES);
+                buf.put_varint(*rpc);
+                from.encode(buf);
+                contacts.encode(buf);
+            }
+            Message::FindValue { rpc, from, key, top_n } => {
+                buf.put_u8(Self::T_FIND_VALUE);
+                buf.put_varint(*rpc);
+                from.encode(buf);
+                buf.put_id(key);
+                buf.put_varint(u64::from(*top_n));
+            }
+            Message::FoundValue { rpc, from, blob, entries, truncated } => {
+                buf.put_u8(Self::T_FOUND_VALUE);
+                buf.put_varint(*rpc);
+                from.encode(buf);
+                match blob {
+                    Some(b) => {
+                        buf.put_u8(1);
+                        buf.put_bytes_field(b);
+                    }
+                    None => buf.put_u8(0),
+                }
+                entries.encode(buf);
+                buf.put_u8(u8::from(*truncated));
+            }
+            Message::Store { rpc, from, key, blob } => {
+                buf.put_u8(Self::T_STORE);
+                buf.put_varint(*rpc);
+                from.encode(buf);
+                buf.put_id(key);
+                buf.put_bytes_field(blob);
+            }
+            Message::Append { rpc, from, key, entries } => {
+                buf.put_u8(Self::T_APPEND);
+                buf.put_varint(*rpc);
+                from.encode(buf);
+                buf.put_id(key);
+                entries.encode(buf);
+            }
+            Message::Replicate { rpc, from, key, blob, entries } => {
+                buf.put_u8(Self::T_REPLICATE);
+                buf.put_varint(*rpc);
+                from.encode(buf);
+                buf.put_id(key);
+                match blob {
+                    Some(b) => {
+                        buf.put_u8(1);
+                        buf.put_bytes_field(b);
+                    }
+                    None => buf.put_u8(0),
+                }
+                entries.encode(buf);
+            }
+            Message::Ack { rpc, from } => {
+                buf.put_u8(Self::T_ACK);
+                buf.put_varint(*rpc);
+                from.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for Message {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        use bytes::Buf;
+        if buf.is_empty() {
+            return Err(DharmaError::Decode("empty message".into()));
+        }
+        let ty = buf.get_u8();
+        let rpc = buf.get_varint()?;
+        let from = Contact::decode(buf)?;
+        Ok(match ty {
+            Message::T_PING => Message::Ping { rpc, from },
+            Message::T_PONG => Message::Pong { rpc, from },
+            Message::T_FIND_NODE => Message::FindNode {
+                rpc,
+                from,
+                target: buf.get_id()?,
+            },
+            Message::T_FOUND_NODES => Message::FoundNodes {
+                rpc,
+                from,
+                contacts: Vec::<Contact>::decode(buf)?,
+            },
+            Message::T_FIND_VALUE => Message::FindValue {
+                rpc,
+                from,
+                key: buf.get_id()?,
+                top_n: buf.get_varint()? as u32,
+            },
+            Message::T_FOUND_VALUE => {
+                let key_blob = if buf.is_empty() {
+                    return Err(DharmaError::Decode("truncated FoundValue".into()));
+                } else if buf.get_u8() == 1 {
+                    Some(buf.get_bytes_field()?)
+                } else {
+                    None
+                };
+                let entries = Vec::<StoredEntry>::decode(buf)?;
+                if buf.is_empty() {
+                    return Err(DharmaError::Decode("truncated FoundValue flag".into()));
+                }
+                let truncated = buf.get_u8() == 1;
+                Message::FoundValue {
+                    rpc,
+                    from,
+                    blob: key_blob,
+                    entries,
+                    truncated,
+                }
+            }
+            Message::T_STORE => Message::Store {
+                rpc,
+                from,
+                key: buf.get_id()?,
+                blob: buf.get_bytes_field()?,
+            },
+            Message::T_APPEND => Message::Append {
+                rpc,
+                from,
+                key: buf.get_id()?,
+                entries: Vec::<StoredEntry>::decode(buf)?,
+            },
+            Message::T_REPLICATE => {
+                let key = buf.get_id()?;
+                let blob = if buf.is_empty() {
+                    return Err(DharmaError::Decode("truncated Replicate".into()));
+                } else if buf.get_u8() == 1 {
+                    Some(buf.get_bytes_field()?)
+                } else {
+                    None
+                };
+                Message::Replicate {
+                    rpc,
+                    from,
+                    key,
+                    blob,
+                    entries: Vec::<StoredEntry>::decode(buf)?,
+                }
+            }
+            Message::T_ACK => Message::Ack { rpc, from },
+            other => {
+                return Err(DharmaError::Decode(format!("unknown message type {other}")))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dharma_types::sha1;
+
+    fn contact(n: u8) -> Contact {
+        Contact {
+            id: sha1(&[n]),
+            addr: u32::from(n),
+        }
+    }
+
+    fn roundtrip(m: &Message) {
+        let enc = m.encode_to_bytes();
+        let dec = Message::decode_exact(&enc).unwrap();
+        assert_eq!(&dec, m);
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        let msgs = vec![
+            Message::Ping { rpc: 1, from: contact(1) },
+            Message::Pong { rpc: 1, from: contact(2) },
+            Message::FindNode {
+                rpc: 7,
+                from: contact(1),
+                target: sha1(b"t"),
+            },
+            Message::FoundNodes {
+                rpc: 7,
+                from: contact(2),
+                contacts: vec![contact(3), contact(4)],
+            },
+            Message::FindValue {
+                rpc: 9,
+                from: contact(1),
+                key: sha1(b"k"),
+                top_n: 100,
+            },
+            Message::FoundValue {
+                rpc: 9,
+                from: contact(2),
+                blob: Some(b"uri://x".to_vec()),
+                entries: vec![
+                    StoredEntry { name: "rock".into(), weight: 42 },
+                    StoredEntry { name: "pop".into(), weight: 1 },
+                ],
+                truncated: true,
+            },
+            Message::FoundValue {
+                rpc: 9,
+                from: contact(2),
+                blob: None,
+                entries: vec![],
+                truncated: false,
+            },
+            Message::Store {
+                rpc: 11,
+                from: contact(1),
+                key: sha1(b"k"),
+                blob: b"payload".to_vec(),
+            },
+            Message::Append {
+                rpc: 13,
+                from: contact(1),
+                key: sha1(b"k"),
+                entries: vec![
+                    StoredEntry { name: "heavy-metal".into(), weight: 1 },
+                    StoredEntry { name: "rock".into(), weight: 3 },
+                ],
+            },
+            Message::Replicate {
+                rpc: 15,
+                from: contact(1),
+                key: sha1(b"k"),
+                blob: Some(b"snapshot".to_vec()),
+                entries: vec![StoredEntry { name: "rock".into(), weight: 9 }],
+            },
+            Message::Ack { rpc: 13, from: contact(2) },
+        ];
+        for m in &msgs {
+            roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Message::decode_exact(&[]).is_err());
+        assert!(Message::decode_exact(&[99, 0]).is_err());
+        // Truncated contact.
+        assert!(Message::decode_exact(&[1, 5, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn rpc_id_and_sender_accessors() {
+        let m = Message::FindNode {
+            rpc: 42,
+            from: contact(5),
+            target: sha1(b"t"),
+        };
+        assert_eq!(m.rpc_id(), 42);
+        assert_eq!(m.sender().addr, 5);
+    }
+
+    #[test]
+    fn ping_fits_smallest_mtu() {
+        let m = Message::Ping { rpc: u64::MAX, from: contact(1) };
+        assert!(m.encode_to_bytes().len() < 64);
+    }
+}

@@ -1,0 +1,1034 @@
+//! The Kademlia protocol node: a [`dharma_net::Node`] state machine.
+//!
+//! One instance plays both roles of the protocol:
+//!
+//! * **server** — answers `PING`, `FIND_NODE`, `FIND_VALUE` (with index-side
+//!   filtering), `STORE` and `APPEND` from its routing table and storage;
+//! * **client** — runs iterative lookups ([`crate::lookup`]) with `α`
+//!   parallelism and per-RPC timeouts, then (for writes) pushes the value to
+//!   the `k` closest nodes found.
+//!
+//! Every received message refreshes the sender in the routing table; every
+//! RPC timeout evicts the silent contact — the two rules that keep Kademlia
+//! tables fresh without dedicated maintenance traffic (§2.3 of the Kademlia
+//! paper). Bucket refresh for idle buckets is exposed as
+//! [`KademliaNode::refresh_bucket`] for long-running deployments.
+
+use bytes::Bytes;
+
+use dharma_net::{Ctx, Node, NodeAddr};
+use dharma_types::{FxHashMap, Id160, WireDecode, WireEncode};
+
+use crate::lookup::LookupState;
+use crate::messages::{Contact, FetchedValue, Message, StoredEntry};
+use crate::routing::RoutingTable;
+use crate::storage::Storage;
+
+/// Protocol parameters.
+#[derive(Clone, Debug)]
+pub struct KadConfig {
+    /// Bucket size and replication factor (the paper's `k`, default 20).
+    pub k: usize,
+    /// Lookup parallelism (`α`, default 3).
+    pub alpha: usize,
+    /// Per-RPC timeout in microseconds (default 1 s).
+    pub rpc_timeout_us: u64,
+    /// Byte budget for the entry list of one `FoundValue` reply — keeps the
+    /// datagram under the transport MTU (default 1200).
+    pub reply_budget: usize,
+    /// Republish interval in µs (`None` = disabled, the default — the
+    /// experiments replay static workloads where republish traffic would
+    /// only add noise). When set, every held key is periodically pushed to
+    /// its `k` closest nodes with idempotent merge-max semantics.
+    pub republish_interval_us: Option<u64>,
+    /// Record time-to-live in µs (`None` = keep forever). Values not
+    /// written or re-replicated within the TTL are dropped.
+    pub record_ttl_us: Option<u64>,
+}
+
+impl Default for KadConfig {
+    fn default() -> Self {
+        KadConfig {
+            k: 20,
+            alpha: 3,
+            rpc_timeout_us: 1_000_000,
+            reply_budget: 1200,
+            republish_interval_us: None,
+            record_ttl_us: None,
+        }
+    }
+}
+
+/// Results delivered to clients when operations complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KadOutput {
+    /// A node lookup finished with the `k` closest contacts found.
+    Nodes(Vec<Contact>),
+    /// A value lookup finished.
+    Value {
+        /// The value, or `None` if no storing node was found.
+        value: Option<FetchedValue>,
+        /// Messages this operation sent (diagnostics).
+        messages: u32,
+    },
+    /// A write (STORE/APPEND) finished.
+    Written {
+        /// Acks received.
+        acks: u32,
+        /// Replicas targeted (including a local apply, which needs no ack).
+        targets: u32,
+    },
+}
+
+/// What a client operation is trying to do.
+#[derive(Clone, Debug)]
+enum OpKind {
+    FindNodes,
+    Get { top_n: u32 },
+    PutBlob { blob: Vec<u8> },
+    Append { entries: Vec<StoredEntry> },
+    Replicate { blob: Option<Vec<u8>>, entries: Vec<StoredEntry> },
+}
+
+#[derive(Clone, Debug)]
+enum Phase {
+    Lookup,
+    Write { acks: u32, pending: u32, targets: u32 },
+}
+
+#[derive(Debug)]
+struct OpState {
+    lookup: LookupState,
+    kind: OpKind,
+    phase: Phase,
+    messages: u32,
+    done: bool,
+}
+
+#[derive(Clone, Debug)]
+struct PendingRpc {
+    op: u64,
+    to: Contact,
+}
+
+/// Timer id for the periodic republish sweep (RPC ids count up from 1 and
+/// cannot collide with the top of the id space).
+const TIMER_REPUBLISH: u64 = u64::MAX;
+/// Timer id for the periodic expiry sweep.
+const TIMER_EXPIRE: u64 = u64::MAX - 1;
+
+/// The Kademlia node.
+pub struct KademliaNode {
+    contact: Contact,
+    cfg: KadConfig,
+    routing: RoutingTable,
+    storage: Storage,
+    ops: FxHashMap<u64, OpState>,
+    pending: FxHashMap<u64, PendingRpc>,
+    next_rpc: u64,
+    next_op: u64,
+}
+
+impl KademliaNode {
+    /// Creates a node with the given overlay id and transport address.
+    pub fn new(id: Id160, addr: NodeAddr, cfg: KadConfig) -> Self {
+        KademliaNode {
+            contact: Contact { id, addr },
+            routing: RoutingTable::new(id, cfg.k),
+            storage: Storage::new(),
+            cfg,
+            ops: FxHashMap::default(),
+            pending: FxHashMap::default(),
+            next_rpc: 1,
+            next_op: 1,
+        }
+    }
+
+    /// This node's contact record.
+    pub fn contact(&self) -> &Contact {
+        &self.contact
+    }
+
+    /// The routing table (read access for tests/diagnostics).
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// Local storage (read access for tests/diagnostics).
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Seeds the routing table with a known peer (out-of-band bootstrap
+    /// knowledge, e.g. a rendezvous host).
+    pub fn add_seed(&mut self, seed: Contact) {
+        self.routing.note_contact(seed);
+    }
+
+    /// Joins the overlay: performs a node lookup for the local id, which
+    /// populates the routing table along the lookup path. Requires at least
+    /// one seed. Returns the operation id.
+    pub fn bootstrap(&mut self, ctx: &mut Ctx<KadOutput>) -> u64 {
+        let own = self.contact.id;
+        self.find_nodes(ctx, own)
+    }
+
+    /// Starts an iterative node lookup toward `target`.
+    pub fn find_nodes(&mut self, ctx: &mut Ctx<KadOutput>, target: Id160) -> u64 {
+        self.start_op(ctx, target, OpKind::FindNodes)
+    }
+
+    /// Starts a value lookup for `key`. `top_n` > 0 requests index-side
+    /// filtering: only the heaviest `top_n` entries are returned.
+    pub fn get(&mut self, ctx: &mut Ctx<KadOutput>, key: Id160, top_n: u32) -> u64 {
+        self.start_op(ctx, key, OpKind::Get { top_n })
+    }
+
+    /// Stores a blob on the `k` nodes closest to `key`.
+    pub fn put_blob(&mut self, ctx: &mut Ctx<KadOutput>, key: Id160, blob: Vec<u8>) -> u64 {
+        self.start_op(ctx, key, OpKind::PutBlob { blob })
+    }
+
+    /// Appends `tokens` to entry `name` of the weighted set at `key`, on the
+    /// `k` closest nodes.
+    pub fn append(
+        &mut self,
+        ctx: &mut Ctx<KadOutput>,
+        key: Id160,
+        name: &str,
+        tokens: u64,
+    ) -> u64 {
+        self.append_many(
+            ctx,
+            key,
+            vec![StoredEntry {
+                name: name.to_owned(),
+                weight: tokens,
+            }],
+        )
+    }
+
+    /// Appends tokens to several entries of the weighted set at `key` in a
+    /// single overlay operation (one lookup + k replica messages) — the
+    /// block-update primitive of DHARMA's Table I cost model.
+    pub fn append_many(
+        &mut self,
+        ctx: &mut Ctx<KadOutput>,
+        key: Id160,
+        entries: Vec<StoredEntry>,
+    ) -> u64 {
+        self.start_op(ctx, key, OpKind::Append { entries })
+    }
+
+    /// Pushes a snapshot of every held value to the `k` nodes currently
+    /// closest to its key, with idempotent merge-max semantics — the
+    /// Kademlia republish rule that keeps replication alive under churn.
+    /// Fired periodically when `republish_interval_us` is set; callable
+    /// directly for tests and manual repair.
+    pub fn republish_all(&mut self, ctx: &mut Ctx<KadOutput>) -> Vec<u64> {
+        let snapshots: Vec<(dharma_types::Id160, Option<Vec<u8>>, Vec<StoredEntry>)> = self
+            .storage
+            .keys()
+            .copied()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter_map(|key| {
+                self.storage.get(&key).map(|state| {
+                    let entries: Vec<StoredEntry> = state
+                        .entries
+                        .iter()
+                        .map(|(name, &weight)| StoredEntry {
+                            name: name.clone(),
+                            weight,
+                        })
+                        .collect();
+                    (key, state.blob.clone(), entries)
+                })
+            })
+            .collect();
+        snapshots
+            .into_iter()
+            .map(|(key, blob, entries)| {
+                self.start_op(ctx, key, OpKind::Replicate { blob, entries })
+            })
+            .collect()
+    }
+
+    /// Refreshes bucket `i` by looking up a random id inside it (periodic
+    /// maintenance for long-running deployments).
+    pub fn refresh_bucket(&mut self, ctx: &mut Ctx<KadOutput>, bucket: usize) -> u64 {
+        let target = self
+            .contact
+            .id
+            .random_with_prefix(bucket.min(dharma_types::ID160_BITS - 1), &mut ctx.rng);
+        self.find_nodes(ctx, target)
+    }
+
+    fn start_op(&mut self, ctx: &mut Ctx<KadOutput>, target: Id160, kind: OpKind) -> u64 {
+        let op_id = self.next_op;
+        self.next_op += 1;
+
+        // Local fast path for reads: this node may itself hold the value.
+        if let OpKind::Get { top_n } = &kind {
+            if let Some(read) = self
+                .storage
+                .read_filtered(&target, *top_n, self.cfg.reply_budget)
+            {
+                ctx.complete(
+                    op_id,
+                    KadOutput::Value {
+                        value: Some(FetchedValue {
+                            blob: read.blob,
+                            entries: read.entries,
+                            truncated: read.truncated,
+                        }),
+                        messages: 0,
+                    },
+                );
+                return op_id;
+            }
+        }
+
+        let seeds = self.routing.closest(&target, self.cfg.k);
+        let lookup = LookupState::new(target, seeds, self.cfg.k, self.cfg.alpha);
+        let op = OpState {
+            lookup,
+            kind,
+            phase: Phase::Lookup,
+            messages: 0,
+            done: false,
+        };
+
+        if op.lookup.is_converged() {
+            // Nobody to ask (single-node network or empty table).
+            self.ops.insert(op_id, op);
+            self.finish_lookup(ctx, op_id);
+            return op_id;
+        }
+
+        self.ops.insert(op_id, op);
+        self.pump(ctx, op_id);
+        op_id
+    }
+
+    /// Issues as many queries as the lookup allows.
+    fn pump(&mut self, ctx: &mut Ctx<KadOutput>, op_id: u64) {
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            return;
+        };
+        if op.done {
+            return;
+        }
+        let queries = op.lookup.next_queries();
+        let target = op.lookup.target();
+        let is_get = matches!(op.kind, OpKind::Get { .. });
+        let top_n = match op.kind {
+            OpKind::Get { top_n } => top_n,
+            _ => 0,
+        };
+        let mut sent = 0u32;
+        let mut to_send: Vec<(u64, Contact, Message)> = Vec::new();
+        for contact in queries {
+            let rpc = self.next_rpc;
+            self.next_rpc += 1;
+            let msg = if is_get {
+                Message::FindValue {
+                    rpc,
+                    from: self.contact.clone(),
+                    key: target,
+                    top_n,
+                }
+            } else {
+                Message::FindNode {
+                    rpc,
+                    from: self.contact.clone(),
+                    target,
+                }
+            };
+            to_send.push((rpc, contact, msg));
+            sent += 1;
+        }
+        if let Some(op) = self.ops.get_mut(&op_id) {
+            op.messages += sent;
+        }
+        for (rpc, contact, msg) in to_send {
+            self.pending.insert(
+                rpc,
+                PendingRpc {
+                    op: op_id,
+                    to: contact.clone(),
+                },
+            );
+            ctx.send(contact.addr, msg.encode_to_bytes());
+            ctx.set_timer(self.cfg.rpc_timeout_us, rpc);
+        }
+        // The lookup may have converged (no queries issuable, none inflight).
+        let converged = self
+            .ops
+            .get(&op_id)
+            .map(|op| op.lookup.is_converged())
+            .unwrap_or(false);
+        if converged {
+            self.finish_lookup(ctx, op_id);
+        }
+    }
+
+    /// The lookup phase is over: complete reads, or move writes to phase 2.
+    fn finish_lookup(&mut self, ctx: &mut Ctx<KadOutput>, op_id: u64) {
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            return;
+        };
+        if op.done || !matches!(op.phase, Phase::Lookup) {
+            return;
+        }
+        let closest = op.lookup.closest_responded();
+        match op.kind.clone() {
+            OpKind::FindNodes => {
+                let messages = op.messages;
+                let _ = messages;
+                op.done = true;
+                ctx.complete(op_id, KadOutput::Nodes(closest));
+                self.ops.remove(&op_id);
+            }
+            OpKind::Get { .. } => {
+                // Lookup ended without any node returning the value.
+                let messages = op.messages;
+                op.done = true;
+                ctx.complete(
+                    op_id,
+                    KadOutput::Value {
+                        value: None,
+                        messages,
+                    },
+                );
+                self.ops.remove(&op_id);
+            }
+            OpKind::PutBlob { .. } | OpKind::Append { .. } | OpKind::Replicate { .. } => {
+                // Replicate on the k closest; include ourselves if we are
+                // closer than the k-th (or the set is short).
+                let key = op.lookup.target();
+                let mut replicas: Vec<Contact> = closest;
+                let self_dist = self.contact.id.distance(&key);
+                let include_self = replicas.len() < self.cfg.k
+                    || replicas
+                        .last()
+                        .map(|c| self_dist < c.id.distance(&key))
+                        .unwrap_or(true);
+                if include_self {
+                    replicas.truncate(self.cfg.k.saturating_sub(1));
+                } else {
+                    replicas.truncate(self.cfg.k);
+                }
+
+                let kind = op.kind.clone();
+                let targets = replicas.len() as u32 + u32::from(include_self);
+                op.phase = Phase::Write {
+                    acks: 0,
+                    pending: replicas.len() as u32,
+                    targets,
+                };
+
+                if include_self {
+                    match &kind {
+                        OpKind::PutBlob { blob } => self.storage.put_blob(key, blob.clone()),
+                        OpKind::Append { entries } => {
+                            for e in entries {
+                                self.storage.append(key, &e.name, e.weight);
+                            }
+                        }
+                        OpKind::Replicate { blob, entries } => {
+                            self.storage
+                                .merge_max(key, blob.as_deref(), entries, ctx.now_us);
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+
+                if replicas.is_empty() {
+                    let acks = 0;
+                    if let Some(op) = self.ops.get_mut(&op_id) {
+                        op.done = true;
+                    }
+                    ctx.complete(op_id, KadOutput::Written { acks, targets });
+                    self.ops.remove(&op_id);
+                    return;
+                }
+
+                let mut to_send: Vec<(u64, Contact, Message)> = Vec::new();
+                for contact in replicas {
+                    let rpc = self.next_rpc;
+                    self.next_rpc += 1;
+                    let msg = match &kind {
+                        OpKind::PutBlob { blob } => Message::Store {
+                            rpc,
+                            from: self.contact.clone(),
+                            key,
+                            blob: blob.clone(),
+                        },
+                        OpKind::Append { entries } => Message::Append {
+                            rpc,
+                            from: self.contact.clone(),
+                            key,
+                            entries: entries.clone(),
+                        },
+                        OpKind::Replicate { blob, entries } => Message::Replicate {
+                            rpc,
+                            from: self.contact.clone(),
+                            key,
+                            blob: blob.clone(),
+                            entries: entries.clone(),
+                        },
+                        _ => unreachable!(),
+                    };
+                    to_send.push((rpc, contact, msg));
+                }
+                if let Some(op) = self.ops.get_mut(&op_id) {
+                    op.messages += to_send.len() as u32;
+                }
+                for (rpc, contact, msg) in to_send {
+                    self.pending.insert(
+                        rpc,
+                        PendingRpc {
+                            op: op_id,
+                            to: contact.clone(),
+                        },
+                    );
+                    ctx.send(contact.addr, msg.encode_to_bytes());
+                    ctx.set_timer(self.cfg.rpc_timeout_us, rpc);
+                }
+            }
+        }
+    }
+
+    /// Write-phase bookkeeping: an ack arrived or a replica timed out.
+    fn write_progress(&mut self, ctx: &mut Ctx<KadOutput>, op_id: u64, acked: bool) {
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            return;
+        };
+        let Phase::Write { acks, pending, targets } = &mut op.phase else {
+            return;
+        };
+        if acked {
+            *acks += 1;
+        }
+        *pending -= 1;
+        if *pending == 0 {
+            let acks = *acks + 1; // count the local apply as durable
+            let targets = *targets;
+            op.done = true;
+            ctx.complete(op_id, KadOutput::Written { acks, targets });
+            self.ops.remove(&op_id);
+        }
+    }
+}
+
+impl Node for KademliaNode {
+    type Output = KadOutput;
+
+    fn on_start(&mut self, ctx: &mut Ctx<KadOutput>) {
+        if let Some(interval) = self.cfg.republish_interval_us {
+            ctx.set_timer(interval, TIMER_REPUBLISH);
+        }
+        if let Some(ttl) = self.cfg.record_ttl_us {
+            ctx.set_timer(ttl / 2, TIMER_EXPIRE);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<KadOutput>, _from: NodeAddr, payload: Bytes) {
+        let Ok(msg) = Message::decode_exact(&payload) else {
+            return; // malformed datagram: drop silently, as UDP servers do
+        };
+        // Every message is evidence of liveness.
+        self.routing.note_contact(msg.sender().clone());
+
+        match msg {
+            Message::Ping { rpc, from } => {
+                ctx.send(
+                    from.addr,
+                    Message::Pong {
+                        rpc,
+                        from: self.contact.clone(),
+                    }
+                    .encode_to_bytes(),
+                );
+            }
+            Message::Pong { .. } => {
+                // Liveness noted above; nothing else to do.
+            }
+            Message::FindNode { rpc, from, target } => {
+                let contacts = self.routing.closest(&target, self.cfg.k);
+                ctx.send(
+                    from.addr,
+                    Message::FoundNodes {
+                        rpc,
+                        from: self.contact.clone(),
+                        contacts,
+                    }
+                    .encode_to_bytes(),
+                );
+            }
+            Message::FindValue { rpc, from, key, top_n } => {
+                match self.storage.read_filtered(&key, top_n, self.cfg.reply_budget) {
+                    Some(read) => {
+                        ctx.send(
+                            from.addr,
+                            Message::FoundValue {
+                                rpc,
+                                from: self.contact.clone(),
+                                blob: read.blob,
+                                entries: read.entries,
+                                truncated: read.truncated,
+                            }
+                            .encode_to_bytes(),
+                        );
+                    }
+                    None => {
+                        let contacts = self.routing.closest(&key, self.cfg.k);
+                        ctx.send(
+                            from.addr,
+                            Message::FoundNodes {
+                                rpc,
+                                from: self.contact.clone(),
+                                contacts,
+                            }
+                            .encode_to_bytes(),
+                        );
+                    }
+                }
+            }
+            Message::Store { rpc, from, key, blob } => {
+                self.storage.put_blob(key, blob);
+                self.storage.touch(key, ctx.now_us);
+                ctx.send(
+                    from.addr,
+                    Message::Ack {
+                        rpc,
+                        from: self.contact.clone(),
+                    }
+                    .encode_to_bytes(),
+                );
+            }
+            Message::Append { rpc, from, key, entries } => {
+                for e in &entries {
+                    self.storage.append(key, &e.name, e.weight);
+                }
+                self.storage.touch(key, ctx.now_us);
+                ctx.send(
+                    from.addr,
+                    Message::Ack {
+                        rpc,
+                        from: self.contact.clone(),
+                    }
+                    .encode_to_bytes(),
+                );
+            }
+            Message::FoundNodes { rpc, from, contacts } => {
+                let Some(pend) = self.pending.remove(&rpc) else {
+                    return; // late reply for a finished op
+                };
+                for c in &contacts {
+                    if c.id != self.contact.id {
+                        self.routing.note_contact(c.clone());
+                    }
+                }
+                if let Some(op) = self.ops.get_mut(&pend.op) {
+                    let own = self.contact.id;
+                    let filtered: Vec<Contact> =
+                        contacts.into_iter().filter(|c| c.id != own).collect();
+                    op.lookup.on_response(&from.id, filtered);
+                    self.pump(ctx, pend.op);
+                }
+            }
+            Message::FoundValue { rpc, from, blob, entries, truncated } => {
+                let Some(pend) = self.pending.remove(&rpc) else {
+                    return;
+                };
+                let _ = from;
+                if let Some(op) = self.ops.get_mut(&pend.op) {
+                    if matches!(op.kind, OpKind::Get { .. }) && !op.done {
+                        let messages = op.messages;
+                        op.done = true;
+                        ctx.complete(
+                            pend.op,
+                            KadOutput::Value {
+                                value: Some(FetchedValue {
+                                    blob,
+                                    entries,
+                                    truncated,
+                                }),
+                                messages,
+                            },
+                        );
+                        self.ops.remove(&pend.op);
+                    }
+                }
+            }
+            Message::Replicate { rpc, from, key, blob, entries } => {
+                self.storage.merge_max(key, blob.as_deref(), &entries, ctx.now_us);
+                ctx.send(
+                    from.addr,
+                    Message::Ack {
+                        rpc,
+                        from: self.contact.clone(),
+                    }
+                    .encode_to_bytes(),
+                );
+            }
+            Message::Ack { rpc, .. } => {
+                let Some(pend) = self.pending.remove(&rpc) else {
+                    return;
+                };
+                self.write_progress(ctx, pend.op, true);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<KadOutput>, id: u64) {
+        match id {
+            TIMER_REPUBLISH => {
+                self.republish_all(ctx);
+                if let Some(interval) = self.cfg.republish_interval_us {
+                    ctx.set_timer(interval, TIMER_REPUBLISH);
+                }
+                return;
+            }
+            TIMER_EXPIRE => {
+                if let Some(ttl) = self.cfg.record_ttl_us {
+                    self.storage.expire(ctx.now_us, ttl);
+                    ctx.set_timer(ttl / 2, TIMER_EXPIRE);
+                }
+                return;
+            }
+            _ => {}
+        }
+        // Timer ids are RPC ids; a still-pending entry means timeout.
+        let Some(pend) = self.pending.remove(&id) else {
+            return; // reply beat the timer
+        };
+        self.routing.note_failure(&pend.to.id);
+        let Some(op) = self.ops.get_mut(&pend.op) else {
+            return;
+        };
+        match op.phase {
+            Phase::Lookup => {
+                op.lookup.on_failure(&pend.to.id);
+                self.pump(ctx, pend.op);
+                // pump() completes converged lookups itself.
+            }
+            Phase::Write { .. } => {
+                self.write_progress(ctx, pend.op, false);
+            }
+        }
+    }
+}
+
+/// Re-exported for the DHARMA layer's convenience.
+pub use crate::messages::FetchedValue as Value;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dharma_net::{SimConfig, SimNet};
+    use dharma_types::sha1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_net(n: usize, seed: u64) -> (SimNet<KademliaNode>, Vec<Contact>) {
+        let mut net = SimNet::new(SimConfig {
+            latency_min_us: 1_000,
+            latency_max_us: 10_000,
+            drop_rate: 0.0,
+            mtu: 64 * 1024,
+            seed,
+        });
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A2);
+        let cfg = KadConfig {
+            k: 8,
+            alpha: 3,
+            rpc_timeout_us: 500_000,
+            reply_budget: 60_000,
+            ..KadConfig::default()
+        };
+        let mut contacts = Vec::new();
+        for i in 0..n {
+            let id = Id160::random(&mut rng);
+            let node = KademliaNode::new(id, i as NodeAddr, cfg.clone());
+            let addr = net.add_node(node);
+            contacts.push(Contact { id, addr });
+        }
+        // Everyone learns node 0, then bootstraps.
+        for i in 1..n {
+            net.node_mut(i as NodeAddr).add_seed(contacts[0].clone());
+        }
+        for i in 1..n {
+            net.with_node(i as NodeAddr, |node, ctx| {
+                node.bootstrap(ctx);
+            });
+        }
+        net.run_until_idle(2_000_000);
+        net.take_completions();
+        (net, contacts)
+    }
+
+    #[test]
+    fn bootstrap_populates_routing_tables() {
+        let (net, _contacts) = build_net(20, 1);
+        for i in 0..20 {
+            assert!(
+                net.node(i).routing().len() >= 3,
+                "node {i} knows only {} contacts",
+                net.node(i).routing().len()
+            );
+        }
+    }
+
+    #[test]
+    fn put_then_get_roundtrip() {
+        let (mut net, _contacts) = build_net(20, 2);
+        let key = sha1(b"res:nevermind|4");
+        let op_put = net.with_node(3, |n, ctx| n.put_blob(ctx, key, b"uri://nevermind".to_vec()));
+        net.run_until_idle(100_000);
+        let completions = net.take_completions();
+        let put = completions.iter().find(|(id, _)| *id == op_put).unwrap();
+        match &put.1 {
+            KadOutput::Written { acks, targets } => {
+                assert!(*acks >= 1, "at least one replica stored");
+                assert!(*targets >= 1);
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+
+        // Fetch from a different node.
+        let op_get = net.with_node(15, |n, ctx| n.get(ctx, key, 0));
+        net.run_until_idle(100_000);
+        let completions = net.take_completions();
+        let got = completions.iter().find(|(id, _)| *id == op_get).unwrap();
+        match &got.1 {
+            KadOutput::Value { value: Some(v), .. } => {
+                assert_eq!(v.blob.as_deref(), Some(b"uri://nevermind".as_slice()));
+            }
+            other => panic!("value not found: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_accumulates_across_writers() {
+        let (mut net, _contacts) = build_net(16, 3);
+        let key = sha1(b"tag:rock|3");
+        // Two different nodes append to the same entry.
+        let op1 = net.with_node(2, |n, ctx| n.append(ctx, key, "metal", 1));
+        let op2 = net.with_node(9, |n, ctx| n.append(ctx, key, "metal", 1));
+        net.run_until_idle(200_000);
+        let completions = net.take_completions();
+        assert!(completions.iter().any(|(id, _)| *id == op1));
+        assert!(completions.iter().any(|(id, _)| *id == op2));
+
+        let op_get = net.with_node(5, |n, ctx| n.get(ctx, key, 0));
+        net.run_until_idle(100_000);
+        let completions = net.take_completions();
+        let got = completions.iter().find(|(id, _)| *id == op_get).unwrap();
+        match &got.1 {
+            KadOutput::Value { value: Some(v), .. } => {
+                let metal = v.entries.iter().find(|e| e.name == "metal").unwrap();
+                assert_eq!(metal.weight, 2, "appends from both writers merged");
+            }
+            other => panic!("value not found: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_missing_key_completes_with_none() {
+        let (mut net, _contacts) = build_net(12, 4);
+        let op = net.with_node(1, |n, ctx| n.get(ctx, sha1(b"missing"), 0));
+        net.run_until_idle(100_000);
+        let completions = net.take_completions();
+        let got = completions.iter().find(|(id, _)| *id == op).unwrap();
+        assert!(matches!(
+            got.1,
+            KadOutput::Value { value: None, .. }
+        ));
+    }
+
+    #[test]
+    fn filtered_get_returns_top_n() {
+        let (mut net, _contacts) = build_net(12, 5);
+        let key = sha1(b"tag:rock|3");
+        for (i, name) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            let tokens = (i as u64 + 1) * 10;
+            net.with_node(0, |n, ctx| n.append(ctx, key, name, tokens));
+            net.run_until_idle(200_000);
+        }
+        net.take_completions();
+        let op = net.with_node(7, |n, ctx| n.get(ctx, key, 2));
+        net.run_until_idle(100_000);
+        let completions = net.take_completions();
+        let got = completions.iter().find(|(id, _)| *id == op).unwrap();
+        match &got.1 {
+            KadOutput::Value { value: Some(v), .. } => {
+                assert_eq!(v.entries.len(), 2);
+                assert_eq!(v.entries[0].name, "e");
+                assert_eq!(v.entries[1].name, "d");
+                assert!(v.truncated);
+            }
+            other => panic!("value not found: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lookups_survive_node_failures() {
+        let (mut net, _contacts) = build_net(20, 6);
+        let key = sha1(b"durable");
+        net.with_node(0, |n, ctx| n.put_blob(ctx, key, b"v".to_vec()));
+        net.run_until_idle(200_000);
+        net.take_completions();
+        // Crash a third of the network.
+        for addr in [2u32, 5, 8, 11, 14, 17] {
+            net.crash(addr);
+        }
+        let op = net.with_node(1, |n, ctx| n.get(ctx, key, 0));
+        net.run_until_idle(3_000_000);
+        let completions = net.take_completions();
+        let got = completions.iter().find(|(id, _)| *id == op);
+        match got {
+            Some((_, KadOutput::Value { value: Some(_), .. })) => {}
+            other => panic!("replicated value should survive: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_node_network_degrades_gracefully() {
+        let mut net: SimNet<KademliaNode> = SimNet::new(SimConfig::default());
+        let id = sha1(b"loner");
+        net.add_node(KademliaNode::new(id, 0, KadConfig::default()));
+        let key = sha1(b"k");
+        let op_put = net.with_node(0, |n, ctx| n.append(ctx, key, "x", 1));
+        net.run_until_idle(10_000);
+        let completions = net.take_completions();
+        let put = completions.iter().find(|(i, _)| *i == op_put).unwrap();
+        assert!(matches!(put.1, KadOutput::Written { targets: 1, .. }));
+        // Local fast-path read.
+        let op_get = net.with_node(0, |n, ctx| n.get(ctx, key, 0));
+        net.run_until_idle(10_000);
+        let completions = net.take_completions();
+        let got = completions.iter().find(|(i, _)| *i == op_get).unwrap();
+        match &got.1 {
+            KadOutput::Value { value: Some(v), messages } => {
+                assert_eq!(*messages, 0, "local read needs no messages");
+                assert_eq!(v.entries[0].name, "x");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn republish_is_idempotent_and_spreads_values() {
+        let (mut net, _contacts) = build_net(16, 20);
+        let key = sha1(b"republished");
+        net.with_node(2, |n, ctx| n.append(ctx, key, "rock", 3));
+        net.run_until_idle(1_000_000);
+        net.take_completions();
+
+        // Find a holder and count replicas.
+        let holders_before: Vec<u32> = (0..16u32)
+            .filter(|&a| net.node(a).storage().contains(&key))
+            .collect();
+        assert!(!holders_before.is_empty());
+        let holder = holders_before[0];
+
+        // Republishing twice must not inflate weights anywhere (merge-max).
+        for _ in 0..2 {
+            net.with_node(holder, |n, ctx| {
+                n.republish_all(ctx);
+            });
+            net.run_until_idle(1_000_000);
+            net.take_completions();
+        }
+        for a in 0..16u32 {
+            let w = net.node(a).storage().weight(&key, "rock");
+            assert!(w == 0 || w == 3, "node {a} holds inflated weight {w}");
+        }
+        let holders_after = (0..16u32)
+            .filter(|&a| net.node(a).storage().contains(&key))
+            .count();
+        assert!(holders_after >= holders_before.len());
+    }
+
+    #[test]
+    fn periodic_expiry_drops_stale_records() {
+        let mut net = SimNet::new(SimConfig {
+            latency_min_us: 1_000,
+            latency_max_us: 5_000,
+            drop_rate: 0.0,
+            mtu: 64 * 1024,
+            seed: 21,
+        });
+        let cfg = KadConfig {
+            record_ttl_us: Some(2_000_000),
+            ..KadConfig::default()
+        };
+        let id = sha1(b"expiring-node");
+        net.add_node(KademliaNode::new(id, 0, cfg));
+        let key = sha1(b"ephemeral");
+        net.with_node(0, |n, ctx| n.append(ctx, key, "x", 1));
+        // Time-bounded runs: the expiry timer re-arms forever, so
+        // run_until_idle would fast-forward through years of sweeps.
+        net.run_until(10_000);
+        net.take_completions();
+        assert!(net.node(0).storage().contains(&key));
+        // Run virtual time past the TTL; the periodic sweep must fire.
+        net.run_until(10_000_000);
+        assert!(
+            !net.node(0).storage().contains(&key),
+            "value must expire after the TTL"
+        );
+    }
+
+    #[test]
+    fn republish_timer_reschedules() {
+        let mut net = SimNet::new(SimConfig {
+            latency_min_us: 1_000,
+            latency_max_us: 5_000,
+            drop_rate: 0.0,
+            mtu: 64 * 1024,
+            seed: 22,
+        });
+        let cfg = KadConfig {
+            republish_interval_us: Some(1_000_000),
+            ..KadConfig::default()
+        };
+        net.add_node(KademliaNode::new(sha1(b"solo"), 0, cfg));
+        // Several republish ticks fire on a single node without panicking
+        // (empty storage, no peers — the degenerate but legal case).
+        net.run_until(5_500_000);
+        assert!(net.counters().timers_fired() >= 5);
+    }
+
+    #[test]
+    fn lookup_message_cost_scales_logarithmically() {
+        // Sanity check on lookup hops: messages per lookup should grow far
+        // slower than network size.
+        let cost = |n: usize| -> f64 {
+            let (mut net, _contacts) = build_net(n, 7);
+            let mut total = 0u32;
+            for i in 0..8u32 {
+                let key = sha1(format!("k{i}").as_bytes());
+                let op = net.with_node(1 + i % (n as u32 - 1), |node, ctx| node.get(ctx, key, 0));
+                net.run_until_idle(1_000_000);
+                for (id, out) in net.take_completions() {
+                    if id == op {
+                        if let KadOutput::Value { messages, .. } = out {
+                            total += messages;
+                        }
+                    }
+                }
+            }
+            f64::from(total) / 8.0
+        };
+        let small = cost(8);
+        let large = cost(64);
+        assert!(
+            large < small * 8.0,
+            "8x nodes must cost far less than 8x messages (got {small} -> {large})"
+        );
+    }
+}

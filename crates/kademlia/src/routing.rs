@@ -1,0 +1,286 @@
+//! The Kademlia routing table: 160 `k`-buckets ordered by XOR distance.
+//!
+//! Bucket `i` holds contacts whose distance to the local id has its highest
+//! bit at position `i` (i.e. shares an `i`-bit prefix). Buckets keep
+//! **least-recently-seen order**: fresh contacts go to the tail, re-seen
+//! contacts move to the tail, and eviction prefers the stale head.
+//!
+//! Eviction policy: the original paper pings the least-recently-seen contact
+//! before dropping it. This implementation uses the common *replacement
+//! cache* variant instead — a full bucket stashes newcomers in a side cache
+//! and promotes them when a resident contact fails an RPC — which avoids
+//! blocking inserts on a round-trip and is deterministic under simulation.
+
+use dharma_types::{Distance, Id160, ID160_BITS};
+
+use crate::messages::Contact;
+
+/// Maximum contacts kept in a bucket's replacement cache.
+const REPLACEMENT_CACHE: usize = 8;
+
+/// One `k`-bucket with its replacement cache.
+#[derive(Clone, Debug, Default)]
+pub struct KBucket {
+    /// Live contacts, least-recently-seen first.
+    entries: Vec<Contact>,
+    /// Standby contacts waiting for a slot.
+    replacements: Vec<Contact>,
+}
+
+impl KBucket {
+    /// Live contacts, LRS first.
+    pub fn contacts(&self) -> &[Contact] {
+        &self.entries
+    }
+
+    /// Number of live contacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the bucket holds no live contacts.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records activity from `c`. Returns true if the contact is now live.
+    fn note(&mut self, c: Contact, k: usize) -> bool {
+        if let Some(pos) = self.entries.iter().position(|e| e.id == c.id) {
+            // Re-seen: refresh address and move to most-recent position.
+            let mut e = self.entries.remove(pos);
+            e.addr = c.addr;
+            self.entries.push(e);
+            return true;
+        }
+        if self.entries.len() < k {
+            self.entries.push(c);
+            return true;
+        }
+        // Full: stash in the replacement cache (newest kept last).
+        if let Some(pos) = self.replacements.iter().position(|e| e.id == c.id) {
+            self.replacements.remove(pos);
+        }
+        self.replacements.push(c);
+        if self.replacements.len() > REPLACEMENT_CACHE {
+            self.replacements.remove(0);
+        }
+        false
+    }
+
+    /// Removes a failed contact and promotes the freshest replacement.
+    fn fail(&mut self, id: &Id160) {
+        if let Some(pos) = self.entries.iter().position(|e| e.id == *id) {
+            self.entries.remove(pos);
+            if let Some(promoted) = self.replacements.pop() {
+                self.entries.push(promoted);
+            }
+        } else if let Some(pos) = self.replacements.iter().position(|e| e.id == *id) {
+            self.replacements.remove(pos);
+        }
+    }
+}
+
+/// The full routing table.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    local: Id160,
+    k: usize,
+    buckets: Vec<KBucket>,
+}
+
+impl RoutingTable {
+    /// A table for node `local` with bucket capacity `k`.
+    pub fn new(local: Id160, k: usize) -> Self {
+        RoutingTable {
+            local,
+            k,
+            buckets: vec![KBucket::default(); ID160_BITS],
+        }
+    }
+
+    /// The local node id.
+    pub fn local_id(&self) -> Id160 {
+        self.local
+    }
+
+    /// Bucket capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Index of the bucket responsible for `id`, or `None` for the local id.
+    pub fn bucket_index(&self, id: &Id160) -> Option<usize> {
+        self.local.distance(id).bucket_index()
+    }
+
+    /// Records activity from a contact (any received message).
+    /// Self-contacts are ignored. Returns true if the contact is live.
+    pub fn note_contact(&mut self, c: Contact) -> bool {
+        match self.bucket_index(&c.id) {
+            Some(i) => self.buckets[i].note(c, self.k),
+            None => false,
+        }
+    }
+
+    /// Records an RPC failure for `id` (timeout), evicting it.
+    pub fn note_failure(&mut self, id: &Id160) {
+        if let Some(i) = self.bucket_index(id) {
+            self.buckets[i].fail(id);
+        }
+    }
+
+    /// Total live contacts.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(KBucket::len).sum()
+    }
+
+    /// True when the table knows nobody.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(KBucket::is_empty)
+    }
+
+    /// The bucket at index `i` (tests and maintenance).
+    pub fn bucket(&self, i: usize) -> &KBucket {
+        &self.buckets[i]
+    }
+
+    /// The `n` known contacts closest to `target`, ascending by XOR
+    /// distance. Never includes the local node (it is not a contact).
+    pub fn closest(&self, target: &Id160, n: usize) -> Vec<Contact> {
+        let mut all: Vec<(Distance, Contact)> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.entries.iter())
+            .map(|c| (c.id.distance(target), c.clone()))
+            .collect();
+        if all.len() > n {
+            all.select_nth_unstable_by(n - 1, |a, b| a.0.cmp(&b.0));
+            all.truncate(n);
+        }
+        all.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        all.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Buckets that contain at least one contact, as `(index, len)` pairs.
+    pub fn occupancy(&self) -> Vec<(usize, usize)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, b)| (i, b.len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dharma_types::sha1;
+
+    fn contact(n: u64) -> Contact {
+        Contact {
+            id: sha1(&n.to_le_bytes()),
+            addr: n as u32,
+        }
+    }
+
+    fn table() -> RoutingTable {
+        RoutingTable::new(sha1(b"local"), 4)
+    }
+
+    #[test]
+    fn notes_and_finds_contacts() {
+        let mut rt = table();
+        for n in 0..20 {
+            rt.note_contact(contact(n));
+        }
+        assert!(rt.len() > 0);
+        let target = sha1(b"target");
+        let closest = rt.closest(&target, 5);
+        assert_eq!(closest.len(), 5);
+        // Ascending distance order.
+        for w in closest.windows(2) {
+            assert!(w[0].id.distance(&target) <= w[1].id.distance(&target));
+        }
+    }
+
+    #[test]
+    fn self_contact_is_ignored() {
+        let mut rt = table();
+        let me = Contact {
+            id: rt.local_id(),
+            addr: 0,
+        };
+        assert!(!rt.note_contact(me));
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn bucket_keeps_lrs_order_and_caps_at_k() {
+        let local = Id160::ZERO;
+        let mut rt = RoutingTable::new(local, 2);
+        // Craft ids in the same bucket (highest bit set → bucket 0).
+        let mk = |tail: u8| {
+            let mut b = [0u8; 20];
+            b[0] = 0x80;
+            b[19] = tail;
+            Contact {
+                id: Id160::from_bytes(b),
+                addr: u32::from(tail),
+            }
+        };
+        assert!(rt.note_contact(mk(1)));
+        assert!(rt.note_contact(mk(2)));
+        // Bucket full: newcomer goes to replacements.
+        assert!(!rt.note_contact(mk(3)));
+        assert_eq!(rt.bucket(0).len(), 2);
+        // Re-seeing contact 1 moves it to most-recent.
+        rt.note_contact(mk(1));
+        assert_eq!(rt.bucket(0).contacts()[1].addr, 1);
+        // Failure of 2 promotes 3 from the cache.
+        rt.note_failure(&mk(2).id);
+        let ids: Vec<u32> = rt.bucket(0).contacts().iter().map(|c| c.addr).collect();
+        assert!(ids.contains(&1) && ids.contains(&3));
+    }
+
+    #[test]
+    fn reseen_contact_updates_address() {
+        let mut rt = table();
+        let mut c = contact(5);
+        rt.note_contact(c.clone());
+        c.addr = 99;
+        rt.note_contact(c.clone());
+        let found = rt.closest(&c.id, 1);
+        assert_eq!(found[0].addr, 99);
+        assert_eq!(rt.len(), 1, "no duplicates");
+    }
+
+    #[test]
+    fn failure_of_unknown_contact_is_noop() {
+        let mut rt = table();
+        rt.note_contact(contact(1));
+        rt.note_failure(&sha1(b"stranger"));
+        assert_eq!(rt.len(), 1);
+    }
+
+    #[test]
+    fn closest_with_fewer_known_than_requested() {
+        let mut rt = table();
+        rt.note_contact(contact(1));
+        rt.note_contact(contact(2));
+        assert_eq!(rt.closest(&sha1(b"x"), 10).len(), 2);
+        assert_eq!(table().closest(&sha1(b"x"), 10).len(), 0);
+    }
+
+    #[test]
+    fn occupancy_reports_nonempty_buckets() {
+        let mut rt = table();
+        for n in 0..50 {
+            rt.note_contact(contact(n));
+        }
+        let occ = rt.occupancy();
+        let total: usize = occ.iter().map(|(_, l)| l).sum();
+        assert_eq!(total, rt.len());
+        assert!(!occ.is_empty());
+    }
+}

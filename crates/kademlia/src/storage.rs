@@ -1,0 +1,316 @@
+//! Per-node key/value storage with weighted-set semantics.
+//!
+//! Each key holds an optional blob plus a weighted entry set. The only
+//! mutation the set supports is **token append** — `weight += tokens` — so
+//! concurrent writers commute (paper §IV-A: "a block's structure is modified
+//! only by the addition of one-bit tokens"). Reads support index-side
+//! filtering: the heaviest `top_n` entries, bounded further by an encoded
+//! payload budget so replies fit one UDP datagram (§V-A).
+
+use dharma_types::{FxHashMap, Id160};
+
+use crate::messages::StoredEntry;
+
+/// A stored value.
+#[derive(Clone, Debug, Default)]
+pub struct ValueState {
+    /// Blob payload (`r̃` URI records).
+    pub blob: Option<Vec<u8>>,
+    /// Weighted entries, name → token count.
+    pub entries: FxHashMap<String, u64>,
+    /// Last write (or replication refresh) time, µs. Drives expiry.
+    pub refreshed_us: u64,
+}
+
+/// Node-local storage.
+#[derive(Clone, Debug, Default)]
+pub struct Storage {
+    values: FxHashMap<Id160, ValueState>,
+}
+
+/// Result of a filtered read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FilteredRead {
+    /// Entries sorted by weight descending (ties by name ascending).
+    pub entries: Vec<StoredEntry>,
+    /// Blob, if stored.
+    pub blob: Option<Vec<u8>>,
+    /// True when entries were cut by `top_n` or the byte budget.
+    pub truncated: bool,
+}
+
+impl Storage {
+    /// Empty storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys held.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// True when `key` is present.
+    pub fn contains(&self, key: &Id160) -> bool {
+        self.values.contains_key(key)
+    }
+
+    /// Stores/replaces the blob at `key`.
+    pub fn put_blob(&mut self, key: Id160, blob: Vec<u8>) {
+        self.values.entry(key).or_default().blob = Some(blob);
+    }
+
+    /// Appends `tokens` to entry `name` at `key` (creating both as needed).
+    /// Returns the new weight.
+    pub fn append(&mut self, key: Id160, name: &str, tokens: u64) -> u64 {
+        let state = self.values.entry(key).or_default();
+        match state.entries.get_mut(name) {
+            Some(w) => {
+                *w += tokens;
+                *w
+            }
+            None => {
+                state.entries.insert(name.to_owned(), tokens);
+                tokens
+            }
+        }
+    }
+
+    /// Marks `key` as refreshed at `now_us` (writes and replication both
+    /// count — expiry measures staleness, not age).
+    pub fn touch(&mut self, key: Id160, now_us: u64) {
+        if let Some(state) = self.values.get_mut(&key) {
+            state.refreshed_us = state.refreshed_us.max(now_us);
+        }
+    }
+
+    /// Replication repair: merges an incoming replica **idempotently** —
+    /// the blob is adopted if absent and each entry takes
+    /// `max(local, incoming)` tokens. Re-replicating the same snapshot any
+    /// number of times is a no-op, unlike `append` (which is the *client*
+    /// write primitive and must keep adding).
+    pub fn merge_max(
+        &mut self,
+        key: Id160,
+        blob: Option<&[u8]>,
+        entries: &[crate::messages::StoredEntry],
+        now_us: u64,
+    ) {
+        let state = self.values.entry(key).or_default();
+        if state.blob.is_none() {
+            if let Some(b) = blob {
+                state.blob = Some(b.to_vec());
+            }
+        }
+        for e in entries {
+            let slot = state.entries.entry(e.name.clone()).or_insert(0);
+            *slot = (*slot).max(e.weight);
+        }
+        state.refreshed_us = state.refreshed_us.max(now_us);
+    }
+
+    /// Drops every value not refreshed within `ttl_us` of `now_us`.
+    /// Returns the number of expired keys.
+    pub fn expire(&mut self, now_us: u64, ttl_us: u64) -> usize {
+        let before = self.values.len();
+        self.values
+            .retain(|_, v| now_us.saturating_sub(v.refreshed_us) <= ttl_us);
+        before - self.values.len()
+    }
+
+    /// Raw read of a value.
+    pub fn get(&self, key: &Id160) -> Option<&ValueState> {
+        self.values.get(key)
+    }
+
+    /// The weight of one entry (0 when absent).
+    pub fn weight(&self, key: &Id160, name: &str) -> u64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.entries.get(name).copied())
+            .unwrap_or(0)
+    }
+
+    /// Filtered read: the heaviest `top_n` entries (0 = unlimited) that fit
+    /// within `byte_budget` encoded bytes. This is the paper's index-side
+    /// filtering: the storing node ranks by weight so that "only the most
+    /// relevant objects are returned" within one UDP payload.
+    pub fn read_filtered(
+        &self,
+        key: &Id160,
+        top_n: u32,
+        byte_budget: usize,
+    ) -> Option<FilteredRead> {
+        let state = self.values.get(key)?;
+        let mut entries: Vec<StoredEntry> = state
+            .entries
+            .iter()
+            .map(|(name, &weight)| StoredEntry {
+                name: name.clone(),
+                weight,
+            })
+            .collect();
+        entries.sort_unstable_by(|a, b| b.weight.cmp(&a.weight).then(a.name.cmp(&b.name)));
+        let mut truncated = false;
+        if top_n > 0 && entries.len() > top_n as usize {
+            entries.truncate(top_n as usize);
+            truncated = true;
+        }
+        // Enforce the byte budget on the encoded size (varint-accurate).
+        let mut used = 0usize;
+        let mut keep = 0usize;
+        for e in &entries {
+            let size = entry_encoded_len(e);
+            if used + size > byte_budget {
+                truncated = true;
+                break;
+            }
+            used += size;
+            keep += 1;
+        }
+        entries.truncate(keep);
+        Some(FilteredRead {
+            entries,
+            blob: state.blob.clone(),
+            truncated,
+        })
+    }
+
+    /// Iterates all keys (replication/maintenance).
+    pub fn keys(&self) -> impl Iterator<Item = &Id160> {
+        self.values.keys()
+    }
+}
+
+/// Encoded size of one entry (length-prefixed name + varint weight).
+fn entry_encoded_len(e: &StoredEntry) -> usize {
+    dharma_types::wire::varint_len(e.name.len() as u64)
+        + e.name.len()
+        + dharma_types::wire::varint_len(e.weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dharma_types::sha1;
+
+    #[test]
+    fn append_creates_and_accumulates() {
+        let mut s = Storage::new();
+        let k = sha1(b"k");
+        assert_eq!(s.append(k, "rock", 1), 1);
+        assert_eq!(s.append(k, "rock", 2), 3);
+        assert_eq!(s.append(k, "pop", 1), 1);
+        assert_eq!(s.weight(&k, "rock"), 3);
+        assert_eq!(s.weight(&k, "jazz"), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn append_commutes() {
+        let k = sha1(b"k");
+        let mut a = Storage::new();
+        a.append(k, "x", 1);
+        a.append(k, "y", 5);
+        a.append(k, "x", 2);
+        let mut b = Storage::new();
+        b.append(k, "x", 2);
+        b.append(k, "x", 1);
+        b.append(k, "y", 5);
+        assert_eq!(a.weight(&k, "x"), b.weight(&k, "x"));
+        assert_eq!(a.weight(&k, "y"), b.weight(&k, "y"));
+    }
+
+    #[test]
+    fn filtered_read_ranks_by_weight() {
+        let mut s = Storage::new();
+        let k = sha1(b"k");
+        s.append(k, "a", 5);
+        s.append(k, "b", 9);
+        s.append(k, "c", 5);
+        s.append(k, "d", 1);
+        let r = s.read_filtered(&k, 3, usize::MAX).unwrap();
+        let names: Vec<&str> = r.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["b", "a", "c"]);
+        assert!(r.truncated);
+        let r = s.read_filtered(&k, 0, usize::MAX).unwrap();
+        assert_eq!(r.entries.len(), 4);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn byte_budget_truncates() {
+        let mut s = Storage::new();
+        let k = sha1(b"k");
+        for i in 0..100 {
+            s.append(k, &format!("entry-{i:03}"), 100 - i);
+        }
+        // Each entry is ~11 bytes; a 50-byte budget keeps only a few.
+        let r = s.read_filtered(&k, 0, 50).unwrap();
+        assert!(r.truncated);
+        assert!(r.entries.len() < 6);
+        // The heaviest entries survive.
+        assert_eq!(r.entries[0].name, "entry-000");
+    }
+
+    #[test]
+    fn blob_and_set_coexist() {
+        let mut s = Storage::new();
+        let k = sha1(b"k");
+        s.put_blob(k, b"uri://thing".to_vec());
+        s.append(k, "rock", 1);
+        let r = s.read_filtered(&k, 0, usize::MAX).unwrap();
+        assert_eq!(r.blob.as_deref(), Some(b"uri://thing".as_slice()));
+        assert_eq!(r.entries.len(), 1);
+    }
+
+    #[test]
+    fn merge_max_is_idempotent() {
+        let mut s = Storage::new();
+        let k = sha1(b"k");
+        s.append(k, "rock", 3);
+        let snapshot = vec![
+            StoredEntry { name: "rock".into(), weight: 5 },
+            StoredEntry { name: "pop".into(), weight: 2 },
+        ];
+        s.merge_max(k, Some(b"uri"), &snapshot, 100);
+        s.merge_max(k, Some(b"uri"), &snapshot, 200);
+        assert_eq!(s.weight(&k, "rock"), 5, "max, not sum");
+        assert_eq!(s.weight(&k, "pop"), 2);
+        assert_eq!(s.get(&k).unwrap().blob.as_deref(), Some(b"uri".as_slice()));
+        // Local value above the snapshot survives.
+        s.append(k, "rock", 10);
+        s.merge_max(k, None, &snapshot, 300);
+        assert_eq!(s.weight(&k, "rock"), 15);
+    }
+
+    #[test]
+    fn expiry_drops_stale_values_only() {
+        let mut s = Storage::new();
+        let old = sha1(b"old");
+        let fresh = sha1(b"fresh");
+        s.append(old, "x", 1);
+        s.touch(old, 1_000);
+        s.append(fresh, "y", 1);
+        s.touch(fresh, 9_000);
+        let dropped = s.expire(10_000, 5_000);
+        assert_eq!(dropped, 1);
+        assert!(!s.contains(&old));
+        assert!(s.contains(&fresh));
+        // touch never moves time backwards.
+        s.touch(fresh, 1);
+        assert_eq!(s.get(&fresh).unwrap().refreshed_us, 9_000);
+    }
+
+    #[test]
+    fn missing_key_reads_none() {
+        let s = Storage::new();
+        assert!(s.read_filtered(&sha1(b"nope"), 10, 1000).is_none());
+        assert!(!s.contains(&sha1(b"nope")));
+    }
+}

@@ -1,0 +1,224 @@
+//! Property tests for the Kademlia substrate: message-codec totality,
+//! routing-table invariants, lookup convergence, and storage commutativity.
+
+use bytes::Bytes;
+use dharma_kademlia::lookup::LookupState;
+use dharma_kademlia::{Contact, Message, RoutingTable, Storage, StoredEntry};
+use dharma_types::{sha1, Id160, WireDecode, WireEncode};
+use proptest::prelude::*;
+
+fn arb_contact() -> impl Strategy<Value = Contact> {
+    (any::<[u8; 20]>(), any::<u32>()).prop_map(|(id, addr)| Contact {
+        id: Id160::from_bytes(id),
+        addr,
+    })
+}
+
+fn arb_entry() -> impl Strategy<Value = StoredEntry> {
+    ("[a-z0-9-]{1,24}", 0u64..1_000_000).prop_map(|(name, weight)| StoredEntry { name, weight })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let rpc = any::<u64>();
+    prop_oneof![
+        (rpc, arb_contact()).prop_map(|(rpc, from)| Message::Ping { rpc, from }),
+        (rpc, arb_contact()).prop_map(|(rpc, from)| Message::Pong { rpc, from }),
+        (rpc, arb_contact(), any::<[u8; 20]>())
+            .prop_map(|(rpc, from, t)| Message::FindNode {
+                rpc,
+                from,
+                target: Id160::from_bytes(t),
+            }),
+        (rpc, arb_contact(), proptest::collection::vec(arb_contact(), 0..24))
+            .prop_map(|(rpc, from, contacts)| Message::FoundNodes { rpc, from, contacts }),
+        (rpc, arb_contact(), any::<[u8; 20]>(), any::<u32>())
+            .prop_map(|(rpc, from, k, top_n)| Message::FindValue {
+                rpc,
+                from,
+                key: Id160::from_bytes(k),
+                top_n,
+            }),
+        (
+            rpc,
+            arb_contact(),
+            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
+            proptest::collection::vec(arb_entry(), 0..16),
+            any::<bool>()
+        )
+            .prop_map(|(rpc, from, blob, entries, truncated)| Message::FoundValue {
+                rpc,
+                from,
+                blob,
+                entries,
+                truncated,
+            }),
+        (rpc, arb_contact(), any::<[u8; 20]>(), proptest::collection::vec(any::<u8>(), 0..512))
+            .prop_map(|(rpc, from, k, blob)| Message::Store {
+                rpc,
+                from,
+                key: Id160::from_bytes(k),
+                blob,
+            }),
+        (rpc, arb_contact(), any::<[u8; 20]>(), proptest::collection::vec(arb_entry(), 0..16))
+            .prop_map(|(rpc, from, k, entries)| Message::Append {
+                rpc,
+                from,
+                key: Id160::from_bytes(k),
+                entries,
+            }),
+        (rpc, arb_contact()).prop_map(|(rpc, from)| Message::Ack { rpc, from }),
+    ]
+}
+
+proptest! {
+    /// Every message roundtrips bit-exactly through the wire codec.
+    #[test]
+    fn message_codec_roundtrip(msg in arb_message()) {
+        let encoded = msg.encode_to_bytes();
+        let decoded = Message::decode_exact(&encoded).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn decoder_total_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode_exact(&data);
+        let mut bytes = Bytes::from(data);
+        let _ = Message::decode(&mut bytes);
+    }
+
+    /// Routing-table invariants under arbitrary contact/failure streams:
+    /// bucket occupancy never exceeds k, the local id never appears, and
+    /// `closest` returns distance-sorted unique contacts.
+    #[test]
+    fn routing_table_invariants(
+        contacts in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..300),
+        k in 1usize..8,
+    ) {
+        let local = sha1(b"local");
+        let mut rt = RoutingTable::new(local, k);
+        for (n, fail) in contacts {
+            let c = Contact { id: sha1(&n.to_le_bytes()), addr: n as u32 };
+            if fail {
+                rt.note_failure(&c.id);
+            } else {
+                rt.note_contact(c);
+            }
+            for (i, len) in rt.occupancy() {
+                prop_assert!(len <= k, "bucket {} holds {} > k = {}", i, len, k);
+            }
+        }
+        let target = sha1(b"target");
+        let closest = rt.closest(&target, 2 * k);
+        for w in closest.windows(2) {
+            prop_assert!(w[0].id.distance(&target) <= w[1].id.distance(&target));
+        }
+        let mut ids: Vec<_> = closest.iter().map(|c| c.id).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "no duplicate contacts");
+        prop_assert!(!ids.contains(&local), "local id is not a contact");
+    }
+
+    /// The iterative lookup always terminates and returns ≤ k contacts in
+    /// distance order, for arbitrary response topologies.
+    #[test]
+    fn lookup_always_converges(
+        seeds in proptest::collection::vec(any::<u64>(), 0..12),
+        responses in proptest::collection::vec(any::<u64>(), 0..64),
+        k in 1usize..6,
+        alpha in 1usize..4,
+    ) {
+        let target = sha1(b"t");
+        let seed_contacts: Vec<Contact> = seeds
+            .iter()
+            .map(|&n| Contact { id: sha1(&n.to_le_bytes()), addr: n as u32 })
+            .collect();
+        let mut lookup = LookupState::new(target, seed_contacts, k, alpha);
+        let mut response_iter = responses.iter();
+        let mut steps = 0usize;
+        loop {
+            let queries = lookup.next_queries();
+            if queries.is_empty() && lookup.inflight() == 0 {
+                break;
+            }
+            for q in queries {
+                // Each responder hands back 0..3 pseudo-random contacts.
+                let mut more = Vec::new();
+                for _ in 0..(q.addr % 3) {
+                    if let Some(&n) = response_iter.next() {
+                        more.push(Contact { id: sha1(&n.to_le_bytes()), addr: n as u32 });
+                    }
+                }
+                if q.addr % 5 == 0 {
+                    lookup.on_failure(&q.id);
+                } else {
+                    lookup.on_response(&q.id, more);
+                }
+            }
+            steps += 1;
+            prop_assert!(steps < 10_000, "lookup failed to converge");
+        }
+        prop_assert!(lookup.is_converged());
+        let result = lookup.closest_responded();
+        prop_assert!(result.len() <= k);
+        for w in result.windows(2) {
+            prop_assert!(w[0].id.distance(&target) <= w[1].id.distance(&target));
+        }
+    }
+
+    /// Storage appends commute: any permutation of the same multiset of
+    /// appends yields identical weights (the Approximation B guarantee).
+    #[test]
+    fn storage_appends_commute(
+        ops in proptest::collection::vec((0u8..4, "[a-c]", 1u64..5), 1..40),
+        seed in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let apply = |ops: &[(u8, String, u64)]| {
+            let mut s = Storage::new();
+            for (kb, name, tokens) in ops {
+                s.append(sha1(&[*kb]), name, *tokens);
+            }
+            s
+        };
+        let a = apply(&ops);
+        let mut shuffled = ops.clone();
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let b = apply(&shuffled);
+        for (kb, name, _) in &ops {
+            let key = sha1(&[*kb]);
+            prop_assert_eq!(a.weight(&key, name), b.weight(&key, name));
+        }
+    }
+
+    /// Filtered reads always respect top_n, the byte budget, and ordering.
+    #[test]
+    fn filtered_reads_respect_bounds(
+        entries in proptest::collection::vec(("[a-z]{1,8}", 1u64..10_000), 1..60),
+        top_n in 0u32..20,
+        budget in 8usize..512,
+    ) {
+        let mut s = Storage::new();
+        let key = sha1(b"k");
+        for (name, w) in &entries {
+            s.append(key, name, *w);
+        }
+        let read = s.read_filtered(&key, top_n, budget).unwrap();
+        if top_n > 0 {
+            prop_assert!(read.entries.len() <= top_n as usize);
+        }
+        for w in read.entries.windows(2) {
+            prop_assert!(w[0].weight >= w[1].weight, "weight-sorted");
+        }
+        // Encoded size within budget.
+        let size: usize = read
+            .entries
+            .iter()
+            .map(|e| e.encode_to_bytes().len())
+            .sum();
+        prop_assert!(size <= budget, "encoded {} > budget {}", size, budget);
+    }
+}

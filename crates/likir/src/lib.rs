@@ -1,0 +1,36 @@
+//! A Likir-style identity layer (Aiello et al., "Tempering Kademlia with a
+//! robust identity based system", P2P '08 — reference \[12\] of the DHARMA
+//! paper).
+//!
+//! Likir hardens Kademlia against Sybil and storage-pollution attacks by
+//! binding every overlay node to a certified user identity:
+//!
+//! * a **Certification Authority** registers users and issues certificates
+//!   binding `userId → nodeId` (with `nodeId = H(userId)`, so node ids
+//!   cannot be chosen freely);
+//! * RPCs travel in **signed envelopes** carrying the sender's certificate
+//!   and a nonce (anti-replay);
+//! * stored values are **authenticated content records** signed by their
+//!   author, so storage nodes and readers can verify provenance.
+//!
+//! **Cryptography substitution** (see DESIGN.md): the original Likir uses
+//! RSA. This reproduction uses HMAC-SHA1 over a from-scratch SHA-1
+//! ([`dharma_types::hmac`]): the CA derives a per-user MAC key at
+//! registration, and verification re-derives it from the CA secret. The
+//! *protocol shape* — certificates, envelopes, nonces, per-content
+//! signatures, verification outcomes — is identical; only the asymmetric
+//! property is dropped, which no experiment in the paper measures. The
+//! [`CaVerifier`] handle models "anyone can verify" exactly as a published
+//! CA public key would.
+
+#![warn(missing_docs)]
+
+pub mod ca;
+pub mod envelope;
+pub mod replay_guard;
+pub mod secure_node;
+
+pub use ca::{CaVerifier, Certificate, CertificationAuthority, Identity};
+pub use envelope::{AuthenticatedRecord, SignedEnvelope};
+pub use replay_guard::ReplayGuard;
+pub use secure_node::{SecureNode, SecurityStats};

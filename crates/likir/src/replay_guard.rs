@@ -1,0 +1,133 @@
+//! Anti-replay protection for signed envelopes.
+//!
+//! A [`SignedEnvelope`](crate::SignedEnvelope) carries a nonce, but a
+//! verifier must also *remember* recently seen nonces or an attacker can
+//! re-send a captured envelope verbatim. [`ReplayGuard`] keeps a bounded
+//! per-sender window of accepted nonces: monotonically increasing nonces
+//! are accepted cheaply; reordered nonces are accepted while inside the
+//! window; duplicates and stale nonces are rejected.
+//!
+//! The window model matches UDP reality (modest reordering, no unbounded
+//! memory) and is the standard construction (cf. IPsec's anti-replay
+//! window).
+
+use dharma_types::{FxHashMap, FxHashSet};
+
+/// Per-sender sliding-window replay detector.
+pub struct ReplayGuard {
+    window: u64,
+    max_senders: usize,
+    seen: FxHashMap<String, SenderWindow>,
+}
+
+struct SenderWindow {
+    /// Highest accepted nonce.
+    high: u64,
+    /// Accepted nonces within `[high - window, high]`.
+    recent: FxHashSet<u64>,
+}
+
+impl ReplayGuard {
+    /// Creates a guard accepting reordering up to `window` nonces back,
+    /// tracking at most `max_senders` senders (oldest evicted arbitrarily —
+    /// eviction only ever *tightens* acceptance, never weakens it, because
+    /// an evicted sender restarts with an empty window that still rejects
+    /// nonces at or below its new high-water mark).
+    pub fn new(window: u64, max_senders: usize) -> Self {
+        ReplayGuard {
+            window: window.max(1),
+            max_senders: max_senders.max(1),
+            seen: FxHashMap::default(),
+        }
+    }
+
+    /// Checks and records `(sender, nonce)`. Returns `true` when the nonce
+    /// is fresh (and records it), `false` on replay or stale nonce.
+    pub fn accept(&mut self, sender: &str, nonce: u64) -> bool {
+        if let Some(w) = self.seen.get_mut(sender) {
+            if nonce > w.high {
+                w.high = nonce;
+                w.recent.insert(nonce);
+                let floor = w.high.saturating_sub(self.window);
+                w.recent.retain(|&n| n >= floor);
+                return true;
+            }
+            let floor = w.high.saturating_sub(self.window);
+            if nonce < floor || w.recent.contains(&nonce) {
+                return false;
+            }
+            w.recent.insert(nonce);
+            true
+        } else {
+            if self.seen.len() >= self.max_senders {
+                // Evict one arbitrary sender to bound memory.
+                if let Some(k) = self.seen.keys().next().cloned() {
+                    self.seen.remove(&k);
+                }
+            }
+            let mut recent = FxHashSet::default();
+            recent.insert(nonce);
+            self.seen
+                .insert(sender.to_owned(), SenderWindow { high: nonce, recent });
+            true
+        }
+    }
+
+    /// Number of tracked senders.
+    pub fn senders(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_nonces_accepted_duplicates_rejected() {
+        let mut g = ReplayGuard::new(16, 10);
+        assert!(g.accept("alice", 1));
+        assert!(g.accept("alice", 2));
+        assert!(g.accept("alice", 3));
+        assert!(!g.accept("alice", 2), "replay rejected");
+        assert!(!g.accept("alice", 3));
+    }
+
+    #[test]
+    fn reordering_inside_window_is_fine() {
+        let mut g = ReplayGuard::new(8, 10);
+        assert!(g.accept("alice", 10));
+        assert!(g.accept("alice", 7), "late but in window");
+        assert!(!g.accept("alice", 7), "but only once");
+        assert!(!g.accept("alice", 1), "below the window: stale");
+    }
+
+    #[test]
+    fn senders_are_independent() {
+        let mut g = ReplayGuard::new(8, 10);
+        assert!(g.accept("alice", 5));
+        assert!(g.accept("bob", 5), "same nonce, different sender");
+        assert!(!g.accept("alice", 5));
+    }
+
+    #[test]
+    fn sender_eviction_bounds_memory() {
+        let mut g = ReplayGuard::new(8, 3);
+        for i in 0..10 {
+            assert!(g.accept(&format!("user-{i}"), 1));
+        }
+        assert!(g.senders() <= 3);
+    }
+
+    #[test]
+    fn window_advances_with_high_water_mark() {
+        let mut g = ReplayGuard::new(4, 10);
+        assert!(g.accept("a", 100));
+        assert!(g.accept("a", 98));
+        assert!(g.accept("a", 200));
+        // 98 and 100 are now far below the window floor (196).
+        assert!(!g.accept("a", 100));
+        assert!(!g.accept("a", 195));
+        assert!(g.accept("a", 197));
+    }
+}

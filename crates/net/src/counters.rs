@@ -1,0 +1,121 @@
+//! Message and byte accounting.
+//!
+//! Table I of the paper counts *overlay lookups* per primitive; the DHARMA
+//! client layers its own lookup counter on top, but the raw transport
+//! counters here let tests assert both levels (and let the MTU ablation
+//! measure how often index-side filtering saved a datagram).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe network counters.
+///
+/// Cloning shares the underlying counters.
+#[derive(Clone, Default, Debug)]
+pub struct NetCounters {
+    inner: Arc<Inner>,
+}
+
+#[derive(Default, Debug)]
+struct Inner {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    bytes_sent: AtomicU64,
+    oversize_rejected: AtomicU64,
+    timers_fired: AtomicU64,
+}
+
+impl NetCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a successful send of `bytes` payload bytes.
+    pub fn record_sent(&self, bytes: usize) {
+        self.inner.sent.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records a delivery.
+    pub fn record_delivered(&self) {
+        self.inner.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a dropped (lost or dead-destination) datagram.
+    pub fn record_dropped(&self) {
+        self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a send rejected for exceeding the MTU.
+    pub fn record_oversize(&self) {
+        self.inner.oversize_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a timer expiry.
+    pub fn record_timer(&self) {
+        self.inner.timers_fired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Datagrams sent.
+    pub fn sent(&self) -> u64 {
+        self.inner.sent.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams delivered.
+    pub fn delivered(&self) -> u64 {
+        self.inner.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams dropped.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent.
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Sends rejected at the MTU check.
+    pub fn oversize_rejected(&self) -> u64 {
+        self.inner.oversize_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Timers fired.
+    pub fn timers_fired(&self) -> u64 {
+        self.inner.timers_fired.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot for deltas: `(sent, delivered, dropped, bytes)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.sent(),
+            self.delivered(),
+            self.dropped(),
+            self.bytes_sent(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let c = NetCounters::new();
+        let c2 = c.clone();
+        c.record_sent(100);
+        c2.record_sent(50);
+        c.record_delivered();
+        c.record_dropped();
+        c.record_oversize();
+        assert_eq!(c.sent(), 2);
+        assert_eq!(c.bytes_sent(), 150);
+        assert_eq!(c2.delivered(), 1);
+        assert_eq!(c2.dropped(), 1);
+        assert_eq!(c2.oversize_rejected(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Network substrate for the DHARMA overlay.
+//!
+//! The paper deploys DHARMA on Likir/Kademlia over UDP. For reproducible
+//! experiments this crate provides a **deterministic discrete-event
+//! simulator** ([`sim::SimNet`]): virtual microsecond clock, a seeded event
+//! queue, configurable per-message latency and loss, and — crucially for the
+//! paper's index-side-filtering argument (§V-A) — **UDP MTU enforcement**:
+//! a message whose encoded payload exceeds the MTU is rejected at send time,
+//! exactly like an oversized datagram.
+//!
+//! Protocol logic is written once against the [`node::Node`] state-machine
+//! trait (messages + timers + operation completions) and can then run
+//! unchanged on:
+//!
+//! * [`sim::SimNet`] — the DES (all experiments run here);
+//! * [`udp::UdpRuntime`] — real `std::net` UDP sockets (the `udp_overlay`
+//!   example), demonstrating that the protocol stack is not
+//!   simulation-bound.
+//!
+//! All counters live in [`counters::NetCounters`], which Table I reads to
+//! verify lookup costs.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod node;
+pub mod sim;
+pub mod udp;
+
+pub use counters::NetCounters;
+pub use node::{Ctx, Node, NodeAddr};
+pub use sim::{SimConfig, SimNet};

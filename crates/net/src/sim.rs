@@ -1,0 +1,458 @@
+//! The deterministic discrete-event network simulator.
+//!
+//! A [`SimNet`] owns a set of [`Node`] state machines, a virtual clock in
+//! microseconds, and a priority queue of pending events. Determinism comes
+//! from three properties:
+//!
+//! 1. events are ordered by `(time, sequence-number)`, so simultaneous
+//!    events fire in insertion order;
+//! 2. all randomness (latency jitter, loss, protocol choices) flows from one
+//!    seeded RNG;
+//! 3. node callbacks buffer their effects in a [`Ctx`] and never touch the
+//!    queue directly.
+//!
+//! The link model is the classic uniform-jitter one: each datagram is
+//! delayed by `latency_min_us ..= latency_max_us` drawn independently, lost
+//! with probability `drop_rate`, and **rejected at send time when larger
+//! than `mtu` bytes** — the UDP constraint that motivates the paper's
+//! index-side filtering (§V-A).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::counters::NetCounters;
+use crate::node::{Ctx, Node, NodeAddr, OpId};
+
+/// Simulator parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Minimum one-way datagram latency (µs).
+    pub latency_min_us: u64,
+    /// Maximum one-way datagram latency (µs).
+    pub latency_max_us: u64,
+    /// Independent loss probability per datagram.
+    pub drop_rate: f64,
+    /// Maximum datagram payload in bytes (UDP MTU budget).
+    pub mtu: usize,
+    /// Master seed for all simulator randomness.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        // 20–120 ms WAN-ish latency, no loss, conservative 1400-byte MTU.
+        SimConfig {
+            latency_min_us: 20_000,
+            latency_max_us: 120_000,
+            drop_rate: 0.0,
+            mtu: 1400,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver { from: NodeAddr, payload: Bytes },
+    Timer { id: u64 },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: u64,
+    seq: u64,
+    to: NodeAddr,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event simulator over nodes of type `N`.
+pub struct SimNet<N: Node> {
+    nodes: Vec<Option<N>>,
+    alive: Vec<bool>,
+    clock: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    rng: StdRng,
+    cfg: SimConfig,
+    counters: NetCounters,
+    completed: Vec<(OpId, N::Output)>,
+}
+
+impl<N: Node> SimNet<N> {
+    /// Creates an empty simulated network.
+    pub fn new(cfg: SimConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        SimNet {
+            nodes: Vec::new(),
+            alive: Vec::new(),
+            clock: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            rng,
+            cfg,
+            counters: NetCounters::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The shared counters (clone to keep reading after moves).
+    pub fn counters(&self) -> NetCounters {
+        self.counters.clone()
+    }
+
+    /// Current virtual time (µs).
+    pub fn now_us(&self) -> u64 {
+        self.clock
+    }
+
+    /// Number of nodes ever added.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes were added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node, invoking its `on_start`. Returns its address.
+    pub fn add_node(&mut self, mut node: N) -> NodeAddr {
+        let addr = self.nodes.len() as NodeAddr;
+        let mut ctx = Ctx::new(self.clock, addr, self.rng.gen());
+        node.on_start(&mut ctx);
+        self.nodes.push(Some(node));
+        self.alive.push(true);
+        self.apply_effects(addr, ctx);
+        addr
+    }
+
+    /// Marks a node dead: pending and future datagrams to it are dropped,
+    /// its timers stop firing. (Simulates an abrupt crash/churn departure.)
+    pub fn crash(&mut self, addr: NodeAddr) {
+        self.alive[addr as usize] = false;
+    }
+
+    /// Revives a crashed node (state preserved — a suspend/resume churn
+    /// model; fresh-state rejoin is done by adding a new node).
+    pub fn revive(&mut self, addr: NodeAddr) {
+        self.alive[addr as usize] = true;
+    }
+
+    /// True when `addr` is alive.
+    pub fn is_alive(&self, addr: NodeAddr) -> bool {
+        self.alive[addr as usize]
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, addr: NodeAddr) -> &N {
+        self.nodes[addr as usize].as_ref().expect("node present")
+    }
+
+    /// Mutable access to a node (for test instrumentation).
+    pub fn node_mut(&mut self, addr: NodeAddr) -> &mut N {
+        self.nodes[addr as usize].as_mut().expect("node present")
+    }
+
+    /// Lets the caller drive a node synchronously (issue client operations):
+    /// the closure receives the node and a context; effects are applied as
+    /// if from a callback.
+    pub fn with_node<R>(
+        &mut self,
+        addr: NodeAddr,
+        f: impl FnOnce(&mut N, &mut Ctx<N::Output>) -> R,
+    ) -> R {
+        let mut node = self.nodes[addr as usize].take().expect("node present");
+        let mut ctx = Ctx::new(self.clock, addr, self.rng.gen());
+        let out = f(&mut node, &mut ctx);
+        self.nodes[addr as usize] = Some(node);
+        self.apply_effects(addr, ctx);
+        out
+    }
+
+    /// Drains operation completions reported since the last call.
+    pub fn take_completions(&mut self) -> Vec<(OpId, N::Output)> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Runs until the event queue is empty or `max_events` have fired.
+    /// Returns the number of events processed.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        let mut n = 0u64;
+        while n < max_events {
+            if !self.step() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs until virtual time reaches `deadline_us` (events at exactly the
+    /// deadline still fire) or the queue empties.
+    pub fn run_until(&mut self, deadline_us: u64) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline_us {
+                break;
+            }
+            self.step();
+        }
+        self.clock = self.clock.max(deadline_us);
+    }
+
+    /// Fires the next event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.clock, "time cannot go backwards");
+        self.clock = ev.at;
+        let addr = ev.to;
+        if !self.alive[addr as usize] {
+            if matches!(ev.kind, EventKind::Deliver { .. }) {
+                self.counters.record_dropped();
+            }
+            return true;
+        }
+        let mut node = self.nodes[addr as usize].take().expect("node present");
+        let mut ctx = Ctx::new(self.clock, addr, self.rng.gen());
+        match ev.kind {
+            EventKind::Deliver { from, payload } => {
+                self.counters.record_delivered();
+                node.on_message(&mut ctx, from, payload);
+            }
+            EventKind::Timer { id } => {
+                self.counters.record_timer();
+                node.on_timer(&mut ctx, id);
+            }
+        }
+        self.nodes[addr as usize] = Some(node);
+        self.apply_effects(addr, ctx);
+        true
+    }
+
+    fn apply_effects(&mut self, from: NodeAddr, ctx: Ctx<N::Output>) {
+        let (sends, timers, completions) = ctx.into_effects();
+        for msg in sends {
+            if msg.payload.len() > self.cfg.mtu {
+                self.counters.record_oversize();
+                continue;
+            }
+            self.counters.record_sent(msg.payload.len());
+            if self.rng.gen::<f64>() < self.cfg.drop_rate {
+                self.counters.record_dropped();
+                continue;
+            }
+            let latency = if self.cfg.latency_max_us > self.cfg.latency_min_us {
+                self.rng
+                    .gen_range(self.cfg.latency_min_us..=self.cfg.latency_max_us)
+            } else {
+                self.cfg.latency_min_us
+            };
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                at: self.clock + latency,
+                seq: self.seq,
+                to: msg.to,
+                kind: EventKind::Deliver {
+                    from,
+                    payload: msg.payload,
+                },
+            }));
+        }
+        for (delay, id) in timers {
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                at: self.clock + delay,
+                seq: self.seq,
+                to: from,
+                kind: EventKind::Timer { id },
+            }));
+        }
+        self.completed.extend(completions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A node that echoes every datagram back and counts what it saw.
+    struct Echo {
+        got: Vec<(NodeAddr, Vec<u8>)>,
+        timers: Vec<u64>,
+        echo: bool,
+    }
+
+    impl Echo {
+        fn new(echo: bool) -> Self {
+            Echo {
+                got: Vec::new(),
+                timers: Vec::new(),
+                echo,
+            }
+        }
+    }
+
+    impl Node for Echo {
+        type Output = ();
+
+        fn on_message(&mut self, ctx: &mut Ctx<()>, from: NodeAddr, payload: Bytes) {
+            self.got.push((from, payload.to_vec()));
+            if self.echo {
+                ctx.send(from, payload);
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<()>, id: u64) {
+            self.timers.push(id);
+        }
+    }
+
+    fn net(drop: f64, seed: u64) -> SimNet<Echo> {
+        SimNet::new(SimConfig {
+            latency_min_us: 1_000,
+            latency_max_us: 5_000,
+            drop_rate: drop,
+            mtu: 100,
+            seed,
+        })
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut net = net(0.0, 1);
+        let a = net.add_node(Echo::new(true));
+        let b = net.add_node(Echo::new(true));
+        net.with_node(a, |_, ctx| ctx.send(b, Bytes::from_static(b"hi")));
+        // One send bounces forever between two echo nodes; bound the run.
+        net.run_until_idle(10);
+        assert!(net.node(b).got.iter().any(|(f, p)| *f == a && p == b"hi"));
+        assert!(net.node(a).got.iter().any(|(f, p)| *f == b && p == b"hi"));
+        assert!(net.counters().delivered() >= 2);
+    }
+
+    #[test]
+    fn virtual_time_advances_monotonically() {
+        let mut net = net(0.0, 2);
+        let a = net.add_node(Echo::new(false));
+        let b = net.add_node(Echo::new(false));
+        assert_eq!(net.now_us(), 0);
+        net.with_node(a, |_, ctx| {
+            ctx.send(b, Bytes::from_static(b"x"));
+        });
+        net.run_until_idle(10);
+        let t1 = net.now_us();
+        assert!((1_000..=5_000).contains(&t1), "one hop of latency: {t1}");
+    }
+
+    #[test]
+    fn mtu_rejects_oversize() {
+        let mut net = net(0.0, 3);
+        let a = net.add_node(Echo::new(false));
+        let b = net.add_node(Echo::new(false));
+        let big = Bytes::from(vec![0u8; 101]);
+        net.with_node(a, |_, ctx| ctx.send(b, big));
+        net.run_until_idle(10);
+        assert!(net.node(b).got.is_empty());
+        assert_eq!(net.counters().oversize_rejected(), 1);
+        assert_eq!(net.counters().sent(), 0);
+    }
+
+    #[test]
+    fn drops_lose_messages_deterministically() {
+        let mut net = net(1.0, 4); // 100% loss
+        let a = net.add_node(Echo::new(false));
+        let b = net.add_node(Echo::new(false));
+        net.with_node(a, |_, ctx| ctx.send(b, Bytes::from_static(b"x")));
+        net.run_until_idle(10);
+        assert!(net.node(b).got.is_empty());
+        assert_eq!(net.counters().dropped(), 1);
+        assert_eq!(net.counters().sent(), 1, "loss happens after send");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut net = net(0.0, 5);
+        let a = net.add_node(Echo::new(false));
+        net.with_node(a, |_, ctx| {
+            ctx.set_timer(3_000, 3);
+            ctx.set_timer(1_000, 1);
+            ctx.set_timer(2_000, 2);
+        });
+        net.run_until_idle(10);
+        assert_eq!(net.node(a).timers, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn crash_drops_incoming_and_timers() {
+        let mut net = net(0.0, 6);
+        let a = net.add_node(Echo::new(false));
+        let b = net.add_node(Echo::new(false));
+        net.with_node(b, |_, ctx| ctx.set_timer(10_000, 9));
+        net.crash(b);
+        net.with_node(a, |_, ctx| ctx.send(b, Bytes::from_static(b"x")));
+        net.run_until_idle(10);
+        assert!(net.node(b).got.is_empty());
+        assert!(net.node(b).timers.is_empty());
+        assert_eq!(net.counters().dropped(), 1);
+        // Revive and verify delivery works again.
+        net.revive(b);
+        net.with_node(a, |_, ctx| ctx.send(b, Bytes::from_static(b"y")));
+        net.run_until_idle(10);
+        assert_eq!(net.node(b).got.len(), 1);
+    }
+
+    #[test]
+    fn identical_seeds_identical_schedules() {
+        let run = |seed: u64| {
+            let mut net = net(0.3, seed);
+            let a = net.add_node(Echo::new(true));
+            let b = net.add_node(Echo::new(true));
+            net.with_node(a, |_, ctx| {
+                for _ in 0..5 {
+                    ctx.send(b, Bytes::from_static(b"m"));
+                }
+            });
+            net.run_until_idle(50);
+            (net.now_us(), net.counters().delivered(), net.counters().dropped())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut net = net(0.0, 7);
+        let a = net.add_node(Echo::new(false));
+        net.with_node(a, |_, ctx| {
+            ctx.set_timer(1_000, 1);
+            ctx.set_timer(50_000, 2);
+        });
+        net.run_until(2_000);
+        assert_eq!(net.node(a).timers, vec![1]);
+        assert_eq!(net.now_us(), 2_000);
+        net.run_until(100_000);
+        assert_eq!(net.node(a).timers, vec![1, 2]);
+    }
+}

@@ -1,0 +1,595 @@
+//! The work-stealing thread pool and scoped-spawn machinery.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use crossbeam_deque::{Injector, Stealer, Worker};
+use crossbeam_utils::Backoff;
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    /// Lock + condvar used only for worker parking; pushers take the lock
+    /// briefly before notifying so that a worker that observed an empty
+    /// injector cannot miss the wakeup (push happens-before notify, and the
+    /// worker re-checks emptiness under the lock before waiting).
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn find_task(&self, local: &Worker<Job>) -> Option<Job> {
+        if let Some(job) = local.pop() {
+            return Some(job);
+        }
+        // Steal a batch from the injector into the local deque, or a single
+        // task from a sibling. `steal_batch_and_pop` amortizes contention.
+        loop {
+            let steal = self.injector.steal_batch_and_pop(local);
+            if let crossbeam_deque::Steal::Success(job) = steal {
+                return Some(job);
+            }
+            if steal.is_retry() {
+                continue;
+            }
+            break;
+        }
+        for stealer in &self.stealers {
+            loop {
+                match stealer.steal() {
+                    crossbeam_deque::Steal::Success(job) => return Some(job),
+                    crossbeam_deque::Steal::Retry => continue,
+                    crossbeam_deque::Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// Steal from anywhere without a local deque (used by helping threads).
+    fn steal_task(&self) -> Option<Job> {
+        loop {
+            match self.injector.steal() {
+                crossbeam_deque::Steal::Success(job) => return Some(job),
+                crossbeam_deque::Steal::Retry => continue,
+                crossbeam_deque::Steal::Empty => break,
+            }
+        }
+        for stealer in &self.stealers {
+            loop {
+                match stealer.steal() {
+                    crossbeam_deque::Steal::Success(job) => return Some(job),
+                    crossbeam_deque::Steal::Retry => continue,
+                    crossbeam_deque::Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    fn push(&self, job: Job) {
+        self.injector.push(job);
+        let _guard = self.sleep.lock();
+        self.wake.notify_one();
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// ```
+/// let pool = dharma_par::ThreadPool::new(4);
+/// let data: Vec<u64> = (0..10_000).collect();
+/// let doubled = dharma_par::par_map(&pool, &data, 256, |x| x * 2);
+/// assert_eq!(doubled[7], 14);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<Job>> = workers.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dharma-par-{i}"))
+                    .spawn(move || worker_loop(shared, local))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn with_default_threads() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] that can spawn borrowed tasks, then blocks
+    /// until every spawned task (including nested spawns) has completed.
+    ///
+    /// The calling thread executes queued tasks while it waits. If any task
+    /// panicked, the panic payload of the first one is re-thrown here.
+    pub fn scope<'scope, F, R>(&'scope self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R,
+    {
+        let scope = Scope {
+            shared: &self.shared,
+            counter: Arc::new(AtomicUsize::new(0)),
+            panic: Arc::new(Mutex::new(None)),
+            _marker: PhantomData,
+        };
+        let result = f(&scope);
+        // Help until all tasks (incl. nested) are done.
+        let backoff = Backoff::new();
+        while scope.counter.load(Ordering::Acquire) != 0 {
+            if let Some(job) = self.shared.steal_task() {
+                job();
+                backoff.reset();
+            } else {
+                backoff.snooze();
+            }
+        }
+        if let Some(payload) = scope.panic.lock().take() {
+            resume_unwind(payload);
+        }
+        result
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.sleep.lock();
+            self.shared.wake.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, local: Worker<Job>) {
+    let backoff = Backoff::new();
+    loop {
+        if let Some(job) = shared.find_task(&local) {
+            job();
+            backoff.reset();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if !backoff.is_completed() {
+            backoff.snooze();
+            continue;
+        }
+        // Park until new work is pushed. Re-check emptiness and shutdown
+        // under the lock to avoid missing a wakeup.
+        let mut guard = shared.sleep.lock();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if shared.injector.is_empty() {
+            shared.wake.wait(&mut guard);
+        }
+        drop(guard);
+        backoff.reset();
+    }
+}
+
+/// Handle for spawning borrowed tasks inside [`ThreadPool::scope`].
+pub struct Scope<'scope> {
+    shared: &'scope Arc<Shared>,
+    counter: Arc<AtomicUsize>,
+    panic: Arc<Mutex<Option<Box<dyn Any + Send + 'static>>>>,
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task that may borrow from the enclosing scope. The task
+    /// receives the scope again so it can spawn children.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.counter.fetch_add(1, Ordering::AcqRel);
+        let child = Scope {
+            shared: self.shared,
+            counter: Arc::clone(&self.counter),
+            panic: Arc::clone(&self.panic),
+            _marker: PhantomData,
+        };
+        let counter = Arc::clone(&self.counter);
+        let panic_slot = Arc::clone(&self.panic);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| f(&child)));
+            if let Err(payload) = result {
+                let mut slot = panic_slot.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            counter.fetch_sub(1, Ordering::AcqRel);
+        });
+        // SAFETY: `ThreadPool::scope` does not return until `counter` drops
+        // to zero, i.e. until this job has run to completion. All borrows
+        // captured by the job therefore outlive its execution. The transmute
+        // only erases the `'scope` lifetime to satisfy the pool's `'static`
+        // job type; it does not change the type's layout.
+        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        self.shared.push(job);
+    }
+}
+
+// The child scope handed to tasks refers to shared Arc state; it is only ever
+// used while the owning `ThreadPool::scope` frame is alive.
+unsafe impl Send for Scope<'_> {}
+unsafe impl Sync for Scope<'_> {}
+
+/// The process-wide default pool, sized to available parallelism.
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(ThreadPool::with_default_threads)
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Calls `f(i)` for every `i in 0..n`, in parallel, in chunks of `chunk`.
+pub fn par_for_each_index<F>(pool: &ThreadPool, n: usize, chunk: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let chunk = chunk.max(1);
+    if n == 0 {
+        return;
+    }
+    // Run small inputs inline: scheduling would dominate.
+    if n <= chunk {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let f = &f;
+    pool.scope(|s| {
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + chunk).min(n);
+            s.spawn(move |_| {
+                for i in start..end {
+                    f(i);
+                }
+            });
+            start = end;
+        }
+    });
+}
+
+/// Wrapper making a raw pointer `Send` so chunk tasks can write disjoint
+/// output slots.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        SendPtr(self.0)
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+/// Parallel map: applies `f` to every element of `items`, preserving order.
+///
+/// Output slots are written exactly once by disjoint chunk tasks. If a task
+/// panics, the panic propagates and already-computed elements are leaked
+/// (never double-dropped).
+pub fn par_map<T, U, F>(pool: &ThreadPool, items: &[T], chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let chunk = chunk.max(1);
+    if n <= chunk {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let f = &f;
+    pool.scope(|s| {
+        for (ci, chunk_items) in items.chunks(chunk).enumerate() {
+            let base = ci * chunk;
+            s.spawn(move |_| {
+                // Bind the wrapper itself: 2021 disjoint capture would
+                // otherwise capture the raw `*mut U` field, which is !Send.
+                let out_ptr = out_ptr;
+                for (i, item) in chunk_items.iter().enumerate() {
+                    // SAFETY: each index base+i is written by exactly one
+                    // task; the Vec has capacity for all n elements; set_len
+                    // happens only after the scope guarantees completion.
+                    unsafe {
+                        out_ptr.0.add(base + i).write(f(item));
+                    }
+                }
+            });
+        }
+    });
+    // SAFETY: all n slots were initialized by the tasks above (the scope
+    // does not return on panic, it unwinds before reaching here).
+    unsafe {
+        out.set_len(n);
+    }
+    out
+}
+
+/// Parallel map-reduce with **deterministic, chunk-ordered reduction**.
+///
+/// `map` is applied to each element; per-chunk partials are folded with
+/// `reduce` left-to-right in chunk order, so the result is identical across
+/// runs and thread counts (for associative `reduce`).
+pub fn par_map_reduce<T, U, M, R>(
+    pool: &ThreadPool,
+    items: &[T],
+    chunk: usize,
+    identity: U,
+    map: M,
+    reduce: R,
+) -> U
+where
+    T: Sync,
+    U: Send + Sync + Clone,
+    M: Fn(&T) -> U + Sync,
+    R: Fn(U, U) -> U + Sync,
+{
+    let n = items.len();
+    let chunk = chunk.max(1);
+    if n == 0 {
+        return identity;
+    }
+    if n <= chunk {
+        return items
+            .iter()
+            .fold(identity, |acc, item| reduce(acc, map(item)));
+    }
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    let map = &map;
+    let reduce = &reduce;
+    let id = identity.clone();
+    let partials: Vec<U> = par_map(pool, &chunks, 1, move |chunk_items| {
+        chunk_items
+            .iter()
+            .fold(id.clone(), |acc, item| reduce(acc, map(item)))
+    });
+    partials
+        .into_iter()
+        .fold(identity, |acc, p| reduce(acc, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_runs_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..1000 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn scope_allows_borrowing() {
+        let pool = ThreadPool::new(2);
+        let data = vec![1u64, 2, 3, 4];
+        let sum = AtomicU64::new(0);
+        pool.scope(|s| {
+            for x in &data {
+                s.spawn(|_| {
+                    sum.fetch_add(*x, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_scopes_complete() {
+        let pool = ThreadPool::new(2);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|inner| {
+                    for _ in 0..8 {
+                        inner.spawn(|_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn single_thread_pool_nested_no_deadlock() {
+        let pool = ThreadPool::new(1);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("task exploded"));
+            });
+        }));
+        assert!(result.is_err());
+        // Pool must still work afterwards.
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..10_000).collect();
+        let mapped = par_map(&pool, &items, 64, |x| x * 3);
+        for (i, v) in mapped.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn par_map_small_input_inline() {
+        let pool = ThreadPool::new(4);
+        let items = vec![1, 2, 3];
+        assert_eq!(par_map(&pool, &items, 100, |x| x + 1), vec![2, 3, 4]);
+        let empty: Vec<i32> = vec![];
+        assert_eq!(par_map(&pool, &empty, 100, |x| x + 1), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn par_map_with_non_copy_output() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u32> = (0..500).collect();
+        let strings = par_map(&pool, &items, 16, |x| format!("v{x}"));
+        assert_eq!(strings[499], "v499");
+        assert_eq!(strings.len(), 500);
+    }
+
+    #[test]
+    fn par_for_each_index_covers_range() {
+        let pool = ThreadPool::new(3);
+        let flags: Vec<AtomicU64> = (0..777).map(|_| AtomicU64::new(0)).collect();
+        par_for_each_index(&pool, flags.len(), 10, |i| {
+            flags[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_reduce_deterministic_and_correct() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (1..=10_000).collect();
+        let seq: u64 = items.iter().sum();
+        for _ in 0..4 {
+            let total = par_map_reduce(&pool, &items, 97, 0u64, |&x| x, |a, b| a + b);
+            assert_eq!(total, seq);
+        }
+        // Non-commutative but associative: string concat in chunk order.
+        let items: Vec<u64> = (0..100).collect();
+        let s = par_map_reduce(
+            &pool,
+            &items,
+            7,
+            String::new(),
+            |x| x.to_string(),
+            |a, b| a + &b,
+        );
+        let expect: String = (0..100).map(|x: u64| x.to_string()).collect();
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn zero_sized_pool_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let c = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn(|_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn global_pool_is_reusable() {
+        let g = global();
+        let c = AtomicU64::new(0);
+        g.scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn many_scopes_sequentially() {
+        let pool = ThreadPool::new(4);
+        for round in 0..50 {
+            let c = AtomicU64::new(0);
+            pool.scope(|s| {
+                for _ in 0..20 {
+                    s.spawn(|_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(c.load(Ordering::Relaxed), 20, "round {round}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests: the parallel helpers agree with their sequential
+//! counterparts for arbitrary inputs, chunk sizes and thread counts.
+
+use dharma_par::{par_for_each_index, par_map, par_map_reduce, ThreadPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn par_map_matches_seq(
+        items in proptest::collection::vec(any::<u32>(), 0..2000),
+        chunk in 1usize..300,
+        threads in 1usize..6,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let par: Vec<u64> = par_map(&pool, &items, chunk, |&x| u64::from(x) * 7 + 1);
+        let seq: Vec<u64> = items.iter().map(|&x| u64::from(x) * 7 + 1).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_sum_matches_seq(
+        items in proptest::collection::vec(any::<u32>(), 0..2000),
+        chunk in 1usize..300,
+        threads in 1usize..6,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let par = par_map_reduce(&pool, &items, chunk, 0u64, |&x| u64::from(x), |a, b| a + b);
+        let seq: u64 = items.iter().map(|&x| u64::from(x)).sum();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_concat_is_deterministic(
+        items in proptest::collection::vec(any::<u8>(), 0..500),
+        chunk in 1usize..64,
+    ) {
+        // String concatenation is associative but NOT commutative: equality
+        // with the sequential fold proves chunk-ordered reduction.
+        let pool = ThreadPool::new(4);
+        let par = par_map_reduce(
+            &pool, &items, chunk,
+            String::new(),
+            |x| format!("{x},"),
+            |a, b| a + &b,
+        );
+        let seq: String = items.iter().map(|x| format!("{x},")).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn for_each_touches_every_index_once(
+        n in 0usize..3000,
+        chunk in 1usize..500,
+        threads in 1usize..6,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let counters: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        par_for_each_index(&pool, n, chunk, |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counters.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "index {}", i);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! **A3 — overlay validation**: Kademlia lookup message cost vs network
+//! size. Lookups should cost `O(log n)` messages; this calibrates the
+//! substrate independently of DHARMA.
+
+use dharma_sim::output::{f2, CsvSink, TextTable};
+use dharma_sim::overlay::{build_overlay, OverlayConfig};
+use dharma_sim::ExpArgs;
+use dharma_types::sha1;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let sink = CsvSink::new(&args.out, "overlay_scaling").expect("output dir");
+
+    let mut table = TextTable::new(["nodes", "mean msgs/GET", "mean msgs/PUT", "log2(n)"]);
+    let mut rows = Vec::new();
+    for nodes in [16usize, 32, 64, 128, 256, 512] {
+        let mut net = build_overlay(&OverlayConfig {
+            nodes,
+            seed: args.seed,
+            ..OverlayConfig::default()
+        });
+
+        // Store then fetch a set of keys from random homes.
+        let trials = 24u32;
+        let mut put_msgs = 0u64;
+        let mut get_msgs = 0u64;
+        for i in 0..trials {
+            let key = sha1(format!("scaling-{nodes}-{i}").as_bytes());
+            let home = (i % (nodes as u32 - 1)) + 1;
+            let before = net.counters().sent();
+            net.with_node(home, |n, ctx| n.put_blob(ctx, key, vec![0u8; 32]));
+            net.run_until_idle(u64::MAX);
+            put_msgs += net.counters().sent() - before;
+
+            let reader = ((i + 7) % (nodes as u32 - 1)) + 1;
+            let before = net.counters().sent();
+            net.with_node(reader, |n, ctx| n.get(ctx, key, 0));
+            net.run_until_idle(u64::MAX);
+            get_msgs += net.counters().sent() - before;
+        }
+        net.take_completions();
+
+        let get = get_msgs as f64 / f64::from(trials);
+        let put = put_msgs as f64 / f64::from(trials);
+        table.row([
+            nodes.to_string(),
+            f2(get),
+            f2(put),
+            f2((nodes as f64).log2()),
+        ]);
+        rows.push(vec![
+            nodes.to_string(),
+            f2(get),
+            f2(put),
+            f2((nodes as f64).log2()),
+        ]);
+    }
+    table.print("Overlay scaling — messages per lookup vs network size");
+    println!("(expected: sub-linear growth tracking log2(n), validating the O(log n) lookup cost)");
+
+    let path = sink
+        .write("scaling.csv", &["nodes", "get_msgs", "put_msgs", "log2n"], rows)
+        .expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,43 @@
+//! Runs every experiment binary's logic in sequence (E1–E6, A1–A4) at the
+//! configured scale. Equivalent to invoking each binary, but shares one
+//! dataset build. Mostly a convenience for regenerating EXPERIMENTS.md.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1_costs",
+        "fig5_degree_cdf",
+        "fig6_degree_scatter",
+        "fig8_weight_scatter",
+        "table3_approx_quality",
+        "table4_search",
+        "fig7_search_cdf",
+        "overlay_scaling",
+        "ablation_policies",
+        "ablation_k_sweep",
+        "ablation_filtering",
+        "trend_emergence",
+    ];
+    let self_path = std::env::current_exe().expect("own path");
+    let dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n######## {bin} ########");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment drivers reproducing every table and figure of the DHARMA
+//! paper's evaluation (§V), plus the ablations listed in DESIGN.md.
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1_costs` | Table I — primitive costs in overlay lookups |
+//! | `fig5_degree_cdf` | Table II + Figure 5 — dataset degree statistics/CDFs |
+//! | `fig6_degree_scatter` | Figure 6 — original vs simulated FG out-degrees |
+//! | `fig8_weight_scatter` | Figure 8 — original vs simulated FG arc weights |
+//! | `table3_approx_quality` | Table III — recall / Kendall τ / cosine / sim1% |
+//! | `table4_search` / `fig7_search_cdf` | Table IV + Figure 7 — search paths |
+//! | `overlay_scaling` | A3 — Kademlia lookup cost vs network size |
+//! | `ablation_policies` / `ablation_k_sweep` / `ablation_filtering` | A1/A2/A4 |
+//! | `run_all` | everything above, in sequence |
+//!
+//! Each binary prints the paper-shaped table to stdout and writes CSV series
+//! under `--out` (default `results/`). All runs are seeded and reproducible.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod output;
+pub mod overlay;
+pub mod parallel_replay;
+pub mod pipeline;
+pub mod replay;
+pub mod search_sim;
+pub mod trend;
+
+pub use args::ExpArgs;
+pub use parallel_replay::replay_parallel;
+pub use pipeline::ExpContext;
+pub use replay::{replay, EventOrder, ReplayConfig};
+pub use search_sim::{simulate_searches, SearchSimConfig, SearchSimReport, StrategyStats};
+pub use trend::{run_trend, TrendConfig, TrendReport};

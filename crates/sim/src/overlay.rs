@@ -1,0 +1,95 @@
+//! Simulated-overlay construction shared by the DHT-level experiments.
+
+use dharma_kademlia::{KadConfig, KademliaNode};
+use dharma_net::{SimConfig, SimNet};
+use dharma_types::Id160;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Overlay parameters for experiments.
+#[derive(Clone, Debug)]
+pub struct OverlayConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Kademlia bucket size / replication factor.
+    pub k: usize,
+    /// Lookup parallelism.
+    pub alpha: usize,
+    /// Transport MTU in bytes.
+    pub mtu: usize,
+    /// Mean link latency bounds (µs).
+    pub latency_us: (u64, u64),
+    /// Datagram loss probability.
+    pub drop_rate: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig {
+            nodes: 64,
+            k: 20,
+            alpha: 3,
+            mtu: 64 * 1024,
+            latency_us: (1_000, 10_000),
+            drop_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds and bootstraps an overlay: node 0 is the rendezvous; every other
+/// node seeds it and performs the standard join lookup.
+pub fn build_overlay(cfg: &OverlayConfig) -> SimNet<KademliaNode> {
+    let mut net = SimNet::new(SimConfig {
+        latency_min_us: cfg.latency_us.0,
+        latency_max_us: cfg.latency_us.1,
+        drop_rate: cfg.drop_rate,
+        mtu: cfg.mtu,
+        seed: cfg.seed,
+    });
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD1A2);
+    let kad = KadConfig {
+        k: cfg.k,
+        alpha: cfg.alpha,
+        rpc_timeout_us: 300_000,
+        reply_budget: cfg.mtu.saturating_sub(200).max(256),
+        ..KadConfig::default()
+    };
+    let mut rendezvous = None;
+    for i in 0..cfg.nodes {
+        let id = Id160::random(&mut rng);
+        let addr = net.add_node(KademliaNode::new(id, i as u32, kad.clone()));
+        match &rendezvous {
+            None => rendezvous = Some(net.node(addr).contact().clone()),
+            Some(seed_contact) => {
+                let seed_contact = seed_contact.clone();
+                net.node_mut(addr).add_seed(seed_contact);
+                net.with_node(addr, |node, ctx| {
+                    node.bootstrap(ctx);
+                });
+            }
+        }
+    }
+    net.run_until_idle(u64::MAX);
+    net.take_completions();
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlay_bootstraps() {
+        let net = build_overlay(&OverlayConfig {
+            nodes: 24,
+            seed: 3,
+            ..OverlayConfig::default()
+        });
+        for i in 0..24u32 {
+            assert!(net.node(i).routing().len() >= 3, "node {i} underpopulated");
+        }
+    }
+}

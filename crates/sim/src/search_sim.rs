@@ -1,0 +1,242 @@
+//! The faceted-search convergence experiment (paper §V-C).
+//!
+//! From each of the 100 most popular tags, simulate: one *first-tag* search
+//! (always pick the most similar candidate), one *last-tag* search (always
+//! the least similar), and 100 *random* searches. The displayed tag set is
+//! capped at the top 100 by similarity (index-side filtering); a search
+//! stops when `|Tᵢ| ≤ 1` or `|Rᵢ| ≤ 10`. Table IV reports mean, standard
+//! deviation and median of the path lengths; Figure 7 plots their CDFs.
+//!
+//! Runs are independent, so they are fanned out over `dharma-par`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dharma_dataset::Dataset;
+use dharma_folksonomy::stats::{median, MeanStd};
+use dharma_folksonomy::{FacetedSearch, Fg, SearchConfig, Strategy, TagId};
+use dharma_par::ThreadPool;
+
+/// Configuration of the search simulation.
+#[derive(Clone, Debug)]
+pub struct SearchSimConfig {
+    /// Number of popular seed tags (paper: 100).
+    pub seeds: usize,
+    /// Random walks per seed (paper: 100).
+    pub random_runs: usize,
+    /// Faceted-search parameters (cap 100, stop at `|R| ≤ 10` / `|T| ≤ 1`).
+    pub search: SearchConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SearchSimConfig {
+    fn default() -> Self {
+        SearchSimConfig {
+            seeds: 100,
+            random_runs: 100,
+            search: SearchConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Statistics for one strategy (one column block of Table IV).
+#[derive(Clone, Debug)]
+pub struct StrategyStats {
+    /// Which strategy.
+    pub strategy: Strategy,
+    /// Mean path length.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+    /// Median (the paper's μ½).
+    pub median: f64,
+    /// All observed path lengths (for the Figure 7 CDF).
+    pub lengths: Vec<usize>,
+}
+
+impl StrategyStats {
+    fn from_lengths(strategy: Strategy, lengths: Vec<usize>) -> Self {
+        let mut acc = MeanStd::new();
+        for &l in &lengths {
+            acc.push(l as f64);
+        }
+        let mut as_f: Vec<f64> = lengths.iter().map(|&l| l as f64).collect();
+        StrategyStats {
+            strategy,
+            mean: acc.mean(),
+            std: acc.std(),
+            median: median(&mut as_f),
+            lengths,
+        }
+    }
+
+    /// Cumulative distribution points `(length, P[X ≤ length])`.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        dharma_folksonomy::cdf_points(self.lengths.iter().map(|&l| l as u64).collect())
+    }
+}
+
+/// The full report: one [`StrategyStats`] per strategy.
+#[derive(Clone, Debug)]
+pub struct SearchSimReport {
+    /// Last-tag strategy results.
+    pub last: StrategyStats,
+    /// Random strategy results.
+    pub random: StrategyStats,
+    /// First-tag strategy results.
+    pub first: StrategyStats,
+}
+
+impl SearchSimReport {
+    /// Iterates strategies in the paper's column order (Last, Rand, First).
+    pub fn iter(&self) -> impl Iterator<Item = &StrategyStats> {
+        [&self.last, &self.random, &self.first].into_iter()
+    }
+}
+
+/// Runs the §V-C experiment on the given graph pair.
+///
+/// `fg` may be the exact folksonomy graph or a replayed approximated one —
+/// the paper runs both and compares (Table IV's two row blocks).
+pub fn simulate_searches(
+    pool: &ThreadPool,
+    dataset: &Dataset,
+    fg: &Fg,
+    cfg: &SearchSimConfig,
+) -> SearchSimReport {
+    let seeds: Vec<TagId> = dataset.most_popular_tags(cfg.seeds);
+    let index = FacetedSearch::new(&dataset.trg, fg);
+
+    // Work items: (seed tag, strategy, run index) — all independent.
+    let mut work: Vec<(TagId, Strategy, usize)> = Vec::new();
+    for &s in &seeds {
+        work.push((s, Strategy::First, 0));
+        work.push((s, Strategy::Last, 0));
+        for run in 0..cfg.random_runs {
+            work.push((s, Strategy::Random, run));
+        }
+    }
+
+    let search_cfg = cfg.search;
+    let base_seed = cfg.seed;
+    let chunk = dharma_par::chunk_size(work.len(), pool.threads(), 8);
+    let lengths: Vec<(Strategy, usize)> = dharma_par::par_map(pool, &work, chunk, |&(t0, strat, run)| {
+        // Independent, collision-free stream per (tag, strategy, run).
+        let stream = base_seed
+            ^ (u64::from(t0.0) << 20)
+            ^ ((run as u64) << 2)
+            ^ match strat {
+                Strategy::First => 0,
+                Strategy::Last => 1,
+                Strategy::Random => 2,
+            };
+        let mut rng = StdRng::seed_from_u64(stream);
+        let out = index.run(t0, strat, &search_cfg, &mut rng);
+        (strat, out.steps())
+    });
+
+    let collect = |want: Strategy| -> Vec<usize> {
+        lengths
+            .iter()
+            .filter(|(s, _)| *s == want)
+            .map(|&(_, l)| l)
+            .collect()
+    };
+
+    SearchSimReport {
+        last: StrategyStats::from_lengths(Strategy::Last, collect(Strategy::Last)),
+        random: StrategyStats::from_lengths(Strategy::Random, collect(Strategy::Random)),
+        first: StrategyStats::from_lengths(Strategy::First, collect(Strategy::First)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dharma_dataset::{GeneratorConfig, Scale};
+
+    fn setup() -> (Dataset, Fg) {
+        let d = GeneratorConfig::lastfm_like(Scale::Tiny, 5).generate();
+        let fg = Fg::derive_exact(&d.trg);
+        (d, fg)
+    }
+
+    #[test]
+    fn report_covers_all_strategies() {
+        let (d, fg) = setup();
+        let pool = ThreadPool::new(4);
+        let cfg = SearchSimConfig {
+            seeds: 20,
+            random_runs: 10,
+            seed: 1,
+            ..SearchSimConfig::default()
+        };
+        let rep = simulate_searches(&pool, &d, &fg, &cfg);
+        assert_eq!(rep.first.lengths.len(), 20);
+        assert_eq!(rep.last.lengths.len(), 20);
+        assert_eq!(rep.random.lengths.len(), 200);
+        for s in rep.iter() {
+            assert!(s.mean >= 1.0, "paths contain at least the seed");
+            assert!(!s.lengths.is_empty());
+        }
+    }
+
+    #[test]
+    fn first_walks_are_longest_on_average() {
+        // The paper's headline ordering: last ≤ random ≤ first.
+        let (d, fg) = setup();
+        let pool = ThreadPool::new(4);
+        let cfg = SearchSimConfig {
+            seeds: 30,
+            random_runs: 20,
+            seed: 2,
+            ..SearchSimConfig::default()
+        };
+        let rep = simulate_searches(&pool, &d, &fg, &cfg);
+        assert!(
+            rep.first.mean >= rep.random.mean,
+            "first {} vs random {}",
+            rep.first.mean,
+            rep.random.mean
+        );
+        assert!(
+            rep.random.mean >= rep.last.mean,
+            "random {} vs last {}",
+            rep.random.mean,
+            rep.last.mean
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (d, fg) = setup();
+        let pool = ThreadPool::new(4);
+        let cfg = SearchSimConfig {
+            seeds: 10,
+            random_runs: 5,
+            seed: 3,
+            ..SearchSimConfig::default()
+        };
+        let a = simulate_searches(&pool, &d, &fg, &cfg);
+        let b = simulate_searches(&pool, &d, &fg, &cfg);
+        assert_eq!(a.random.lengths, b.random.lengths);
+        assert_eq!(a.first.lengths, b.first.lengths);
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let (d, fg) = setup();
+        let pool = ThreadPool::new(2);
+        let cfg = SearchSimConfig {
+            seeds: 5,
+            random_runs: 3,
+            seed: 4,
+            ..SearchSimConfig::default()
+        };
+        let rep = simulate_searches(&pool, &d, &fg, &cfg);
+        let cdf = rep.random.cdf();
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types shared across the DHARMA crates.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, DharmaError>;
+
+/// Errors surfaced by the DHARMA stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DharmaError {
+    /// A wire message could not be decoded.
+    Decode(String),
+    /// A message exceeded the transport MTU and was rejected.
+    PayloadTooLarge {
+        /// Encoded size of the offending message.
+        size: usize,
+        /// Transport MTU.
+        mtu: usize,
+    },
+    /// An overlay lookup found no value and no closer nodes.
+    NotFound(String),
+    /// An RPC timed out.
+    Timeout(String),
+    /// A signature or certificate failed verification.
+    Unauthorized(String),
+    /// The operation conflicts with protocol state (e.g. unknown node).
+    Protocol(String),
+    /// Input violated an API precondition.
+    InvalidArgument(String),
+    /// An I/O error (UDP transport, dataset files).
+    Io(String),
+}
+
+impl fmt::Display for DharmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DharmaError::Decode(m) => write!(f, "decode error: {m}"),
+            DharmaError::PayloadTooLarge { size, mtu } => {
+                write!(f, "payload of {size} bytes exceeds MTU of {mtu} bytes")
+            }
+            DharmaError::NotFound(m) => write!(f, "not found: {m}"),
+            DharmaError::Timeout(m) => write!(f, "timeout: {m}"),
+            DharmaError::Unauthorized(m) => write!(f, "unauthorized: {m}"),
+            DharmaError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DharmaError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            DharmaError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DharmaError {}
+
+impl From<std::io::Error> for DharmaError {
+    fn from(e: std::io::Error) -> Self {
+        DharmaError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DharmaError::PayloadTooLarge { size: 2000, mtu: 1400 };
+        assert!(e.to_string().contains("2000"));
+        assert!(e.to_string().contains("1400"));
+        let e = DharmaError::Timeout("FIND_NODE".into());
+        assert!(e.to_string().contains("FIND_NODE"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: DharmaError = io.into();
+        assert!(matches!(e, DharmaError::Io(_)));
+    }
+}

@@ -1,0 +1,68 @@
+//! Minimal hex encoding/decoding (lowercase), used for ids and digests.
+
+/// Encodes `bytes` as lowercase hex.
+pub fn encode(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (either case). Returns `None` on odd length or
+/// non-hex characters.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = digit(pair[0])?;
+        let lo = digit(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
+}
+
+fn digit(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0x00u8, 0x01, 0x7f, 0x80, 0xff, 0xab];
+        let s = encode(&data);
+        assert_eq!(s, "00017f80ffab");
+        assert_eq!(decode(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("ABCDEF").unwrap(), [0xab, 0xcd, 0xef]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode("abc"), None);
+        assert_eq!(decode("zz"), None);
+        assert_eq!(decode("0g"), None);
+    }
+
+    #[test]
+    fn empty_ok() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+}

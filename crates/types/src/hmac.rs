@@ -1,0 +1,100 @@
+//! HMAC-SHA1 (RFC 2104).
+//!
+//! Used by the Likir-style identity layer (`dharma-likir`) as the signing
+//! primitive. The original Likir uses RSA signatures; DESIGN.md documents why
+//! a keyed MAC is a behaviour-preserving substitute for this reproduction
+//! (identical message structure and verification outcomes; only the
+//! public-key property is dropped, which no experiment depends on).
+
+use crate::id::{Id160, ID160_BYTES};
+use crate::sha1::Sha1;
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA1(key, message)`.
+pub fn hmac_sha1(key: &[u8], message: &[u8]) -> Id160 {
+    // Keys longer than the block size are hashed first, per RFC 2104.
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let digest = crate::sha1::sha1(key);
+        key_block[..ID160_BYTES].copy_from_slice(digest.as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha1::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha1::new();
+    outer.update(&opad);
+    outer.update(inner_digest.as_bytes());
+    outer.finalize()
+}
+
+/// Constant-time equality of two digests.
+///
+/// The simulator is not actually attackable through timing, but verification
+/// code should model good practice.
+pub fn verify_hmac_sha1(key: &[u8], message: &[u8], tag: &Id160) -> bool {
+    let expect = hmac_sha1(key, message);
+    let mut diff = 0u8;
+    for (a, b) in expect.as_bytes().iter().zip(tag.as_bytes()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 2202 test vectors for HMAC-SHA1.
+    #[test]
+    fn rfc2202_vectors() {
+        let cases: &[(&[u8], &[u8], &str)] = &[
+            (
+                &[0x0b; 20],
+                b"Hi There",
+                "b617318655057264e28bc0b6fb378c8ef146be00",
+            ),
+            (
+                b"Jefe",
+                b"what do ya want for nothing?",
+                "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79",
+            ),
+            (
+                &[0xaa; 20],
+                &[0xdd; 50],
+                "125d7342b9ac11cd91a39af48aa17b4f63f175d3",
+            ),
+            (
+                &[0xaa; 80],
+                b"Test Using Larger Than Block-Size Key - Hash Key First",
+                "aa4ae5e15272d00e95705637ce8a3b55ed402112",
+            ),
+        ];
+        for (key, msg, expect) in cases {
+            assert_eq!(hmac_sha1(key, msg).to_hex(), *expect);
+        }
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha1(b"key", b"msg");
+        assert!(verify_hmac_sha1(b"key", b"msg", &tag));
+        assert!(!verify_hmac_sha1(b"key", b"msg2", &tag));
+        assert!(!verify_hmac_sha1(b"key2", b"msg", &tag));
+        let mut wrong = tag;
+        wrong.0[0] ^= 1;
+        assert!(!verify_hmac_sha1(b"key", b"msg", &wrong));
+    }
+}

@@ -1,0 +1,140 @@
+//! The DHARMA keyspace mapping (paper §IV-A).
+//!
+//! The folksonomy is shredded into four kinds of *blocks*, each stored under a
+//! DHT key derived from the human-readable name of its graph node concatenated
+//! with a type label:
+//!
+//! | type | block | contents |
+//! |---|---|---|
+//! | 1 | `r̄` ([`BlockType::ResourceTags`]) | `{(t, u(t, r))}` for `t ∈ Tags(r)` |
+//! | 2 | `t̄` ([`BlockType::TagResources`]) | `{(r, u(t, r))}` for `r ∈ Res(t)` |
+//! | 3 | `t̂` ([`BlockType::TagNeighbors`]) | `{(t', sim(t, t'))}` for `t' ∈ N_FG(t)` |
+//! | 4 | `r̃` ([`BlockType::ResourceUri`]) | `(r, URI(r))` |
+//!
+//! The key is `SHA1(name ‖ 0x00 ‖ label)`, e.g. `SHA1("rock" ‖ 0x00 ‖ "3")`
+//! for the tag-neighbor block of tag *rock*. The `0x00` separator prevents
+//! ambiguity between `("ab", "1")`-style name/label concatenations (e.g. a tag
+//! literally named `rock1`).
+
+use crate::id::Id160;
+use crate::sha1::Sha1;
+
+/// The four DHARMA block types of paper §IV-A.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum BlockType {
+    /// Type 1 — `r̄`: the tags of a resource with their `u(t, r)` weights.
+    ResourceTags,
+    /// Type 2 — `t̄`: the resources of a tag with their `u(t, r)` weights.
+    TagResources,
+    /// Type 3 — `t̂`: the folksonomy-graph neighbors of a tag with `sim` weights.
+    TagNeighbors,
+    /// Type 4 — `r̃`: the resource name → URI binding.
+    ResourceUri,
+}
+
+impl BlockType {
+    /// The label concatenated to the name when deriving the block key
+    /// ("1".."4" as in the paper's example `hash(t|"2")`).
+    pub const fn label(self) -> &'static str {
+        match self {
+            BlockType::ResourceTags => "1",
+            BlockType::TagResources => "2",
+            BlockType::TagNeighbors => "3",
+            BlockType::ResourceUri => "4",
+        }
+    }
+
+    /// Numeric code used on the wire.
+    pub const fn code(self) -> u8 {
+        match self {
+            BlockType::ResourceTags => 1,
+            BlockType::TagResources => 2,
+            BlockType::TagNeighbors => 3,
+            BlockType::ResourceUri => 4,
+        }
+    }
+
+    /// Parses a wire code.
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(BlockType::ResourceTags),
+            2 => Some(BlockType::TagResources),
+            3 => Some(BlockType::TagNeighbors),
+            4 => Some(BlockType::ResourceUri),
+            _ => None,
+        }
+    }
+
+    /// All four block types, in paper order.
+    pub const ALL: [BlockType; 4] = [
+        BlockType::ResourceTags,
+        BlockType::TagResources,
+        BlockType::TagNeighbors,
+        BlockType::ResourceUri,
+    ];
+}
+
+/// Derives the DHT key of a block: `SHA1(name ‖ 0x00 ‖ label)`.
+pub fn block_key(name: &str, ty: BlockType) -> Id160 {
+    let mut h = Sha1::new();
+    h.update(name.as_bytes());
+    h.update(&[0u8]);
+    h.update(ty.label().as_bytes());
+    h.finalize()
+}
+
+/// Derives a deterministic overlay node id for a user identity, as the
+/// Likir layer does (`nodeId = H(userId)` bound by a CA certificate).
+pub fn node_id_for_user(user_id: &str) -> Id160 {
+    let mut h = Sha1::new();
+    h.update(b"likir-node\x00");
+    h.update(user_id.as_bytes());
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn labels_and_codes_roundtrip() {
+        for ty in BlockType::ALL {
+            assert_eq!(BlockType::from_code(ty.code()), Some(ty));
+        }
+        assert_eq!(BlockType::from_code(0), None);
+        assert_eq!(BlockType::from_code(5), None);
+    }
+
+    #[test]
+    fn block_keys_are_distinct_per_type() {
+        let mut seen = HashSet::new();
+        for ty in BlockType::ALL {
+            assert!(seen.insert(block_key("rock", ty)));
+        }
+    }
+
+    #[test]
+    fn separator_prevents_concatenation_ambiguity() {
+        // Without the 0x00 separator, ("rock1", type with empty label) could
+        // collide with ("rock", "1"). The separator keys must differ.
+        assert_ne!(
+            block_key("rock1", BlockType::ResourceTags),
+            block_key("rock", BlockType::ResourceTags)
+        );
+        assert_ne!(
+            block_key("rock", BlockType::ResourceTags),
+            block_key("rock", BlockType::TagResources)
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            block_key("heavy-metal", BlockType::TagNeighbors),
+            block_key("heavy-metal", BlockType::TagNeighbors)
+        );
+        assert_eq!(node_id_for_user("alice"), node_id_for_user("alice"));
+        assert_ne!(node_id_for_user("alice"), node_id_for_user("bob"));
+    }
+}

@@ -1,0 +1,226 @@
+//! A from-scratch SHA-1 implementation (FIPS 180-1).
+//!
+//! Kademlia's identifier space and the paper's block-key scheme
+//! (`key = H(name ‖ type)`) are defined over a 160-bit hash; SHA-1 is the
+//! hash function the original Kademlia and Likir deployments used. We
+//! implement it here rather than pulling a crypto dependency: the DHT needs
+//! *uniform key dispersion*, not collision resistance against adversaries
+//! (and the identity layer's threat model is documented in `dharma-likir`).
+//!
+//! The implementation is the straightforward 80-round compression function
+//! with incremental (streaming) input, so large values can be hashed without
+//! buffering.
+
+use crate::id::{Id160, ID160_BYTES};
+
+/// Incremental SHA-1 hasher.
+///
+/// ```
+/// use dharma_types::sha1::Sha1;
+/// let mut h = Sha1::new();
+/// h.update(b"abc");
+/// assert_eq!(h.finalize().to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher with the standard initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Feeds `data` into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        // Fill a partially filled block first.
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        // Whole blocks straight from the input.
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        // Stash the remainder.
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Consumes the hasher and returns the 160-bit digest.
+    pub fn finalize(mut self) -> Id160 {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0x00]);
+            // `update` adjusts self.len, but we already captured bit_len.
+        }
+        let mut lenb = [0u8; 8];
+        lenb.copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&lenb);
+        debug_assert_eq!(self.buf_len, 0);
+
+        let mut out = [0u8; ID160_BYTES];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Id160(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of `data`.
+pub fn sha1(data: &[u8]) -> Id160 {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-1 / RFC 3174 test vectors.
+    #[test]
+    fn known_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+            ),
+        ];
+        for (input, expect) in cases {
+            assert_eq!(sha1(input).to_hex(), *expect, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        // Split at many awkward boundaries relative to the 64-byte block size.
+        for split in [0usize, 1, 63, 64, 65, 127, 128, 500, 999, 1000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha1(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn three_way_split_equals_oneshot() {
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 7 % 256) as u8).collect();
+        for a in [0usize, 10, 64, 128] {
+            for b in [a, a + 1, a + 63, 300] {
+                let b = b.min(300);
+                let mut h = Sha1::new();
+                h.update(&data[..a]);
+                h.update(&data[a..b]);
+                h.update(&data[b..]);
+                assert_eq!(h.finalize(), sha1(&data));
+            }
+        }
+    }
+
+    #[test]
+    fn length_boundary_paddings() {
+        // Messages of length 55, 56, 57, 63, 64, 65 exercise every padding path.
+        for len in [0usize, 1, 55, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xa5u8; len];
+            // Compare against a simple reference: re-hash with a different
+            // chunking; identical digests across chunkings means the padding
+            // logic is self-consistent, and the known vectors pin correctness.
+            let mut h = Sha1::new();
+            for byte in &data {
+                h.update(std::slice::from_ref(byte));
+            }
+            assert_eq!(h.finalize(), sha1(&data), "len {len}");
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! A small, explicit binary codec over [`bytes`].
+//!
+//! Every overlay message in the DHARMA stack is encoded through these traits
+//! so that the *exact* UDP payload size of each message is known — the paper's
+//! index-side filtering exists precisely because "overlay messages are sent on
+//! UDP packets, the limited payload force to send only a subset of tags and
+//! resources" (§V-A). A self-describing format like JSON would make payload
+//! accounting fuzzy; a fixed binary layout keeps it exact.
+//!
+//! Layout conventions:
+//! * integers are unsigned LEB128 varints (`put_varint`) unless fixed width is
+//!   structurally required;
+//! * strings and byte strings are length-prefixed (varint);
+//! * sequences are length-prefixed (varint) followed by the elements;
+//! * [`Id160`] is 20 raw bytes.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{DharmaError, Result};
+use crate::id::{Id160, ID160_BYTES};
+
+/// Maximum accepted length for any length-prefixed field, as a defence
+/// against maliciously huge prefixes in decoded input.
+pub const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
+
+/// Types that can append themselves to a byte buffer.
+pub trait WireEncode {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Encodes into a fresh buffer.
+    fn encode_to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Exact size in bytes of the encoding (default: encode and measure;
+    /// implementors on hot paths may override with an arithmetic version).
+    fn encoded_len(&self) -> usize {
+        self.encode_to_bytes().len()
+    }
+}
+
+/// Types that can be parsed back out of a byte buffer.
+pub trait WireDecode: Sized {
+    /// Consumes the encoding of `Self` from the front of `buf`.
+    fn decode(buf: &mut Bytes) -> Result<Self>;
+
+    /// Decodes from a slice, requiring the input to be fully consumed.
+    fn decode_exact(data: &[u8]) -> Result<Self> {
+        let mut bytes = Bytes::copy_from_slice(data);
+        let v = Self::decode(&mut bytes)?;
+        if !bytes.is_empty() {
+            return Err(DharmaError::Decode(format!(
+                "{} trailing bytes after message",
+                bytes.len()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+/// Buffer-writing helpers (varints, strings, ids).
+pub trait WriteBytes {
+    /// Writes an unsigned LEB128 varint.
+    fn put_varint(&mut self, v: u64);
+    /// Writes a length-prefixed UTF-8 string.
+    fn put_str(&mut self, s: &str);
+    /// Writes a length-prefixed byte string.
+    fn put_bytes_field(&mut self, b: &[u8]);
+    /// Writes a raw 160-bit id (20 bytes).
+    fn put_id(&mut self, id: &Id160);
+}
+
+impl WriteBytes for BytesMut {
+    fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.put_u8(byte);
+                return;
+            }
+            self.put_u8(byte | 0x80);
+        }
+    }
+
+    fn put_str(&mut self, s: &str) {
+        self.put_varint(s.len() as u64);
+        self.put_slice(s.as_bytes());
+    }
+
+    fn put_bytes_field(&mut self, b: &[u8]) {
+        self.put_varint(b.len() as u64);
+        self.put_slice(b);
+    }
+
+    fn put_id(&mut self, id: &Id160) {
+        self.put_slice(id.as_bytes());
+    }
+}
+
+/// Buffer-reading helpers mirroring [`WriteBytes`].
+pub trait ReadBytes {
+    /// Reads an unsigned LEB128 varint.
+    fn get_varint(&mut self) -> Result<u64>;
+    /// Reads a length-prefixed UTF-8 string.
+    fn get_str(&mut self) -> Result<String>;
+    /// Reads a length-prefixed byte string.
+    fn get_bytes_field(&mut self) -> Result<Vec<u8>>;
+    /// Reads a raw 160-bit id.
+    fn get_id(&mut self) -> Result<Id160>;
+    /// Reads a length prefix, validating it against remaining input.
+    fn get_len(&mut self) -> Result<usize>;
+}
+
+impl ReadBytes for Bytes {
+    fn get_varint(&mut self) -> Result<u64> {
+        let mut shift = 0u32;
+        let mut out = 0u64;
+        loop {
+            if !self.has_remaining() {
+                return Err(DharmaError::Decode("truncated varint".into()));
+            }
+            let byte = self.get_u8();
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(DharmaError::Decode("varint overflows u64".into()));
+            }
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    fn get_len(&mut self) -> Result<usize> {
+        let len = self.get_varint()? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(DharmaError::Decode(format!("field length {len} too large")));
+        }
+        if len > self.remaining() {
+            return Err(DharmaError::Decode(format!(
+                "field length {len} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
+    fn get_str(&mut self) -> Result<String> {
+        let len = self.get_len()?;
+        let raw = self.split_to(len);
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| DharmaError::Decode("invalid utf-8 in string field".into()))
+    }
+
+    fn get_bytes_field(&mut self) -> Result<Vec<u8>> {
+        let len = self.get_len()?;
+        Ok(self.split_to(len).to_vec())
+    }
+
+    fn get_id(&mut self) -> Result<Id160> {
+        if self.remaining() < ID160_BYTES {
+            return Err(DharmaError::Decode("truncated id".into()));
+        }
+        let mut arr = [0u8; ID160_BYTES];
+        self.copy_to_slice(&mut arr);
+        Ok(Id160(arr))
+    }
+}
+
+/// Exact encoded size of a varint — handy for arithmetic `encoded_len`s.
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    let bits = 64 - v.leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+impl WireEncode for Id160 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_id(self);
+    }
+
+    fn encoded_len(&self) -> usize {
+        ID160_BYTES
+    }
+}
+
+impl WireDecode for Id160 {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        buf.get_id()
+    }
+}
+
+impl WireEncode for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_str(self);
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
+}
+
+impl WireDecode for String {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        buf.get_str()
+    }
+}
+
+impl WireEncode for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_varint(*self);
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(*self)
+    }
+}
+
+impl WireDecode for u64 {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        buf.get_varint()
+    }
+}
+
+impl<T: WireEncode> WireEncode for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_varint(self.len() as u64);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Vec<T> {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        let len = buf.get_varint()? as usize;
+        // Guard against hostile prefixes: each element consumes ≥ 1 byte.
+        if len > buf.remaining() {
+            return Err(DharmaError::Decode(format!(
+                "sequence length {len} exceeds remaining {} bytes",
+                buf.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        let mut buf = BytesMut::new();
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for v in values {
+            buf.clear();
+            buf.put_varint(v);
+            assert_eq!(buf.len(), varint_len(v), "len of {v}");
+            let mut bytes = buf.clone().freeze();
+            assert_eq!(bytes.get_varint().unwrap(), v);
+            assert!(bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut b = Bytes::from_static(&[0x80]);
+        assert!(b.get_varint().is_err());
+        // 11 continuation bytes overflow u64.
+        let mut b = Bytes::from_static(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]);
+        assert!(b.get_varint().is_err());
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut buf = BytesMut::new();
+        buf.put_str("heavy-metal ✓");
+        let mut b = buf.freeze();
+        assert_eq!(b.get_str().unwrap(), "heavy-metal ✓");
+    }
+
+    #[test]
+    fn string_rejects_invalid_utf8() {
+        let mut buf = BytesMut::new();
+        buf.put_bytes_field(&[0xff, 0xfe]);
+        let mut b = buf.freeze();
+        assert!(b.get_str().is_err());
+    }
+
+    #[test]
+    fn length_prefix_cannot_exceed_remaining() {
+        let mut buf = BytesMut::new();
+        buf.put_varint(1000);
+        buf.put_slice(b"short");
+        let mut b = buf.freeze();
+        assert!(b.get_bytes_field().is_err());
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        let id = crate::sha1::sha1(b"x");
+        let mut buf = BytesMut::new();
+        buf.put_id(&id);
+        let mut b = buf.freeze();
+        assert_eq!(b.get_id().unwrap(), id);
+    }
+
+    #[test]
+    fn vec_roundtrip_and_decode_exact() {
+        let v: Vec<u64> = vec![0, 5, 300, 1 << 40];
+        let enc = v.encode_to_bytes();
+        let dec = Vec::<u64>::decode_exact(&enc).unwrap();
+        assert_eq!(v, dec);
+        // Trailing garbage must be rejected by decode_exact.
+        let mut with_garbage = enc.to_vec();
+        with_garbage.push(0);
+        assert!(Vec::<u64>::decode_exact(&with_garbage).is_err());
+    }
+
+    #[test]
+    fn hostile_sequence_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_varint(u32::MAX as u64); // absurd element count
+        let mut b = buf.freeze();
+        assert!(Vec::<u64>::decode(&mut b).is_err());
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_for_strings() {
+        for s in ["", "a", "rock", &"x".repeat(200)] {
+            let s = s.to_string();
+            assert_eq!(s.encoded_len(), s.encode_to_bytes().len());
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The Likir layer's security contract, end to end: certified publishing,
+//! verifiable authorship, forgery rejection.
+
+use dharma_core::{DharmaClient, DharmaConfig};
+use dharma_kademlia::{KadConfig, KadOutput, KademliaNode};
+use dharma_likir::{
+    AuthenticatedRecord, CertificationAuthority, SecureNode, SignedEnvelope,
+};
+use dharma_net::{SimConfig, SimNet};
+use dharma_sim::overlay::{build_overlay, OverlayConfig};
+use dharma_types::{node_id_for_user, sha1, WireDecode, WireEncode};
+
+#[test]
+fn published_records_carry_verifiable_authorship() {
+    let mut net = build_overlay(&OverlayConfig {
+        nodes: 24,
+        seed: 50,
+        ..OverlayConfig::default()
+    });
+    let ca = CertificationAuthority::new(b"root-of-trust");
+    let mut alice = DharmaClient::new(2, ca.register("alice", 0), DharmaConfig::default());
+    alice
+        .insert_resource(&mut net, "song", "uri://song", &["indie"])
+        .unwrap();
+
+    let mut reader = DharmaClient::new(9, ca.register("reader", 0), DharmaConfig::default());
+    let (blob, _) = reader.resolve_uri(&mut net, "song").unwrap();
+    let record = AuthenticatedRecord::decode_exact(&blob.unwrap()).unwrap();
+
+    // Valid against the issuing CA...
+    assert_eq!(record.verify(&ca.verifier(), 0).unwrap(), b"uri://song");
+    // ...and worthless to any other root of trust.
+    let impostor_ca = CertificationAuthority::new(b"impostor");
+    assert!(record.verify(&impostor_ca.verifier(), 0).is_err());
+}
+
+#[test]
+fn record_tampering_is_detected_after_transport() {
+    let ca = CertificationAuthority::new(b"root");
+    let alice = ca.register("alice", 0);
+    let record = AuthenticatedRecord::sign(&alice, "dharma", b"uri://real".to_vec());
+    let mut bytes = record.encode_to_bytes().to_vec();
+    // Flip one bit somewhere in the payload area.
+    let idx = bytes.len() / 2;
+    bytes[idx] ^= 0x01;
+    match AuthenticatedRecord::decode_exact(&bytes) {
+        Ok(tampered) => {
+            assert!(
+                tampered.verify(&ca.verifier(), 0).is_err(),
+                "bit flip must break the signature"
+            );
+        }
+        Err(_) => { /* structural corruption is detection too */ }
+    }
+}
+
+#[test]
+fn node_ids_are_bound_to_identities() {
+    // Likir's Sybil defence: node ids derive from user ids; a certificate
+    // claiming an arbitrary id must fail verification.
+    let ca = CertificationAuthority::new(b"root");
+    let alice = ca.register("alice", 0);
+    assert_eq!(alice.node_id(), node_id_for_user("alice"));
+    let mut cert = alice.cert.clone();
+    cert.node_id = node_id_for_user("somebody-else");
+    assert!(ca.verifier().verify_cert(&cert, 0).is_err());
+}
+
+#[test]
+fn envelopes_protect_rpc_payloads() {
+    let ca = CertificationAuthority::new(b"root");
+    let alice = ca.register("alice", 0);
+    let mallory = ca.register("mallory", 0);
+    let verifier = ca.verifier();
+
+    let env = SignedEnvelope::seal(&alice, 1, b"STORE key=... value=...".to_vec());
+    let bytes = env.encode_to_bytes();
+    let received = SignedEnvelope::decode_exact(&bytes).unwrap();
+    assert!(received.open(&verifier, 0).is_ok());
+
+    // Mallory re-signs the payload under her own identity: the envelope
+    // verifies as *hers* — she cannot speak for Alice.
+    let stolen = SignedEnvelope::seal(&mallory, 2, received.payload.clone());
+    assert_eq!(stolen.cert.user_id, "mallory");
+    // And splicing Alice's cert onto Mallory's signature fails.
+    let mut spliced = stolen.clone();
+    spliced.cert = alice.cert.clone();
+    assert!(spliced.open(&verifier, 0).is_err());
+}
+
+#[test]
+fn expired_certificates_are_rejected() {
+    let ca = CertificationAuthority::new(b"root");
+    let shortlived = ca.register("fleeting", 1_000);
+    let record = AuthenticatedRecord::sign(&shortlived, "dharma", b"x".to_vec());
+    assert!(record.verify(&ca.verifier(), 999).is_ok());
+    assert!(record.verify(&ca.verifier(), 1_001).is_err());
+}
+
+
+#[test]
+fn full_kademlia_overlay_over_signed_envelopes() {
+    // The paper's deployment: Kademlia running on Likir. Every RPC of a
+    // 12-node overlay travels in a signed envelope; bootstrap, APPEND and
+    // filtered GET must all work unchanged, and every node must have
+    // accepted only verified traffic.
+    let ca = CertificationAuthority::new(b"overlay-ca");
+    let mut net: SimNet<SecureNode<KademliaNode>> = SimNet::new(SimConfig {
+        latency_min_us: 500,
+        latency_max_us: 4_000,
+        drop_rate: 0.0,
+        mtu: 8 * 1024,
+        seed: 900,
+    });
+    let kad_cfg = KadConfig {
+        k: 6,
+        alpha: 3,
+        rpc_timeout_us: 300_000,
+        reply_budget: 4_096,
+        ..KadConfig::default()
+    };
+    let mut contacts = Vec::new();
+    for i in 0..12u32 {
+        let user = format!("peer-{i}");
+        let identity = ca.register(&user, 0);
+        // Likir binds the overlay id to the identity.
+        let node = KademliaNode::new(identity.node_id(), i, kad_cfg.clone());
+        contacts.push(node.contact().clone());
+        net.add_node(SecureNode::new(node, identity, ca.verifier()));
+    }
+    for i in 1..12u32 {
+        let seed_contact = contacts[0].clone();
+        net.with_node(i, |node, ctx| {
+            node.with_inner(ctx, |inner, inner_ctx| {
+                inner.add_seed(seed_contact);
+                inner.bootstrap(inner_ctx);
+            });
+        });
+    }
+    net.run_until_idle(u64::MAX);
+    net.take_completions();
+
+    // Two writers append to the same block through the secure stack.
+    let key = sha1(b"secure-block");
+    net.with_node(2, |node, ctx| {
+        node.with_inner(ctx, |inner, inner_ctx| {
+            inner.append(inner_ctx, key, "metal", 1);
+        });
+    });
+    net.with_node(7, |node, ctx| {
+        node.with_inner(ctx, |inner, inner_ctx| {
+            inner.append(inner_ctx, key, "metal", 1);
+        });
+    });
+    net.run_until_idle(u64::MAX);
+    net.take_completions();
+
+    let op = net.with_node(5, |node, ctx| {
+        node.with_inner(ctx, |inner, inner_ctx| inner.get(inner_ctx, key, 10))
+    });
+    net.run_until_idle(u64::MAX);
+    let completions = net.take_completions();
+    let got = completions.iter().find(|(id, _)| *id == op).unwrap();
+    match &got.1 {
+        KadOutput::Value { value: Some(v), .. } => {
+            let metal = v.entries.iter().find(|e| e.name == "metal").unwrap();
+            assert_eq!(metal.weight, 2, "sealed appends merged");
+        }
+        other => panic!("secure GET failed: {other:?}"),
+    }
+
+    // Every node saw only verified traffic: zero malformed/forged/replayed.
+    for i in 0..12u32 {
+        let stats = net.node(i).stats();
+        assert_eq!(stats.malformed, 0);
+        assert_eq!(stats.forged, 0);
+        assert_eq!(stats.replayed, 0, "node {i}: {stats:?}");
+    }
+}

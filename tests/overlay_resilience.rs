@@ -1,0 +1,148 @@
+//! Overlay-level fault injection: churn, packet loss, and payload limits.
+
+use dharma_kademlia::KadOutput;
+use dharma_sim::overlay::{build_overlay, OverlayConfig};
+use dharma_types::sha1;
+
+#[test]
+fn replicated_values_survive_crashes() {
+    let mut net = build_overlay(&OverlayConfig {
+        nodes: 40,
+        seed: 60,
+        ..OverlayConfig::default()
+    });
+    let key = sha1(b"precious");
+    net.with_node(1, |n, ctx| n.put_blob(ctx, key, b"survives".to_vec()));
+    net.run_until_idle(u64::MAX);
+    net.take_completions();
+
+    // Kill a third of the network (not the reader).
+    for addr in (2..40u32).step_by(3) {
+        net.crash(addr);
+    }
+    let op = net.with_node(1, |n, ctx| n.get(ctx, key, 0));
+    net.run_until_idle(u64::MAX);
+    let completions = net.take_completions();
+    let out = completions.iter().find(|(id, _)| *id == op).unwrap();
+    match &out.1 {
+        KadOutput::Value { value: Some(v), .. } => {
+            assert_eq!(v.blob.as_deref(), Some(b"survives".as_slice()));
+        }
+        other => panic!("value lost after churn: {other:?}"),
+    }
+}
+
+#[test]
+fn lookups_complete_under_packet_loss() {
+    let mut net = build_overlay(&OverlayConfig {
+        nodes: 30,
+        seed: 61,
+        drop_rate: 0.15,
+        ..OverlayConfig::default()
+    });
+    let key = sha1(b"lossy");
+    let put = net.with_node(3, |n, ctx| n.put_blob(ctx, key, b"v".to_vec()));
+    net.run_until_idle(u64::MAX);
+    let completions = net.take_completions();
+    assert!(
+        completions.iter().any(|(id, _)| *id == put),
+        "write completes despite 15% loss (timeouts mark failures)"
+    );
+
+    let get = net.with_node(12, |n, ctx| n.get(ctx, key, 0));
+    net.run_until_idle(u64::MAX);
+    let completions = net.take_completions();
+    let out = completions.iter().find(|(id, _)| *id == get).unwrap();
+    // Under loss the value may occasionally be unreachable, but the
+    // operation must terminate with a definite answer.
+    match &out.1 {
+        KadOutput::Value { .. } => {}
+        other => panic!("unexpected completion {other:?}"),
+    }
+    assert!(net.counters().dropped() > 0, "loss model must have fired");
+}
+
+#[test]
+fn timeouts_evict_dead_contacts() {
+    let mut net = build_overlay(&OverlayConfig {
+        nodes: 20,
+        seed: 62,
+        ..OverlayConfig::default()
+    });
+    let victim = 7u32;
+    let victim_id = net.node(victim).contact().id;
+    // Ensure node 1 knows the victim.
+    let knows_before = net
+        .node(1)
+        .routing()
+        .closest(&victim_id, 20)
+        .iter()
+        .any(|c| c.id == victim_id);
+    net.crash(victim);
+    // Drive lookups that will try the victim and time out.
+    for i in 0..6 {
+        net.with_node(1, |n, ctx| {
+            n.find_nodes(ctx, sha1(&[i]));
+        });
+        net.run_until_idle(u64::MAX);
+    }
+    net.take_completions();
+    let knows_after = net
+        .node(1)
+        .routing()
+        .closest(&victim_id, 20)
+        .iter()
+        .any(|c| c.id == victim_id);
+    if knows_before {
+        assert!(!knows_after, "dead contact must be evicted after timeouts");
+    }
+}
+
+#[test]
+fn oversize_replies_are_clamped_by_reply_budget() {
+    // A node holding a huge weighted set must fit FoundValue in the MTU.
+    let mut net = build_overlay(&OverlayConfig {
+        nodes: 16,
+        seed: 63,
+        mtu: 1_400,
+        ..OverlayConfig::default()
+    });
+    let key = sha1(b"huge-block");
+    // Append 500 entries (~8 KB raw) from one writer.
+    for batch in 0..10u64 {
+        net.with_node(1, |n, ctx| {
+            let entries: Vec<dharma_kademlia::StoredEntry> = (0..50u64)
+                .map(|i| dharma_kademlia::StoredEntry {
+                    name: format!("entry-{batch:02}-{i:02}"),
+                    weight: batch * 50 + i + 1,
+                })
+                .collect();
+            n.append_many(ctx, key, entries);
+        });
+        net.run_until_idle(u64::MAX);
+    }
+    net.take_completions();
+
+    let op = net.with_node(9, |n, ctx| n.get(ctx, key, 0));
+    net.run_until_idle(u64::MAX);
+    let completions = net.take_completions();
+    let out = completions.iter().find(|(id, _)| *id == op).unwrap();
+    match &out.1 {
+        KadOutput::Value { value: Some(v), .. } => {
+            assert!(v.truncated, "reply must be marked truncated");
+            assert!(
+                v.entries.len() < 500,
+                "entry list must be clamped ({} returned)",
+                v.entries.len()
+            );
+            // The heaviest entries win the budget.
+            assert!(v.entries[0].weight >= v.entries.last().unwrap().weight);
+        }
+        other => panic!("value not found: {other:?}"),
+    }
+    assert_eq!(
+        net.counters().oversize_rejected(),
+        0,
+        "the reply budget must prevent MTU violations entirely"
+    );
+}

@@ -1,0 +1,98 @@
+//! Integration of the full §V-B pipeline: generator → replay → comparison.
+
+use dharma_dataset::{GeneratorConfig, Scale};
+use dharma_folksonomy::compare::{compare_graphs, degree_pairs, weight_pairs};
+use dharma_folksonomy::Fg;
+use dharma_par::ThreadPool;
+use dharma_sim::replay::{replay, ReplayConfig};
+
+#[test]
+fn pipeline_reproduces_table3_shape() {
+    let dataset = GeneratorConfig::lastfm_like(Scale::Tiny, 31).generate();
+    let exact = Fg::derive_exact(&dataset.trg);
+    let pool = ThreadPool::new(4);
+
+    let mut last_recall = 0.0f64;
+    for k in [1usize, 5, 10] {
+        let model = replay(&dataset.trg, &ReplayConfig::paper(k, 5));
+        assert!(model.trg().same_edges(&dataset.trg));
+        let cmp = compare_graphs(&pool, &exact, model.fg(), 2);
+
+        // The paper's qualitative claims, asserted as invariants:
+        // recall grows with k...
+        assert!(
+            cmp.recall.mean() > last_recall,
+            "recall must grow with k (k={k}: {} vs {})",
+            cmp.recall.mean(),
+            last_recall
+        );
+        last_recall = cmp.recall.mean();
+        // ...rank order and proportions are well preserved...
+        assert!(cmp.theta.mean() > 0.7, "theta at k={k}: {}", cmp.theta.mean());
+        assert!(cmp.tau.mean() > 0.3, "tau at k={k}: {}", cmp.tau.mean());
+        // ...and the lost arcs are predominantly the weight-1 noise tail.
+        assert!(
+            cmp.sim1.mean() > 0.5,
+            "sim1% at k={k}: {}",
+            cmp.sim1.mean()
+        );
+    }
+}
+
+#[test]
+fn exact_policy_replay_is_lossless() {
+    let dataset = GeneratorConfig::lastfm_like(Scale::Tiny, 32).generate();
+    let exact = Fg::derive_exact(&dataset.trg);
+    let pool = ThreadPool::new(4);
+    let model = replay(
+        &dataset.trg,
+        &ReplayConfig {
+            policy: dharma_folksonomy::ApproxPolicy::EXACT,
+            order: dharma_sim::replay::EventOrder::PopularityBiased,
+            seed: 1,
+        },
+    );
+    let cmp = compare_graphs(&pool, &exact, model.fg(), 1);
+    assert!((cmp.recall.mean() - 1.0).abs() < 1e-12);
+    assert!((cmp.theta.mean() - 1.0).abs() < 1e-9);
+    assert_eq!(cmp.sim1.count(), 0, "nothing is missing");
+}
+
+#[test]
+fn figure_series_are_consistent() {
+    let dataset = GeneratorConfig::lastfm_like(Scale::Tiny, 33).generate();
+    let exact = Fg::derive_exact(&dataset.trg);
+    let model = replay(&dataset.trg, &ReplayConfig::paper(1, 2));
+
+    // Figure 6 series: one point per tag with exact arcs; simulated degree
+    // never exceeds the exact degree.
+    let degrees = degree_pairs(&exact, model.fg());
+    assert!(!degrees.is_empty());
+    for &(orig, sim) in &degrees {
+        assert!(sim <= orig, "degree {sim} > exact {orig}");
+        assert!(orig >= 1);
+    }
+
+    // Figure 8 series: common arcs only; simulated weight bounded by exact.
+    let weights = weight_pairs(&exact, model.fg(), false);
+    for &(orig, sim) in &weights {
+        assert!(sim >= 1 && sim <= orig);
+    }
+    // With missing arcs included, every exact arc appears exactly once.
+    let all = weight_pairs(&exact, model.fg(), true);
+    assert_eq!(all.len(), exact.num_arcs());
+}
+
+#[test]
+fn dataset_roundtrip_through_tsv_preserves_replay_inputs() {
+    let dataset = GeneratorConfig::lastfm_like(Scale::Tiny, 34).generate();
+    let mut buf = Vec::new();
+    dharma_dataset::io::write_triples(&dataset, 400, 0.9, 3, &mut buf).unwrap();
+    let reloaded = dharma_dataset::io::read_triples(buf.as_slice()).unwrap();
+    // Identical annotation mass and edge count ⇒ identical replay length.
+    assert_eq!(reloaded.trg.num_annotations(), dataset.trg.num_annotations());
+    assert_eq!(reloaded.trg.num_edges(), dataset.trg.num_edges());
+    // And the replay works on loaded data too.
+    let model = replay(&reloaded.trg, &ReplayConfig::paper(1, 4));
+    assert!(model.trg().same_edges(&reloaded.trg));
+}

@@ -1,0 +1,134 @@
+//! Model-level properties of faceted search (§III-C / §V-C) on realistic
+//! synthetic folksonomies.
+
+use dharma_dataset::{GeneratorConfig, Scale};
+use dharma_folksonomy::{FacetedSearch, Fg, SearchConfig, Strategy};
+use dharma_par::ThreadPool;
+use dharma_sim::replay::{replay, ReplayConfig};
+use dharma_sim::search_sim::{simulate_searches, SearchSimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (dharma_dataset::Dataset, Fg) {
+    let dataset = GeneratorConfig::lastfm_like(Scale::Tiny, 71).generate();
+    let fg = Fg::derive_exact(&dataset.trg);
+    (dataset, fg)
+}
+
+#[test]
+fn convergence_is_bounded_by_t0() {
+    // |T_i| strictly decreases, so a path can never exceed |T_0| + 1.
+    let (dataset, fg) = setup();
+    let index = FacetedSearch::new(&dataset.trg, &fg);
+    let cfg = SearchConfig {
+        display_cap: Some(30),
+        resource_stop: 0, // force the tag-exhaustion path
+        ..SearchConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    for &seed_tag in dataset.most_popular_tags(25).iter() {
+        for strat in [Strategy::First, Strategy::Last, Strategy::Random] {
+            let out = index.run(seed_tag, strat, &cfg, &mut rng);
+            assert!(
+                out.steps() <= 31,
+                "path length {} exceeds |T_0| + 1",
+                out.steps()
+            );
+        }
+    }
+}
+
+#[test]
+fn paths_visit_only_connected_tags() {
+    // Every consecutive pair along a path must be an FG arc — the §III-C
+    // requirement t_{i+1} ∈ N_FG(t_i)... as seen through the capped fetch.
+    let (dataset, fg) = setup();
+    let index = FacetedSearch::new(&dataset.trg, &fg);
+    let cfg = SearchConfig::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    for &seed_tag in dataset.most_popular_tags(10).iter() {
+        let out = index.run(seed_tag, Strategy::Random, &cfg, &mut rng);
+        for w in out.path.windows(2) {
+            assert!(
+                fg.has_arc(w[0], w[1]),
+                "{:?} -> {:?} is not an FG arc",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn strategy_ordering_holds_on_both_graphs() {
+    let (dataset, fg) = setup();
+    let pool = ThreadPool::new(4);
+    let cfg = SearchSimConfig {
+        seeds: 40,
+        random_runs: 25,
+        seed: 3,
+        ..SearchSimConfig::default()
+    };
+
+    let original = simulate_searches(&pool, &dataset, &fg, &cfg);
+    assert!(original.last.mean <= original.random.mean);
+    assert!(original.random.mean <= original.first.mean);
+
+    let model = replay(&dataset.trg, &ReplayConfig::paper(1, 4));
+    let approx = simulate_searches(&pool, &dataset, model.fg(), &cfg);
+    assert!(approx.last.mean <= approx.random.mean);
+    assert!(approx.random.mean <= approx.first.mean);
+
+    // The approximation must not degrade navigation catastrophically: the
+    // paper reports it *shortens* first-walks; at reduced scale we accept a
+    // bounded deviation in either direction.
+    assert!(
+        approx.first.mean <= original.first.mean * 1.5,
+        "approximated first-walks exploded: {} vs {}",
+        approx.first.mean,
+        original.first.mean
+    );
+}
+
+#[test]
+fn search_lengths_are_small_relative_to_vocabulary() {
+    // The paper's headline: mean path lengths are tiny compared to |T|
+    // (< ln|T| for last/random).
+    let (dataset, fg) = setup();
+    let pool = ThreadPool::new(4);
+    let cfg = SearchSimConfig {
+        seeds: 30,
+        random_runs: 20,
+        seed: 5,
+        ..SearchSimConfig::default()
+    };
+    let rep = simulate_searches(&pool, &dataset, &fg, &cfg);
+    let vocab = dataset.stats().active_tags as f64;
+    assert!(
+        rep.last.mean < vocab.ln() * 2.0,
+        "last-strategy mean {} not << |T| = {}",
+        rep.last.mean,
+        vocab
+    );
+    assert!(rep.random.mean < vocab.sqrt());
+}
+
+#[test]
+fn display_cap_missing_is_equivalent_for_small_graphs() {
+    // With a cap far above every neighborhood size, capped and uncapped
+    // searches take identical paths.
+    let (dataset, fg) = setup();
+    let index = FacetedSearch::new(&dataset.trg, &fg);
+    let seed_tag = dataset.most_popular_tags(1)[0];
+    let capped = SearchConfig {
+        display_cap: Some(1_000_000),
+        ..SearchConfig::default()
+    };
+    let uncapped = SearchConfig {
+        display_cap: None,
+        ..SearchConfig::default()
+    };
+    let a = index.run(seed_tag, Strategy::First, &capped, &mut StdRng::seed_from_u64(6));
+    let b = index.run(seed_tag, Strategy::First, &uncapped, &mut StdRng::seed_from_u64(6));
+    assert_eq!(a.path, b.path);
+}

@@ -1,0 +1,127 @@
+//! The Table I cost formulas are a **contract**: every primitive must cost
+//! exactly the stated number of overlay lookups, for every parameter value.
+
+use dharma_core::{ApproxPolicy, DharmaClient, DharmaConfig};
+use dharma_likir::CertificationAuthority;
+use dharma_sim::overlay::{build_overlay, OverlayConfig};
+
+fn client(policy: ApproxPolicy, home: u32, seed: u64) -> DharmaClient {
+    let ca = CertificationAuthority::new(b"cost-contract");
+    DharmaClient::new(
+        home,
+        ca.register("prober", 0),
+        DharmaConfig {
+            policy,
+            seed,
+            ..DharmaConfig::default()
+        },
+    )
+}
+
+#[test]
+fn insert_is_2_plus_2m_for_all_m() {
+    let mut net = build_overlay(&OverlayConfig {
+        nodes: 32,
+        seed: 7,
+        ..OverlayConfig::default()
+    });
+    let mut c = client(ApproxPolicy::EXACT, 1, 0);
+    for m in 1..=12usize {
+        let tags: Vec<String> = (0..m).map(|i| format!("m{m}-t{i}")).collect();
+        let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+        let cost = c
+            .insert_resource(&mut net, &format!("r-{m}"), "uri://x", &refs)
+            .unwrap();
+        assert_eq!(cost.lookups as usize, 2 + 2 * m, "insert with m = {m}");
+    }
+}
+
+#[test]
+fn naive_tag_is_4_plus_degree() {
+    let mut net = build_overlay(&OverlayConfig {
+        nodes: 32,
+        seed: 8,
+        ..OverlayConfig::default()
+    });
+    let mut c = client(ApproxPolicy::EXACT, 1, 0);
+    for degree in [1usize, 4, 9, 15] {
+        let tags: Vec<String> = (0..degree).map(|i| format!("d{degree}-t{i}")).collect();
+        let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+        let rname = format!("res-{degree}");
+        c.insert_resource(&mut net, &rname, "uri://x", &refs).unwrap();
+        let receipt = c.tag(&mut net, &rname, "added").unwrap();
+        assert_eq!(receipt.neighborhood, degree);
+        assert_eq!(
+            receipt.cost.lookups as usize,
+            4 + degree,
+            "naive tag on |Tags(r)| = {degree}"
+        );
+    }
+}
+
+#[test]
+fn approximated_tag_is_4_plus_k() {
+    let mut net = build_overlay(&OverlayConfig {
+        nodes: 32,
+        seed: 9,
+        ..OverlayConfig::default()
+    });
+    // A resource with 15 tags; k sweeps below and above the degree.
+    let mut setup = client(ApproxPolicy::EXACT, 1, 0);
+    let tags: Vec<String> = (0..15).map(|i| format!("base-{i}")).collect();
+    let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+    setup.insert_resource(&mut net, "big", "uri://big", &refs).unwrap();
+
+    for (i, k) in [1usize, 3, 8].into_iter().enumerate() {
+        let mut c = client(ApproxPolicy::paper(k), 2, k as u64);
+        let receipt = c.tag(&mut net, "big", &format!("fresh-{i}")).unwrap();
+        assert_eq!(
+            receipt.cost.lookups as usize,
+            4 + k,
+            "approximated tag with k = {k}"
+        );
+        assert_eq!(receipt.updated, k);
+    }
+
+    // k larger than the neighborhood degenerates to the naive cost.
+    let mut c = client(ApproxPolicy::paper(500), 2, 99);
+    let receipt = c.tag(&mut net, "big", "overshoot").unwrap();
+    assert_eq!(
+        receipt.cost.lookups as usize,
+        4 + receipt.neighborhood,
+        "k > |Tags(r)| caps at the naive cost"
+    );
+}
+
+#[test]
+fn search_step_is_always_2() {
+    let mut net = build_overlay(&OverlayConfig {
+        nodes: 32,
+        seed: 10,
+        ..OverlayConfig::default()
+    });
+    let mut c = client(ApproxPolicy::paper(1), 3, 0);
+    c.insert_resource(&mut net, "r", "uri://r", &["a", "b", "c"]).unwrap();
+    for tag in ["a", "b", "c", "nonexistent"] {
+        let (_, _, cost) = c.search_step(&mut net, tag).unwrap();
+        assert_eq!(cost.lookups, 2, "search step on '{tag}'");
+    }
+}
+
+#[test]
+fn repeat_tagging_keeps_constant_cost() {
+    // Tagging with an already-present tag still costs 4 + k (the t̂ update
+    // is an empty append, but the lookup is spent).
+    let mut net = build_overlay(&OverlayConfig {
+        nodes: 32,
+        seed: 11,
+        ..OverlayConfig::default()
+    });
+    let mut c = client(ApproxPolicy::paper(2), 1, 0);
+    c.insert_resource(&mut net, "r", "uri://r", &["x", "y", "z"]).unwrap();
+    let first = c.tag(&mut net, "r", "x").unwrap();
+    assert!(!first.newly_attached);
+    assert_eq!(first.cost.lookups, 4 + 2);
+    let second = c.tag(&mut net, "r", "x").unwrap();
+    assert_eq!(second.cost.lookups, 4 + 2);
+}
