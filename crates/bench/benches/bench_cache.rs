@@ -1,0 +1,95 @@
+//! Microbenchmarks for the `dharma-cache` subsystem: the TinyLFU frequency
+//! sketch, the segmented-LRU hot cache under a Zipf-shaped key stream (the
+//! folksonomy access pattern it is designed for), per-key invalidation, and
+//! the decayed popularity estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dharma_cache::{CacheConfig, FreqSketch, HotCache, PopularityConfig, PopularityEstimator};
+use dharma_dataset::Zipf;
+use dharma_types::{sha1, Id160};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn keys(n: usize) -> Vec<Id160> {
+    (0..n).map(|i| sha1(&(i as u64).to_le_bytes())).collect()
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_sketch");
+    let mut sketch = FreqSketch::with_capacity(512);
+    let mut i = 0u64;
+    group.bench_function("touch", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            sketch.touch(i);
+        })
+    });
+    group.bench_function("estimate", |b| b.iter(|| sketch.estimate(42)));
+    group.finish();
+}
+
+fn bench_hot_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_hot");
+    let universe = keys(4096);
+    let zipf = Zipf::new(universe.len(), 1.2);
+
+    // Steady-state Zipf stream against a cache an order of magnitude
+    // smaller than the key universe: the TinyLFU admission path, hit
+    // promotion, and eviction all exercise.
+    let mut cache: HotCache<u64> = HotCache::new(CacheConfig {
+        capacity: 512,
+        ttl_us: u64::MAX,
+    });
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut now = 0u64;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("zipf_get_or_insert", |b| {
+        b.iter(|| {
+            now += 1;
+            let key = (universe[zipf.sample(&mut rng)], 0u32);
+            if cache.get(&key, now).is_none() {
+                cache.insert(key, 1, now, now);
+            }
+        })
+    });
+
+    // Invalidation of a key with several cached top_n variants.
+    let mut cache: HotCache<u64> = HotCache::new(CacheConfig {
+        capacity: 512,
+        ttl_us: u64::MAX,
+    });
+    let hot = universe[0];
+    group.bench_function("invalidate_key_4_variants", |b| {
+        b.iter(|| {
+            for top_n in 0u32..4 {
+                cache.insert((hot, top_n), 1, 7, 0);
+            }
+            cache.invalidate_key(&hot)
+        })
+    });
+    group.finish();
+}
+
+fn bench_popularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_popularity");
+    let universe = keys(1024);
+    let zipf = Zipf::new(universe.len(), 1.2);
+    let mut est = PopularityEstimator::new(PopularityConfig::default());
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut now = 0u64;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("record_zipf", |b| {
+        b.iter(|| {
+            now += 1_000;
+            est.record(universe[zipf.sample(&mut rng)], now)
+        })
+    });
+    let hot = universe[0];
+    group.bench_function("extra_replicas", |b| {
+        b.iter(|| est.extra_replicas(&hot, now))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch, bench_hot_cache, bench_popularity);
+criterion_main!(benches);

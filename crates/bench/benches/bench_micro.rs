@@ -37,7 +37,9 @@ fn bench_codec(c: &mut Criterion) {
             })
             .collect(),
     };
-    group.bench_function("encode_found_nodes_20", |b| b.iter(|| msg.encode_to_bytes()));
+    group.bench_function("encode_found_nodes_20", |b| {
+        b.iter(|| msg.encode_to_bytes())
+    });
     let encoded = msg.encode_to_bytes();
     group.bench_function("decode_found_nodes_20", |b| {
         b.iter(|| Message::decode_exact(&encoded).unwrap())
@@ -97,11 +99,20 @@ fn bench_par_speedup(c: &mut Criterion) {
     group.bench_function("map_seq", |b| {
         b.iter(|| items.iter().map(work).sum::<f64>())
     });
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let pool = ThreadPool::new(threads);
     group.bench_function(format!("map_par_t{threads}"), |b| {
         b.iter(|| {
-            dharma_par::par_map_reduce(&pool, &items, 4096, 0f64, |x| work(&x.clone()), |a, b| a + b)
+            dharma_par::par_map_reduce(
+                &pool,
+                &items,
+                4096,
+                0f64,
+                |x| work(&x.clone()),
+                |a, b| a + b,
+            )
         })
     });
     group.finish();

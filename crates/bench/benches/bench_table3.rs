@@ -18,7 +18,9 @@ fn bench_comparison(c: &mut Criterion) {
     let exact = Fg::derive_exact(&dataset.trg);
     let model = replay(&dataset.trg, &ReplayConfig::paper(5, 7));
 
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     for threads in [1usize, 2, max_threads] {
         let pool = ThreadPool::new(threads);
         group.bench_function(format!("compare_graphs_t{threads}"), |b| {

@@ -1,0 +1,44 @@
+//! Hot-block caching and adaptive replication for the DHARMA overlay.
+//!
+//! The folksonomy workload is Zipf-distributed (paper §III): a handful of
+//! popular `t̄`/`t̂` blocks attract nearly all GET traffic, which lands on
+//! the `k` nodes closest to their keys — the classic DHT hot-spot problem.
+//! This crate provides the two standard cures, packaged so that the
+//! `dharma-kademlia` node (and any future overlay) can adopt them without
+//! new dependencies:
+//!
+//! * [`HotCache`] — a bounded, per-node cache of filtered block reads keyed
+//!   by `(Id160, top_n)`. Admission is TinyLFU-style: a compact
+//!   frequency sketch ([`FreqSketch`]) decides whether a candidate is
+//!   likelier to be re-read than the eviction victim, and a segmented LRU
+//!   (probation + protected) preserves recency within the admitted set.
+//!   Entries carry a TTL and the origin's **storage version counter**, so a
+//!   cached view can never survive a local write to the same key: any
+//!   token append on the caching node invalidates its cached views of that
+//!   key, which preserves read-your-writes for writers while remote staleness
+//!   stays bounded by the TTL — consistent with the commutative
+//!   token-append semantics, where a stale view is merely an *older*
+//!   (never a contradictory) set of weights.
+//!
+//! * [`PopularityEstimator`] — an exponentially-decayed per-key arrival
+//!   rate. Storage nodes feed every GET arrival into it; keys whose decayed
+//!   rate crosses a threshold are *hot* and report a positive
+//!   [`PopularityEstimator::extra_replicas`], which the overlay uses to
+//!   push idempotent replica snapshots beyond the base `k` (adaptive
+//!   replication). Cold keys decay back below the threshold and their
+//!   extra replicas age out through the normal record-TTL path.
+//!
+//! Everything here is deterministic and allocation-conscious: the cache is
+//! a slab with intrusive lists (no per-op allocation), the sketch is a few
+//! kilobytes of packed 4-bit counters, and time is caller-provided
+//! microseconds so the discrete-event simulator stays reproducible.
+
+#![warn(missing_docs)]
+
+pub mod hot;
+pub mod popularity;
+pub mod sketch;
+
+pub use hot::{CacheConfig, CacheKey, CacheStats, HotCache};
+pub use popularity::{PopularityConfig, PopularityEstimator};
+pub use sketch::FreqSketch;

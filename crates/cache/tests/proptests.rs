@@ -1,0 +1,187 @@
+//! Property tests for the hot-block cache and the popularity estimator:
+//! capacity can never be exceeded, lookups agree with a reference model,
+//! invalidation is total per key, and decayed weights stay finite and
+//! monotone under decay.
+
+use dharma_cache::{CacheConfig, FreqSketch, HotCache, PopularityConfig, PopularityEstimator};
+use dharma_types::sha1;
+use proptest::prelude::*;
+
+use std::collections::BTreeMap;
+
+/// One step of the randomized cache workout.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { key: u8, top_n: u8, version: u64 },
+    Get { key: u8, top_n: u8 },
+    Invalidate { key: u8 },
+    Remove { key: u8, top_n: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 0u8..4, any::<u64>()).prop_map(|(key, top_n, version)| Op::Insert {
+            key,
+            top_n,
+            version
+        }),
+        (any::<u8>(), 0u8..4).prop_map(|(key, top_n)| Op::Get { key, top_n }),
+        any::<u8>().prop_map(|key| Op::Invalidate { key }),
+        (any::<u8>(), 0u8..4).prop_map(|(key, top_n)| Op::Remove { key, top_n }),
+    ]
+}
+
+proptest! {
+    /// The cache never holds more than `capacity` entries, through any
+    /// sequence of inserts, hits, invalidations and removals — and its
+    /// internal slab never grows beyond the live set either (slots are
+    /// recycled, not leaked).
+    #[test]
+    fn occupancy_never_exceeds_capacity(
+        capacity in 0usize..12,
+        ops in proptest::collection::vec(arb_op(), 1..400),
+    ) {
+        let mut cache: HotCache<u64> = HotCache::new(CacheConfig {
+            capacity,
+            ttl_us: u64::MAX,
+        });
+        let mut now = 0u64;
+        for (i, op) in ops.into_iter().enumerate() {
+            now += 1;
+            match op {
+                Op::Insert { key, top_n, version } => {
+                    cache.insert((sha1(&[key]), u32::from(top_n)), version, i as u64, now);
+                }
+                Op::Get { key, top_n } => {
+                    let _ = cache.get(&(sha1(&[key]), u32::from(top_n)), now);
+                }
+                Op::Invalidate { key } => {
+                    cache.invalidate_key(&sha1(&[key]));
+                }
+                Op::Remove { key, top_n } => {
+                    cache.remove(&(sha1(&[key]), u32::from(top_n)));
+                }
+            }
+            prop_assert!(cache.len() <= capacity, "len {} > capacity {}", cache.len(), capacity);
+        }
+    }
+
+    /// Against a reference model (a map updated with last-writer-wins on
+    /// version): whenever the cache returns a value, the model holds that
+    /// key, the value matches one the model accepted, and the version tag
+    /// is never newer than the newest offered. After an invalidation the
+    /// key is gone in both.
+    #[test]
+    fn lookups_agree_with_a_reference_model(
+        ops in proptest::collection::vec(arb_op(), 1..300),
+    ) {
+        // Capacity larger than the key universe: no evictions, so the
+        // model is exact (eviction-freedom is what makes it comparable).
+        let mut cache: HotCache<u64> = HotCache::new(CacheConfig {
+            capacity: 2048,
+            ttl_us: u64::MAX,
+        });
+        let mut model: BTreeMap<(u8, u8), (u64, u64)> = BTreeMap::new();
+        let mut now = 0u64;
+        for (i, op) in ops.into_iter().enumerate() {
+            now += 1;
+            let val = i as u64;
+            match op {
+                Op::Insert { key, top_n, version } => {
+                    cache.insert((sha1(&[key]), u32::from(top_n)), version, val, now);
+                    let slot = model.entry((key, top_n)).or_insert((version, val));
+                    if version >= slot.0 {
+                        *slot = (version, val);
+                    }
+                }
+                Op::Get { key, top_n } => {
+                    let got = cache.get(&(sha1(&[key]), u32::from(top_n)), now);
+                    let expect = model.get(&(key, top_n));
+                    match (got, expect) {
+                        (Some((v, ver)), Some(&(mver, mv))) => {
+                            prop_assert_eq!(v, mv);
+                            prop_assert_eq!(ver, mver);
+                        }
+                        (Some(_), None) => prop_assert!(false, "cache returned an invalidated key"),
+                        (None, _) => {} // misses are always allowed
+                    }
+                }
+                Op::Invalidate { key } => {
+                    cache.invalidate_key(&sha1(&[key]));
+                    model.retain(|&(k, _), _| k != key);
+                }
+                Op::Remove { key, top_n } => {
+                    cache.remove(&(sha1(&[key]), u32::from(top_n)));
+                    model.remove(&(key, top_n));
+                }
+            }
+        }
+    }
+
+    /// TTL expiry is exact: a view inserted at `t` serves at `t + ttl` and
+    /// is gone at `t + ttl + 1`.
+    #[test]
+    fn ttl_boundary_is_exact(ttl in 1u64..1_000_000, key in any::<u8>()) {
+        let mut cache: HotCache<u64> = HotCache::new(CacheConfig { capacity: 4, ttl_us: ttl });
+        let k = (sha1(&[key]), 0u32);
+        cache.insert(k, 1, 7, 0);
+        prop_assert!(cache.get(&k, ttl).is_some());
+        prop_assert!(cache.get(&k, ttl + 1).is_none());
+        prop_assert!(cache.is_empty());
+    }
+
+    /// The frequency sketch never loses more than aging allows: a key
+    /// touched `n` times estimates at least `min(n, 15) / 2` (one halving),
+    /// and estimates are monotone in touches.
+    #[test]
+    fn sketch_estimates_track_touches(n in 1u32..32, key in any::<u64>()) {
+        let mut sketch = FreqSketch::with_capacity(64);
+        let mut last = 0u8;
+        for i in 0..n {
+            sketch.touch(key);
+            let est = sketch.estimate(key);
+            prop_assert!(
+                est + 1 >= last,
+                "estimate dropped from {} to {} at touch {}",
+                last, est, i + 1
+            );
+            last = est;
+        }
+        prop_assert!(u32::from(sketch.estimate(key)) >= n.min(15) / 2);
+    }
+
+    /// Decay only shrinks weights, never below zero, and `extra_replicas`
+    /// respects its cap for arbitrary arrival patterns.
+    #[test]
+    fn popularity_decays_monotonically(
+        arrivals in proptest::collection::vec(0u64..10_000_000, 1..100),
+        cap in 1usize..8,
+    ) {
+        let mut est = PopularityEstimator::new(PopularityConfig {
+            half_life_us: 1_000_000,
+            hot_threshold: 2.0,
+            max_extra_replicas: cap,
+            max_tracked: 256,
+            promote_cooldown_us: 0,
+        });
+        let key = sha1(b"k");
+        let mut times: Vec<u64> = arrivals;
+        times.sort_unstable();
+        let mut last_t = 0u64;
+        for &t in &times {
+            est.record(key, t);
+            last_t = t;
+        }
+        let w0 = est.weight(&key, last_t);
+        prop_assert!(w0.is_finite() && w0 >= 0.0);
+        prop_assert!(w0 <= times.len() as f64 + 1e-9, "weight cannot exceed arrivals");
+        // Pure decay afterwards: weight is non-increasing.
+        let mut prev = w0;
+        for dt in [1u64, 10, 1_000, 1_000_000, 100_000_000] {
+            let w = est.weight(&key, last_t + dt);
+            prop_assert!(w <= prev + 1e-12);
+            prev = w;
+        }
+        prop_assert!(est.extra_replicas(&key, last_t) <= cap);
+    }
+}

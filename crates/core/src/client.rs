@@ -18,8 +18,8 @@ use dharma_likir::{AuthenticatedRecord, Identity};
 use dharma_net::SimNet;
 use dharma_types::{block_key, BlockType, DharmaError, FxHashMap, Result};
 
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::cost::OpCost;
@@ -134,11 +134,8 @@ impl DharmaClient {
 
         // 1. r̃ — the URI record, signed by the author (Likir content
         //    authentication).
-        let record = AuthenticatedRecord::sign(
-            &self.identity,
-            &self.cfg.namespace,
-            uri.as_bytes().to_vec(),
-        );
+        let record =
+            AuthenticatedRecord::sign(&self.identity, &self.cfg.namespace, uri.as_bytes().to_vec());
         let blob = dharma_types::WireEncode::encode_to_bytes(&record).to_vec();
         let key = block_key(resource, BlockType::ResourceUri);
         cost.absorb(self.run_write(net, |n, ctx| n.put_blob(ctx, key, blob))?);
@@ -243,11 +240,8 @@ impl DharmaClient {
         let newly_attached = t_weight <= 1;
 
         // Neighborhood τ ∈ Tags(r) \ {t}.
-        let mut neighbors: Vec<(String, u64)> = view
-            .entries
-            .into_iter()
-            .filter(|(n, _)| n != tag)
-            .collect();
+        let mut neighbors: Vec<(String, u64)> =
+            view.entries.into_iter().filter(|(n, _)| n != tag).collect();
         let neighborhood = neighbors.len();
 
         // 4. Forward arcs (t, τ) on t̂ — only when newly attached. This is a
@@ -348,6 +342,7 @@ impl DharmaClient {
             KadOutput::Written { .. } => Ok(OpCost {
                 lookups: 1,
                 messages: net.counters().sent() - before,
+                cache_hits: 0,
             }),
             other => Err(DharmaError::Protocol(format!(
                 "expected write completion, got {other:?}"
@@ -363,11 +358,13 @@ impl DharmaClient {
         top_n: u32,
     ) -> Result<(Option<BlockView>, OpCost)> {
         let before = net.counters().sent();
+        let hits_before = net.counters().cache_hits();
         let op = net.with_node(self.home, |n, ctx| n.get(ctx, key, top_n));
         let out = self.wait_for(net, op)?;
         let cost = OpCost {
             lookups: 1,
             messages: net.counters().sent() - before,
+            cache_hits: net.counters().cache_hits() - hits_before,
         };
         match out {
             KadOutput::Value { value, .. } => Ok((

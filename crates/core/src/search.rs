@@ -91,8 +91,7 @@ impl DhtFacetedSearch {
         self.candidates = narrowed;
 
         // Rᵢ = Rᵢ₋₁ ∩ Res(tag).
-        let fetched_res: FxHashSet<String> =
-            res.entries.into_iter().map(|(n, _)| n).collect();
+        let fetched_res: FxHashSet<String> = res.entries.into_iter().map(|(n, _)| n).collect();
         self.resources.retain(|r| fetched_res.contains(r));
 
         Ok((self.candidates.len(), self.resources.len()))
@@ -124,10 +123,20 @@ mod tests {
         let mut net = overlay(16, 20);
         let mut c = client(1);
         // Small corpus: everything is "music"; two genres split it.
-        c.insert_resource(&mut net, "nevermind", "uri://1", &["music", "rock", "grunge"])
-            .unwrap();
-        c.insert_resource(&mut net, "master-of-puppets", "uri://2", &["music", "rock", "metal"])
-            .unwrap();
+        c.insert_resource(
+            &mut net,
+            "nevermind",
+            "uri://1",
+            &["music", "rock", "grunge"],
+        )
+        .unwrap();
+        c.insert_resource(
+            &mut net,
+            "master-of-puppets",
+            "uri://2",
+            &["music", "rock", "metal"],
+        )
+        .unwrap();
         c.insert_resource(&mut net, "kind-of-blue", "uri://3", &["music", "jazz"])
             .unwrap();
 
@@ -153,7 +162,8 @@ mod tests {
     fn chosen_tags_are_excluded_from_candidates() {
         let mut net = overlay(12, 21);
         let mut c = client(2);
-        c.insert_resource(&mut net, "r1", "u", &["a", "b", "c"]).unwrap();
+        c.insert_resource(&mut net, "r1", "u", &["a", "b", "c"])
+            .unwrap();
         c.insert_resource(&mut net, "r2", "u", &["a", "b"]).unwrap();
         let mut s = DhtFacetedSearch::start(&mut c, &mut net, "a").unwrap();
         s.select(&mut c, &mut net, "b").unwrap();

@@ -22,6 +22,7 @@ pub(crate) fn overlay(n: usize, seed: u64) -> SimNet<KademliaNode> {
         alpha: 3,
         rpc_timeout_us: 300_000,
         reply_budget: 60_000,
+        counters: net.counters(),
         ..KadConfig::default()
     };
     let mut first = None;

@@ -136,9 +136,9 @@ mod tests {
         for (i, &x) in w.iter().enumerate() {
             inc.add(i, x);
         }
-        for i in 0..w.len() {
+        for (i, &x) in w.iter().enumerate() {
             assert_eq!(bulk.prefix_sum(i), inc.prefix_sum(i), "prefix {i}");
-            assert_eq!(bulk.weight(i), w[i]);
+            assert_eq!(bulk.weight(i), x);
         }
         assert_eq!(bulk.total(), 26);
     }
@@ -200,15 +200,15 @@ mod tests {
             let expect: u64 = w.iter().sum();
             assert_eq!(f.total(), expect, "n = {n}");
             // Every weight retrievable.
-            for i in 0..n {
-                assert_eq!(f.weight(i), w[i]);
+            for (i, &x) in w.iter().enumerate() {
+                assert_eq!(f.weight(i), x);
             }
             // find is the inverse of prefix sums at boundaries.
             let mut acc = 0u64;
-            for i in 0..n {
-                if w[i] > 0 {
+            for (i, &x) in w.iter().enumerate() {
+                if x > 0 {
                     assert_eq!(f.find(acc), i, "boundary of slot {i}");
-                    acc += w[i];
+                    acc += x;
                 }
             }
         }

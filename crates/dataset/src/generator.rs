@@ -178,13 +178,12 @@ impl GeneratorConfig {
                     t
                 } else {
                     // Copy ∝ frequency, preferring the resource's topic.
-                    let stream = if !topic_streams[topic].is_empty()
-                        && rng.gen::<f64>() < self.topic_mix
-                    {
-                        &topic_streams[topic]
-                    } else {
-                        &global_stream
-                    };
+                    let stream =
+                        if !topic_streams[topic].is_empty() && rng.gen::<f64>() < self.topic_mix {
+                            &topic_streams[topic]
+                        } else {
+                            &global_stream
+                        };
                     stream[rng.gen_range(0..stream.len())]
                 };
                 if !seen.insert(candidate) {
@@ -198,8 +197,8 @@ impl GeneratorConfig {
 
                 let boost = popularity_boost(candidate);
                 let mean_extra = self.multiplicity_extra_mean * boost;
-                let extra = sample_geometric(&mut rng, mean_extra)
-                    .min(self.users.saturating_sub(1) as u64);
+                let extra =
+                    sample_geometric(&mut rng, mean_extra).min(self.users.saturating_sub(1) as u64);
                 trg.add_annotations(TagId(candidate), ResId(r as u32), 1 + extra as u32);
             }
         }
@@ -334,7 +333,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let n = 200_000;
         let mean_target = 1.7;
-        let sum: u64 = (0..n).map(|_| sample_geometric(&mut rng, mean_target)).sum();
+        let sum: u64 = (0..n)
+            .map(|_| sample_geometric(&mut rng, mean_target))
+            .sum();
         let emp = sum as f64 / n as f64;
         assert!((emp - mean_target).abs() < 0.05, "{emp}");
         assert_eq!(sample_geometric(&mut rng, 0.0), 0);

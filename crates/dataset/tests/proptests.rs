@@ -29,10 +29,10 @@ proptest! {
             }
         }
         let mut acc = 0u64;
-        for i in 0..n {
-            acc += naive[i];
+        for (i, &w) in naive.iter().enumerate().take(n) {
+            acc += w;
             prop_assert_eq!(fenwick.prefix_sum(i), acc, "prefix at {}", i);
-            prop_assert_eq!(fenwick.weight(i), naive[i], "weight at {}", i);
+            prop_assert_eq!(fenwick.weight(i), w, "weight at {}", i);
         }
         prop_assert_eq!(fenwick.total(), acc);
     }

@@ -127,9 +127,7 @@ impl<'g> FacetedSearch<'g> {
             Some(cap) => self.fg.top_neighbors(t, cap),
             None => {
                 let mut v: Vec<(TagId, u64)> = self.fg.neighbors(t).collect();
-                v.sort_unstable_by(|a, b| {
-                    b.1.cmp(&a.1).then(a.0.tie_key().cmp(&b.0.tie_key()))
-                });
+                v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.tie_key().cmp(&b.0.tie_key())));
                 v
             }
         }
@@ -149,11 +147,7 @@ impl<'g> FacetedSearch<'g> {
 
         // Step 0: T₀ = (capped) N_FG(t₀), R₀ = Res(t₀).
         let mut candidates = self.fetch_neighbors(t0, cfg);
-        let mut resources: Vec<ResId> = self
-            .res_sorted
-            .get(t0.idx())
-            .cloned()
-            .unwrap_or_default();
+        let mut resources: Vec<ResId> = self.res_sorted.get(t0.idx()).cloned().unwrap_or_default();
 
         loop {
             if resources.len() <= cfg.resource_stop {
@@ -203,9 +197,7 @@ impl<'g> FacetedSearch<'g> {
                 .filter_map(|(t, _)| fetched_map.get(t).map(|&w| (*t, w)))
                 .collect();
             // Re-rank by similarity to the *new* current tag.
-            narrowed.sort_unstable_by(|a, b| {
-                b.1.cmp(&a.1).then(a.0.tie_key().cmp(&b.0.tie_key()))
-            });
+            narrowed.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.tie_key().cmp(&b.0.tie_key())));
             candidates = narrowed;
 
             resources = intersect_sorted(
@@ -310,7 +302,12 @@ mod tests {
         let f = build();
         let idx = FacetedSearch::new(f.trg(), f.fg());
         let mut rng = StdRng::seed_from_u64(1);
-        let out = idx.run(TagId(0), Strategy::First, &SearchConfig::default(), &mut rng);
+        let out = idx.run(
+            TagId(0),
+            Strategy::First,
+            &SearchConfig::default(),
+            &mut rng,
+        );
         // Strongest neighbor of "music" is "rock" (70 resources).
         assert_eq!(out.path[1], TagId(1));
     }
@@ -339,7 +336,12 @@ mod tests {
         // A tag on a single resource with no co-tags.
         f.tag(ResId(999), TagId(77), &mut rng);
         let idx = FacetedSearch::new(f.trg(), f.fg());
-        let out = idx.run(TagId(77), Strategy::Random, &SearchConfig::default(), &mut rng);
+        let out = idx.run(
+            TagId(77),
+            Strategy::Random,
+            &SearchConfig::default(),
+            &mut rng,
+        );
         assert_eq!(out.steps(), 1);
         assert_eq!(out.stop, StopReason::ResourcesNarrowed);
     }

@@ -100,10 +100,10 @@ impl Fg {
 
     /// Iterates all arcs as `(t1, t2, sim(t1, t2))`.
     pub fn arcs(&self) -> impl Iterator<Item = (TagId, TagId, u64)> + '_ {
-        self.out.iter().enumerate().flat_map(|(t1, m)| {
-            m.iter()
-                .map(move |(&t2, &w)| (TagId(t1 as u32), t2, w))
-        })
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(t1, m)| m.iter().map(move |(&t2, &w)| (TagId(t1 as u32), t2, w)))
     }
 
     /// The top-`n` out-neighbors of `t` by descending weight (ties broken by
@@ -202,7 +202,10 @@ mod tests {
         let trg = figure1_trg();
         let fg = Fg::derive_exact(&trg);
         for (a, b, _) in fg.arcs() {
-            assert!(fg.has_arc(b, a), "({a:?},{b:?}) present but reverse missing");
+            assert!(
+                fg.has_arc(b, a),
+                "({a:?},{b:?}) present but reverse missing"
+            );
         }
     }
 

@@ -78,8 +78,7 @@ pub fn tau_b(x: &[u64], y: &[u64]) -> Option<f64> {
     let mut scratch = vec![0u64; n];
     let discordant = count_inversions(&mut seq, &mut scratch);
 
-    let p_minus_q = n0 as i128 - n1 as i128 - n2 as i128 + n3 as i128
-        - 2 * discordant as i128;
+    let p_minus_q = n0 as i128 - n1 as i128 - n2 as i128 + n3 as i128 - 2 * discordant as i128;
     let denom = ((n0 - n1) as f64).sqrt() * ((n0 - n2) as f64).sqrt();
     Some(p_minus_q as f64 / denom)
 }

@@ -147,10 +147,10 @@ impl Trg {
 
     /// Iterates every edge as `(t, r, u(t, r))`, grouped by resource.
     pub fn edges(&self) -> impl Iterator<Item = (TagId, ResId, u32)> + '_ {
-        self.tags_of.iter().enumerate().flat_map(|(r, m)| {
-            m.iter()
-                .map(move |(&t, &u)| (t, ResId(r as u32), u))
-        })
+        self.tags_of
+            .iter()
+            .enumerate()
+            .flat_map(|(r, m)| m.iter().map(move |(&t, &u)| (t, ResId(r as u32), u)))
     }
 
     /// Structural equality of the edge multiset (used to verify that a replay
@@ -159,8 +159,7 @@ impl Trg {
         if self.edges != other.edges || self.annotations != other.annotations {
             return false;
         }
-        self.edges()
-            .all(|(t, r, u)| other.weight(t, r) == u)
+        self.edges().all(|(t, r, u)| other.weight(t, r) == u)
     }
 }
 

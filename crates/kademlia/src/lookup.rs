@@ -72,9 +72,7 @@ impl LookupState {
             return;
         }
         let distance = contact.id.distance(&self.target);
-        let pos = self
-            .slots
-            .partition_point(|s| s.distance < distance);
+        let pos = self.slots.partition_point(|s| s.distance < distance);
         self.slots.insert(
             pos,
             Slot {

@@ -73,6 +73,11 @@ pub struct FetchedValue {
     pub entries: Vec<StoredEntry>,
     /// True if the server truncated the entry list (filtering or MTU).
     pub truncated: bool,
+    /// The storing node's write-version of the value at read time.
+    pub version: u64,
+    /// True when the reply came from a hot-block cache rather than
+    /// authoritative storage (possibly stale within the cache TTL).
+    pub from_cache: bool,
 }
 
 /// The RPC messages.
@@ -121,6 +126,10 @@ pub enum Message {
         key: Id160,
         /// Index-side filtering limit (0 = unfiltered).
         top_n: u32,
+        /// Authoritative-only service: a responder that is not a holder
+        /// must answer `FoundNodes` rather than a hot-cache view. Set by
+        /// requesters whose read-your-writes guard is armed for `key`.
+        no_cache: bool,
     },
     /// Value-bearing reply to [`Message::FindValue`].
     FoundValue {
@@ -134,6 +143,10 @@ pub enum Message {
         entries: Vec<StoredEntry>,
         /// Whether the entry list was truncated.
         truncated: bool,
+        /// Responder's write-version of the value (cache freshness tag).
+        version: u64,
+        /// True when served from the responder's hot-block cache.
+        from_cache: bool,
     },
     /// Store a blob at `key` (replaces any previous blob).
     Store {
@@ -175,6 +188,29 @@ pub enum Message {
         /// Entry snapshot.
         entries: Vec<StoredEntry>,
     },
+    /// Store-on-path caching push (the classic Kademlia caching rule):
+    /// after a successful value lookup the requester offers the filtered
+    /// view to the closest node on its path that *missed*, so the next
+    /// lookup for the same hot key stops one hop earlier. Fire-and-forget;
+    /// the receiver caches it only if it is not an authoritative holder.
+    CachePush {
+        /// Request id (no reply is expected; kept for tracing).
+        rpc: u64,
+        /// Sender contact.
+        from: Contact,
+        /// Storage key.
+        key: Id160,
+        /// The filtering limit the view was read at (part of the cache key).
+        top_n: u32,
+        /// Blob part, if any.
+        blob: Option<Vec<u8>>,
+        /// Weighted entries (filtered by the origin).
+        entries: Vec<StoredEntry>,
+        /// Whether the entry list was truncated.
+        truncated: bool,
+        /// The origin's write-version of the value.
+        version: u64,
+    },
     /// Acknowledgement for [`Message::Store`] / [`Message::Append`] /
     /// [`Message::Replicate`].
     Ack {
@@ -198,6 +234,7 @@ impl Message {
             | Message::Store { rpc, .. }
             | Message::Append { rpc, .. }
             | Message::Replicate { rpc, .. }
+            | Message::CachePush { rpc, .. }
             | Message::Ack { rpc, .. } => *rpc,
         }
     }
@@ -214,6 +251,7 @@ impl Message {
             | Message::Store { from, .. }
             | Message::Append { from, .. }
             | Message::Replicate { from, .. }
+            | Message::CachePush { from, .. }
             | Message::Ack { from, .. } => from,
         }
     }
@@ -228,6 +266,7 @@ impl Message {
     const T_APPEND: u8 = 8;
     const T_ACK: u8 = 9;
     const T_REPLICATE: u8 = 10;
+    const T_CACHE_PUSH: u8 = 11;
 }
 
 impl WireEncode for Message {
@@ -250,20 +289,39 @@ impl WireEncode for Message {
                 from.encode(buf);
                 buf.put_id(target);
             }
-            Message::FoundNodes { rpc, from, contacts } => {
+            Message::FoundNodes {
+                rpc,
+                from,
+                contacts,
+            } => {
                 buf.put_u8(Self::T_FOUND_NODES);
                 buf.put_varint(*rpc);
                 from.encode(buf);
                 contacts.encode(buf);
             }
-            Message::FindValue { rpc, from, key, top_n } => {
+            Message::FindValue {
+                rpc,
+                from,
+                key,
+                top_n,
+                no_cache,
+            } => {
                 buf.put_u8(Self::T_FIND_VALUE);
                 buf.put_varint(*rpc);
                 from.encode(buf);
                 buf.put_id(key);
                 buf.put_varint(u64::from(*top_n));
+                buf.put_u8(u8::from(*no_cache));
             }
-            Message::FoundValue { rpc, from, blob, entries, truncated } => {
+            Message::FoundValue {
+                rpc,
+                from,
+                blob,
+                entries,
+                truncated,
+                version,
+                from_cache,
+            } => {
                 buf.put_u8(Self::T_FOUND_VALUE);
                 buf.put_varint(*rpc);
                 from.encode(buf);
@@ -276,22 +334,40 @@ impl WireEncode for Message {
                 }
                 entries.encode(buf);
                 buf.put_u8(u8::from(*truncated));
+                buf.put_varint(*version);
+                buf.put_u8(u8::from(*from_cache));
             }
-            Message::Store { rpc, from, key, blob } => {
+            Message::Store {
+                rpc,
+                from,
+                key,
+                blob,
+            } => {
                 buf.put_u8(Self::T_STORE);
                 buf.put_varint(*rpc);
                 from.encode(buf);
                 buf.put_id(key);
                 buf.put_bytes_field(blob);
             }
-            Message::Append { rpc, from, key, entries } => {
+            Message::Append {
+                rpc,
+                from,
+                key,
+                entries,
+            } => {
                 buf.put_u8(Self::T_APPEND);
                 buf.put_varint(*rpc);
                 from.encode(buf);
                 buf.put_id(key);
                 entries.encode(buf);
             }
-            Message::Replicate { rpc, from, key, blob, entries } => {
+            Message::Replicate {
+                rpc,
+                from,
+                key,
+                blob,
+                entries,
+            } => {
                 buf.put_u8(Self::T_REPLICATE);
                 buf.put_varint(*rpc);
                 from.encode(buf);
@@ -304,6 +380,32 @@ impl WireEncode for Message {
                     None => buf.put_u8(0),
                 }
                 entries.encode(buf);
+            }
+            Message::CachePush {
+                rpc,
+                from,
+                key,
+                top_n,
+                blob,
+                entries,
+                truncated,
+                version,
+            } => {
+                buf.put_u8(Self::T_CACHE_PUSH);
+                buf.put_varint(*rpc);
+                from.encode(buf);
+                buf.put_id(key);
+                buf.put_varint(u64::from(*top_n));
+                match blob {
+                    Some(b) => {
+                        buf.put_u8(1);
+                        buf.put_bytes_field(b);
+                    }
+                    None => buf.put_u8(0),
+                }
+                entries.encode(buf);
+                buf.put_u8(u8::from(*truncated));
+                buf.put_varint(*version);
             }
             Message::Ack { rpc, from } => {
                 buf.put_u8(Self::T_ACK);
@@ -336,12 +438,21 @@ impl WireDecode for Message {
                 from,
                 contacts: Vec::<Contact>::decode(buf)?,
             },
-            Message::T_FIND_VALUE => Message::FindValue {
-                rpc,
-                from,
-                key: buf.get_id()?,
-                top_n: buf.get_varint()? as u32,
-            },
+            Message::T_FIND_VALUE => {
+                let key = buf.get_id()?;
+                let top_n = buf.get_varint()? as u32;
+                if buf.is_empty() {
+                    return Err(DharmaError::Decode("truncated FindValue flag".into()));
+                }
+                let no_cache = buf.get_u8() == 1;
+                Message::FindValue {
+                    rpc,
+                    from,
+                    key,
+                    top_n,
+                    no_cache,
+                }
+            }
             Message::T_FOUND_VALUE => {
                 let key_blob = if buf.is_empty() {
                     return Err(DharmaError::Decode("truncated FoundValue".into()));
@@ -355,12 +466,21 @@ impl WireDecode for Message {
                     return Err(DharmaError::Decode("truncated FoundValue flag".into()));
                 }
                 let truncated = buf.get_u8() == 1;
+                let version = buf.get_varint()?;
+                if buf.is_empty() {
+                    return Err(DharmaError::Decode(
+                        "truncated FoundValue cache flag".into(),
+                    ));
+                }
+                let from_cache = buf.get_u8() == 1;
                 Message::FoundValue {
                     rpc,
                     from,
                     blob: key_blob,
                     entries,
                     truncated,
+                    version,
+                    from_cache,
                 }
             }
             Message::T_STORE => Message::Store {
@@ -392,10 +512,35 @@ impl WireDecode for Message {
                     entries: Vec::<StoredEntry>::decode(buf)?,
                 }
             }
-            Message::T_ACK => Message::Ack { rpc, from },
-            other => {
-                return Err(DharmaError::Decode(format!("unknown message type {other}")))
+            Message::T_CACHE_PUSH => {
+                let key = buf.get_id()?;
+                let top_n = buf.get_varint()? as u32;
+                let blob = if buf.is_empty() {
+                    return Err(DharmaError::Decode("truncated CachePush".into()));
+                } else if buf.get_u8() == 1 {
+                    Some(buf.get_bytes_field()?)
+                } else {
+                    None
+                };
+                let entries = Vec::<StoredEntry>::decode(buf)?;
+                if buf.is_empty() {
+                    return Err(DharmaError::Decode("truncated CachePush flag".into()));
+                }
+                let truncated = buf.get_u8() == 1;
+                let version = buf.get_varint()?;
+                Message::CachePush {
+                    rpc,
+                    from,
+                    key,
+                    top_n,
+                    blob,
+                    entries,
+                    truncated,
+                    version,
+                }
             }
+            Message::T_ACK => Message::Ack { rpc, from },
+            other => return Err(DharmaError::Decode(format!("unknown message type {other}"))),
         })
     }
 }
@@ -421,8 +566,14 @@ mod tests {
     #[test]
     fn all_messages_roundtrip() {
         let msgs = vec![
-            Message::Ping { rpc: 1, from: contact(1) },
-            Message::Pong { rpc: 1, from: contact(2) },
+            Message::Ping {
+                rpc: 1,
+                from: contact(1),
+            },
+            Message::Pong {
+                rpc: 1,
+                from: contact(2),
+            },
             Message::FindNode {
                 rpc: 7,
                 from: contact(1),
@@ -438,16 +589,32 @@ mod tests {
                 from: contact(1),
                 key: sha1(b"k"),
                 top_n: 100,
+                no_cache: false,
+            },
+            Message::FindValue {
+                rpc: 10,
+                from: contact(1),
+                key: sha1(b"k2"),
+                top_n: 0,
+                no_cache: true,
             },
             Message::FoundValue {
                 rpc: 9,
                 from: contact(2),
                 blob: Some(b"uri://x".to_vec()),
                 entries: vec![
-                    StoredEntry { name: "rock".into(), weight: 42 },
-                    StoredEntry { name: "pop".into(), weight: 1 },
+                    StoredEntry {
+                        name: "rock".into(),
+                        weight: 42,
+                    },
+                    StoredEntry {
+                        name: "pop".into(),
+                        weight: 1,
+                    },
                 ],
                 truncated: true,
+                version: 7,
+                from_cache: false,
             },
             Message::FoundValue {
                 rpc: 9,
@@ -455,6 +622,8 @@ mod tests {
                 blob: None,
                 entries: vec![],
                 truncated: false,
+                version: 0,
+                from_cache: true,
             },
             Message::Store {
                 rpc: 11,
@@ -467,8 +636,14 @@ mod tests {
                 from: contact(1),
                 key: sha1(b"k"),
                 entries: vec![
-                    StoredEntry { name: "heavy-metal".into(), weight: 1 },
-                    StoredEntry { name: "rock".into(), weight: 3 },
+                    StoredEntry {
+                        name: "heavy-metal".into(),
+                        weight: 1,
+                    },
+                    StoredEntry {
+                        name: "rock".into(),
+                        weight: 3,
+                    },
                 ],
             },
             Message::Replicate {
@@ -476,9 +651,28 @@ mod tests {
                 from: contact(1),
                 key: sha1(b"k"),
                 blob: Some(b"snapshot".to_vec()),
-                entries: vec![StoredEntry { name: "rock".into(), weight: 9 }],
+                entries: vec![StoredEntry {
+                    name: "rock".into(),
+                    weight: 9,
+                }],
             },
-            Message::Ack { rpc: 13, from: contact(2) },
+            Message::CachePush {
+                rpc: 17,
+                from: contact(3),
+                key: sha1(b"hot"),
+                top_n: 100,
+                blob: None,
+                entries: vec![StoredEntry {
+                    name: "rock".into(),
+                    weight: 12,
+                }],
+                truncated: true,
+                version: 42,
+            },
+            Message::Ack {
+                rpc: 13,
+                from: contact(2),
+            },
         ];
         for m in &msgs {
             roundtrip(m);
@@ -506,7 +700,10 @@ mod tests {
 
     #[test]
     fn ping_fits_smallest_mtu() {
-        let m = Message::Ping { rpc: u64::MAX, from: contact(1) };
+        let m = Message::Ping {
+            rpc: u64::MAX,
+            from: contact(1),
+        };
         assert!(m.encode_to_bytes().len() < 64);
     }
 }

@@ -16,7 +16,8 @@
 
 use bytes::Bytes;
 
-use dharma_net::{Ctx, Node, NodeAddr};
+use dharma_cache::{CacheConfig, CacheStats, HotCache, PopularityConfig, PopularityEstimator};
+use dharma_net::{Ctx, NetCounters, Node, NodeAddr};
 use dharma_types::{FxHashMap, Id160, WireDecode, WireEncode};
 
 use crate::lookup::LookupState;
@@ -44,6 +45,19 @@ pub struct KadConfig {
     /// Record time-to-live in µs (`None` = keep forever). Values not
     /// written or re-replicated within the TTL are dropped.
     pub record_ttl_us: Option<u64>,
+    /// Hot-block caching (`None` = disabled, the default): per-node
+    /// TinyLFU cache of filtered reads, serving `FIND_VALUE` misses, a
+    /// requester-local fast path, and the store-on-path `CachePush` rule.
+    /// Disabled nodes behave byte-identically to the pre-cache protocol.
+    pub cache: Option<CacheConfig>,
+    /// Popularity-driven adaptive replication (`None` = disabled):
+    /// authoritative holders track per-key GET rates and push idempotent
+    /// replica snapshots beyond the base `k` when a key runs hot.
+    pub replication: Option<PopularityConfig>,
+    /// Shared counters cache hits/misses and replica promotions are
+    /// recorded into. Runtimes wire their own [`NetCounters`] here (the
+    /// overlay builders do); the default is a private, unobserved set.
+    pub counters: NetCounters,
 }
 
 impl Default for KadConfig {
@@ -55,6 +69,9 @@ impl Default for KadConfig {
             reply_budget: 1200,
             republish_interval_us: None,
             record_ttl_us: None,
+            cache: None,
+            replication: None,
+            counters: NetCounters::new(),
         }
     }
 }
@@ -84,16 +101,29 @@ pub enum KadOutput {
 #[derive(Clone, Debug)]
 enum OpKind {
     FindNodes,
-    Get { top_n: u32 },
-    PutBlob { blob: Vec<u8> },
-    Append { entries: Vec<StoredEntry> },
-    Replicate { blob: Option<Vec<u8>>, entries: Vec<StoredEntry> },
+    Get {
+        top_n: u32,
+    },
+    PutBlob {
+        blob: Vec<u8>,
+    },
+    Append {
+        entries: Vec<StoredEntry>,
+    },
+    Replicate {
+        blob: Option<Vec<u8>>,
+        entries: Vec<StoredEntry>,
+    },
 }
 
 #[derive(Clone, Debug)]
 enum Phase {
     Lookup,
-    Write { acks: u32, pending: u32, targets: u32 },
+    Write {
+        acks: u32,
+        pending: u32,
+        targets: u32,
+    },
 }
 
 #[derive(Debug)]
@@ -103,6 +133,17 @@ struct OpState {
     phase: Phase,
     messages: u32,
     done: bool,
+    /// For Get ops with caching on: responders that answered `FoundNodes`
+    /// (i.e. did not have the value) — candidates for the store-on-path
+    /// `CachePush` once the value arrives.
+    value_misses: Vec<Contact>,
+    /// For Get ops on keys this node recently wrote: ignore `from_cache`
+    /// replies (they may predate the write) and insist on an authoritative
+    /// holder — the requester-side half of read-your-writes.
+    bypass_cache: bool,
+    /// When the operation was issued (guard-disarm ordering: only a GET
+    /// issued after a write guard was armed may disarm it).
+    issued_at_us: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -127,7 +168,35 @@ pub struct KademliaNode {
     pending: FxHashMap<u64, PendingRpc>,
     next_rpc: u64,
     next_op: u64,
+    /// Hot-block cache (present when `cfg.cache` is set).
+    cache: Option<HotCache<FetchedValue>>,
+    /// Per-key GET-rate tracker (present when `cfg.replication` is set).
+    popularity: Option<PopularityEstimator>,
+    /// `FIND_VALUE` requests received — the per-node GET load metric the
+    /// cache ablation compares across configurations.
+    gets_served: u64,
+    /// Read-your-writes guards, kept while caching is on: GETs for guarded
+    /// keys refuse possibly-stale cached replies until an authoritative
+    /// read observed after the write. Guards expire one cache TTL after
+    /// the write completes (beyond it no servable cached view can predate
+    /// the write). Bounded by [`WRITE_GUARD_CAP`].
+    recent_writes: FxHashMap<Id160, WriteGuard>,
 }
+
+/// Read-your-writes bookkeeping for one key (see
+/// [`KademliaNode::note_written`]).
+#[derive(Clone, Copy, Debug)]
+struct WriteGuard {
+    /// When the guard was last armed: the latest write issue or completion.
+    armed_at_us: u64,
+    /// Client write operations for the key currently in flight from this
+    /// node. While positive, authoritative replies cannot disarm the guard
+    /// (they may predate the write still travelling).
+    inflight: u32,
+}
+
+/// Bound on tracked write guards per node.
+const WRITE_GUARD_CAP: usize = 8192;
 
 impl KademliaNode {
     /// Creates a node with the given overlay id and transport address.
@@ -136,11 +205,15 @@ impl KademliaNode {
             contact: Contact { id, addr },
             routing: RoutingTable::new(id, cfg.k),
             storage: Storage::new(),
+            cache: cfg.cache.clone().map(HotCache::new),
+            popularity: cfg.replication.clone().map(PopularityEstimator::new),
             cfg,
             ops: FxHashMap::default(),
             pending: FxHashMap::default(),
             next_rpc: 1,
             next_op: 1,
+            gets_served: 0,
+            recent_writes: FxHashMap::default(),
         }
     }
 
@@ -157,6 +230,165 @@ impl KademliaNode {
     /// Local storage (read access for tests/diagnostics).
     pub fn storage(&self) -> &Storage {
         &self.storage
+    }
+
+    /// Hot-block cache statistics (`None` when caching is disabled).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(HotCache::stats)
+    }
+
+    /// `FIND_VALUE` requests this node has received (GET load metric).
+    pub fn gets_served(&self) -> u64 {
+        self.gets_served
+    }
+
+    /// The popularity estimator (`None` when adaptive replication is off).
+    pub fn popularity(&self) -> Option<&PopularityEstimator> {
+        self.popularity.as_ref()
+    }
+
+    /// Applies a local write's cache consequences: every cached view of
+    /// `key` on this node is dropped, so the next read observes the write
+    /// (read-your-writes for the writer; remote staleness is TTL-bounded).
+    fn invalidate_cached(&mut self, key: &Id160) {
+        if let Some(cache) = &mut self.cache {
+            cache.invalidate_key(key);
+        }
+    }
+
+    /// Stamps a client-issued write: drops this node's cached views of the
+    /// key and arms (or re-arms) its read-your-writes guard, so GETs
+    /// refuse possibly-stale cached replies while the write is in flight
+    /// and for up to one cache TTL after.
+    fn note_written(&mut self, key: Id160, now_us: u64) {
+        if self.cache.is_none() {
+            return;
+        }
+        self.invalidate_cached(&key);
+        let guard = self.recent_writes.entry(key).or_insert(WriteGuard {
+            armed_at_us: now_us,
+            inflight: 0,
+        });
+        guard.armed_at_us = now_us;
+        guard.inflight += 1;
+        if self.recent_writes.len() > WRITE_GUARD_CAP {
+            let ttl = self.write_guard_ttl_us();
+            self.recent_writes
+                .retain(|_, g| g.inflight > 0 || now_us.saturating_sub(g.armed_at_us) <= ttl);
+            if self.recent_writes.len() > WRITE_GUARD_CAP {
+                // A writer touching more distinct keys than the cap within
+                // one TTL: shed the oldest idle quarter. Those keys lose
+                // their guard early (their next read may be a cached view
+                // predating the write by < TTL) — the bounded-staleness
+                // floor every non-writer already lives with.
+                let mut idle: Vec<(Id160, u64)> = self
+                    .recent_writes
+                    .iter()
+                    .filter(|(_, g)| g.inflight == 0)
+                    .map(|(k, g)| (*k, g.armed_at_us))
+                    .collect();
+                idle.sort_unstable_by_key(|&(_, at)| at);
+                for (k, _) in idle.into_iter().take(WRITE_GUARD_CAP / 4) {
+                    self.recent_writes.remove(&k);
+                }
+            }
+        }
+    }
+
+    /// Marks one in-flight write for `key` as finished: re-stamps the
+    /// guard (a GET that raced the write may have cached a pre-write view
+    /// in the meantime — dropped here) and releases the in-flight hold.
+    fn note_write_done(&mut self, key: Id160, now_us: u64) {
+        if self.cache.is_none() {
+            return;
+        }
+        self.invalidate_cached(&key);
+        if let Some(guard) = self.recent_writes.get_mut(&key) {
+            guard.armed_at_us = now_us;
+            guard.inflight = guard.inflight.saturating_sub(1);
+        }
+    }
+
+    /// How long a completed write keeps forcing authoritative reads: the
+    /// cache TTL (beyond it, no still-servable cached view can predate the
+    /// write — cached views are only ever minted from authoritative reads,
+    /// so their age is bounded by one TTL).
+    fn write_guard_ttl_us(&self) -> u64 {
+        self.cfg.cache.as_ref().map(|c| c.ttl_us).unwrap_or(0)
+    }
+
+    /// True when `key`'s read-your-writes guard is armed: a write is in
+    /// flight, or one completed within the last cache TTL.
+    fn recently_wrote(&self, key: &Id160, now_us: u64) -> bool {
+        self.cache.is_some()
+            && self
+                .recent_writes
+                .get(key)
+                .map(|g| {
+                    g.inflight > 0
+                        || now_us.saturating_sub(g.armed_at_us) <= self.write_guard_ttl_us()
+                })
+                .unwrap_or(false)
+    }
+
+    /// Adaptive replication: called after this node served `key` from
+    /// authoritative storage. Feeds the popularity estimator and, when the
+    /// key is hot and its promotion cooldown has lapsed, pushes idempotent
+    /// replica snapshots to the nodes ranked just beyond the base `k` for
+    /// the key — spreading GET load off the k hot holders. The pushes are
+    /// fire-and-forget `Replicate` messages (their acks are ignored).
+    fn maybe_promote_replicas(&mut self, ctx: &mut Ctx<KadOutput>, key: Id160) {
+        let extra = match self.popularity.as_mut() {
+            Some(pop) => {
+                pop.record(key, ctx.now_us);
+                pop.should_promote(&key, ctx.now_us)
+            }
+            None => None,
+        };
+        let Some(extra) = extra else {
+            return;
+        };
+        let snapshot = self.storage.get(&key).map(|state| {
+            let entries: Vec<StoredEntry> = state
+                .entries
+                .iter()
+                .map(|(name, &weight)| StoredEntry {
+                    name: name.clone(),
+                    weight,
+                })
+                .collect();
+            (state.blob.clone(), entries)
+        });
+        let Some((blob, entries)) = snapshot else {
+            return;
+        };
+        let targets: Vec<Contact> = self
+            .routing
+            .closest(&key, self.cfg.k + extra)
+            .into_iter()
+            .skip(self.cfg.k)
+            .collect();
+        if targets.is_empty() {
+            return;
+        }
+        self.cfg
+            .counters
+            .record_replicas_promoted(targets.len() as u64);
+        for contact in targets {
+            let rpc = self.next_rpc;
+            self.next_rpc += 1;
+            ctx.send(
+                contact.addr,
+                Message::Replicate {
+                    rpc,
+                    from: self.contact.clone(),
+                    key,
+                    blob: blob.clone(),
+                    entries: entries.clone(),
+                }
+                .encode_to_bytes(),
+            );
+        }
     }
 
     /// Seeds the routing table with a known peer (out-of-band bootstrap
@@ -191,13 +423,7 @@ impl KademliaNode {
 
     /// Appends `tokens` to entry `name` of the weighted set at `key`, on the
     /// `k` closest nodes.
-    pub fn append(
-        &mut self,
-        ctx: &mut Ctx<KadOutput>,
-        key: Id160,
-        name: &str,
-        tokens: u64,
-    ) -> u64 {
+    pub fn append(&mut self, ctx: &mut Ctx<KadOutput>, key: Id160, name: &str, tokens: u64) -> u64 {
         self.append_many(
             ctx,
             key,
@@ -268,12 +494,26 @@ impl KademliaNode {
         let op_id = self.next_op;
         self.next_op += 1;
 
-        // Local fast path for reads: this node may itself hold the value.
+        // Client-issued writes immediately drop this node's cached views of
+        // the key and arm the read-your-writes guard — even before any
+        // replica acks, a later local GET must never see the pre-write view.
+        if matches!(
+            kind,
+            OpKind::PutBlob { .. } | OpKind::Append { .. } | OpKind::Replicate { .. }
+        ) {
+            self.note_written(target, ctx.now_us);
+        }
+        let bypass_cache =
+            matches!(kind, OpKind::Get { .. }) && self.recently_wrote(&target, ctx.now_us);
+
+        // Local fast path for reads: this node may itself hold the value
+        // authoritatively, or (with caching on) hold a fresh cached view.
         if let OpKind::Get { top_n } = &kind {
             if let Some(read) = self
                 .storage
                 .read_filtered(&target, *top_n, self.cfg.reply_budget)
             {
+                self.cfg.counters.record_cache_miss();
                 ctx.complete(
                     op_id,
                     KadOutput::Value {
@@ -281,11 +521,28 @@ impl KademliaNode {
                             blob: read.blob,
                             entries: read.entries,
                             truncated: read.truncated,
+                            version: read.version,
+                            from_cache: false,
                         }),
                         messages: 0,
                     },
                 );
                 return op_id;
+            }
+            if !bypass_cache {
+                if let Some(cache) = &mut self.cache {
+                    if let Some((view, _version)) = cache.get(&(target, *top_n), ctx.now_us) {
+                        self.cfg.counters.record_cache_hit();
+                        ctx.complete(
+                            op_id,
+                            KadOutput::Value {
+                                value: Some(view),
+                                messages: 0,
+                            },
+                        );
+                        return op_id;
+                    }
+                }
             }
         }
 
@@ -297,6 +554,9 @@ impl KademliaNode {
             phase: Phase::Lookup,
             messages: 0,
             done: false,
+            value_misses: Vec::new(),
+            bypass_cache,
+            issued_at_us: ctx.now_us,
         };
 
         if op.lookup.is_converged() {
@@ -322,6 +582,7 @@ impl KademliaNode {
         let queries = op.lookup.next_queries();
         let target = op.lookup.target();
         let is_get = matches!(op.kind, OpKind::Get { .. });
+        let no_cache = op.bypass_cache;
         let top_n = match op.kind {
             OpKind::Get { top_n } => top_n,
             _ => 0,
@@ -337,6 +598,7 @@ impl KademliaNode {
                     from: self.contact.clone(),
                     key: target,
                     top_n,
+                    no_cache,
                 }
             } else {
                 Message::FindNode {
@@ -394,6 +656,7 @@ impl KademliaNode {
                 // Lookup ended without any node returning the value.
                 let messages = op.messages;
                 op.done = true;
+                self.cfg.counters.record_cache_miss();
                 ctx.complete(
                     op_id,
                     KadOutput::Value {
@@ -442,6 +705,7 @@ impl KademliaNode {
                         }
                         _ => unreachable!(),
                     }
+                    self.invalidate_cached(&key);
                 }
 
                 if replicas.is_empty() {
@@ -449,6 +713,7 @@ impl KademliaNode {
                     if let Some(op) = self.ops.get_mut(&op_id) {
                         op.done = true;
                     }
+                    self.note_write_done(key, ctx.now_us);
                     ctx.complete(op_id, KadOutput::Written { acks, targets });
                     self.ops.remove(&op_id);
                     return;
@@ -505,7 +770,12 @@ impl KademliaNode {
         let Some(op) = self.ops.get_mut(&op_id) else {
             return;
         };
-        let Phase::Write { acks, pending, targets } = &mut op.phase else {
+        let Phase::Write {
+            acks,
+            pending,
+            targets,
+        } = &mut op.phase
+        else {
             return;
         };
         if acked {
@@ -515,7 +785,9 @@ impl KademliaNode {
         if *pending == 0 {
             let acks = *acks + 1; // count the local apply as durable
             let targets = *targets;
+            let key = op.lookup.target();
             op.done = true;
+            self.note_write_done(key, ctx.now_us);
             ctx.complete(op_id, KadOutput::Written { acks, targets });
             self.ops.remove(&op_id);
         }
@@ -567,8 +839,18 @@ impl Node for KademliaNode {
                     .encode_to_bytes(),
                 );
             }
-            Message::FindValue { rpc, from, key, top_n } => {
-                match self.storage.read_filtered(&key, top_n, self.cfg.reply_budget) {
+            Message::FindValue {
+                rpc,
+                from,
+                key,
+                top_n,
+                no_cache,
+            } => {
+                self.gets_served += 1;
+                match self
+                    .storage
+                    .read_filtered(&key, top_n, self.cfg.reply_budget)
+                {
                     Some(read) => {
                         ctx.send(
                             from.addr,
@@ -578,11 +860,54 @@ impl Node for KademliaNode {
                                 blob: read.blob,
                                 entries: read.entries,
                                 truncated: read.truncated,
+                                version: read.version,
+                                from_cache: false,
                             }
                             .encode_to_bytes(),
                         );
+                        // Authoritative holders track per-key GET rates and
+                        // push extra replicas when a key runs hot.
+                        self.maybe_promote_replicas(ctx, key);
                     }
                     None => {
+                        // Not an authoritative holder — a path node. With
+                        // caching on, a store-on-path view can still answer
+                        // (flagged `from_cache` so requesters know) — unless
+                        // the requester demanded authoritative-only service
+                        // (its read-your-writes guard is armed; a cached
+                        // view could predate its write, and a FoundNodes
+                        // reply keeps its lookup advancing instead).
+                        if no_cache {
+                            let contacts = self.routing.closest(&key, self.cfg.k);
+                            ctx.send(
+                                from.addr,
+                                Message::FoundNodes {
+                                    rpc,
+                                    from: self.contact.clone(),
+                                    contacts,
+                                }
+                                .encode_to_bytes(),
+                            );
+                            return;
+                        }
+                        if let Some(cache) = &mut self.cache {
+                            if let Some((view, version)) = cache.get(&(key, top_n), ctx.now_us) {
+                                ctx.send(
+                                    from.addr,
+                                    Message::FoundValue {
+                                        rpc,
+                                        from: self.contact.clone(),
+                                        blob: view.blob,
+                                        entries: view.entries,
+                                        truncated: view.truncated,
+                                        version,
+                                        from_cache: true,
+                                    }
+                                    .encode_to_bytes(),
+                                );
+                                return;
+                            }
+                        }
                         let contacts = self.routing.closest(&key, self.cfg.k);
                         ctx.send(
                             from.addr,
@@ -596,9 +921,15 @@ impl Node for KademliaNode {
                     }
                 }
             }
-            Message::Store { rpc, from, key, blob } => {
+            Message::Store {
+                rpc,
+                from,
+                key,
+                blob,
+            } => {
                 self.storage.put_blob(key, blob);
                 self.storage.touch(key, ctx.now_us);
+                self.invalidate_cached(&key);
                 ctx.send(
                     from.addr,
                     Message::Ack {
@@ -608,11 +939,17 @@ impl Node for KademliaNode {
                     .encode_to_bytes(),
                 );
             }
-            Message::Append { rpc, from, key, entries } => {
+            Message::Append {
+                rpc,
+                from,
+                key,
+                entries,
+            } => {
                 for e in &entries {
                     self.storage.append(key, &e.name, e.weight);
                 }
                 self.storage.touch(key, ctx.now_us);
+                self.invalidate_cached(&key);
                 ctx.send(
                     from.addr,
                     Message::Ack {
@@ -622,7 +959,11 @@ impl Node for KademliaNode {
                     .encode_to_bytes(),
                 );
             }
-            Message::FoundNodes { rpc, from, contacts } => {
+            Message::FoundNodes {
+                rpc,
+                from,
+                contacts,
+            } => {
                 let Some(pend) = self.pending.remove(&rpc) else {
                     return; // late reply for a finished op
                 };
@@ -636,35 +977,171 @@ impl Node for KademliaNode {
                     let filtered: Vec<Contact> =
                         contacts.into_iter().filter(|c| c.id != own).collect();
                     op.lookup.on_response(&from.id, filtered);
+                    // A FoundNodes reply to a FIND_VALUE means the responder
+                    // does not hold the value: remember it as a candidate for
+                    // the store-on-path cache push.
+                    if self.cache.is_some() && matches!(op.kind, OpKind::Get { .. }) {
+                        op.value_misses.push(from);
+                    }
                     self.pump(ctx, pend.op);
                 }
             }
-            Message::FoundValue { rpc, from, blob, entries, truncated } => {
+            Message::FoundValue {
+                rpc,
+                from,
+                blob,
+                entries,
+                truncated,
+                version,
+                from_cache,
+            } => {
                 let Some(pend) = self.pending.remove(&rpc) else {
                     return;
                 };
                 let _ = from;
-                if let Some(op) = self.ops.get_mut(&pend.op) {
-                    if matches!(op.kind, OpKind::Get { .. }) && !op.done {
-                        let messages = op.messages;
-                        op.done = true;
-                        ctx.complete(
-                            pend.op,
-                            KadOutput::Value {
-                                value: Some(FetchedValue {
-                                    blob,
-                                    entries,
-                                    truncated,
-                                }),
-                                messages,
-                            },
+                let Some(op) = self.ops.get_mut(&pend.op) else {
+                    return;
+                };
+                let OpKind::Get { top_n } = op.kind else {
+                    return;
+                };
+                if op.done {
+                    return;
+                }
+                if from_cache && op.bypass_cache {
+                    // Defensive: bypassing GETs request authoritative-only
+                    // service (`no_cache`), so a cached reply should not
+                    // arrive — but if one does, the view may predate this
+                    // node's write. Count the responder as an empty miss
+                    // (not a failure: the node is alive and well-behaved)
+                    // and keep looking for an authoritative holder.
+                    op.lookup.on_response(&from.id, Vec::new());
+                    self.pump(ctx, pend.op);
+                    return;
+                }
+                let messages = op.messages;
+                let key = op.lookup.target();
+                let misses = std::mem::take(&mut op.value_misses);
+                let issued_at = op.issued_at_us;
+                op.done = true;
+                if from_cache {
+                    self.cfg.counters.record_cache_hit();
+                } else {
+                    self.cfg.counters.record_cache_miss();
+                    // An authoritative read can disarm the read-your-writes
+                    // guard — but only if it cannot predate the guarded
+                    // write: no write for the key may still be in flight,
+                    // and this GET must have been issued after the guard
+                    // was (re-)armed. (A reply that raced an in-flight
+                    // write could carry the pre-write view.)
+                    let disarm = self
+                        .recent_writes
+                        .get(&key)
+                        .map(|g| g.inflight == 0 && issued_at >= g.armed_at_us)
+                        .unwrap_or(false);
+                    if disarm {
+                        self.recent_writes.remove(&key);
+                    }
+                }
+                let value = FetchedValue {
+                    blob,
+                    entries,
+                    truncated,
+                    version,
+                    from_cache,
+                };
+                ctx.complete(
+                    pend.op,
+                    KadOutput::Value {
+                        value: Some(value.clone()),
+                        messages,
+                    },
+                );
+                self.ops.remove(&pend.op);
+                // Only *authoritative* views are cached or pushed: re-caching
+                // a `from_cache` reply would restamp its TTL clock and let a
+                // view circulate cache-to-cache indefinitely, unbounding
+                // staleness. And while a write guard is armed, the arriving
+                // view may predate the write — don't pin it.
+                let cacheable = !from_cache && !self.recently_wrote(&key, ctx.now_us);
+                if !cacheable {
+                    return;
+                }
+                if let Some(cache) = &mut self.cache {
+                    // Keep a requester-local view (served as a cache hit on
+                    // the next GET of this key from this node) ...
+                    let mut cached = value.clone();
+                    cached.from_cache = true;
+                    cache.insert((key, top_n), version, cached, ctx.now_us);
+                    // ... and apply the Kademlia caching rule: push the view
+                    // to the path node closest to the key that missed, so the
+                    // next lookup from anywhere stops before the hot holders.
+                    if let Some(target) = misses.into_iter().min_by_key(|c| c.id.distance(&key)) {
+                        let rpc = self.next_rpc;
+                        self.next_rpc += 1;
+                        ctx.send(
+                            target.addr,
+                            Message::CachePush {
+                                rpc,
+                                from: self.contact.clone(),
+                                key,
+                                top_n,
+                                blob: value.blob,
+                                entries: value.entries,
+                                truncated: value.truncated,
+                                version,
+                            }
+                            .encode_to_bytes(),
                         );
-                        self.ops.remove(&pend.op);
                     }
                 }
             }
-            Message::Replicate { rpc, from, key, blob, entries } => {
-                self.storage.merge_max(key, blob.as_deref(), &entries, ctx.now_us);
+            Message::CachePush {
+                rpc,
+                from,
+                key,
+                top_n,
+                blob,
+                entries,
+                truncated,
+                version,
+            } => {
+                let _ = (rpc, from);
+                // A pushed view may predate a write this node has in
+                // flight or just issued — never pin it over our own guard.
+                if self.recently_wrote(&key, ctx.now_us) {
+                    return;
+                }
+                // Authoritative holders ignore pushes (their storage is
+                // fresher by definition); everyone else caches the view.
+                if self.storage.contains(&key) {
+                    return;
+                }
+                if let Some(cache) = &mut self.cache {
+                    cache.insert(
+                        (key, top_n),
+                        version,
+                        FetchedValue {
+                            blob,
+                            entries,
+                            truncated,
+                            version,
+                            from_cache: true,
+                        },
+                        ctx.now_us,
+                    );
+                }
+            }
+            Message::Replicate {
+                rpc,
+                from,
+                key,
+                blob,
+                entries,
+            } => {
+                self.storage
+                    .merge_max(key, blob.as_deref(), &entries, ctx.now_us);
+                self.invalidate_cached(&key);
                 ctx.send(
                     from.addr,
                     Message::Ack {
@@ -786,7 +1263,9 @@ mod tests {
     fn put_then_get_roundtrip() {
         let (mut net, _contacts) = build_net(20, 2);
         let key = sha1(b"res:nevermind|4");
-        let op_put = net.with_node(3, |n, ctx| n.put_blob(ctx, key, b"uri://nevermind".to_vec()));
+        let op_put = net.with_node(3, |n, ctx| {
+            n.put_blob(ctx, key, b"uri://nevermind".to_vec())
+        });
         net.run_until_idle(100_000);
         let completions = net.take_completions();
         let put = completions.iter().find(|(id, _)| *id == op_put).unwrap();
@@ -843,10 +1322,7 @@ mod tests {
         net.run_until_idle(100_000);
         let completions = net.take_completions();
         let got = completions.iter().find(|(id, _)| *id == op).unwrap();
-        assert!(matches!(
-            got.1,
-            KadOutput::Value { value: None, .. }
-        ));
+        assert!(matches!(got.1, KadOutput::Value { value: None, .. }));
     }
 
     #[test]
@@ -912,12 +1388,222 @@ mod tests {
         let completions = net.take_completions();
         let got = completions.iter().find(|(i, _)| *i == op_get).unwrap();
         match &got.1 {
-            KadOutput::Value { value: Some(v), messages } => {
+            KadOutput::Value {
+                value: Some(v),
+                messages,
+            } => {
                 assert_eq!(*messages, 0, "local read needs no messages");
                 assert_eq!(v.entries[0].name, "x");
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    /// Like [`build_net`] but with hot-block caching (and optionally
+    /// adaptive replication) enabled on every node. Returns the shared
+    /// counters handle all nodes record into.
+    fn build_cached_net(
+        n: usize,
+        k: usize,
+        seed: u64,
+        replication: Option<PopularityConfig>,
+    ) -> (SimNet<KademliaNode>, NetCounters) {
+        let mut net = SimNet::new(SimConfig {
+            latency_min_us: 1_000,
+            latency_max_us: 10_000,
+            drop_rate: 0.0,
+            mtu: 64 * 1024,
+            seed,
+        });
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A2);
+        let counters = NetCounters::new();
+        let cfg = KadConfig {
+            k,
+            alpha: 3,
+            rpc_timeout_us: 500_000,
+            reply_budget: 60_000,
+            cache: Some(CacheConfig {
+                capacity: 64,
+                ttl_us: 3_600_000_000,
+            }),
+            replication,
+            counters: counters.clone(),
+            ..KadConfig::default()
+        };
+        let mut contacts = Vec::new();
+        for i in 0..n {
+            let id = Id160::random(&mut rng);
+            let node = KademliaNode::new(id, i as NodeAddr, cfg.clone());
+            let addr = net.add_node(node);
+            contacts.push(Contact { id, addr });
+        }
+        for i in 1..n {
+            net.node_mut(i as NodeAddr).add_seed(contacts[0].clone());
+        }
+        for i in 1..n {
+            net.with_node(i as NodeAddr, |node, ctx| {
+                node.bootstrap(ctx);
+            });
+        }
+        net.run_until_idle(2_000_000);
+        net.take_completions();
+        (net, counters)
+    }
+
+    fn get_value(
+        net: &mut SimNet<KademliaNode>,
+        addr: NodeAddr,
+        key: Id160,
+        top_n: u32,
+    ) -> (Option<FetchedValue>, u32) {
+        let op = net.with_node(addr, |n, ctx| n.get(ctx, key, top_n));
+        net.run_until_idle(1_000_000);
+        let completions = net.take_completions();
+        let got = completions.into_iter().find(|(id, _)| *id == op).unwrap();
+        match got.1 {
+            KadOutput::Value { value, messages } => (value, messages),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_get_is_served_from_the_local_cache() {
+        let (mut net, counters) = build_cached_net(20, 8, 30, None);
+        let key = sha1(b"hot-block");
+        net.with_node(3, |n, ctx| n.append(ctx, key, "rock", 5));
+        net.run_until_idle(1_000_000);
+        net.take_completions();
+
+        // Pick a requester that is not an authoritative holder.
+        let requester = (0..20u32)
+            .find(|&a| !net.node(a).storage().contains(&key))
+            .expect("k = 8 of 20 nodes hold the key");
+        let (v1, m1) = get_value(&mut net, requester, key, 0);
+        let v1 = v1.expect("value found");
+        assert!(!v1.from_cache, "first read reaches authoritative storage");
+        assert!(m1 > 0, "first read crosses the network");
+
+        let (v2, m2) = get_value(&mut net, requester, key, 0);
+        let v2 = v2.expect("value cached");
+        assert!(v2.from_cache, "second read is a local cache hit");
+        assert_eq!(m2, 0, "cache hits cost zero messages");
+        assert_eq!(v2.entries, v1.entries, "cached view matches the original");
+        assert!(counters.cache_hits() >= 1);
+    }
+
+    #[test]
+    fn local_write_invalidates_cached_views() {
+        let (mut net, _counters) = build_cached_net(20, 8, 31, None);
+        let key = sha1(b"edited-block");
+        net.with_node(2, |n, ctx| n.append(ctx, key, "rock", 1));
+        net.run_until_idle(1_000_000);
+        net.take_completions();
+
+        // Warm every non-holder's cache with the pre-write view, so the
+        // writer's post-write lookup is guaranteed to meet cached copies
+        // on its path (the read-your-writes guard must see through them
+        // via authoritative-only service, not dead-end on them).
+        let non_holders: Vec<u32> = (0..20u32)
+            .filter(|&a| !net.node(a).storage().contains(&key))
+            .collect();
+        for &a in &non_holders {
+            let (_, _) = get_value(&mut net, a, key, 0);
+        }
+        net.run_until_idle(1_000_000);
+        net.take_completions();
+
+        // One of them now appends through the overlay; its own cached view
+        // must not survive, and its next read must reach authoritative
+        // storage past everyone else's stale cached copies.
+        let requester = non_holders[0];
+        net.with_node(requester, |n, ctx| n.append(ctx, key, "rock", 1));
+        net.run_until_idle(1_000_000);
+        net.take_completions();
+        let (v, _) = get_value(&mut net, requester, key, 0);
+        let v = v.expect("value present despite stale caches on the path");
+        assert!(!v.from_cache, "the guarded read is authoritative");
+        let rock = v.entries.iter().find(|e| e.name == "rock").unwrap();
+        assert_eq!(rock.weight, 2, "the writer observes its own append");
+    }
+
+    #[test]
+    fn path_caches_serve_the_block_after_every_holder_crashes() {
+        // Sparse overlay (k = 4 of 64 nodes) so lookups take multiple hops
+        // and store-on-path pushes land on intermediate nodes.
+        let (mut net, counters) = build_cached_net(64, 4, 32, None);
+        let key = sha1(b"pushed-block");
+        net.with_node(1, |n, ctx| n.append(ctx, key, "jazz", 3));
+        net.run_until_idle(2_000_000);
+        net.take_completions();
+
+        let holders: Vec<u32> = (0..64u32)
+            .filter(|&a| net.node(a).storage().contains(&key))
+            .collect();
+        assert!(!holders.is_empty());
+        // Warm the caches: a handful of non-holders fetch the block, each
+        // fetch also pushing the view to its closest-missing path node.
+        let warm: Vec<u32> = (0..64u32)
+            .filter(|&a| !net.node(a).storage().contains(&key))
+            .take(8)
+            .collect();
+        for &a in &warm {
+            let (v, _) = get_value(&mut net, a, key, 0);
+            assert!(v.is_some());
+        }
+        net.run_until_idle(2_000_000); // let the CachePushes land
+
+        // Every authoritative holder vanishes.
+        for &h in &holders {
+            net.crash(h);
+        }
+        let hits_before = counters.cache_hits();
+        // A fresh requester can still read the block: only a cached view
+        // (requester-local on a warm node, or a store-on-path push) can
+        // answer now, and the reply must say so.
+        let fresh = (0..64u32)
+            .find(|&a| !warm.contains(&a) && !holders.contains(&a))
+            .unwrap();
+        let (v, _) = get_value(&mut net, fresh, key, 0);
+        let v = v.expect("a cached view outlives the authoritative holders");
+        assert!(v.from_cache, "only caches can answer after the crash");
+        assert!(counters.cache_hits() > hits_before);
+    }
+
+    #[test]
+    fn hot_keys_gain_replicas_beyond_k() {
+        let replication = PopularityConfig {
+            half_life_us: 60_000_000,
+            hot_threshold: 4.0,
+            max_extra_replicas: 6,
+            max_tracked: 1024,
+            promote_cooldown_us: 1_000,
+        };
+        let (mut net, counters) = build_cached_net(24, 4, 33, Some(replication));
+        let key = sha1(b"viral-block");
+        net.with_node(0, |n, ctx| n.append(ctx, key, "meme", 1));
+        net.run_until_idle(1_000_000);
+        net.take_completions();
+        let holders_before = (0..24u32)
+            .filter(|&a| net.node(a).storage().contains(&key))
+            .count();
+
+        // Hammer the key from every node. Requester-side caches absorb
+        // repeats, so spread the GETs across distinct cold requesters.
+        for a in 0..24u32 {
+            let _ = get_value(&mut net, a, key, 0);
+        }
+        net.run_until_idle(2_000_000);
+        assert!(
+            counters.replicas_promoted() > 0,
+            "the hot key must trigger promotion"
+        );
+        let holders_after = (0..24u32)
+            .filter(|&a| net.node(a).storage().contains(&key))
+            .count();
+        assert!(
+            holders_after > holders_before,
+            "promotion must add replicas: {holders_before} -> {holders_after}"
+        );
     }
 
     #[test]

@@ -157,7 +157,7 @@ impl RoutingTable {
             all.select_nth_unstable_by(n - 1, |a, b| a.0.cmp(&b.0));
             all.truncate(n);
         }
-        all.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        all.sort_unstable_by_key(|a| a.0);
         all.into_iter().map(|(_, c)| c).collect()
     }
 
@@ -194,7 +194,7 @@ mod tests {
         for n in 0..20 {
             rt.note_contact(contact(n));
         }
-        assert!(rt.len() > 0);
+        assert!(!rt.is_empty());
         let target = sha1(b"target");
         let closest = rt.closest(&target, 5);
         assert_eq!(closest.len(), 5);

@@ -20,6 +20,14 @@ pub struct ValueState {
     pub entries: FxHashMap<String, u64>,
     /// Last write (or replication refresh) time, µs. Drives expiry.
     pub refreshed_us: u64,
+    /// Monotone write counter, bumped by every effective mutation. Cached
+    /// views of this key carry the version they were read at, so a cache
+    /// can tell an older view *from the same holder* from a newer one.
+    /// Caveat: the counter is per-holder — versions from different
+    /// responders are not comparable, so across holders cached-view
+    /// freshness is bounded by the cache TTL and write invalidation, not
+    /// by version ordering.
+    pub version: u64,
 }
 
 /// Node-local storage.
@@ -37,6 +45,8 @@ pub struct FilteredRead {
     pub blob: Option<Vec<u8>>,
     /// True when entries were cut by `top_n` or the byte budget.
     pub truncated: bool,
+    /// The value's write-version at read time (cache freshness tag).
+    pub version: u64,
 }
 
 impl Storage {
@@ -62,13 +72,16 @@ impl Storage {
 
     /// Stores/replaces the blob at `key`.
     pub fn put_blob(&mut self, key: Id160, blob: Vec<u8>) {
-        self.values.entry(key).or_default().blob = Some(blob);
+        let state = self.values.entry(key).or_default();
+        state.blob = Some(blob);
+        state.version += 1;
     }
 
     /// Appends `tokens` to entry `name` at `key` (creating both as needed).
     /// Returns the new weight.
     pub fn append(&mut self, key: Id160, name: &str, tokens: u64) -> u64 {
         let state = self.values.entry(key).or_default();
+        state.version += 1;
         match state.entries.get_mut(name) {
             Some(w) => {
                 *w += tokens;
@@ -79,6 +92,11 @@ impl Storage {
                 tokens
             }
         }
+    }
+
+    /// The write-version of `key` (0 when absent or never written).
+    pub fn version(&self, key: &Id160) -> u64 {
+        self.values.get(key).map(|v| v.version).unwrap_or(0)
     }
 
     /// Marks `key` as refreshed at `now_us` (writes and replication both
@@ -102,14 +120,26 @@ impl Storage {
         now_us: u64,
     ) {
         let state = self.values.entry(key).or_default();
+        let mut changed = false;
         if state.blob.is_none() {
             if let Some(b) = blob {
                 state.blob = Some(b.to_vec());
+                changed = true;
             }
         }
         for e in entries {
             let slot = state.entries.entry(e.name.clone()).or_insert(0);
-            *slot = (*slot).max(e.weight);
+            if e.weight > *slot {
+                *slot = e.weight;
+                changed = true;
+            }
+        }
+        // Bump the version only when the merge changed something: no-op
+        // republish sweeps must not inflate it, or replicas' version
+        // counters drift apart for identical content (the counters are
+        // per-holder to begin with — see the caveat on [`ValueState`]).
+        if changed {
+            state.version += 1;
         }
         state.refreshed_us = state.refreshed_us.max(now_us);
     }
@@ -178,6 +208,7 @@ impl Storage {
             entries,
             blob: state.blob.clone(),
             truncated,
+            version: state.version,
         })
     }
 
@@ -275,8 +306,14 @@ mod tests {
         let k = sha1(b"k");
         s.append(k, "rock", 3);
         let snapshot = vec![
-            StoredEntry { name: "rock".into(), weight: 5 },
-            StoredEntry { name: "pop".into(), weight: 2 },
+            StoredEntry {
+                name: "rock".into(),
+                weight: 5,
+            },
+            StoredEntry {
+                name: "pop".into(),
+                weight: 2,
+            },
         ];
         s.merge_max(k, Some(b"uri"), &snapshot, 100);
         s.merge_max(k, Some(b"uri"), &snapshot, 200);

@@ -23,43 +23,94 @@ fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (rpc, arb_contact()).prop_map(|(rpc, from)| Message::Ping { rpc, from }),
         (rpc, arb_contact()).prop_map(|(rpc, from)| Message::Pong { rpc, from }),
-        (rpc, arb_contact(), any::<[u8; 20]>())
-            .prop_map(|(rpc, from, t)| Message::FindNode {
+        (rpc, arb_contact(), any::<[u8; 20]>()).prop_map(|(rpc, from, t)| Message::FindNode {
+            rpc,
+            from,
+            target: Id160::from_bytes(t),
+        }),
+        (
+            rpc,
+            arb_contact(),
+            proptest::collection::vec(arb_contact(), 0..24)
+        )
+            .prop_map(|(rpc, from, contacts)| Message::FoundNodes {
                 rpc,
                 from,
-                target: Id160::from_bytes(t),
+                contacts
             }),
-        (rpc, arb_contact(), proptest::collection::vec(arb_contact(), 0..24))
-            .prop_map(|(rpc, from, contacts)| Message::FoundNodes { rpc, from, contacts }),
-        (rpc, arb_contact(), any::<[u8; 20]>(), any::<u32>())
-            .prop_map(|(rpc, from, k, top_n)| Message::FindValue {
+        (
+            rpc,
+            arb_contact(),
+            any::<[u8; 20]>(),
+            any::<u32>(),
+            any::<bool>()
+        )
+            .prop_map(|(rpc, from, k, top_n, no_cache)| Message::FindValue {
                 rpc,
                 from,
                 key: Id160::from_bytes(k),
                 top_n,
+                no_cache,
             }),
         (
             rpc,
             arb_contact(),
             proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
             proptest::collection::vec(arb_entry(), 0..16),
-            any::<bool>()
+            (any::<bool>(), any::<u64>(), any::<bool>())
         )
-            .prop_map(|(rpc, from, blob, entries, truncated)| Message::FoundValue {
-                rpc,
-                from,
-                blob,
-                entries,
-                truncated,
-            }),
-        (rpc, arb_contact(), any::<[u8; 20]>(), proptest::collection::vec(any::<u8>(), 0..512))
+            .prop_map(
+                |(rpc, from, blob, entries, (truncated, version, from_cache))| {
+                    Message::FoundValue {
+                        rpc,
+                        from,
+                        blob,
+                        entries,
+                        truncated,
+                        version,
+                        from_cache,
+                    }
+                }
+            ),
+        (
+            rpc,
+            arb_contact(),
+            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
+            proptest::collection::vec(arb_entry(), 0..16),
+            (any::<[u8; 20]>(), any::<u32>(), any::<bool>(), any::<u64>())
+        )
+            .prop_map(
+                |(rpc, from, blob, entries, (k, top_n, truncated, version))| {
+                    Message::CachePush {
+                        rpc,
+                        from,
+                        key: Id160::from_bytes(k),
+                        top_n,
+                        blob,
+                        entries,
+                        truncated,
+                        version,
+                    }
+                }
+            ),
+        (
+            rpc,
+            arb_contact(),
+            any::<[u8; 20]>(),
+            proptest::collection::vec(any::<u8>(), 0..512)
+        )
             .prop_map(|(rpc, from, k, blob)| Message::Store {
                 rpc,
                 from,
                 key: Id160::from_bytes(k),
                 blob,
             }),
-        (rpc, arb_contact(), any::<[u8; 20]>(), proptest::collection::vec(arb_entry(), 0..16))
+        (
+            rpc,
+            arb_contact(),
+            any::<[u8; 20]>(),
+            proptest::collection::vec(arb_entry(), 0..16)
+        )
             .prop_map(|(rpc, from, k, entries)| Message::Append {
                 rpc,
                 from,
@@ -191,6 +242,55 @@ proptest! {
         for (kb, name, _) in &ops {
             let key = sha1(&[*kb]);
             prop_assert_eq!(a.weight(&key, name), b.weight(&key, name));
+        }
+    }
+
+    /// Cached filtered reads never contradict authoritative storage. This
+    /// drives `Storage` and a `HotCache` exactly the way `KademliaNode`
+    /// does — every write invalidates the key's cached views, every read
+    /// consults the cache first and backfills it on a miss — and asserts
+    /// that a cache hit always equals a fresh `Storage::read_filtered`.
+    /// With an unbounded TTL this is exact equality, which in particular
+    /// means appends preserve read-your-writes for the writer.
+    #[test]
+    fn cached_reads_match_storage(
+        ops in proptest::collection::vec(
+            // (key byte, entry name, tokens, top_n, is_write)
+            (0u8..6, "[a-e]", 1u64..5, 0u32..4, any::<bool>()),
+            1..300,
+        ),
+    ) {
+        use dharma_cache::{CacheConfig, HotCache};
+        use dharma_kademlia::storage::FilteredRead;
+
+        let mut storage = Storage::new();
+        let mut cache: HotCache<FilteredRead> = HotCache::new(CacheConfig {
+            capacity: 8, // smaller than the reachable key universe: evictions happen
+            ttl_us: u64::MAX,
+        });
+        let mut now = 0u64;
+        for (kb, name, tokens, top_n, is_write) in ops {
+            now += 1;
+            let key = sha1(&[kb]);
+            if is_write {
+                storage.append(key, &name, tokens);
+                cache.invalidate_key(&key);
+            } else {
+                let authoritative = storage.read_filtered(&key, top_n, 10_000);
+                match cache.get(&(key, top_n), now) {
+                    Some((cached, version)) => {
+                        let auth = authoritative.expect("cached implies stored");
+                        prop_assert_eq!(version, auth.version, "version tags agree");
+                        prop_assert_eq!(cached, auth, "cached view equals a fresh read");
+                    }
+                    None => {
+                        if let Some(read) = authoritative {
+                            let version = read.version;
+                            cache.insert((key, top_n), version, read, now);
+                        }
+                    }
+                }
+            }
         }
     }
 

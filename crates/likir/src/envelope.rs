@@ -2,9 +2,7 @@
 
 use bytes::{Bytes, BytesMut};
 
-use dharma_types::{
-    DharmaError, Id160, ReadBytes, Result, WireDecode, WireEncode, WriteBytes,
-};
+use dharma_types::{DharmaError, Id160, ReadBytes, Result, WireDecode, WireEncode, WriteBytes};
 
 use crate::ca::{CaVerifier, Certificate, Identity};
 

@@ -67,8 +67,13 @@ impl ReplayGuard {
             }
             let mut recent = FxHashSet::default();
             recent.insert(nonce);
-            self.seen
-                .insert(sender.to_owned(), SenderWindow { high: nonce, recent });
+            self.seen.insert(
+                sender.to_owned(),
+                SenderWindow {
+                    high: nonce,
+                    recent,
+                },
+            );
             true
         }
     }

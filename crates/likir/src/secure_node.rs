@@ -230,7 +230,7 @@ mod tests {
         let mut secure: SecureNode<Echo> =
             SecureNode::new(Echo { got: vec![] }, ca.register("alice", 0), ca.verifier());
         let mut ctx: Ctx<()> = Ctx::new(0, 0, 1);
-        secure.on_message(&mut ctx, 9, envelope.encode_to_bytes().into());
+        secure.on_message(&mut ctx, 9, envelope.encode_to_bytes());
         assert!(secure.inner().got.is_empty());
         assert_eq!(secure.stats().forged, 1);
     }

@@ -24,6 +24,9 @@ struct Inner {
     bytes_sent: AtomicU64,
     oversize_rejected: AtomicU64,
     timers_fired: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    replicas_promoted: AtomicU64,
 }
 
 impl NetCounters {
@@ -35,7 +38,9 @@ impl NetCounters {
     /// Records a successful send of `bytes` payload bytes.
     pub fn record_sent(&self, bytes: usize) {
         self.inner.sent.fetch_add(1, Ordering::Relaxed);
-        self.inner.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner
+            .bytes_sent
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Records a delivery.
@@ -56,6 +61,24 @@ impl NetCounters {
     /// Records a timer expiry.
     pub fn record_timer(&self) {
         self.inner.timers_fired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a GET operation served from a hot-block cache (the
+    /// requester's own or one met on the lookup path).
+    pub fn record_cache_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a GET operation that had to reach authoritative storage
+    /// (or found nothing at all).
+    pub fn record_cache_miss(&self) {
+        self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` replica snapshots pushed beyond the base `k` by
+    /// popularity-driven adaptive replication.
+    pub fn record_replicas_promoted(&self, n: u64) {
+        self.inner.replicas_promoted.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Datagrams sent.
@@ -88,6 +111,32 @@ impl NetCounters {
         self.inner.timers_fired.load(Ordering::Relaxed)
     }
 
+    /// GET operations served from a hot-block cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.inner.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// GET operations not served from any cache.
+    pub fn cache_misses(&self) -> u64 {
+        self.inner.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Replica snapshots pushed by adaptive replication.
+    pub fn replicas_promoted(&self) -> u64 {
+        self.inner.replicas_promoted.load(Ordering::Relaxed)
+    }
+
+    /// Cache hit ratio over completed GETs (0 when none recorded).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let h = self.cache_hits();
+        let m = self.cache_misses();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
     /// Snapshot for deltas: `(sent, delivered, dropped, bytes)`.
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
         (
@@ -117,5 +166,20 @@ mod tests {
         assert_eq!(c2.delivered(), 1);
         assert_eq!(c2.dropped(), 1);
         assert_eq!(c2.oversize_rejected(), 1);
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_share() {
+        let c = NetCounters::new();
+        let c2 = c.clone();
+        assert_eq!(c.cache_hit_ratio(), 0.0, "no GETs yet");
+        c.record_cache_hit();
+        c.record_cache_hit();
+        c2.record_cache_miss();
+        c.record_replicas_promoted(3);
+        assert_eq!(c2.cache_hits(), 2);
+        assert_eq!(c.cache_misses(), 1);
+        assert_eq!(c2.replicas_promoted(), 3);
+        assert!((c.cache_hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
     }
 }

@@ -20,6 +20,10 @@ pub type NodeAddr = u32;
 /// Identifier of a client-issued operation, used to route completions.
 pub type OpId = u64;
 
+/// Buffered effects drained by a runtime: queued sends, armed timers as
+/// `(delay_us, id)` pairs, and reported operation completions.
+pub type Effects<O> = (Vec<OutMessage>, Vec<(u64, u64)>, Vec<(OpId, O)>);
+
 /// A queued outgoing message.
 #[derive(Clone, Debug)]
 pub struct OutMessage {
@@ -79,7 +83,7 @@ impl<O> Ctx<O> {
     }
 
     /// Drains the buffered effects (runtimes only).
-    pub fn into_effects(self) -> (Vec<OutMessage>, Vec<(u64, u64)>, Vec<(OpId, O)>) {
+    pub fn into_effects(self) -> Effects<O> {
         (self.sends, self.timers, self.completions)
     }
 }

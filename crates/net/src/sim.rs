@@ -435,7 +435,11 @@ mod tests {
                 }
             });
             net.run_until_idle(50);
-            (net.now_us(), net.counters().delivered(), net.counters().dropped())
+            (
+                net.now_us(),
+                net.counters().delivered(),
+                net.counters().dropped(),
+            )
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));

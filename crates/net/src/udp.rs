@@ -131,7 +131,8 @@ impl<N: Node> UdpRuntime<N> {
                 let until_timer = t_us.saturating_sub(self.now_us());
                 wait = wait.min(Duration::from_micros(until_timer.max(1)));
             }
-            self.socket.set_read_timeout(Some(wait.max(Duration::from_millis(1))))?;
+            self.socket
+                .set_read_timeout(Some(wait.max(Duration::from_millis(1))))?;
             match self.socket.recv_from(&mut self.buf) {
                 Ok((len, from_sock)) => {
                     let Some(&from) = self.peers_rev.get(&from_sock) else {
@@ -221,8 +222,14 @@ mod tests {
 
     #[test]
     fn udp_ping_pong_on_loopback() {
-        let a = Collector { got: vec![], reply: false };
-        let b = Collector { got: vec![], reply: true };
+        let a = Collector {
+            got: vec![],
+            reply: false,
+        };
+        let b = Collector {
+            got: vec![],
+            reply: true,
+        };
         let mut rt_a = UdpRuntime::bind(a, 0, "127.0.0.1:0", 1400, 1).unwrap();
         let mut rt_b = UdpRuntime::bind(b, 1, "127.0.0.1:0", 1400, 2).unwrap();
         let addr_a = rt_a.local_addr().unwrap();
@@ -245,7 +252,10 @@ mod tests {
 
     #[test]
     fn oversize_rejected_before_socket() {
-        let a = Collector { got: vec![], reply: false };
+        let a = Collector {
+            got: vec![],
+            reply: false,
+        };
         let mut rt = UdpRuntime::bind(a, 0, "127.0.0.1:0", 64, 3).unwrap();
         let self_sock = rt.local_addr().unwrap();
         rt.register_peer(0, self_sock);

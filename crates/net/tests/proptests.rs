@@ -26,11 +26,9 @@ impl Node for Scripted {
     }
 }
 
-fn run(
-    scripts: &[Vec<(NodeAddr, u8)>],
-    seed: u64,
-    drop_rate: f64,
-) -> (Vec<Vec<(u64, NodeAddr, u8)>>, u64, (u64, u64, u64, u64)) {
+type RunResult = (Vec<Vec<(u64, NodeAddr, u8)>>, u64, (u64, u64, u64, u64));
+
+fn run(scripts: &[Vec<(NodeAddr, u8)>], seed: u64, drop_rate: f64) -> RunResult {
     let mut net: SimNet<Scripted> = SimNet::new(SimConfig {
         latency_min_us: 500,
         latency_max_us: 7_000,

@@ -251,7 +251,8 @@ impl<'scope> Scope<'scope> {
         // captured by the job therefore outlive its execution. The transmute
         // only erases the `'scope` lifetime to satisfy the pool's `'static`
         // job type; it does not change the type's layout.
-        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
         self.shared.push(job);
     }
 }
@@ -310,7 +311,7 @@ struct SendPtr<T>(*mut T);
 unsafe impl<T: Send> Send for SendPtr<T> {}
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
-        SendPtr(self.0)
+        *self
     }
 }
 impl<T> Copy for SendPtr<T> {}
@@ -398,9 +399,7 @@ where
             .iter()
             .fold(id.clone(), |acc, item| reduce(acc, map(item)))
     });
-    partials
-        .into_iter()
-        .fold(identity, |acc, p| reduce(acc, p))
+    partials.into_iter().fold(identity, reduce)
 }
 
 #[cfg(test)]

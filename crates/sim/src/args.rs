@@ -53,15 +53,12 @@ impl ExpArgs {
         let mut out = ExpArgs::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next()
-                    .ok_or_else(|| format!("missing value for {name}"))
-            };
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
             match flag.as_str() {
                 "--scale" => {
                     let v = value("--scale")?;
-                    out.scale = Scale::parse(&v)
-                        .ok_or_else(|| format!("unknown scale '{v}'"))?;
+                    out.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale '{v}'"))?;
                 }
                 "--seed" => {
                     let v = value("--seed")?;
@@ -106,8 +103,17 @@ mod tests {
 
     #[test]
     fn full_flags() {
-        let a = parse(&["--scale", "tiny", "--seed", "7", "--out", "/tmp/x", "--threads", "2"])
-            .unwrap();
+        let a = parse(&[
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--out",
+            "/tmp/x",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
         assert_eq!(a.scale, Scale::Tiny);
         assert_eq!(a.seed, 7);
         assert_eq!(a.out, "/tmp/x");

@@ -12,14 +12,7 @@ use dharma_sim::{simulate_searches, ExpArgs, ExpContext, SearchSimConfig};
 
 fn main() {
     let ctx = ExpContext::build(ExpArgs::parse());
-    let caps: [Option<usize>; 6] = [
-        Some(10),
-        Some(25),
-        Some(50),
-        Some(100),
-        Some(250),
-        None,
-    ];
+    let caps: [Option<usize>; 6] = [Some(10), Some(25), Some(50), Some(100), Some(250), None];
 
     let mut table = TextTable::new([
         "display cap",

@@ -13,7 +13,12 @@ fn main() {
     let ks = [1usize, 2, 3, 5, 10, 25, 50, 100, 250, 500];
 
     let mut table = TextTable::new([
-        "k", "arcs kept", "Recall mu", "Ktau mu", "theta mu", "sim1% mu",
+        "k",
+        "arcs kept",
+        "Recall mu",
+        "Ktau mu",
+        "theta mu",
+        "sim1% mu",
     ]);
     let mut rows = Vec::new();
     let exact_arcs = ctx.exact_fg.num_arcs();
@@ -46,7 +51,15 @@ fn main() {
     let path = sink
         .write(
             "k_sweep.csv",
-            &["k", "arcs_kept", "recall_mu", "recall_sigma", "ktau_mu", "theta_mu", "sim1_mu"],
+            &[
+                "k",
+                "arcs_kept",
+                "recall_mu",
+                "recall_sigma",
+                "ktau_mu",
+                "theta_mu",
+                "sim1_mu",
+            ],
             rows,
         )
         .expect("write csv");

@@ -31,7 +31,12 @@ fn main() {
     ];
 
     let mut table = TextTable::new([
-        "policy", "arcs", "Recall mu", "Ktau mu", "theta mu", "sim1% mu",
+        "policy",
+        "arcs",
+        "Recall mu",
+        "Ktau mu",
+        "theta mu",
+        "sim1% mu",
     ]);
     let mut rows = Vec::new();
     for (name, policy) in policies {
@@ -66,7 +71,14 @@ fn main() {
     let path = sink
         .write(
             "policies.csv",
-            &["policy", "arcs", "recall_mu", "ktau_mu", "theta_mu", "sim1_mu"],
+            &[
+                "policy",
+                "arcs",
+                "recall_mu",
+                "ktau_mu",
+                "theta_mu",
+                "sim1_mu",
+            ],
             rows,
         )
         .expect("write csv");

@@ -32,8 +32,18 @@ fn main() {
     let s_nfg = DegreeStats::from_sizes(nfg_t.iter().copied());
 
     let mut t = TextTable::new(["Degree", "Tags(r)", "Res(t)", "NFG(t)"]);
-    t.row(["mu".to_string(), f2(s_tags.mean), f2(s_res.mean), f2(s_nfg.mean)]);
-    t.row(["sigma".to_string(), f2(s_tags.std), f2(s_res.std), f2(s_nfg.std)]);
+    t.row([
+        "mu".to_string(),
+        f2(s_tags.mean),
+        f2(s_res.mean),
+        f2(s_nfg.mean),
+    ]);
+    t.row([
+        "sigma".to_string(),
+        f2(s_tags.std),
+        f2(s_res.std),
+        f2(s_nfg.std),
+    ]);
     t.row([
         "max".to_string(),
         s_tags.max.to_string(),
@@ -78,7 +88,8 @@ fn main() {
             .write(
                 name,
                 &["size", "cumulative_probability"],
-                cdf.into_iter().map(|(v, p)| vec![v.to_string(), format!("{p:.6}")]),
+                cdf.into_iter()
+                    .map(|(v, p)| vec![v.to_string(), format!("{p:.6}")]),
             )
             .expect("write csv");
         println!("wrote {}", path.display());

@@ -59,7 +59,11 @@ fn main() {
     println!("(expected: sub-linear growth tracking log2(n), validating the O(log n) lookup cost)");
 
     let path = sink
-        .write("scaling.csv", &["nodes", "get_msgs", "put_msgs", "log2n"], rows)
+        .write(
+            "scaling.csv",
+            &["nodes", "get_msgs", "put_msgs", "log2n"],
+            rows,
+        )
         .expect("write csv");
     println!("wrote {}", path.display());
 }

@@ -92,7 +92,9 @@ fn main() {
         approx_client
             .insert_resource(&mut net, &rname, "uri://x", &tag_refs)
             .expect("insert");
-        let receipt = approx_client.tag(&mut net, &rname, "fresh-tag").expect("tag");
+        let receipt = approx_client
+            .tag(&mut net, &rname, "fresh-tag")
+            .expect("tag");
         table.row([
             "Tag (r,t) approx".to_string(),
             format!("k={k}, |Tags(r)|={degree}"),
@@ -123,5 +125,7 @@ fn main() {
 
     table.print("Table I — distributed tagging system primitives cost (#overlay lookups)");
     println!("\npaper:  Insert 2+2m | Tag naive 4+|Tags(r)| | Tag approx 4+k | Search step 2");
-    println!("(messages column: transport datagrams per primitive — each lookup is O(log n) messages)");
+    println!(
+        "(messages column: transport datagrams per primitive — each lookup is O(log n) messages)"
+    );
 }

@@ -14,9 +14,7 @@ fn main() {
     let ctx = ExpContext::build(ExpArgs::parse());
     let sink = CsvSink::new(&ctx.args.out, "table3_approx_quality").expect("output dir");
 
-    let mut table = TextTable::new([
-        "k", "", "Recall", "Ktau", "theta", "sim1%",
-    ]);
+    let mut table = TextTable::new(["k", "", "Recall", "Ktau", "theta", "sim1%"]);
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
 
     for k in [1usize, 5, 10] {

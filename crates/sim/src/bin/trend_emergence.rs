@@ -65,7 +65,13 @@ fn main() {
         let path = sink
             .write(
                 &format!("trajectory_{}.csv", name.replace('=', "")),
-                &["trend_events", "hub_arc_weight", "hub_rank", "out_degree", "visible"],
+                &[
+                    "trend_events",
+                    "hub_arc_weight",
+                    "hub_rank",
+                    "out_degree",
+                    "visible",
+                ],
                 csv,
             )
             .expect("write csv");

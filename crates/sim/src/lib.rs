@@ -11,6 +11,7 @@
 //! | `table4_search` / `fig7_search_cdf` | Table IV + Figure 7 — search paths |
 //! | `overlay_scaling` | A3 — Kademlia lookup cost vs network size |
 //! | `ablation_policies` / `ablation_k_sweep` / `ablation_filtering` | A1/A2/A4 |
+//! | `ablation_cache` | A5 — hot-block caching & adaptive replication vs Zipf load |
 //! | `run_all` | everything above, in sequence |
 //!
 //! Each binary prints the paper-shaped table to stdout and writes CSV series
@@ -19,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod cache_sim;
 pub mod output;
 pub mod overlay;
 pub mod parallel_replay;
@@ -28,6 +30,7 @@ pub mod search_sim;
 pub mod trend;
 
 pub use args::ExpArgs;
+pub use cache_sim::{simulate_cache_workload, CacheSimConfig, CacheSimReport};
 pub use parallel_replay::replay_parallel;
 pub use pipeline::ExpContext;
 pub use replay::{replay, EventOrder, ReplayConfig};

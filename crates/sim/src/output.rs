@@ -47,7 +47,7 @@ impl TextTable {
                 }
                 let pad = width[c] - cell.chars().count();
                 s.push_str(cell);
-                s.extend(std::iter::repeat(' ').take(pad));
+                s.extend(std::iter::repeat_n(' ', pad));
             }
             s.trim_end().to_string()
         };

@@ -1,5 +1,6 @@
 //! Simulated-overlay construction shared by the DHT-level experiments.
 
+use dharma_cache::{CacheConfig, PopularityConfig};
 use dharma_kademlia::{KadConfig, KademliaNode};
 use dharma_net::{SimConfig, SimNet};
 use dharma_types::Id160;
@@ -23,6 +24,10 @@ pub struct OverlayConfig {
     pub drop_rate: f64,
     /// Seed.
     pub seed: u64,
+    /// Hot-block caching on every node (`None` = the paper's plain overlay).
+    pub cache: Option<CacheConfig>,
+    /// Popularity-driven adaptive replication on every node.
+    pub replication: Option<PopularityConfig>,
 }
 
 impl Default for OverlayConfig {
@@ -35,6 +40,8 @@ impl Default for OverlayConfig {
             latency_us: (1_000, 10_000),
             drop_rate: 0.0,
             seed: 0,
+            cache: None,
+            replication: None,
         }
     }
 }
@@ -55,6 +62,9 @@ pub fn build_overlay(cfg: &OverlayConfig) -> SimNet<KademliaNode> {
         alpha: cfg.alpha,
         rpc_timeout_us: 300_000,
         reply_budget: cfg.mtu.saturating_sub(200).max(256),
+        cache: cfg.cache.clone(),
+        replication: cfg.replication.clone(),
+        counters: net.counters(),
         ..KadConfig::default()
     };
     let mut rendezvous = None;

@@ -41,12 +41,7 @@ use dharma_types::FxHashMap;
 ///
 /// Panics if `policy.b_policy == BPolicy::LiteralB` (order-dependent; see
 /// module docs).
-pub fn replay_parallel(
-    reference: &Trg,
-    policy: ApproxPolicy,
-    seed: u64,
-    pool: &ThreadPool,
-) -> Fg {
+pub fn replay_parallel(reference: &Trg, policy: ApproxPolicy, seed: u64, pool: &ThreadPool) -> Fg {
     assert!(
         policy.b_policy != BPolicy::LiteralB,
         "LiteralB is order-dependent and cannot be replayed in parallel"
@@ -55,18 +50,17 @@ pub fn replay_parallel(
     let num_res = reference.num_resources();
 
     // One shard (tiny parking_lot mutex + map) per source tag.
-    let shards: Vec<Mutex<FxHashMap<TagId, u64>>> =
-        (0..num_tags).map(|_| Mutex::new(FxHashMap::default())).collect();
+    let shards: Vec<Mutex<FxHashMap<TagId, u64>>> = (0..num_tags)
+        .map(|_| Mutex::new(FxHashMap::default()))
+        .collect();
 
     let resources: Vec<u32> = (0..num_res as u32).collect();
     let chunk = dharma_par::chunk_size(num_res, pool.threads(), 64);
     dharma_par::par_for_each_index(pool, resources.len(), chunk, |idx| {
         let r = ResId(resources[idx]);
         // (tag, static weight, remaining, current) — the resource playlist.
-        let mut playlist: Vec<(TagId, u32, u32, u32)> = reference
-            .tags_of(r)
-            .map(|(t, u)| (t, u, u, 0))
-            .collect();
+        let mut playlist: Vec<(TagId, u32, u32, u32)> =
+            reference.tags_of(r).map(|(t, u)| (t, u, u, 0)).collect();
         // HashMap iteration order varies; sort for per-seed determinism.
         playlist.sort_unstable_by_key(|&(t, ..)| t);
         if playlist.is_empty() {

@@ -59,7 +59,10 @@ impl ExpContext {
     /// parameter `k`, logging timing.
     pub fn replay_paper(&self, k: usize) -> Folksonomy {
         let t = Instant::now();
-        let model = replay(&self.dataset.trg, &ReplayConfig::paper(k, self.args.seed ^ k as u64));
+        let model = replay(
+            &self.dataset.trg,
+            &ReplayConfig::paper(k, self.args.seed ^ k as u64),
+        );
         eprintln!(
             "[pipeline] replay k={k}: {} arcs in {:.1?}",
             model.fg().num_arcs(),

@@ -71,10 +71,7 @@ pub fn replay(reference: &Trg, cfg: &ReplayConfig) -> Folksonomy {
     let mut remaining_mass: Vec<u64> = vec![0; num_res];
     for r in 0..num_res {
         let rid = ResId(r as u32);
-        let list: Vec<(TagId, u32, u32)> = reference
-            .tags_of(rid)
-            .map(|(t, u)| (t, u, u))
-            .collect();
+        let list: Vec<(TagId, u32, u32)> = reference.tags_of(rid).map(|(t, u)| (t, u, u)).collect();
         let degree = list.len() as u64;
         let mass: u64 = list.iter().map(|&(_, u, _)| u64::from(u)).sum();
         remaining_mass[r] = mass;

@@ -122,20 +122,21 @@ pub fn simulate_searches(
     let search_cfg = cfg.search;
     let base_seed = cfg.seed;
     let chunk = dharma_par::chunk_size(work.len(), pool.threads(), 8);
-    let lengths: Vec<(Strategy, usize)> = dharma_par::par_map(pool, &work, chunk, |&(t0, strat, run)| {
-        // Independent, collision-free stream per (tag, strategy, run).
-        let stream = base_seed
-            ^ (u64::from(t0.0) << 20)
-            ^ ((run as u64) << 2)
-            ^ match strat {
-                Strategy::First => 0,
-                Strategy::Last => 1,
-                Strategy::Random => 2,
-            };
-        let mut rng = StdRng::seed_from_u64(stream);
-        let out = index.run(t0, strat, &search_cfg, &mut rng);
-        (strat, out.steps())
-    });
+    let lengths: Vec<(Strategy, usize)> =
+        dharma_par::par_map(pool, &work, chunk, |&(t0, strat, run)| {
+            // Independent, collision-free stream per (tag, strategy, run).
+            let stream = base_seed
+                ^ (u64::from(t0.0) << 20)
+                ^ ((run as u64) << 2)
+                ^ match strat {
+                    Strategy::First => 0,
+                    Strategy::Last => 1,
+                    Strategy::Random => 2,
+                };
+            let mut rng = StdRng::seed_from_u64(stream);
+            let out = index.run(t0, strat, &search_cfg, &mut rng);
+            (strat, out.steps())
+        });
 
     let collect = |want: Strategy| -> Vec<usize> {
         lengths

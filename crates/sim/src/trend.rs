@@ -98,8 +98,7 @@ pub fn run_trend(reference: &Trg, cfg: &TrendConfig) -> TrendReport {
     let mut remaining_mass = vec![0u64; num_res];
     for r in 0..num_res {
         let rid = ResId(r as u32);
-        let list: Vec<(TagId, u32, u32)> =
-            reference.tags_of(rid).map(|(t, u)| (t, u, u)).collect();
+        let list: Vec<(TagId, u32, u32)> = reference.tags_of(rid).map(|(t, u)| (t, u, u)).collect();
         popularity[r] = list.len() as u64;
         remaining_mass[r] = list.iter().map(|&(_, u, _)| u64::from(u)).sum();
         playlists.push(list);
@@ -130,43 +129,48 @@ pub fn run_trend(reference: &Trg, cfg: &TrendConfig) -> TrendReport {
     // Phase 1 — warmup: replay the first fraction of baseline events.
     let warmup_events = (total_baseline as f64 * cfg.warmup_fraction) as u64;
     let mut baseline_done = 0u64;
-    let play_baseline =
-        |model: &mut Folksonomy,
-         fenwick: &mut Fenwick,
-         playlists: &mut Vec<Vec<(TagId, u32, u32)>>,
-         remaining_mass: &mut Vec<u64>,
-         rng: &mut StdRng| {
-            let r = fenwick.sample(rng);
-            let playlist = &mut playlists[r];
-            let live: u64 = playlist
-                .iter()
-                .filter(|&&(_, _, rem)| rem > 0)
-                .map(|&(_, u, _)| u64::from(u))
-                .sum();
-            let mut pick = rng.gen_range(0..live);
-            let mut chosen = usize::MAX;
-            for (i, &(_, u, rem)) in playlist.iter().enumerate() {
-                if rem == 0 {
-                    continue;
-                }
-                let w = u64::from(u);
-                if pick < w {
-                    chosen = i;
-                    break;
-                }
-                pick -= w;
+    let play_baseline = |model: &mut Folksonomy,
+                         fenwick: &mut Fenwick,
+                         playlists: &mut Vec<Vec<(TagId, u32, u32)>>,
+                         remaining_mass: &mut Vec<u64>,
+                         rng: &mut StdRng| {
+        let r = fenwick.sample(rng);
+        let playlist = &mut playlists[r];
+        let live: u64 = playlist
+            .iter()
+            .filter(|&&(_, _, rem)| rem > 0)
+            .map(|&(_, u, _)| u64::from(u))
+            .sum();
+        let mut pick = rng.gen_range(0..live);
+        let mut chosen = usize::MAX;
+        for (i, &(_, u, rem)) in playlist.iter().enumerate() {
+            if rem == 0 {
+                continue;
             }
-            playlist[chosen].2 -= 1;
-            let tag = playlist[chosen].0;
-            model.tag(ResId(r as u32), tag, rng);
-            remaining_mass[r] -= 1;
-            if remaining_mass[r] == 0 {
-                let w = fenwick.weight(r);
-                fenwick.sub(r, w);
+            let w = u64::from(u);
+            if pick < w {
+                chosen = i;
+                break;
             }
-        };
+            pick -= w;
+        }
+        playlist[chosen].2 -= 1;
+        let tag = playlist[chosen].0;
+        model.tag(ResId(r as u32), tag, rng);
+        remaining_mass[r] -= 1;
+        if remaining_mass[r] == 0 {
+            let w = fenwick.weight(r);
+            fenwick.sub(r, w);
+        }
+    };
     for _ in 0..warmup_events {
-        play_baseline(&mut model, &mut fenwick, &mut playlists, &mut remaining_mass, &mut rng);
+        play_baseline(
+            &mut model,
+            &mut fenwick,
+            &mut playlists,
+            &mut remaining_mass,
+            &mut rng,
+        );
         baseline_done += 1;
     }
 
@@ -206,7 +210,7 @@ pub fn run_trend(reference: &Trg, cfg: &TrendConfig) -> TrendReport {
             let &target = &targets[rng.gen_range(0..targets.len())];
             model.tag(target, trend_tag, &mut rng);
             injected += 1;
-            if injected % cfg.sample_every == 0 || injected == cfg.trend_events {
+            if injected.is_multiple_of(cfg.sample_every) || injected == cfg.trend_events {
                 let sample = observe(&model, injected);
                 if sample.visible && events_to_visibility.is_none() {
                     events_to_visibility = Some(injected);
@@ -214,7 +218,13 @@ pub fn run_trend(reference: &Trg, cfg: &TrendConfig) -> TrendReport {
                 samples.push(sample);
             }
         } else {
-            play_baseline(&mut model, &mut fenwick, &mut playlists, &mut remaining_mass, &mut rng);
+            play_baseline(
+                &mut model,
+                &mut fenwick,
+                &mut playlists,
+                &mut remaining_mass,
+                &mut rng,
+            );
             baseline_done += 1;
         }
     }
@@ -271,10 +281,7 @@ mod tests {
         let k1 = run(ApproxPolicy::paper(1));
         let e_exact = exact.events_to_visibility.expect("exact emerges");
         match k1.events_to_visibility {
-            Some(e_k1) => assert!(
-                e_k1 >= e_exact,
-                "k=1 cannot beat exact: {e_k1} < {e_exact}"
-            ),
+            Some(e_k1) => assert!(e_k1 >= e_exact, "k=1 cannot beat exact: {e_k1} < {e_exact}"),
             None => {
                 // Delayed beyond the horizon is acceptable at tiny scale,
                 // but the arc must at least exist and be growing.

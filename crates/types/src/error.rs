@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = DharmaError::PayloadTooLarge { size: 2000, mtu: 1400 };
+        let e = DharmaError::PayloadTooLarge {
+            size: 2000,
+            mtu: 1400,
+        };
         assert!(e.to_string().contains("2000"));
         assert!(e.to_string().contains("1400"));
         let e = DharmaError::Timeout("FIND_NODE".into());
@@ -71,7 +74,7 @@ mod tests {
 
     #[test]
     fn io_conversion() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: DharmaError = io.into();
         assert!(matches!(e, DharmaError::Io(_)));
     }

@@ -56,7 +56,10 @@ impl Id160 {
     /// Used by Kademlia bucket-refresh: to refresh bucket `i` a node looks up
     /// a random id at distance `2^(159-i) ..= 2^(160-i)-1` from itself.
     pub fn random_with_prefix<R: Rng + ?Sized>(&self, prefix_len: usize, rng: &mut R) -> Self {
-        assert!(prefix_len < ID160_BITS, "prefix must leave at least one free bit");
+        assert!(
+            prefix_len < ID160_BITS,
+            "prefix must leave at least one free bit"
+        );
         let mut out = Id160::random(rng);
         // Copy the shared prefix from `self`.
         let whole = prefix_len / 8;
@@ -252,8 +255,8 @@ mod tests {
             let bc = b.distance(&c).0;
             let ac = a.distance(&c).0;
             let mut xor = [0u8; ID160_BYTES];
-            for i in 0..ID160_BYTES {
-                xor[i] = ab.0[i] ^ bc.0[i];
+            for (i, x) in xor.iter_mut().enumerate() {
+                *x = ab.0[i] ^ bc.0[i];
             }
             assert_eq!(ac.0, xor, "unidirectionality of xor metric");
         }

@@ -289,7 +289,9 @@ mod tests {
         let mut b = Bytes::from_static(&[0x80]);
         assert!(b.get_varint().is_err());
         // 11 continuation bytes overflow u64.
-        let mut b = Bytes::from_static(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]);
+        let mut b = Bytes::from_static(&[
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
+        ]);
         assert!(b.get_varint().is_err());
     }
 

@@ -48,11 +48,7 @@ fn main() {
         // Manual narrowing loop mirroring FacetedSearch::run, with the
         // human picking the next tag.
         let mut candidates: Vec<(TagId, u64)> = fg.top_neighbors(seed, 10);
-        let mut resources: Vec<u32> = dataset
-            .trg
-            .res_of(seed)
-            .map(|(r, _)| r.0)
-            .collect();
+        let mut resources: Vec<u32> = dataset.trg.res_of(seed).map(|(r, _)| r.0).collect();
         resources.sort_unstable();
         let mut path = vec![seed];
 
@@ -95,14 +91,9 @@ fn main() {
             candidates = candidates
                 .into_iter()
                 .filter(|(t, _)| *t != next)
-                .filter_map(|(t, _)| {
-                    fetched
-                        .iter()
-                        .find(|(f, _)| *f == t)
-                        .map(|&(_, w)| (t, w))
-                })
+                .filter_map(|(t, _)| fetched.iter().find(|(f, _)| *f == t).map(|&(_, w)| (t, w)))
                 .collect();
-            candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+            candidates.sort_unstable_by_key(|&(_, w)| std::cmp::Reverse(w));
             let next_res: std::collections::HashSet<u32> =
                 dataset.trg.res_of(next).map(|(r, _)| r.0).collect();
             resources.retain(|r| next_res.contains(r));

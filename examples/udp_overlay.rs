@@ -28,12 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..N {
         let id = sha1(format!("udp-node-{i}").as_bytes());
         let node = KademliaNode::new(id, i as u32, cfg.clone());
-        runtimes.push(UdpRuntime::bind(node, i as u32, "127.0.0.1:0", 1400, i as u64)?);
+        runtimes.push(UdpRuntime::bind(
+            node,
+            i as u32,
+            "127.0.0.1:0",
+            1400,
+            i as u64,
+        )?);
     }
-    let addrs: Vec<_> = runtimes
-        .iter()
-        .map(|rt| rt.local_addr().unwrap())
-        .collect();
+    let addrs: Vec<_> = runtimes.iter().map(|rt| rt.local_addr().unwrap()).collect();
     for (i, rt) in runtimes.iter_mut().enumerate() {
         for (j, &sock) in addrs.iter().enumerate() {
             if i != j {

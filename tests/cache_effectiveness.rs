@@ -1,0 +1,73 @@
+//! Acceptance test for the `dharma-cache` subsystem: on a Zipf-shaped GET
+//! workload (the folksonomy traffic shape, paper §III) over a 64-node
+//! overlay, hot-block caching must answer the majority of tag-block GETs
+//! from a cache and cut the busiest node's GET load at least in half
+//! compared to the cache-disabled baseline.
+
+use dharma_sim::{simulate_cache_workload, CacheSimConfig, CacheSimReport};
+
+fn config(cache_on: bool, replication_on: bool) -> CacheSimConfig {
+    CacheSimConfig {
+        nodes: 64,
+        k: 8,
+        keys: 32,
+        ops: 1500,
+        zipf_s: 1.2,
+        top_n: 0,
+        cache: cache_on.then(CacheSimConfig::ablation_cache),
+        replication: replication_on.then(CacheSimConfig::ablation_replication),
+        seed: 42,
+    }
+}
+
+fn run(cache_on: bool, replication_on: bool) -> CacheSimReport {
+    simulate_cache_workload(&config(cache_on, replication_on))
+}
+
+#[test]
+fn caching_halves_the_hot_spot_and_serves_most_gets() {
+    let baseline = run(false, false);
+    let cached = run(true, false);
+
+    assert_eq!(baseline.cache_hits, 0, "no cache, no hits");
+    assert_eq!(baseline.gets, 1500);
+    assert_eq!(cached.gets, 1500);
+    assert_eq!(
+        cached.cache_hits + cached.cache_misses,
+        cached.gets,
+        "every GET is accounted as hit or miss"
+    );
+
+    assert!(
+        cached.hit_ratio > 0.5,
+        "hit ratio must exceed 50%, got {:.3}",
+        cached.hit_ratio
+    );
+    assert!(
+        cached.max_get_load * 2 <= baseline.max_get_load,
+        "max per-node GET load must drop at least 2x: baseline {}, cached {}",
+        baseline.max_get_load,
+        cached.max_get_load
+    );
+    assert!(
+        cached.messages_per_get < baseline.messages_per_get,
+        "cache hits cost no datagrams, so mean traffic must fall"
+    );
+}
+
+#[test]
+fn adaptive_replication_promotes_hot_keys_and_keeps_load_flat() {
+    let replicated = run(true, true);
+    assert!(
+        replicated.replicas_promoted > 0,
+        "Zipf(1.2) traffic must push at least one hot key past the threshold"
+    );
+    // Promotion must not undo the cache's load-spreading.
+    let baseline = run(false, false);
+    assert!(
+        replicated.max_get_load * 2 <= baseline.max_get_load,
+        "baseline {} vs cache+replication {}",
+        baseline.max_get_load,
+        replicated.max_get_load
+    );
+}

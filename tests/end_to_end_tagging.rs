@@ -34,10 +34,20 @@ fn full_stack_publish_tag_search_resolve() {
 
     // Alice publishes; Bob tags.
     alice
-        .insert_resource(&mut net, "dark-side", "uri://dsotm", &["rock", "prog", "70s"])
+        .insert_resource(
+            &mut net,
+            "dark-side",
+            "uri://dsotm",
+            &["rock", "prog", "70s"],
+        )
         .unwrap();
     alice
-        .insert_resource(&mut net, "wish-you-were-here", "uri://wywh", &["rock", "prog"])
+        .insert_resource(
+            &mut net,
+            "wish-you-were-here",
+            "uri://wywh",
+            &["rock", "prog"],
+        )
         .unwrap();
     alice
         .insert_resource(&mut net, "thriller", "uri://thriller", &["pop", "80s"])
@@ -73,11 +83,7 @@ fn concurrent_tagging_merges_commutatively() {
         ..OverlayConfig::default()
     });
     let ca = CertificationAuthority::new(b"e2e");
-    let mut publisher = DharmaClient::new(
-        1,
-        ca.register("publisher", 0),
-        DharmaConfig::default(),
-    );
+    let mut publisher = DharmaClient::new(1, ca.register("publisher", 0), DharmaConfig::default());
     publisher
         .insert_resource(&mut net, "album", "uri://album", &["seed"])
         .unwrap();

@@ -3,9 +3,7 @@
 
 use dharma_core::{DharmaClient, DharmaConfig};
 use dharma_kademlia::{KadConfig, KadOutput, KademliaNode};
-use dharma_likir::{
-    AuthenticatedRecord, CertificationAuthority, SecureNode, SignedEnvelope,
-};
+use dharma_likir::{AuthenticatedRecord, CertificationAuthority, SecureNode, SignedEnvelope};
 use dharma_net::{SimConfig, SimNet};
 use dharma_sim::overlay::{build_overlay, OverlayConfig};
 use dharma_types::{node_id_for_user, sha1, WireDecode, WireEncode};
@@ -96,7 +94,6 @@ fn expired_certificates_are_rejected() {
     assert!(record.verify(&ca.verifier(), 999).is_ok());
     assert!(record.verify(&ca.verifier(), 1_001).is_err());
 }
-
 
 #[test]
 fn full_kademlia_overlay_over_signed_envelopes() {

@@ -28,14 +28,14 @@ fn pipeline_reproduces_table3_shape() {
         );
         last_recall = cmp.recall.mean();
         // ...rank order and proportions are well preserved...
-        assert!(cmp.theta.mean() > 0.7, "theta at k={k}: {}", cmp.theta.mean());
+        assert!(
+            cmp.theta.mean() > 0.7,
+            "theta at k={k}: {}",
+            cmp.theta.mean()
+        );
         assert!(cmp.tau.mean() > 0.3, "tau at k={k}: {}", cmp.tau.mean());
         // ...and the lost arcs are predominantly the weight-1 noise tail.
-        assert!(
-            cmp.sim1.mean() > 0.5,
-            "sim1% at k={k}: {}",
-            cmp.sim1.mean()
-        );
+        assert!(cmp.sim1.mean() > 0.5, "sim1% at k={k}: {}", cmp.sim1.mean());
     }
 }
 
@@ -90,7 +90,10 @@ fn dataset_roundtrip_through_tsv_preserves_replay_inputs() {
     dharma_dataset::io::write_triples(&dataset, 400, 0.9, 3, &mut buf).unwrap();
     let reloaded = dharma_dataset::io::read_triples(buf.as_slice()).unwrap();
     // Identical annotation mass and edge count ⇒ identical replay length.
-    assert_eq!(reloaded.trg.num_annotations(), dataset.trg.num_annotations());
+    assert_eq!(
+        reloaded.trg.num_annotations(),
+        dataset.trg.num_annotations()
+    );
     assert_eq!(reloaded.trg.num_edges(), dataset.trg.num_edges());
     // And the replay works on loaded data too.
     let model = replay(&reloaded.trg, &ReplayConfig::paper(1, 4));

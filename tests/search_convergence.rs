@@ -128,7 +128,17 @@ fn display_cap_missing_is_equivalent_for_small_graphs() {
         display_cap: None,
         ..SearchConfig::default()
     };
-    let a = index.run(seed_tag, Strategy::First, &capped, &mut StdRng::seed_from_u64(6));
-    let b = index.run(seed_tag, Strategy::First, &uncapped, &mut StdRng::seed_from_u64(6));
+    let a = index.run(
+        seed_tag,
+        Strategy::First,
+        &capped,
+        &mut StdRng::seed_from_u64(6),
+    );
+    let b = index.run(
+        seed_tag,
+        Strategy::First,
+        &uncapped,
+        &mut StdRng::seed_from_u64(6),
+    );
     assert_eq!(a.path, b.path);
 }

@@ -48,7 +48,8 @@ fn naive_tag_is_4_plus_degree() {
         let tags: Vec<String> = (0..degree).map(|i| format!("d{degree}-t{i}")).collect();
         let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
         let rname = format!("res-{degree}");
-        c.insert_resource(&mut net, &rname, "uri://x", &refs).unwrap();
+        c.insert_resource(&mut net, &rname, "uri://x", &refs)
+            .unwrap();
         let receipt = c.tag(&mut net, &rname, "added").unwrap();
         assert_eq!(receipt.neighborhood, degree);
         assert_eq!(
@@ -70,7 +71,9 @@ fn approximated_tag_is_4_plus_k() {
     let mut setup = client(ApproxPolicy::EXACT, 1, 0);
     let tags: Vec<String> = (0..15).map(|i| format!("base-{i}")).collect();
     let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
-    setup.insert_resource(&mut net, "big", "uri://big", &refs).unwrap();
+    setup
+        .insert_resource(&mut net, "big", "uri://big", &refs)
+        .unwrap();
 
     for (i, k) in [1usize, 3, 8].into_iter().enumerate() {
         let mut c = client(ApproxPolicy::paper(k), 2, k as u64);
@@ -101,11 +104,101 @@ fn search_step_is_always_2() {
         ..OverlayConfig::default()
     });
     let mut c = client(ApproxPolicy::paper(1), 3, 0);
-    c.insert_resource(&mut net, "r", "uri://r", &["a", "b", "c"]).unwrap();
+    c.insert_resource(&mut net, "r", "uri://r", &["a", "b", "c"])
+        .unwrap();
     for tag in ["a", "b", "c", "nonexistent"] {
         let (_, _, cost) = c.search_step(&mut net, tag).unwrap();
         assert_eq!(cost.lookups, 2, "search step on '{tag}'");
     }
+}
+
+#[test]
+fn cache_cold_costs_match_table1_with_caching_enabled() {
+    // The hot-block cache must be invisible to Table I: with caching (and
+    // adaptive replication) switched on, every primitive touching only
+    // fresh keys — nothing cacheable yet — costs exactly the paper's
+    // lookup counts, and no GET is served from a cache.
+    let mut net = build_overlay(&OverlayConfig {
+        nodes: 32,
+        seed: 12,
+        cache: Some(dharma_cache::CacheConfig::default()),
+        replication: Some(dharma_cache::PopularityConfig::default()),
+        ..OverlayConfig::default()
+    });
+    let counters = net.counters();
+    let mut c = client(ApproxPolicy::EXACT, 1, 0);
+
+    for m in [1usize, 4, 9] {
+        let tags: Vec<String> = (0..m).map(|i| format!("cold-{m}-t{i}")).collect();
+        let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+        let cost = c
+            .insert_resource(&mut net, &format!("cold-r{m}"), "uri://x", &refs)
+            .unwrap();
+        assert_eq!(cost.lookups as usize, 2 + 2 * m, "cold insert, m = {m}");
+        assert_eq!(cost.cache_hits, 0, "writes never touch the cache");
+    }
+
+    let receipt = c.tag(&mut net, "cold-r4", "cold-extra").unwrap();
+    assert_eq!(receipt.neighborhood, 4);
+    assert_eq!(
+        receipt.cost.lookups as usize,
+        4 + 4,
+        "cold naive tag is 4 + |Tags(r)| with caching enabled"
+    );
+
+    let (_, _, cost) = c.search_step(&mut net, "cold-4-t0").unwrap();
+    assert_eq!(cost.lookups, 2, "cold search step is 2 lookups");
+
+    assert_eq!(
+        counters.cache_hits(),
+        0,
+        "a cache-cold run must never be served from a cache"
+    );
+}
+
+#[test]
+fn warm_gets_are_cache_hits_but_lookup_counts_hold() {
+    // The other half of the contract: once a block is hot, repeated search
+    // steps are served from caches — yet the lookup accounting (Table I's
+    // metric) does not change. Sparse overlay (k = 4 of 32) so a reader
+    // that is not an authoritative holder of the searched blocks exists.
+    use dharma_types::{block_key, BlockType};
+    let mut net = build_overlay(&OverlayConfig {
+        nodes: 32,
+        k: 4,
+        seed: 13,
+        cache: Some(dharma_cache::CacheConfig::default()),
+        ..OverlayConfig::default()
+    });
+    let mut writer = client(ApproxPolicy::EXACT, 1, 0);
+    writer
+        .insert_resource(&mut net, "warm-r", "uri://r", &["wa", "wb"])
+        .unwrap();
+
+    let t_hat = block_key("wa", BlockType::TagNeighbors);
+    let t_bar = block_key("wa", BlockType::TagResources);
+    let reader_home = (0..32u32)
+        .find(|&a| {
+            !net.node(a).storage().contains(&t_hat) && !net.node(a).storage().contains(&t_bar)
+        })
+        .expect("k = 4 of 32 leaves non-holders");
+    let mut reader = client(ApproxPolicy::EXACT, reader_home, 1);
+
+    let (_, _, first) = reader.search_step(&mut net, "wa").unwrap();
+    assert_eq!(first.lookups, 2);
+    assert_eq!(first.cache_hits, 0, "first read is cache-cold");
+    let (_, _, second) = reader.search_step(&mut net, "wa").unwrap();
+    assert_eq!(second.lookups, 2, "cache hits still count as lookups");
+    assert!(
+        second.cache_hits >= 1,
+        "the repeated search step must be served from the home node's cache"
+    );
+    assert!(
+        second.messages < first.messages,
+        "cache hits save datagrams ({} -> {})",
+        first.messages,
+        second.messages
+    );
 }
 
 #[test]
@@ -118,7 +211,8 @@ fn repeat_tagging_keeps_constant_cost() {
         ..OverlayConfig::default()
     });
     let mut c = client(ApproxPolicy::paper(2), 1, 0);
-    c.insert_resource(&mut net, "r", "uri://r", &["x", "y", "z"]).unwrap();
+    c.insert_resource(&mut net, "r", "uri://r", &["x", "y", "z"])
+        .unwrap();
     let first = c.tag(&mut net, "r", "x").unwrap();
     assert!(!first.newly_attached);
     assert_eq!(first.cost.lookups, 4 + 2);

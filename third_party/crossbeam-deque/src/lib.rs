@@ -1,0 +1,199 @@
+//! Offline API-subset stub of `crossbeam-deque`.
+//!
+//! Upstream is a lock-free Chase–Lev deque; this stub preserves the API and
+//! FIFO semantics with mutexed `VecDeque`s. Correctness is identical; peak
+//! scalability is lower, which the `dharma-par` benchmarks will honestly
+//! report. `Steal::Retry` is never produced (mutexes do not fail spuriously).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// Nothing to steal.
+    Empty,
+    /// One task stolen.
+    Success(T),
+    /// Transient conflict; try again. (Never produced by this stub.)
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// True for [`Steal::Retry`].
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// True for [`Steal::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+}
+
+/// A worker's local queue.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the local queue.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Pops the next local task.
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_front()
+    }
+
+    /// True when the local queue is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// A stealer handle sharing this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A handle for stealing from another worker's queue.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// The shared injector (global FIFO queue).
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Steals one task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a small batch into `dest`'s local queue and pops one task.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = lock(&self.queue);
+        let Some(first) = q.pop_front() else {
+            return Steal::Empty;
+        };
+        // Move up to half the remainder (capped) over to the worker.
+        let batch = (q.len() / 2).min(16);
+        if batch > 0 {
+            let mut dest_q = lock(&dest.queue);
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(t) => dest_q.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_fifo_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_drains_worker() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(7);
+        assert_eq!(s.steal(), Steal::Success(7));
+        assert_eq!(s.steal(), Steal::<i32>::Empty);
+    }
+
+    #[test]
+    fn injector_batch_moves_tasks() {
+        let inj = Injector::new();
+        let w = Worker::new_fifo();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let first = inj.steal_batch_and_pop(&w);
+        assert_eq!(first, Steal::Success(0));
+        // Some of the remainder moved into the worker's local queue.
+        assert!(!w.is_empty());
+        let mut seen = Vec::new();
+        while let Some(t) = w.pop() {
+            seen.push(t);
+        }
+        while let Steal::Success(t) = inj.steal() {
+            seen.push(t);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (1..10).collect::<Vec<_>>());
+    }
+}

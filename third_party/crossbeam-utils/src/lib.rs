@@ -1,0 +1,70 @@
+//! Offline API-subset stub of `crossbeam-utils`: the [`Backoff`] helper.
+
+use std::cell::Cell;
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for spin loops, mirroring the upstream API.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+impl Backoff {
+    /// Fresh backoff state.
+    pub fn new() -> Self {
+        Backoff::default()
+    }
+
+    /// Resets to the hot-spin phase.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Busy-spins briefly (for lock-free retry loops).
+    pub fn spin(&self) {
+        for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Spins, then yields the thread as pressure builds.
+    pub fn snooze(&self) {
+        if self.step.get() <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step.get() {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step.get() <= YIELD_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// True once snoozing is pointless and the caller should park.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_after_enough_snoozes() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

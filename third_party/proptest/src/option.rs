@@ -1,0 +1,40 @@
+//! Option strategies (`of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Some(inner)` three times in four, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Clone, Copy, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_both_variants() {
+        let s = of(0u8..10);
+        let mut rng = TestRng::deterministic("opt");
+        let out: Vec<Option<u8>> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(out.iter().any(Option::is_none));
+        assert!(out.iter().any(Option::is_some));
+    }
+}

@@ -1,0 +1,186 @@
+//! Regex-lite string generation.
+//!
+//! Upstream proptest interprets `&str` strategies as full regexes. This stub
+//! supports the subset the workspace's tests use: literal characters,
+//! character classes `[a-z0-9-]` (ranges, literals, leading/trailing `-`),
+//! and the quantifiers `{n}`, `{m,n}`, `*`, `+`, `?` applied to the previous
+//! atom. Unsupported syntax panics with a clear message.
+
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// A literal character.
+    Lit(char),
+    /// A set of candidate characters.
+    Class(Vec<char>),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    let mut pieces: Vec<Piece> = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let mut set = Vec::new();
+                let inner = &chars[i + 1..close];
+                let mut j = 0usize;
+                while j < inner.len() {
+                    if j + 2 < inner.len() && inner[j + 1] == '-' {
+                        let (lo, hi) = (inner[j], inner[j + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        // '-' at the edges (or between ranges) is literal.
+                        set.push(inner[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                i += 2;
+                Atom::Lit(c)
+            }
+            ']' | '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!(
+                    "unsupported regex syntax {:?} in pattern {pattern:?}",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i + 1)
+                        .unwrap_or_else(|| panic!("unclosed quantifier in {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("quantifier min"),
+                            n.trim().parse().expect("quantifier max"),
+                        ),
+                        None => {
+                            let n: usize = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.in_range(piece.min as u64, piece.max as u64 + 1) as usize
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests")
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z]{1,8}", &mut r);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn class_with_literal_dash_and_digits() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z0-9-]{1,24}", &mut r);
+            assert!((1..=24).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn single_class_defaults_to_one_char() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_from_pattern("[a-c]", &mut r);
+            assert_eq!(s.len(), 1);
+            assert!(("a"..="c").contains(&s.as_str()));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut r = rng();
+        assert_eq!(generate_from_pattern("tag", &mut r), "tag");
+    }
+}
