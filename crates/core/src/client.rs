@@ -37,6 +37,16 @@ pub struct DharmaConfig {
     pub seed: u64,
     /// Safety cap on simulator events per blocking operation.
     pub max_events_per_op: u64,
+    /// How many times a timed-out **idempotent** operation (GET, blob
+    /// PUT) is reissued before the error surfaces. An overlay op can die
+    /// with its coordinator (the home node crashes mid-lookup and its RPC
+    /// timers die with it) or starve when every replica times out; under
+    /// churn a fresh attempt usually routes around the corpses. APPENDs
+    /// are **never** retried: replicas that applied the append before the
+    /// timeout would double-count its tokens on a reissue. Each attempt
+    /// is accounted as one more lookup on the receipt. 0 restores
+    /// fail-fast.
+    pub op_retries: u32,
 }
 
 impl Default for DharmaConfig {
@@ -47,6 +57,7 @@ impl Default for DharmaConfig {
             namespace: "dharma".into(),
             seed: 0,
             max_events_per_op: 5_000_000,
+            op_retries: 2,
         }
     }
 }
@@ -138,7 +149,7 @@ impl DharmaClient {
             AuthenticatedRecord::sign(&self.identity, &self.cfg.namespace, uri.as_bytes().to_vec());
         let blob = dharma_types::WireEncode::encode_to_bytes(&record).to_vec();
         let key = block_key(resource, BlockType::ResourceUri);
-        cost.absorb(self.run_write(net, |n, ctx| n.put_blob(ctx, key, blob))?);
+        cost.absorb(self.run_write(net, true, |n, ctx| n.put_blob(ctx, key, blob.clone()))?);
 
         // 2. r̄ — all tags of the new resource in one block update.
         let key = block_key(resource, BlockType::ResourceTags);
@@ -149,7 +160,9 @@ impl DharmaClient {
                 weight: 1,
             })
             .collect();
-        cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, key, entries))?);
+        cost.absorb(self.run_write(net, false, |n, ctx| {
+            n.append_many(ctx, key, entries.clone())
+        })?);
 
         // 3. per tag: t̄ᵢ reverse edge + t̂ᵢ pairwise FG arcs.
         for &t in &unique {
@@ -158,7 +171,9 @@ impl DharmaClient {
                 name: resource.to_owned(),
                 weight: 1,
             }];
-            cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, key, entry))?);
+            cost.absorb(
+                self.run_write(net, false, |n, ctx| n.append_many(ctx, key, entry.clone()))?,
+            );
 
             let key = block_key(t, BlockType::TagNeighbors);
             let arcs: Vec<StoredEntry> = unique
@@ -173,9 +188,11 @@ impl DharmaClient {
                 // Single-tag resource: the t̂ update would be empty; the
                 // paper still counts the lookup (the block is touched to
                 // ensure existence). We append a zero-entry update.
-                cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, key, vec![]))?);
+                cost.absorb(self.run_write(net, false, |n, ctx| n.append_many(ctx, key, vec![]))?);
             } else {
-                cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, key, arcs))?);
+                cost.absorb(
+                    self.run_write(net, false, |n, ctx| n.append_many(ctx, key, arcs.clone()))?,
+                );
             }
         }
         Ok(cost)
@@ -211,7 +228,7 @@ impl DharmaClient {
             name: tag.to_owned(),
             weight: 1,
         }];
-        cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, r_bar, e))?);
+        cost.absorb(self.run_write(net, false, |n, ctx| n.append_many(ctx, r_bar, e.clone()))?);
 
         // 2. u(t, r) += 1 on t̄.
         let t_bar = block_key(tag, BlockType::TagResources);
@@ -219,7 +236,7 @@ impl DharmaClient {
             name: resource.to_owned(),
             weight: 1,
         }];
-        cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, t_bar, e))?);
+        cost.absorb(self.run_write(net, false, |n, ctx| n.append_many(ctx, t_bar, e.clone()))?);
 
         // 3. Fetch Tags(r) from r̄ (unfiltered: tagging needs the full set;
         //    resources carry few tags compared to popular tags' blocks).
@@ -266,7 +283,9 @@ impl DharmaClient {
         } else {
             Vec::new()
         };
-        cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, t_hat, forward))?);
+        cost.absorb(self.run_write(net, false, |n, ctx| {
+            n.append_many(ctx, t_hat, forward.clone())
+        })?);
 
         // Approximation A: the per-neighbor τ̂ updates below are each a full
         // overlay lookup, so they are capped at k random neighbors.
@@ -285,7 +304,9 @@ impl DharmaClient {
                 name: tag.to_owned(),
                 weight: 1,
             }];
-            cost.absorb(self.run_write(net, |n, ctx| n.append_many(ctx, tau_hat, e))?);
+            cost.absorb(
+                self.run_write(net, false, |n, ctx| n.append_many(ctx, tau_hat, e.clone()))?,
+            );
             updated += 1;
         }
 
@@ -328,44 +349,77 @@ impl DharmaClient {
 
     // ----- blocking operation drivers ---------------------------------
 
+    /// Issues one operation on the home node and runs the net until it
+    /// completes, reissuing on timeout (up to `op_retries`) when
+    /// `retryable`. **Only idempotent operations may be retried**: a GET
+    /// or a blob PUT can be repeated safely, but an `APPEND` that was
+    /// applied at some replicas before the coordinator died would
+    /// double-count its tokens if reissued — append callers pass
+    /// `retryable = false` and surface the timeout instead. Each attempt
+    /// counts as one overlay lookup on the receipt; cache hits are only
+    /// meaningful (and only tallied) for reads.
+    fn run_op(
+        &mut self,
+        net: &mut SimNet<KademliaNode>,
+        retryable: bool,
+        count_cache_hits: bool,
+        mut issue: impl FnMut(&mut KademliaNode, &mut dharma_net::Ctx<KadOutput>) -> u64,
+    ) -> Result<(KadOutput, OpCost)> {
+        let mut cost = OpCost::default();
+        let mut attempt = 0u32;
+        loop {
+            if net.is_removed(self.home) {
+                return Err(DharmaError::Protocol(format!(
+                    "home node {} departed the overlay",
+                    self.home
+                )));
+            }
+            let before = net.counters().sent();
+            let hits_before = net.counters().cache_hits();
+            let op = net.with_node(self.home, &mut issue);
+            let out = self.wait_for(net, op);
+            cost.lookups += 1;
+            cost.messages += net.counters().sent() - before;
+            if count_cache_hits {
+                cost.cache_hits += net.counters().cache_hits() - hits_before;
+            }
+            match out {
+                Ok(out) => return Ok((out, cost)),
+                Err(DharmaError::Timeout(_)) if retryable && attempt < self.cfg.op_retries => {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Issues a write op on the home node and runs the net to completion.
-    /// Counts as **one overlay lookup**.
+    /// `retryable` must only be true for idempotent writes (blob PUTs,
+    /// replication pushes) — see [`DharmaClient::run_op`].
     fn run_write(
         &mut self,
         net: &mut SimNet<KademliaNode>,
-        issue: impl FnOnce(&mut KademliaNode, &mut dharma_net::Ctx<KadOutput>) -> u64,
+        retryable: bool,
+        issue: impl FnMut(&mut KademliaNode, &mut dharma_net::Ctx<KadOutput>) -> u64,
     ) -> Result<OpCost> {
-        let before = net.counters().sent();
-        let op = net.with_node(self.home, issue);
-        let out = self.wait_for(net, op)?;
+        let (out, cost) = self.run_op(net, retryable, false, issue)?;
         match out {
-            KadOutput::Written { .. } => Ok(OpCost {
-                lookups: 1,
-                messages: net.counters().sent() - before,
-                cache_hits: 0,
-            }),
+            KadOutput::Written { .. } => Ok(cost),
             other => Err(DharmaError::Protocol(format!(
                 "expected write completion, got {other:?}"
             ))),
         }
     }
 
-    /// Issues a filtered GET and runs the net to completion. One lookup.
+    /// Issues a filtered GET (idempotent, hence always retryable) and runs
+    /// the net to completion.
     fn run_get(
         &mut self,
         net: &mut SimNet<KademliaNode>,
         key: dharma_types::Id160,
         top_n: u32,
     ) -> Result<(Option<BlockView>, OpCost)> {
-        let before = net.counters().sent();
-        let hits_before = net.counters().cache_hits();
-        let op = net.with_node(self.home, |n, ctx| n.get(ctx, key, top_n));
-        let out = self.wait_for(net, op)?;
-        let cost = OpCost {
-            lookups: 1,
-            messages: net.counters().sent() - before,
-            cache_hits: net.counters().cache_hits() - hits_before,
-        };
+        let (out, cost) = self.run_op(net, true, true, |n, ctx| n.get(ctx, key, top_n))?;
         match out {
             KadOutput::Value { value, .. } => Ok((
                 value.map(|v| BlockView {

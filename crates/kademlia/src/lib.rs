@@ -33,6 +33,6 @@ pub mod routing;
 pub mod storage;
 
 pub use messages::{Contact, Message, StoredEntry};
-pub use node::{KadConfig, KadOutput, KademliaNode};
-pub use routing::{KBucket, RoutingTable};
+pub use node::{KadConfig, KadOutput, KademliaNode, MaintConfig};
+pub use routing::{KBucket, NoteOutcome, RoutingTable};
 pub use storage::Storage;

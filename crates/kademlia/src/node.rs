@@ -9,21 +9,84 @@
 //!   the `k` closest nodes found.
 //!
 //! Every received message refreshes the sender in the routing table; every
-//! RPC timeout evicts the silent contact — the two rules that keep Kademlia
-//! tables fresh without dedicated maintenance traffic (§2.3 of the Kademlia
-//! paper). Bucket refresh for idle buckets is exposed as
-//! [`KademliaNode::refresh_bucket`] for long-running deployments.
+//! RPC timeout marks the silent contact suspect — by default it is *probed*
+//! with a `PING` and evicted only when the probe also fails
+//! (ping-before-evict, §2.2 of the Kademlia paper; set
+//! [`KadConfig::ping_before_evict`] to `false` for the old
+//! evict-on-first-timeout behavior). Bucket refresh for idle buckets is
+//! exposed as [`KademliaNode::refresh_bucket`] for long-running deployments.
+//!
+//! **Churn maintenance** ([`MaintConfig`], the `dharma-maint` subsystem)
+//! turns the timer path into a full self-healing loop:
+//!
+//! * a **liveness probe** sweep walks the buckets round-robin and pings the
+//!   least-recently-seen contact; a failed probe evicts it and promotes the
+//!   freshest replacement-cache entry;
+//! * **join-time key handoff** — when a *new* contact enters a bucket, the
+//!   node pushes it a [`Message::Replicate`] snapshot of every held key the
+//!   newcomer is now among the `k` closest for (the Kademlia §2.5 rule);
+//! * a **repair sweep** re-pushes every held key to its current `k` closest
+//!   nodes, restoring replicas lost to departures. An incoming `Replicate`
+//!   for a key suppresses the local re-push for one interval, so a healthy
+//!   replica set costs ~`k` datagrams per key per interval, not `k²`;
+//! * a **demotion sweep** reclaims beyond-`k` replicas once their
+//!   popularity has decayed (always treated as cold when adaptive
+//!   replication is off), re-pushing the snapshot to the authoritative
+//!   `k` before dropping it locally. Besides reclaiming space, this is
+//!   what keeps repair traffic bounded: without it every node that was
+//!   *ever* in a key's replica set keeps the record and keeps re-pushing
+//!   it each repair interval.
+//!
+//! Repaired replicas arrive via `Replicate`, whose handler invalidates every
+//! cached view of the key — so repair composes with the PR-2 cache rules and
+//! never resurrects a stale cached view.
 
 use bytes::Bytes;
 
 use dharma_cache::{CacheConfig, CacheStats, HotCache, PopularityConfig, PopularityEstimator};
-use dharma_net::{Ctx, NetCounters, Node, NodeAddr};
-use dharma_types::{FxHashMap, Id160, WireDecode, WireEncode};
+use dharma_net::{Ctx, Instrumented, Metric, NetCounters, Node, NodeAddr};
+use dharma_types::{FxHashMap, FxHashSet, Id160, WireDecode, WireEncode};
 
 use crate::lookup::LookupState;
 use crate::messages::{Contact, FetchedValue, Message, StoredEntry};
 use crate::routing::RoutingTable;
 use crate::storage::Storage;
+
+/// Churn-maintenance parameters (the `dharma-maint` subsystem). `None` in
+/// [`KadConfig::maintenance`] disables the whole loop — the node then
+/// behaves exactly like the pre-maintenance protocol, which is what the
+/// static paper-reproduction experiments run.
+#[derive(Clone, Debug)]
+pub struct MaintConfig {
+    /// Liveness-probe cadence, µs: each tick pings the least-recently-seen
+    /// contact of the next non-empty bucket (round-robin).
+    pub probe_interval_us: u64,
+    /// Repair-sweep cadence, µs: each tick re-pushes held keys to their
+    /// current `k` closest nodes (suppressed per key for one interval after
+    /// an incoming `Replicate`, so only one holder pays per round).
+    pub repair_interval_us: u64,
+    /// Join-time key handoff: push held records to a newly-learned contact
+    /// that is now among the `k` closest for them.
+    pub join_handoff: bool,
+    /// Demotion-sweep cadence, µs (`None` = off): reclaim beyond-`k`
+    /// replicas whose popularity has decayed (the adaptive-replication
+    /// counterpart of promotion). Demotion also bounds repair traffic:
+    /// without it, a holder that membership turnover pushed out of a
+    /// key's `k` closest keeps the record — and keeps re-pushing it every
+    /// repair interval — forever.
+    pub demote_interval_us: Option<u64>,
+}
+
+impl Default for MaintConfig {
+    fn default() -> Self {
+        MaintConfig {
+            probe_interval_us: 5_000_000,   // 5 s
+            repair_interval_us: 30_000_000, // 30 s
+            join_handoff: true,
+            demote_interval_us: Some(60_000_000), // 60 s
+        }
+    }
+}
 
 /// Protocol parameters.
 #[derive(Clone, Debug)]
@@ -54,6 +117,17 @@ pub struct KadConfig {
     /// authoritative holders track per-key GET rates and push idempotent
     /// replica snapshots beyond the base `k` when a key runs hot.
     pub replication: Option<PopularityConfig>,
+    /// Ping-before-evict (default `true`, the Kademlia paper's rule): an
+    /// RPC timeout sends a liveness probe to the suspect instead of
+    /// evicting it outright; only a failed probe evicts (and promotes from
+    /// the bucket's replacement cache). `false` restores the old
+    /// evict-on-first-timeout policy — cheaper, but one lost datagram can
+    /// drop a live contact.
+    pub ping_before_evict: bool,
+    /// Churn maintenance loop (`None` = disabled, the default): liveness
+    /// probes, join-time key handoff, failure-driven re-replication, and
+    /// replica demotion. See [`MaintConfig`].
+    pub maintenance: Option<MaintConfig>,
     /// Shared counters cache hits/misses and replica promotions are
     /// recorded into. Runtimes wire their own [`NetCounters`] here (the
     /// overlay builders do); the default is a private, unobserved set.
@@ -71,6 +145,8 @@ impl Default for KadConfig {
             record_ttl_us: None,
             cache: None,
             replication: None,
+            ping_before_evict: true,
+            maintenance: None,
             counters: NetCounters::new(),
         }
     }
@@ -157,6 +233,16 @@ struct PendingRpc {
 const TIMER_REPUBLISH: u64 = u64::MAX;
 /// Timer id for the periodic expiry sweep.
 const TIMER_EXPIRE: u64 = u64::MAX - 1;
+/// Timer id for the liveness-probe maintenance tick.
+const TIMER_PROBE: u64 = u64::MAX - 2;
+/// Timer id for the repair (re-replication) sweep.
+const TIMER_REPAIR: u64 = u64::MAX - 3;
+/// Timer id for the replica-demotion sweep.
+const TIMER_DEMOTE: u64 = u64::MAX - 4;
+
+/// Sentinel operation id marking a pending RPC as a standalone liveness
+/// probe (client operation ids count up from 1).
+const PROBE_OP: u64 = 0;
 
 /// The Kademlia node.
 pub struct KademliaNode {
@@ -181,6 +267,16 @@ pub struct KademliaNode {
     /// the write completes (beyond it no servable cached view can predate
     /// the write). Bounded by [`WRITE_GUARD_CAP`].
     recent_writes: FxHashMap<Id160, WriteGuard>,
+    /// Bucket index where the next liveness-probe tick resumes.
+    probe_cursor: usize,
+    /// Contacts with an in-flight liveness probe (dedup: repeated timeouts
+    /// against one suspect must not fan out repeated pings).
+    probing: FxHashSet<Id160>,
+    /// Per-key timestamp of the last *incoming* `Replicate` — the repair
+    /// sweep's suppression state: a key another holder just repaired is
+    /// skipped for one interval (the classic Kademlia republish
+    /// optimization, §2.5). Pruned on every sweep.
+    last_replicate_seen: FxHashMap<Id160, u64>,
 }
 
 /// Read-your-writes bookkeeping for one key (see
@@ -214,6 +310,9 @@ impl KademliaNode {
             next_op: 1,
             gets_served: 0,
             recent_writes: FxHashMap::default(),
+            probe_cursor: 0,
+            probing: FxHashSet::default(),
+            last_replicate_seen: FxHashMap::default(),
         }
     }
 
@@ -348,18 +447,7 @@ impl KademliaNode {
         let Some(extra) = extra else {
             return;
         };
-        let snapshot = self.storage.get(&key).map(|state| {
-            let entries: Vec<StoredEntry> = state
-                .entries
-                .iter()
-                .map(|(name, &weight)| StoredEntry {
-                    name: name.clone(),
-                    weight,
-                })
-                .collect();
-            (state.blob.clone(), entries)
-        });
-        let Some((blob, entries)) = snapshot else {
+        let Some((blob, entries)) = self.snapshot_value(&key) else {
             return;
         };
         let targets: Vec<Contact> = self
@@ -388,6 +476,207 @@ impl KademliaNode {
                 }
                 .encode_to_bytes(),
             );
+        }
+    }
+
+    /// A `Replicate`-ready snapshot of one held value.
+    fn snapshot_value(&self, key: &Id160) -> Option<(Option<Vec<u8>>, Vec<StoredEntry>)> {
+        self.storage.get(key).map(|state| {
+            let entries: Vec<StoredEntry> = state
+                .entries
+                .iter()
+                .map(|(name, &weight)| StoredEntry {
+                    name: name.clone(),
+                    weight,
+                })
+                .collect();
+            (state.blob.clone(), entries)
+        })
+    }
+
+    /// Fire-and-forget `Replicate` push of `key`'s snapshot to `to`
+    /// (idempotent merge-max on the receiver; the ack is ignored).
+    fn push_replica(
+        &mut self,
+        ctx: &mut Ctx<KadOutput>,
+        to: &Contact,
+        key: Id160,
+        blob: Option<Vec<u8>>,
+        entries: Vec<StoredEntry>,
+    ) {
+        let rpc = self.next_rpc;
+        self.next_rpc += 1;
+        ctx.send(
+            to.addr,
+            Message::Replicate {
+                rpc,
+                from: self.contact.clone(),
+                key,
+                blob,
+                entries,
+            }
+            .encode_to_bytes(),
+        );
+    }
+
+    // ----- churn maintenance (`dharma-maint`) --------------------------
+
+    /// Sends a liveness probe to `contact` unless one is already in
+    /// flight. The probe's RPC is tracked under [`PROBE_OP`]; its timeout
+    /// (no `Pong`) confirms death and evicts the contact.
+    fn probe_contact(&mut self, ctx: &mut Ctx<KadOutput>, contact: Contact) {
+        if !self.probing.insert(contact.id) {
+            return;
+        }
+        let rpc = self.next_rpc;
+        self.next_rpc += 1;
+        self.cfg.counters.record_probe();
+        ctx.send(
+            contact.addr,
+            Message::Ping {
+                rpc,
+                from: self.contact.clone(),
+            }
+            .encode_to_bytes(),
+        );
+        self.pending.insert(
+            rpc,
+            PendingRpc {
+                op: PROBE_OP,
+                to: contact,
+            },
+        );
+        ctx.set_timer(self.cfg.rpc_timeout_us, rpc);
+    }
+
+    /// One liveness-probe tick: ping the least-recently-seen contact of the
+    /// next non-empty bucket. Round-robin over buckets guarantees every
+    /// resident is eventually verified even when no lookup traffic touches
+    /// its bucket.
+    fn probe_tick(&mut self, ctx: &mut Ctx<KadOutput>) {
+        if let Some((bucket, contact)) = self.routing.probe_candidate(self.probe_cursor) {
+            self.probe_cursor = (bucket + 1) % dharma_types::ID160_BITS;
+            self.probe_contact(ctx, contact);
+        }
+    }
+
+    /// Join-time key handoff: `newcomer` just entered a bucket for the
+    /// first time; push it every held key it is now among the `k` closest
+    /// for (Kademlia §2.5 — keeps the replica set correct as the
+    /// population shifts, without waiting for a repair sweep).
+    fn handoff_to(&mut self, ctx: &mut Ctx<KadOutput>, newcomer: Contact) {
+        let keys: Vec<Id160> = self
+            .storage
+            .keys()
+            .filter(|key| {
+                self.routing
+                    .closest(key, self.cfg.k)
+                    .iter()
+                    .any(|c| c.id == newcomer.id)
+            })
+            .copied()
+            .collect();
+        if keys.is_empty() {
+            return;
+        }
+        self.cfg.counters.record_handoffs(keys.len() as u64);
+        for key in keys {
+            if let Some((blob, entries)) = self.snapshot_value(&key) {
+                self.push_replica(ctx, &newcomer, key, blob, entries);
+            }
+        }
+    }
+
+    /// One repair sweep: re-push every held key to its current `k` closest
+    /// nodes, restoring replicas lost to departures. Keys that received an
+    /// incoming `Replicate` within the last interval are skipped — some
+    /// other holder already paid for this round.
+    fn repair_sweep(&mut self, ctx: &mut Ctx<KadOutput>, interval_us: u64) {
+        let now = ctx.now_us;
+        let storage = &self.storage;
+        self.last_replicate_seen
+            .retain(|key, seen| now.saturating_sub(*seen) < interval_us && storage.contains(key));
+        let keys: Vec<Id160> = self
+            .storage
+            .keys()
+            .filter(|key| !self.last_replicate_seen.contains_key(key))
+            .copied()
+            .collect();
+        let mut pushes = 0u64;
+        for key in keys {
+            let Some((blob, entries)) = self.snapshot_value(&key) else {
+                continue;
+            };
+            let targets = self.routing.closest(&key, self.cfg.k);
+            pushes += targets.len() as u64;
+            for t in targets {
+                self.push_replica(ctx, &t, key, blob.clone(), entries.clone());
+            }
+        }
+        if pushes > 0 {
+            self.cfg.counters.record_rereplications(pushes);
+        }
+    }
+
+    /// One demotion sweep: reclaim beyond-`k` replicas whose popularity has
+    /// decayed — the explicit counterpart of adaptive promotion, so extra
+    /// copies stop occupying space the moment a key cools instead of
+    /// waiting for the record TTL. A key is dropped only when (a) at least
+    /// `k + DEMOTE_SLACK` known contacts are strictly closer to it (we are
+    /// comfortably outside the authoritative replica set — the slack keeps
+    /// a small buffer of extra copies alive as a churn safety net and
+    /// avoids demote/handoff flapping at the boundary), (b) its local
+    /// popularity is below half the hot threshold (hysteresis against
+    /// flapping), and (c) it was not refreshed within the last sweep
+    /// interval. The snapshot is re-pushed to the `k` closest before the
+    /// local drop, so demotion can never lose the last copy.
+    fn demote_sweep(&mut self, ctx: &mut Ctx<KadOutput>, interval_us: u64) {
+        /// Replicas ranked between `k` and `k + DEMOTE_SLACK` are spared.
+        const DEMOTE_SLACK: usize = 2;
+        let now = ctx.now_us;
+        let cold_bar = self
+            .popularity
+            .as_ref()
+            .map(|p| p.config().hot_threshold / 2.0)
+            .unwrap_or(f64::INFINITY);
+        let own = self.contact.id;
+        let keep_within = self.cfg.k + DEMOTE_SLACK;
+        let victims: Vec<Id160> = self
+            .storage
+            .keys()
+            .copied()
+            .filter(|key| {
+                let closest = self.routing.closest(key, keep_within);
+                if closest.len() < keep_within {
+                    return false; // sparse view: assume we are needed
+                }
+                let self_dist = own.distance(key);
+                let kth = closest.last().expect("len checked").id.distance(key);
+                if kth >= self_dist {
+                    return false; // we rank within k + slack
+                }
+                let weight = self
+                    .popularity
+                    .as_ref()
+                    .map(|p| p.weight(key, now))
+                    .unwrap_or(0.0);
+                if weight >= cold_bar {
+                    return false; // still warm: keep serving
+                }
+                let refreshed = self.storage.get(key).map(|s| s.refreshed_us).unwrap_or(0);
+                now.saturating_sub(refreshed) >= interval_us
+            })
+            .collect();
+        for key in victims {
+            let Some((blob, entries)) = self.snapshot_value(&key) else {
+                continue;
+            };
+            for t in self.routing.closest(&key, self.cfg.k) {
+                self.push_replica(ctx, &t, key, blob.clone(), entries.clone());
+            }
+            self.storage.remove(&key);
+            self.invalidate_cached(&key);
+            self.cfg.counters.record_replica_demoted();
         }
     }
 
@@ -452,30 +741,12 @@ impl KademliaNode {
     /// Fired periodically when `republish_interval_us` is set; callable
     /// directly for tests and manual repair.
     pub fn republish_all(&mut self, ctx: &mut Ctx<KadOutput>) -> Vec<u64> {
-        let snapshots: Vec<(dharma_types::Id160, Option<Vec<u8>>, Vec<StoredEntry>)> = self
-            .storage
-            .keys()
-            .copied()
-            .collect::<Vec<_>>()
-            .into_iter()
+        let keys: Vec<Id160> = self.storage.keys().copied().collect();
+        keys.into_iter()
             .filter_map(|key| {
-                self.storage.get(&key).map(|state| {
-                    let entries: Vec<StoredEntry> = state
-                        .entries
-                        .iter()
-                        .map(|(name, &weight)| StoredEntry {
-                            name: name.clone(),
-                            weight,
-                        })
-                        .collect();
-                    (key, state.blob.clone(), entries)
+                self.snapshot_value(&key).map(|(blob, entries)| {
+                    self.start_op(ctx, key, OpKind::Replicate { blob, entries })
                 })
-            })
-            .collect();
-        snapshots
-            .into_iter()
-            .map(|(key, blob, entries)| {
-                self.start_op(ctx, key, OpKind::Replicate { blob, entries })
             })
             .collect()
     }
@@ -804,14 +1075,40 @@ impl Node for KademliaNode {
         if let Some(ttl) = self.cfg.record_ttl_us {
             ctx.set_timer(ttl / 2, TIMER_EXPIRE);
         }
+        if let Some(m) = self.cfg.maintenance.clone() {
+            // Deterministic phase jitter (from the node's forked RNG): a
+            // fleet started at the same instant must not fire its sweeps in
+            // lockstep, or the repair suppression never gets to help.
+            use rand::Rng;
+            let probe_phase = ctx.rng.gen_range(0..m.probe_interval_us.max(1));
+            ctx.set_timer(m.probe_interval_us + probe_phase, TIMER_PROBE);
+            let repair_phase = ctx.rng.gen_range(0..m.repair_interval_us.max(1));
+            ctx.set_timer(m.repair_interval_us + repair_phase, TIMER_REPAIR);
+            if let Some(demote) = m.demote_interval_us {
+                let demote_phase = ctx.rng.gen_range(0..demote.max(1));
+                ctx.set_timer(demote + demote_phase, TIMER_DEMOTE);
+            }
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<KadOutput>, _from: NodeAddr, payload: Bytes) {
         let Ok(msg) = Message::decode_exact(&payload) else {
             return; // malformed datagram: drop silently, as UDP servers do
         };
-        // Every message is evidence of liveness.
-        self.routing.note_contact(msg.sender().clone());
+        // Every message is evidence of liveness — and a *first* appearance
+        // of a contact in a bucket is the join-handoff trigger: the
+        // newcomer may now rank among the k closest for keys we hold.
+        let outcome = self.routing.note_contact(msg.sender().clone());
+        if outcome == crate::routing::NoteOutcome::Inserted
+            && self
+                .cfg
+                .maintenance
+                .as_ref()
+                .is_some_and(|m| m.join_handoff)
+            && !self.storage.is_empty()
+        {
+            self.handoff_to(ctx, msg.sender().clone());
+        }
 
         match msg {
             Message::Ping { rpc, from } => {
@@ -824,8 +1121,12 @@ impl Node for KademliaNode {
                     .encode_to_bytes(),
                 );
             }
-            Message::Pong { .. } => {
-                // Liveness noted above; nothing else to do.
+            Message::Pong { rpc, .. } => {
+                // Liveness noted above; additionally settle the probe (if
+                // this Pong answers one) so its timeout cannot evict.
+                if let Some(pend) = self.pending.remove(&rpc) {
+                    self.probing.remove(&pend.to.id);
+                }
             }
             Message::FindNode { rpc, from, target } => {
                 let contacts = self.routing.closest(&target, self.cfg.k);
@@ -1142,6 +1443,11 @@ impl Node for KademliaNode {
                 self.storage
                     .merge_max(key, blob.as_deref(), &entries, ctx.now_us);
                 self.invalidate_cached(&key);
+                // Repair suppression: someone just re-replicated this key,
+                // so our own next repair sweep can skip it.
+                if self.cfg.maintenance.is_some() {
+                    self.last_replicate_seen.insert(key, ctx.now_us);
+                }
                 ctx.send(
                     from.addr,
                     Message::Ack {
@@ -1176,13 +1482,54 @@ impl Node for KademliaNode {
                 }
                 return;
             }
+            TIMER_PROBE => {
+                if let Some(m) = &self.cfg.maintenance {
+                    let interval = m.probe_interval_us;
+                    self.probe_tick(ctx);
+                    ctx.set_timer(interval, TIMER_PROBE);
+                }
+                return;
+            }
+            TIMER_REPAIR => {
+                if let Some(m) = &self.cfg.maintenance {
+                    let interval = m.repair_interval_us;
+                    self.repair_sweep(ctx, interval);
+                    ctx.set_timer(interval, TIMER_REPAIR);
+                }
+                return;
+            }
+            TIMER_DEMOTE => {
+                if let Some(interval) = self
+                    .cfg
+                    .maintenance
+                    .as_ref()
+                    .and_then(|m| m.demote_interval_us)
+                {
+                    self.demote_sweep(ctx, interval);
+                    ctx.set_timer(interval, TIMER_DEMOTE);
+                }
+                return;
+            }
             _ => {}
         }
         // Timer ids are RPC ids; a still-pending entry means timeout.
         let Some(pend) = self.pending.remove(&id) else {
             return; // reply beat the timer
         };
-        self.routing.note_failure(&pend.to.id);
+        if pend.op == PROBE_OP {
+            // A liveness probe went unanswered: death confirmed. Evict the
+            // contact (promoting the freshest replacement-cache entry).
+            self.probing.remove(&pend.to.id);
+            self.routing.note_failure(&pend.to.id);
+            return;
+        }
+        if self.cfg.ping_before_evict {
+            // The op moves on below, but the routing table only marks the
+            // contact *suspect*: probe it, and evict on probe failure.
+            self.probe_contact(ctx, pend.to.clone());
+        } else {
+            self.routing.note_failure(&pend.to.id);
+        }
         let Some(op) = self.ops.get_mut(&pend.op) else {
             return;
         };
@@ -1196,6 +1543,35 @@ impl Node for KademliaNode {
                 self.write_progress(ctx, pend.op, false);
             }
         }
+    }
+}
+
+impl Instrumented for KademliaNode {
+    /// Operator-facing gauges, surfaced by real runtimes (the ROADMAP's
+    /// "CacheStats through the UDP runtime" item): storage/routing
+    /// occupancy, GET load, full cache statistics, and the popularity
+    /// tracker's state.
+    fn metrics(&self) -> Vec<Metric> {
+        let mut out = vec![
+            Metric::new("storage_keys", self.storage.len() as f64),
+            Metric::new("routing_contacts", self.routing.len() as f64),
+            Metric::new("gets_served", self.gets_served as f64),
+        ];
+        if let Some(cache) = &self.cache {
+            let s = cache.stats();
+            out.push(Metric::new("cache_len", cache.len() as f64));
+            out.push(Metric::new("cache_hits", s.hits as f64));
+            out.push(Metric::new("cache_misses", s.misses as f64));
+            out.push(Metric::new("cache_insertions", s.insertions as f64));
+            out.push(Metric::new("cache_rejected", s.rejected as f64));
+            out.push(Metric::new("cache_evictions", s.evictions as f64));
+            out.push(Metric::new("cache_expirations", s.expirations as f64));
+            out.push(Metric::new("cache_invalidations", s.invalidations as f64));
+        }
+        if let Some(pop) = &self.popularity {
+            out.push(Metric::new("popularity_tracked", pop.tracked() as f64));
+        }
+        out
     }
 }
 
@@ -1604,6 +1980,270 @@ mod tests {
             holders_after > holders_before,
             "promotion must add replicas: {holders_before} -> {holders_after}"
         );
+    }
+
+    /// Like [`build_net`] but with the churn-maintenance loop enabled on
+    /// every node (and optional cache/replication), sharing one counter
+    /// set. Bootstrap runs time-bounded: maintenance timers re-arm
+    /// forever, so `run_until_idle` would never drain.
+    fn build_maint_net(
+        n: usize,
+        k: usize,
+        seed: u64,
+        maint: MaintConfig,
+        cache: Option<CacheConfig>,
+        replication: Option<PopularityConfig>,
+    ) -> (SimNet<KademliaNode>, Vec<Contact>, NetCounters) {
+        let mut net = SimNet::new(SimConfig {
+            latency_min_us: 1_000,
+            latency_max_us: 10_000,
+            drop_rate: 0.0,
+            mtu: 64 * 1024,
+            seed,
+        });
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A2);
+        let counters = NetCounters::new();
+        let cfg = KadConfig {
+            k,
+            alpha: 3,
+            rpc_timeout_us: 300_000,
+            reply_budget: 60_000,
+            cache,
+            replication,
+            maintenance: Some(maint),
+            counters: counters.clone(),
+            ..KadConfig::default()
+        };
+        let mut contacts = Vec::new();
+        for i in 0..n {
+            let id = Id160::random(&mut rng);
+            let node = KademliaNode::new(id, i as NodeAddr, cfg.clone());
+            let addr = net.add_node(node);
+            contacts.push(Contact { id, addr });
+        }
+        for i in 1..n {
+            net.node_mut(i as NodeAddr).add_seed(contacts[0].clone());
+        }
+        for i in 1..n {
+            net.with_node(i as NodeAddr, |node, ctx| {
+                node.bootstrap(ctx);
+            });
+        }
+        net.run_until(2_000_000);
+        net.take_completions();
+        (net, contacts, counters)
+    }
+
+    fn holders(net: &SimNet<KademliaNode>, key: &Id160) -> Vec<u32> {
+        (0..net.len() as u32)
+            .filter(|&a| !net.is_removed(a) && net.node(a).storage().contains(key))
+            .collect()
+    }
+
+    #[test]
+    fn probe_round_evicts_removed_contacts_everywhere() {
+        let maint = MaintConfig {
+            probe_interval_us: 200_000,
+            repair_interval_us: 10_000_000,
+            join_handoff: false,
+            demote_interval_us: None,
+        };
+        let (mut net, contacts, counters) = build_maint_net(16, 8, 70, maint, None, None);
+        // Two nodes depart for good.
+        let gone = [5u32, 11];
+        for &g in &gone {
+            net.remove(g);
+        }
+        // Let the liveness loop cycle through every bucket several times
+        // (each tick probes one contact; failed probes evict).
+        net.run_until(40_000_000);
+        assert!(counters.probes_sent() > 0, "the probe loop must run");
+        for a in 0..16u32 {
+            if gone.contains(&a) {
+                continue;
+            }
+            for &g in &gone {
+                assert!(
+                    !net.node(a).routing().contains(&contacts[g as usize].id),
+                    "node {a} still routes to removed node {g} after probe rounds"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn live_contacts_survive_probe_rounds() {
+        let maint = MaintConfig {
+            probe_interval_us: 200_000,
+            repair_interval_us: 10_000_000_000,
+            join_handoff: false,
+            demote_interval_us: None,
+        };
+        let (mut net, _contacts, counters) = build_maint_net(12, 8, 71, maint, None, None);
+        let known_before: Vec<usize> = (0..12u32).map(|a| net.node(a).routing().len()).collect();
+        net.run_until(20_000_000);
+        assert!(counters.probes_sent() > 50);
+        for a in 0..12u32 {
+            assert_eq!(
+                net.node(a).routing().len(),
+                known_before[a as usize],
+                "probing a healthy overlay must not shrink node {a}'s table"
+            );
+        }
+    }
+
+    #[test]
+    fn join_handoff_transfers_keys_to_newcomer() {
+        let maint = MaintConfig {
+            probe_interval_us: 1_000_000,
+            repair_interval_us: 10_000_000_000, // effectively off: isolate handoff
+            join_handoff: true,
+            demote_interval_us: None,
+        };
+        let (mut net, contacts, counters) = build_maint_net(16, 4, 72, maint, None, None);
+        let key = sha1(b"handed-off");
+        net.with_node(2, |n, ctx| n.append(ctx, key, "rock", 7));
+        net.run_until(4_000_000);
+        net.take_completions();
+        assert!(!holders(&net, &key).is_empty());
+
+        // A newcomer whose id is the key itself joins: it is by definition
+        // among the k closest, so its neighbors must hand the block over.
+        let cfg = KadConfig {
+            k: 4,
+            alpha: 3,
+            rpc_timeout_us: 300_000,
+            reply_budget: 60_000,
+            maintenance: Some(MaintConfig {
+                join_handoff: true,
+                ..MaintConfig::default()
+            }),
+            ..KadConfig::default()
+        };
+        let addr = net.len() as NodeAddr;
+        let newcomer = KademliaNode::new(key, addr, cfg);
+        let spawned = net.spawn(newcomer);
+        assert_eq!(spawned, addr);
+        net.node_mut(spawned).add_seed(contacts[0].clone());
+        net.with_node(spawned, |n, ctx| {
+            n.bootstrap(ctx);
+        });
+        net.run_until(10_000_000);
+        assert!(
+            net.node(spawned).storage().contains(&key),
+            "the joining node must receive the block it is now closest to"
+        );
+        assert!(counters.handoffs() > 0);
+        assert_eq!(
+            net.node(spawned).storage().weight(&key, "rock"),
+            7,
+            "handoff carries the merge-max snapshot"
+        );
+    }
+
+    #[test]
+    fn repair_sweep_restores_replicas_after_departures() {
+        let maint = MaintConfig {
+            probe_interval_us: 500_000,
+            repair_interval_us: 3_000_000,
+            join_handoff: true,
+            demote_interval_us: None,
+        };
+        let (mut net, _contacts, counters) = build_maint_net(20, 5, 73, maint, None, None);
+        let key = sha1(b"repaired");
+        net.with_node(1, |n, ctx| n.append(ctx, key, "rock", 3));
+        net.run_until(4_000_000);
+        net.take_completions();
+        let before = holders(&net, &key);
+        assert!(before.len() >= 5, "k = 5 replicas placed");
+
+        // Most of the replica set departs permanently (keep one survivor).
+        for &h in before.iter().skip(1) {
+            if h != 1 {
+                net.remove(h);
+            }
+        }
+        let survivors = holders(&net, &key).len();
+        assert!(survivors <= 2);
+
+        // Several repair intervals later the survivor has re-pushed the
+        // block to the (new) k closest live nodes.
+        net.run_until(30_000_000);
+        let after = holders(&net, &key);
+        assert!(
+            after.len() >= 5,
+            "repair must restore the replica set: {survivors} -> {}",
+            after.len()
+        );
+        assert!(counters.rereplications() > 0);
+        // Merge-max all along: no weight inflation anywhere.
+        for a in after {
+            assert_eq!(net.node(a).storage().weight(&key, "rock"), 3);
+        }
+    }
+
+    #[test]
+    fn demotion_reclaims_cold_promoted_replicas() {
+        let replication = PopularityConfig {
+            half_life_us: 2_000_000,
+            hot_threshold: 2.0,
+            max_extra_replicas: 10,
+            max_tracked: 1024,
+            promote_cooldown_us: 1_000,
+        };
+        let maint = MaintConfig {
+            probe_interval_us: 1_000_000,
+            repair_interval_us: 10_000_000_000, // off: repair would re-stamp refresh times
+            join_handoff: false,
+            demote_interval_us: Some(4_000_000),
+        };
+        let (mut net, _contacts, counters) = build_maint_net(
+            24,
+            4,
+            74,
+            maint,
+            Some(CacheConfig {
+                capacity: 64,
+                ttl_us: 1_000_000,
+            }),
+            Some(replication),
+        );
+        let key = sha1(b"briefly-viral");
+        net.with_node(0, |n, ctx| n.append(ctx, key, "meme", 1));
+        net.run_until(4_000_000);
+        net.take_completions();
+        let base = holders(&net, &key).len();
+
+        // Hammer the key from every node (twice, outliving the cache TTL
+        // so repeats reach the holders) to promote it well beyond k.
+        for _round in 0..2 {
+            for a in 0..24u32 {
+                net.with_node(a, |n, ctx| {
+                    n.get(ctx, key, 0);
+                });
+                net.run_until(net.now_us() + 200_000);
+            }
+        }
+        net.take_completions();
+        let promoted = holders(&net, &key).len();
+        // Demotion spares replicas up to k + DEMOTE_SLACK (= 6 here); the
+        // hot key must overshoot that floor for the reclaim to be visible.
+        assert!(
+            promoted > 6,
+            "hot key must gain replicas beyond k + slack: {base} -> {promoted}"
+        );
+
+        // The fad passes: no more GETs. Popularity decays (half-life 2 s),
+        // and the demotion sweeps reclaim the beyond-k-plus-slack copies.
+        net.run_until(net.now_us() + 60_000_000);
+        let after = holders(&net, &key).len();
+        assert!(
+            after < promoted,
+            "cold beyond-k replicas must be reclaimed: {promoted} -> {after}"
+        );
+        assert!(counters.replicas_demoted() > 0);
+        // The authoritative set (k closest + slack) keeps the block.
+        assert!(after >= base.min(4), "k closest keep the block: {after}");
     }
 
     #[test]

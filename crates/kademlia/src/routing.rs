@@ -6,10 +6,16 @@
 //! contacts move to the tail, and eviction prefers the stale head.
 //!
 //! Eviction policy: the original paper pings the least-recently-seen contact
-//! before dropping it. This implementation uses the common *replacement
-//! cache* variant instead — a full bucket stashes newcomers in a side cache
-//! and promotes them when a resident contact fails an RPC — which avoids
-//! blocking inserts on a round-trip and is deterministic under simulation.
+//! before dropping it. The node layer implements exactly that as the
+//! **default** — an RPC timeout or a full bucket does not evict outright;
+//! the suspect is probed with a `PING` and only a failed probe removes it
+//! (see `KadConfig::ping_before_evict`). The table itself stays
+//! probe-agnostic: it additionally keeps the common *replacement cache* —
+//! a full bucket stashes newcomers in a side cache and promotes them when a
+//! resident contact is evicted — so a confirmed-dead resident is replaced
+//! without losing the newcomer that exposed it. Setting
+//! `ping_before_evict = false` restores the old evict-on-first-timeout
+//! behavior (replacement cache only).
 
 use dharma_types::{Distance, Id160, ID160_BITS};
 
@@ -17,6 +23,20 @@ use crate::messages::Contact;
 
 /// Maximum contacts kept in a bucket's replacement cache.
 const REPLACEMENT_CACHE: usize = 8;
+
+/// What [`RoutingTable::note_contact`] did with a contact.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NoteOutcome {
+    /// The contact entered a bucket for the first time — a *new* live
+    /// neighbor (the node layer's join-handoff trigger).
+    Inserted,
+    /// The contact was already live; its recency/address were refreshed.
+    Refreshed,
+    /// The bucket was full; the contact went to the replacement cache.
+    Stashed,
+    /// The contact was the local id and was ignored.
+    Ignored,
+}
 
 /// One `k`-bucket with its replacement cache.
 #[derive(Clone, Debug, Default)]
@@ -43,18 +63,18 @@ impl KBucket {
         self.entries.is_empty()
     }
 
-    /// Records activity from `c`. Returns true if the contact is now live.
-    fn note(&mut self, c: Contact, k: usize) -> bool {
+    /// Records activity from `c`.
+    fn note(&mut self, c: Contact, k: usize) -> NoteOutcome {
         if let Some(pos) = self.entries.iter().position(|e| e.id == c.id) {
             // Re-seen: refresh address and move to most-recent position.
             let mut e = self.entries.remove(pos);
             e.addr = c.addr;
             self.entries.push(e);
-            return true;
+            return NoteOutcome::Refreshed;
         }
         if self.entries.len() < k {
             self.entries.push(c);
-            return true;
+            return NoteOutcome::Inserted;
         }
         // Full: stash in the replacement cache (newest kept last).
         if let Some(pos) = self.replacements.iter().position(|e| e.id == c.id) {
@@ -64,7 +84,7 @@ impl KBucket {
         if self.replacements.len() > REPLACEMENT_CACHE {
             self.replacements.remove(0);
         }
-        false
+        NoteOutcome::Stashed
     }
 
     /// Removes a failed contact and promotes the freshest replacement.
@@ -114,19 +134,39 @@ impl RoutingTable {
     }
 
     /// Records activity from a contact (any received message).
-    /// Self-contacts are ignored. Returns true if the contact is live.
-    pub fn note_contact(&mut self, c: Contact) -> bool {
+    /// Self-contacts are ignored.
+    pub fn note_contact(&mut self, c: Contact) -> NoteOutcome {
         match self.bucket_index(&c.id) {
             Some(i) => self.buckets[i].note(c, self.k),
-            None => false,
+            None => NoteOutcome::Ignored,
         }
     }
 
-    /// Records an RPC failure for `id` (timeout), evicting it.
+    /// Records a confirmed failure for `id` (RPC timeout, or a failed
+    /// liveness probe under ping-before-evict), evicting it and promoting
+    /// the freshest replacement-cache contact into the freed slot.
     pub fn note_failure(&mut self, id: &Id160) {
         if let Some(i) = self.bucket_index(id) {
             self.buckets[i].fail(id);
         }
+    }
+
+    /// True when `id` is a live contact in some bucket.
+    pub fn contains(&self, id: &Id160) -> bool {
+        self.bucket_index(id)
+            .map(|i| self.buckets[i].entries.iter().any(|e| e.id == *id))
+            .unwrap_or(false)
+    }
+
+    /// The least-recently-seen live contact of the first non-empty bucket
+    /// at or after `start` (wrapping) — the probe target of the liveness
+    /// maintenance loop — together with its bucket index. `None` when the
+    /// table is empty.
+    pub fn probe_candidate(&self, start: usize) -> Option<(usize, Contact)> {
+        (0..self.buckets.len()).find_map(|off| {
+            let i = (start + off) % self.buckets.len();
+            self.buckets[i].entries.first().map(|c| (i, c.clone()))
+        })
     }
 
     /// Total live contacts.
@@ -211,7 +251,7 @@ mod tests {
             id: rt.local_id(),
             addr: 0,
         };
-        assert!(!rt.note_contact(me));
+        assert_eq!(rt.note_contact(me), NoteOutcome::Ignored);
         assert!(rt.is_empty());
     }
 
@@ -229,13 +269,13 @@ mod tests {
                 addr: u32::from(tail),
             }
         };
-        assert!(rt.note_contact(mk(1)));
-        assert!(rt.note_contact(mk(2)));
+        assert_eq!(rt.note_contact(mk(1)), NoteOutcome::Inserted);
+        assert_eq!(rt.note_contact(mk(2)), NoteOutcome::Inserted);
         // Bucket full: newcomer goes to replacements.
-        assert!(!rt.note_contact(mk(3)));
+        assert_eq!(rt.note_contact(mk(3)), NoteOutcome::Stashed);
         assert_eq!(rt.bucket(0).len(), 2);
         // Re-seeing contact 1 moves it to most-recent.
-        rt.note_contact(mk(1));
+        assert_eq!(rt.note_contact(mk(1)), NoteOutcome::Refreshed);
         assert_eq!(rt.bucket(0).contacts()[1].addr, 1);
         // Failure of 2 promotes 3 from the cache.
         rt.note_failure(&mk(2).id);
@@ -270,6 +310,25 @@ mod tests {
         rt.note_contact(contact(2));
         assert_eq!(rt.closest(&sha1(b"x"), 10).len(), 2);
         assert_eq!(table().closest(&sha1(b"x"), 10).len(), 0);
+    }
+
+    #[test]
+    fn probe_candidate_walks_buckets_lrs_first() {
+        let mut rt = table();
+        assert!(rt.probe_candidate(0).is_none(), "empty table");
+        for n in 0..30 {
+            rt.note_contact(contact(n));
+        }
+        let (i, c) = rt.probe_candidate(0).expect("populated table");
+        // The candidate is the least-recently-seen entry of its bucket.
+        assert_eq!(rt.bucket(i).contacts()[0].id, c.id);
+        assert!(rt.contains(&c.id));
+        // Starting past the last bucket wraps around.
+        let (j, _) = rt.probe_candidate(dharma_types::ID160_BITS - 1).unwrap();
+        assert!(j < dharma_types::ID160_BITS);
+        // A failed probe evicts the candidate.
+        rt.note_failure(&c.id);
+        assert!(!rt.contains(&c.id));
     }
 
     #[test]

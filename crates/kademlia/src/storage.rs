@@ -144,6 +144,12 @@ impl Storage {
         state.refreshed_us = state.refreshed_us.max(now_us);
     }
 
+    /// Drops one value outright (replica demotion / manual reclamation).
+    /// Returns true when the key was present.
+    pub fn remove(&mut self, key: &Id160) -> bool {
+        self.values.remove(key).is_some()
+    }
+
     /// Drops every value not refreshed within `ttl_us` of `now_us`.
     /// Returns the number of expired keys.
     pub fn expire(&mut self, now_us: u64, ttl_us: u64) -> usize {

@@ -27,6 +27,10 @@ struct Inner {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     replicas_promoted: AtomicU64,
+    probes_sent: AtomicU64,
+    handoffs: AtomicU64,
+    rereplications: AtomicU64,
+    replicas_demoted: AtomicU64,
 }
 
 impl NetCounters {
@@ -81,6 +85,30 @@ impl NetCounters {
         self.inner.replicas_promoted.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records a liveness probe (`PING`) issued by the maintenance loop or
+    /// the ping-before-evict rule.
+    pub fn record_probe(&self) {
+        self.inner.probes_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` join-time key-handoff pushes (records transferred to a
+    /// newly-learned node that is now among a key's `k` closest).
+    pub fn record_handoffs(&self, n: u64) {
+        self.inner.handoffs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` repair re-replication pushes (replica snapshots re-sent
+    /// to restore a key's replica set to `k` under churn).
+    pub fn record_rereplications(&self, n: u64) {
+        self.inner.rereplications.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a replica demotion: a beyond-`k` copy reclaimed by the
+    /// popularity decay sweep.
+    pub fn record_replica_demoted(&self) {
+        self.inner.replicas_demoted.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Datagrams sent.
     pub fn sent(&self) -> u64 {
         self.inner.sent.load(Ordering::Relaxed)
@@ -126,6 +154,31 @@ impl NetCounters {
         self.inner.replicas_promoted.load(Ordering::Relaxed)
     }
 
+    /// Liveness probes issued.
+    pub fn probes_sent(&self) -> u64 {
+        self.inner.probes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Join-time key-handoff pushes.
+    pub fn handoffs(&self) -> u64 {
+        self.inner.handoffs.load(Ordering::Relaxed)
+    }
+
+    /// Repair re-replication pushes.
+    pub fn rereplications(&self) -> u64 {
+        self.inner.rereplications.load(Ordering::Relaxed)
+    }
+
+    /// Beyond-`k` replicas reclaimed by the demotion sweep.
+    pub fn replicas_demoted(&self) -> u64 {
+        self.inner.replicas_demoted.load(Ordering::Relaxed)
+    }
+
+    /// Total maintenance traffic: probes + handoffs + re-replications.
+    pub fn maintenance_messages(&self) -> u64 {
+        self.probes_sent() + self.handoffs() + self.rereplications()
+    }
+
     /// Cache hit ratio over completed GETs (0 when none recorded).
     pub fn cache_hit_ratio(&self) -> f64 {
         let h = self.cache_hits();
@@ -166,6 +219,22 @@ mod tests {
         assert_eq!(c2.delivered(), 1);
         assert_eq!(c2.dropped(), 1);
         assert_eq!(c2.oversize_rejected(), 1);
+    }
+
+    #[test]
+    fn maintenance_counters_accumulate_and_share() {
+        let c = NetCounters::new();
+        let c2 = c.clone();
+        c.record_probe();
+        c.record_probe();
+        c2.record_handoffs(3);
+        c.record_rereplications(5);
+        c.record_replica_demoted();
+        assert_eq!(c2.probes_sent(), 2);
+        assert_eq!(c.handoffs(), 3);
+        assert_eq!(c2.rereplications(), 5);
+        assert_eq!(c.replicas_demoted(), 1);
+        assert_eq!(c.maintenance_messages(), 10);
     }
 
     #[test]

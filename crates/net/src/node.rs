@@ -88,6 +88,32 @@ impl<O> Ctx<O> {
     }
 }
 
+/// One named gauge in a node's telemetry snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Metric {
+    /// Stable metric name (snake_case, e.g. `cache_hits`).
+    pub name: &'static str,
+    /// Current value.
+    pub value: f64,
+}
+
+impl Metric {
+    /// Convenience constructor.
+    pub fn new(name: &'static str, value: f64) -> Self {
+        Metric { name, value }
+    }
+}
+
+/// Telemetry exposed by a protocol node, independent of the runtime it is
+/// driven by. Runtimes surface it to operators (see
+/// [`UdpRuntime::metrics`](crate::udp::UdpRuntime::metrics)); the
+/// simulator's tests read node state directly instead.
+pub trait Instrumented {
+    /// A snapshot of the node's observable gauges (cache statistics,
+    /// popularity tracking, storage/routing occupancy, ...).
+    fn metrics(&self) -> Vec<Metric>;
+}
+
 /// A protocol node: a deterministic state machine driven by a runtime.
 pub trait Node {
     /// The type of results delivered to clients when operations finish.

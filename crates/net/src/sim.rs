@@ -90,6 +90,9 @@ impl Ord for Event {
 pub struct SimNet<N: Node> {
     nodes: Vec<Option<N>>,
     alive: Vec<bool>,
+    /// Permanently departed addresses: the node state is gone and the
+    /// address is never reassigned (see [`SimNet::remove`]).
+    removed: Vec<bool>,
     clock: u64,
     seq: u64,
     queue: BinaryHeap<Reverse<Event>>,
@@ -106,6 +109,7 @@ impl<N: Node> SimNet<N> {
         SimNet {
             nodes: Vec::new(),
             alive: Vec::new(),
+            removed: Vec::new(),
             clock: 0,
             seq: 0,
             queue: BinaryHeap::new(),
@@ -143,25 +147,80 @@ impl<N: Node> SimNet<N> {
         node.on_start(&mut ctx);
         self.nodes.push(Some(node));
         self.alive.push(true);
+        self.removed.push(false);
         self.apply_effects(addr, ctx);
         addr
     }
 
+    /// Spawns a node mid-simulation: a fresh-identity join at a
+    /// never-before-used address. Identical to [`SimNet::add_node`] (the
+    /// address space is append-only, so reuse of a removed address is
+    /// impossible by construction); provided as the churn-scenario
+    /// counterpart of [`SimNet::remove`].
+    pub fn spawn(&mut self, node: N) -> NodeAddr {
+        self.add_node(node)
+    }
+
+    /// Permanently removes a node — a true churn *departure*, as opposed to
+    /// the suspend/resume model of [`SimNet::crash`]. The node state is
+    /// extracted and returned (post-mortem inspection), every queued event
+    /// addressed to it — datagrams *and* timers — is scrubbed from the
+    /// event queue, future sends to the address are dropped at send time,
+    /// and the address is never reassigned ([`SimNet::revive`] on it
+    /// panics). Returns `None` when the node was already removed.
+    pub fn remove(&mut self, addr: NodeAddr) -> Option<N> {
+        let i = addr as usize;
+        if self.removed[i] {
+            return None;
+        }
+        self.removed[i] = true;
+        self.alive[i] = false;
+        self.queue.retain(|Reverse(ev)| ev.to != addr);
+        self.nodes[i].take()
+    }
+
     /// Marks a node dead: pending and future datagrams to it are dropped,
-    /// its timers stop firing. (Simulates an abrupt crash/churn departure.)
+    /// its timers stop firing. (Simulates an abrupt crash; state is
+    /// preserved for [`SimNet::revive`]. For a permanent departure use
+    /// [`SimNet::remove`].)
     pub fn crash(&mut self, addr: NodeAddr) {
+        assert!(
+            !self.removed[addr as usize],
+            "cannot crash removed node {addr}"
+        );
         self.alive[addr as usize] = false;
     }
 
     /// Revives a crashed node (state preserved — a suspend/resume churn
-    /// model; fresh-state rejoin is done by adding a new node).
+    /// model; fresh-state rejoin is done by [`SimNet::spawn`]ing a new
+    /// node). Panics on a removed address: departures are final and
+    /// addresses are never reused.
     pub fn revive(&mut self, addr: NodeAddr) {
+        assert!(
+            !self.removed[addr as usize],
+            "cannot revive removed node {addr}: departures are final"
+        );
         self.alive[addr as usize] = true;
     }
 
     /// True when `addr` is alive.
     pub fn is_alive(&self, addr: NodeAddr) -> bool {
         self.alive[addr as usize]
+    }
+
+    /// True when `addr` was permanently removed.
+    pub fn is_removed(&self, addr: NodeAddr) -> bool {
+        self.removed[addr as usize]
+    }
+
+    /// Queued events (datagrams + timers) addressed to `addr` — the
+    /// lifecycle invariant checked by tests: 0 from the moment a node is
+    /// removed onward.
+    pub fn pending_events_for(&self, addr: NodeAddr) -> usize {
+        self.queue
+            .iter()
+            .filter(|Reverse(ev)| ev.to == addr)
+            .count()
     }
 
     /// Immutable access to a node.
@@ -256,6 +315,19 @@ impl<N: Node> SimNet<N> {
         for msg in sends {
             if msg.payload.len() > self.cfg.mtu {
                 self.counters.record_oversize();
+                continue;
+            }
+            // Departed addresses never receive again: count the datagram as
+            // sent-then-lost (the sender cannot know), but keep the queue
+            // free of events to dead addresses.
+            if self
+                .removed
+                .get(msg.to as usize)
+                .copied()
+                .unwrap_or_default()
+            {
+                self.counters.record_sent(msg.payload.len());
+                self.counters.record_dropped();
                 continue;
             }
             self.counters.record_sent(msg.payload.len());
@@ -421,6 +493,51 @@ mod tests {
         net.with_node(a, |_, ctx| ctx.send(b, Bytes::from_static(b"y")));
         net.run_until_idle(10);
         assert_eq!(net.node(b).got.len(), 1);
+    }
+
+    #[test]
+    fn remove_scrubs_queue_and_blocks_future_sends() {
+        let mut net = net(0.0, 8);
+        let a = net.add_node(Echo::new(false));
+        let b = net.add_node(Echo::new(false));
+        // Queue a datagram and a timer for b, then remove it.
+        net.with_node(a, |_, ctx| ctx.send(b, Bytes::from_static(b"x")));
+        net.with_node(b, |_, ctx| ctx.set_timer(10_000, 1));
+        assert_eq!(net.pending_events_for(b), 2);
+        let corpse = net.remove(b).expect("first removal returns the node");
+        assert!(corpse.got.is_empty() && corpse.timers.is_empty());
+        assert_eq!(net.pending_events_for(b), 0, "queue scrubbed");
+        assert!(net.is_removed(b) && !net.is_alive(b));
+        assert!(net.remove(b).is_none(), "second removal is a no-op");
+        // A later send to the departed address is dropped at send time.
+        net.with_node(a, |_, ctx| ctx.send(b, Bytes::from_static(b"y")));
+        assert_eq!(net.pending_events_for(b), 0);
+        assert_eq!(net.counters().dropped(), 1);
+        net.run_until_idle(100);
+    }
+
+    #[test]
+    fn spawn_allocates_fresh_addresses_only() {
+        let mut net = net(0.0, 9);
+        let a = net.add_node(Echo::new(false));
+        let b = net.add_node(Echo::new(false));
+        net.remove(b);
+        let c = net.spawn(Echo::new(true));
+        assert_ne!(c, b, "removed addresses are never reused");
+        assert_eq!(net.len(), 3);
+        // The newcomer is reachable.
+        net.with_node(a, |_, ctx| ctx.send(c, Bytes::from_static(b"hi")));
+        net.run_until_idle(10);
+        assert_eq!(net.node(c).got.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "departures are final")]
+    fn revive_of_removed_node_panics() {
+        let mut net = net(0.0, 10);
+        let a = net.add_node(Echo::new(false));
+        net.remove(a);
+        net.revive(a);
     }
 
     #[test]

@@ -114,6 +114,39 @@ impl<N: Node> UdpRuntime<N> {
         std::mem::take(&mut self.completed)
     }
 
+    /// Telemetry snapshot for real deployments: the node's own gauges (for
+    /// a Kademlia node: cache statistics, popularity weights, storage and
+    /// routing occupancy) followed by this runtime's transport counters.
+    /// The sim reads node state directly; this is the operator-facing
+    /// equivalent over live sockets.
+    pub fn metrics(&self) -> Vec<crate::node::Metric>
+    where
+        N: crate::node::Instrumented,
+    {
+        let mut out = self.node().metrics();
+        out.push(crate::node::Metric::new(
+            "net_sent",
+            self.counters.sent() as f64,
+        ));
+        out.push(crate::node::Metric::new(
+            "net_delivered",
+            self.counters.delivered() as f64,
+        ));
+        out.push(crate::node::Metric::new(
+            "net_dropped",
+            self.counters.dropped() as f64,
+        ));
+        out.push(crate::node::Metric::new(
+            "net_bytes_sent",
+            self.counters.bytes_sent() as f64,
+        ));
+        out.push(crate::node::Metric::new(
+            "net_timers_fired",
+            self.counters.timers_fired() as f64,
+        ));
+        out
+    }
+
     /// Processes traffic and timers for up to `budget`. Returns the number
     /// of datagrams handled.
     pub fn poll(&mut self, budget: Duration) -> Result<u64> {

@@ -18,6 +18,8 @@ fn main() {
         "ablation_policies",
         "ablation_k_sweep",
         "ablation_filtering",
+        "ablation_cache",
+        "ablation_churn",
         "trend_emergence",
     ];
     let self_path = std::env::current_exe().expect("own path");

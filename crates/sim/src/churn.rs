@@ -1,0 +1,594 @@
+//! Churn-scenario driver: the `dharma-maint` evaluation workload.
+//!
+//! The DHT survey (Hassanzadeh-Nazarabadi et al.) identifies churn-driven
+//! maintenance as *the* cost/availability trade-off of deployed DHTs; this
+//! driver makes it measurable for DHARMA. Over any Zipf-shaped GET workload
+//! it layers **true membership churn**: node sessions end in a permanent
+//! [`dharma_net::SimNet::remove`] (state lost — not the suspend/resume
+//! `crash` model) and, one seeded downtime later, a **fresh-identity** node
+//! [`dharma_net::SimNet::spawn`]s and bootstraps in its place. Session and
+//! downtime lengths are drawn from seeded Weibull distributions (shape 1 =
+//! exponential, the memoryless baseline; shape < 1 = the heavy-tailed
+//! session lengths measured in deployed P2P systems).
+//!
+//! Three outcomes are reported, for repair on vs off:
+//!
+//! * **lookup success rate** — GETs answering with the value (after
+//!   bounded retries from another live node, mirroring the client layer's
+//!   retry-on-timeout);
+//! * **data availability** — a periodic trace of the fraction of keys with
+//!   at least one live authoritative holder, plus the end-of-run count of
+//!   *lost* records (no live holder after churn stops and repair settles);
+//! * **maintenance overhead** — probes, handoffs and re-replications, and
+//!   total datagrams per GET.
+//!
+//! Node 0 never churns: it is the rendezvous host every newcomer seeds
+//! from (a deployment would use any stable bootstrap set). Everything is
+//! driven by two seeded RNGs (scenario + simulator), so a fixed
+//! [`ChurnConfig`] is **bit-identical** across runs — the property the
+//! determinism tests pin down.
+
+use dharma_dataset::Zipf;
+use dharma_kademlia::{Contact, KadConfig, KadOutput, KademliaNode, MaintConfig, StoredEntry};
+use dharma_net::{NetCounters, NodeAddr, SimConfig, SimNet};
+use dharma_types::{sha1, FxHashMap, Id160};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Churn-scenario parameters.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Overlay size at t = 0 (held roughly constant: each departure
+    /// schedules a replacement join).
+    pub nodes: usize,
+    /// Kademlia bucket size / replication factor.
+    pub k: usize,
+    /// Distinct tag-block keys in the workload.
+    pub keys: usize,
+    /// Zipf exponent of the GET key distribution.
+    pub zipf_s: f64,
+    /// Index-side filtering limit on every GET.
+    pub top_n: u32,
+    /// Virtual duration of the churn + workload phase, µs.
+    pub horizon_us: u64,
+    /// One GET is issued every this many µs.
+    pub op_interval_us: u64,
+    /// Mean node-session length, µs (time between join and departure).
+    pub mean_session_us: u64,
+    /// Mean downtime before the replacement join, µs.
+    pub mean_downtime_us: u64,
+    /// Weibull shape of the session distribution (1.0 = exponential).
+    pub session_shape: f64,
+    /// Maintenance (repair) configuration; `None` = repair disabled, the
+    /// ablation's baseline.
+    pub repair: Option<MaintConfig>,
+    /// Availability is sampled every this many µs.
+    pub sample_interval_us: u64,
+    /// How often a failed GET is reissued from another live node before
+    /// counting as a lookup failure.
+    pub get_retries: u32,
+    /// Master seed (drives scenario sampling and the simulator).
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            nodes: 64,
+            k: 20,
+            keys: 32,
+            zipf_s: 1.2,
+            top_n: 0,
+            horizon_us: 300_000_000,     // 5 virtual minutes
+            op_interval_us: 250_000,     // 4 GETs/s
+            mean_session_us: 60_000_000, // churn: ~5 sessions/node over the run
+            mean_downtime_us: 10_000_000,
+            session_shape: 1.0,
+            repair: Some(MaintConfig::default()),
+            sample_interval_us: 5_000_000,
+            get_retries: 2,
+            seed: 42,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// The maintenance configuration the "repair on" ablation rows use:
+    /// probes every 2 s, repair every 15 s, handoff on. Demotion stays
+    /// off here: the ablation isolates the repair guarantee, and the
+    /// stale beyond-`k` copies demotion would reclaim double as a churn
+    /// safety net (dropping them costs ~1 point of lookup success at
+    /// moderate churn — the space/traffic-vs-redundancy dial
+    /// [`MaintConfig::demote_interval_us`] exposes; long-running
+    /// deployments want it on, which is the [`MaintConfig`] default).
+    pub fn ablation_repair() -> MaintConfig {
+        MaintConfig {
+            probe_interval_us: 2_000_000,
+            repair_interval_us: 15_000_000,
+            join_handoff: true,
+            demote_interval_us: None,
+        }
+    }
+}
+
+/// What one churn replay measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnReport {
+    /// GET operations issued (excluding retries).
+    pub gets: u64,
+    /// GETs that returned the value (possibly after retries).
+    pub gets_ok: u64,
+    /// Retry attempts consumed across all GETs.
+    pub retries: u64,
+    /// `gets_ok / gets`.
+    pub lookup_success: f64,
+    /// `(time µs, fraction of keys with ≥ 1 live authoritative holder)`,
+    /// sampled every `sample_interval_us` — the availability curve.
+    pub availability_trace: Vec<(u64, f64)>,
+    /// Mean of the availability trace.
+    pub mean_availability: f64,
+    /// Keys with **no** live authoritative holder after churn stopped and
+    /// repair settled — permanently lost records.
+    pub lost_records: usize,
+    /// Permanent departures processed.
+    pub departures: u64,
+    /// Fresh-identity joins processed.
+    pub joins: u64,
+    /// Liveness probes sent.
+    pub probes: u64,
+    /// Join-time key handoffs pushed.
+    pub handoffs: u64,
+    /// Repair re-replication pushes.
+    pub rereplications: u64,
+    /// Total datagrams sent over the whole run.
+    pub messages_total: u64,
+    /// Maintenance datagrams (probes + handoffs + re-replications) per
+    /// issued GET — the overhead the repair guarantee costs.
+    pub maint_msgs_per_get: f64,
+}
+
+/// Scenario events, processed in `(time, seq)` order between simulator
+/// bursts.
+#[derive(Clone, Debug)]
+enum ChurnEvent {
+    /// Node `addr` departs permanently.
+    Depart(NodeAddr),
+    /// A fresh-identity replacement joins.
+    Join,
+    /// Issue the next workload GET.
+    IssueGet,
+    /// Sample the availability curve.
+    Sample,
+}
+
+/// An issued GET the driver is still waiting on.
+#[derive(Clone, Copy, Debug)]
+struct InflightGet {
+    key_idx: usize,
+    issued_at_us: u64,
+    attempts: u32,
+    coordinator: NodeAddr,
+}
+
+/// Weibull sample with the given mean: `scale · (−ln u)^(1/shape)` where
+/// `scale = mean / Γ(1 + 1/shape)`. Shape 1 reduces to the exponential.
+fn sample_weibull(rng: &mut StdRng, mean_us: u64, shape: f64) -> u64 {
+    let u: f64 = rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12);
+    let scale = mean_us as f64 / gamma_1p(1.0 / shape);
+    (scale * (-u.ln()).powf(1.0 / shape)).round().max(1.0) as u64
+}
+
+/// Γ(1 + x) for x in (0, ~2] via the Lanczos-free Stirling series is
+/// overkill here; a 8-term Taylor of ln Γ around 1 is plenty for scenario
+/// scaling (the shapes in use are 0.5..=2).
+fn gamma_1p(x: f64) -> f64 {
+    // Γ(1+x) = x·Γ(x); use the Weierstrass product truncation via the
+    // well-known polynomial min-max fit on [0,1] (Abramowitz & Stegun
+    // 6.1.36, |ε| < 3e-7), extended by the recurrence for x > 1.
+    if x > 1.0 {
+        return x * gamma_1p(x - 1.0);
+    }
+    const C: [f64; 8] = [
+        -0.577_191_652,
+        0.988_205_891,
+        -0.897_056_937,
+        0.918_206_857,
+        -0.756_704_078,
+        0.482_199_394,
+        -0.193_527_818,
+        0.035_868_343,
+    ];
+    let mut acc = 1.0;
+    let mut p = 1.0;
+    for c in C {
+        p *= x;
+        acc += c * p;
+    }
+    acc
+}
+
+/// The per-node protocol configuration of a churn run.
+fn kad_config(cfg: &ChurnConfig, counters: NetCounters) -> KadConfig {
+    KadConfig {
+        k: cfg.k,
+        alpha: 3,
+        rpc_timeout_us: 300_000,
+        reply_budget: 60_000,
+        ping_before_evict: true,
+        maintenance: cfg.repair.clone(),
+        counters,
+        ..KadConfig::default()
+    }
+}
+
+/// Replays the churn scenario of [`ChurnConfig`] and reports lookup
+/// success, the availability curve, and maintenance overhead.
+pub fn simulate_churn(cfg: &ChurnConfig) -> ChurnReport {
+    assert!(cfg.nodes >= 4, "need an overlay");
+    assert!(cfg.keys >= 1 && cfg.horizon_us > 0 && cfg.op_interval_us > 0);
+    let mut net: SimNet<KademliaNode> = SimNet::new(SimConfig {
+        latency_min_us: 1_000,
+        latency_max_us: 10_000,
+        drop_rate: 0.0,
+        mtu: 64 * 1024,
+        seed: cfg.seed,
+    });
+    let counters = net.counters();
+    let kad = kad_config(cfg, counters.clone());
+    // Scenario RNG: node identities, session/downtime draws, workload.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC4A9);
+
+    // ----- build + bootstrap ------------------------------------------
+    let mut live: Vec<NodeAddr> = Vec::new();
+    let rendezvous: Contact;
+    {
+        let id = Id160::random(&mut rng);
+        let addr = net.add_node(KademliaNode::new(id, 0, kad.clone()));
+        rendezvous = net.node(addr).contact().clone();
+        live.push(addr);
+    }
+    for i in 1..cfg.nodes {
+        let id = Id160::random(&mut rng);
+        let addr = net.add_node(KademliaNode::new(id, i as NodeAddr, kad.clone()));
+        net.node_mut(addr).add_seed(rendezvous.clone());
+        net.with_node(addr, |n, ctx| {
+            n.bootstrap(ctx);
+        });
+        live.push(addr);
+    }
+    net.run_until(2_000_000);
+    net.take_completions();
+
+    // ----- populate the tag blocks ------------------------------------
+    let keys: Vec<Id160> = (0..cfg.keys)
+        .map(|i| sha1(format!("churn-block-{i}").as_bytes()))
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        let writer = live[i % live.len()];
+        let entries: Vec<StoredEntry> = (0..6)
+            .map(|e| StoredEntry {
+                name: format!("entry-{e}"),
+                weight: (e + 1) * 2,
+            })
+            .collect();
+        net.with_node(writer, |n, ctx| {
+            n.append_many(ctx, *key, entries);
+        });
+        // Writes settle while virtual time stays tight (no fast-forward
+        // through maintenance timers).
+        net.run_until(net.now_us() + 300_000);
+    }
+    net.run_until(net.now_us() + 1_000_000);
+    net.take_completions();
+
+    // ----- schedule the scenario --------------------------------------
+    let t0 = net.now_us();
+    let horizon = t0 + cfg.horizon_us;
+    let mut schedule: Vec<(u64, u64, ChurnEvent)> = Vec::new();
+    let mut schedule_seq = 0u64;
+    let push = |schedule: &mut Vec<(u64, u64, ChurnEvent)>, seq: &mut u64, at, ev| {
+        *seq += 1;
+        schedule.push((at, *seq, ev));
+    };
+    // Node 0 is the immortal rendezvous; everyone else gets a session.
+    for &addr in live.iter().skip(1) {
+        let session = sample_weibull(&mut rng, cfg.mean_session_us, cfg.session_shape);
+        push(
+            &mut schedule,
+            &mut schedule_seq,
+            t0 + session,
+            ChurnEvent::Depart(addr),
+        );
+    }
+    push(
+        &mut schedule,
+        &mut schedule_seq,
+        t0 + cfg.op_interval_us,
+        ChurnEvent::IssueGet,
+    );
+    push(&mut schedule, &mut schedule_seq, t0, ChurnEvent::Sample);
+
+    let zipf = Zipf::new(cfg.keys, cfg.zipf_s);
+    let mut inflight: FxHashMap<u64, InflightGet> = FxHashMap::default();
+    let mut gets = 0u64;
+    let mut gets_ok = 0u64;
+    let mut retries = 0u64;
+    let mut departures = 0u64;
+    let mut joins = 0u64;
+    let mut next_join_slot = cfg.nodes as u64;
+    let mut trace: Vec<(u64, f64)> = Vec::new();
+
+    let availability = |net: &SimNet<KademliaNode>, live: &[NodeAddr], keys: &[Id160]| -> f64 {
+        let holders_alive = |key: &Id160| {
+            live.iter()
+                .any(|&a| net.is_alive(a) && net.node(a).storage().contains(key))
+        };
+        keys.iter().filter(|k| holders_alive(k)).count() as f64 / keys.len() as f64
+    };
+
+    // GETs unanswered for this long are retried/failed (covers ops whose
+    // coordinator departed mid-lookup, taking its RPC timers with it).
+    let get_deadline_us = 2_000_000u64;
+
+    while let Some(idx) = schedule
+        .iter()
+        .enumerate()
+        .filter(|(_, (at, _, _))| *at <= horizon)
+        .min_by_key(|(_, (at, seq, _))| (*at, *seq))
+        .map(|(i, _)| i)
+    {
+        let (at, _, ev) = schedule.swap_remove(idx);
+        net.run_until(at.max(net.now_us()));
+
+        // Settle completed GETs (and expire overdue ones) before the event.
+        let mut done: Vec<(u64, bool)> = Vec::new();
+        for (op, out) in net.take_completions() {
+            if inflight.contains_key(&op) {
+                done.push((op, matches!(out, KadOutput::Value { value: Some(_), .. })));
+            }
+        }
+        let now = net.now_us();
+        let overdue: Vec<u64> = inflight
+            .iter()
+            .filter(|(_, g)| now.saturating_sub(g.issued_at_us) > get_deadline_us)
+            .map(|(&op, _)| op)
+            .collect();
+        for op in overdue {
+            done.push((op, false));
+        }
+        for (op, ok) in done {
+            let Some(get) = inflight.remove(&op) else {
+                continue;
+            };
+            if ok {
+                gets_ok += 1;
+            } else if get.attempts < cfg.get_retries {
+                // Reissue from a different live node.
+                retries += 1;
+                let candidates: Vec<NodeAddr> = live
+                    .iter()
+                    .copied()
+                    .filter(|&a| net.is_alive(a) && a != get.coordinator)
+                    .collect();
+                if let Some(&addr) = candidates.get(rng.gen_range(0..candidates.len().max(1))) {
+                    let key = keys[get.key_idx];
+                    let op = net.with_node(addr, |n, ctx| n.get(ctx, key, cfg.top_n));
+                    inflight.insert(
+                        op,
+                        InflightGet {
+                            key_idx: get.key_idx,
+                            issued_at_us: net.now_us(),
+                            attempts: get.attempts + 1,
+                            coordinator: addr,
+                        },
+                    );
+                }
+            }
+        }
+
+        match ev {
+            ChurnEvent::Depart(addr) => {
+                if net.is_removed(addr) {
+                    continue;
+                }
+                net.remove(addr);
+                live.retain(|&a| a != addr);
+                departures += 1;
+                let downtime = sample_weibull(&mut rng, cfg.mean_downtime_us, 1.0);
+                push(
+                    &mut schedule,
+                    &mut schedule_seq,
+                    net.now_us() + downtime,
+                    ChurnEvent::Join,
+                );
+            }
+            ChurnEvent::Join => {
+                let id = Id160::random(&mut rng);
+                let node = KademliaNode::new(id, next_join_slot as NodeAddr, kad.clone());
+                let addr = net.spawn(node);
+                next_join_slot += 1;
+                net.node_mut(addr).add_seed(rendezvous.clone());
+                net.with_node(addr, |n, ctx| {
+                    n.bootstrap(ctx);
+                });
+                live.push(addr);
+                joins += 1;
+                let session = sample_weibull(&mut rng, cfg.mean_session_us, cfg.session_shape);
+                push(
+                    &mut schedule,
+                    &mut schedule_seq,
+                    net.now_us() + session,
+                    ChurnEvent::Depart(addr),
+                );
+            }
+            ChurnEvent::IssueGet => {
+                let key_idx = zipf.sample(&mut rng);
+                let candidates: Vec<NodeAddr> =
+                    live.iter().copied().filter(|&a| net.is_alive(a)).collect();
+                let addr = candidates[rng.gen_range(0..candidates.len())];
+                let key = keys[key_idx];
+                let op = net.with_node(addr, |n, ctx| n.get(ctx, key, cfg.top_n));
+                gets += 1;
+                inflight.insert(
+                    op,
+                    InflightGet {
+                        key_idx,
+                        issued_at_us: net.now_us(),
+                        attempts: 0,
+                        coordinator: addr,
+                    },
+                );
+                push(
+                    &mut schedule,
+                    &mut schedule_seq,
+                    net.now_us() + cfg.op_interval_us,
+                    ChurnEvent::IssueGet,
+                );
+            }
+            ChurnEvent::Sample => {
+                trace.push((at - t0, availability(&net, &live, &keys)));
+                push(
+                    &mut schedule,
+                    &mut schedule_seq,
+                    at + cfg.sample_interval_us,
+                    ChurnEvent::Sample,
+                );
+            }
+        }
+    }
+
+    // ----- settle: churn stops, in-flight work and repair finish -------
+    let settle = cfg
+        .repair
+        .as_ref()
+        .map(|m| 2 * m.repair_interval_us + 2_000_000)
+        .unwrap_or(3_000_000);
+    net.run_until(horizon + settle);
+    for (op, out) in net.take_completions() {
+        if inflight.remove(&op).is_some() && matches!(out, KadOutput::Value { value: Some(_), .. })
+        {
+            gets_ok += 1;
+        }
+    }
+    trace.push((net.now_us() - t0, availability(&net, &live, &keys)));
+
+    let lost_records = keys
+        .iter()
+        .filter(|key| {
+            !live
+                .iter()
+                .any(|&a| net.is_alive(a) && net.node(a).storage().contains(key))
+        })
+        .count();
+    let mean_availability = trace.iter().map(|(_, a)| a).sum::<f64>() / trace.len() as f64;
+    let maint = counters.maintenance_messages();
+    ChurnReport {
+        gets,
+        gets_ok,
+        retries,
+        lookup_success: if gets == 0 {
+            1.0
+        } else {
+            gets_ok as f64 / gets as f64
+        },
+        availability_trace: trace,
+        mean_availability,
+        lost_records,
+        departures,
+        joins,
+        probes: counters.probes_sent(),
+        handoffs: counters.handoffs(),
+        rereplications: counters.rereplications(),
+        messages_total: counters.sent(),
+        maint_msgs_per_get: if gets == 0 {
+            0.0
+        } else {
+            maint as f64 / gets as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(repair: Option<MaintConfig>, seed: u64) -> ChurnConfig {
+        ChurnConfig {
+            nodes: 20,
+            k: 6,
+            keys: 10,
+            horizon_us: 60_000_000,
+            op_interval_us: 500_000,
+            mean_session_us: 20_000_000,
+            mean_downtime_us: 4_000_000,
+            repair,
+            sample_interval_us: 3_000_000,
+            seed,
+            ..ChurnConfig::default()
+        }
+    }
+
+    fn fast_repair() -> MaintConfig {
+        MaintConfig {
+            probe_interval_us: 1_000_000,
+            repair_interval_us: 6_000_000,
+            join_handoff: true,
+            demote_interval_us: None,
+        }
+    }
+
+    #[test]
+    fn same_seed_identical_availability_trace() {
+        let a = simulate_churn(&small(Some(fast_repair()), 7));
+        let b = simulate_churn(&small(Some(fast_repair()), 7));
+        assert_eq!(a, b, "fixed seed must be bit-identical");
+        let c = simulate_churn(&small(Some(fast_repair()), 8));
+        assert_ne!(a, c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn repair_keeps_records_alive_under_churn() {
+        let with = simulate_churn(&small(Some(fast_repair()), 9));
+        assert!(with.departures > 0 && with.joins > 0, "churn must happen");
+        assert_eq!(with.lost_records, 0, "repair must not lose records");
+        assert!(
+            with.lookup_success > 0.95,
+            "success {:.3} too low",
+            with.lookup_success
+        );
+        assert!(with.probes > 0 && with.rereplications > 0);
+    }
+
+    #[test]
+    fn disabling_repair_degrades_availability() {
+        let with = simulate_churn(&small(Some(fast_repair()), 10));
+        let without = simulate_churn(&small(None, 10));
+        assert!(
+            without.mean_availability < with.mean_availability,
+            "repair off must degrade availability: {:.3} !< {:.3}",
+            without.mean_availability,
+            with.mean_availability
+        );
+        assert!(
+            without.lost_records >= with.lost_records,
+            "repair off loses at least as many records"
+        );
+    }
+
+    #[test]
+    fn weibull_sampling_matches_mean_roughly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for shape in [0.7, 1.0, 1.5] {
+            let n = 4000;
+            let mean: f64 = (0..n)
+                .map(|_| sample_weibull(&mut rng, 1_000_000, shape) as f64)
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - 1_000_000.0).abs() < 120_000.0,
+                "shape {shape}: empirical mean {mean}"
+            );
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! | `overlay_scaling` | A3 — Kademlia lookup cost vs network size |
 //! | `ablation_policies` / `ablation_k_sweep` / `ablation_filtering` | A1/A2/A4 |
 //! | `ablation_cache` | A5 — hot-block caching & adaptive replication vs Zipf load |
+//! | `ablation_churn` | A6 — churn rate × repair on/off (`dharma-maint`) |
 //! | `run_all` | everything above, in sequence |
 //!
 //! Each binary prints the paper-shaped table to stdout and writes CSV series
@@ -21,6 +22,7 @@
 
 pub mod args;
 pub mod cache_sim;
+pub mod churn;
 pub mod output;
 pub mod overlay;
 pub mod parallel_replay;
@@ -31,6 +33,7 @@ pub mod trend;
 
 pub use args::ExpArgs;
 pub use cache_sim::{simulate_cache_workload, CacheSimConfig, CacheSimReport};
+pub use churn::{simulate_churn, ChurnConfig, ChurnReport};
 pub use parallel_replay::replay_parallel;
 pub use pipeline::ExpContext;
 pub use replay::{replay, EventOrder, ReplayConfig};

@@ -1,7 +1,7 @@
 //! Simulated-overlay construction shared by the DHT-level experiments.
 
 use dharma_cache::{CacheConfig, PopularityConfig};
-use dharma_kademlia::{KadConfig, KademliaNode};
+use dharma_kademlia::{KadConfig, KademliaNode, MaintConfig};
 use dharma_net::{SimConfig, SimNet};
 use dharma_types::Id160;
 use rand::rngs::StdRng;
@@ -28,6 +28,9 @@ pub struct OverlayConfig {
     pub cache: Option<CacheConfig>,
     /// Popularity-driven adaptive replication on every node.
     pub replication: Option<PopularityConfig>,
+    /// Churn maintenance (probes / handoff / repair) on every node.
+    /// `None` keeps the static-experiment overlay byte-identical to PR 2.
+    pub maintenance: Option<MaintConfig>,
 }
 
 impl Default for OverlayConfig {
@@ -42,6 +45,7 @@ impl Default for OverlayConfig {
             seed: 0,
             cache: None,
             replication: None,
+            maintenance: None,
         }
     }
 }
@@ -64,6 +68,7 @@ pub fn build_overlay(cfg: &OverlayConfig) -> SimNet<KademliaNode> {
         reply_budget: cfg.mtu.saturating_sub(200).max(256),
         cache: cfg.cache.clone(),
         replication: cfg.replication.clone(),
+        maintenance: cfg.maintenance.clone(),
         counters: net.counters(),
         ..KadConfig::default()
     };
@@ -82,7 +87,13 @@ pub fn build_overlay(cfg: &OverlayConfig) -> SimNet<KademliaNode> {
             }
         }
     }
-    net.run_until_idle(u64::MAX);
+    // Maintenance timers re-arm forever, so a maintained overlay must
+    // bootstrap time-bounded; a static one drains the queue as before.
+    if cfg.maintenance.is_some() {
+        net.run_until(net.now_us() + 2_000_000);
+    } else {
+        net.run_until_idle(u64::MAX);
+    }
     net.take_completions();
     net
 }

@@ -9,6 +9,7 @@
 
 use std::time::Duration;
 
+use dharma_cache::CacheConfig;
 use dharma_kademlia::{KadConfig, KadOutput, KademliaNode};
 use dharma_net::udp::UdpRuntime;
 use dharma_types::{block_key, sha1, BlockType};
@@ -20,6 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         alpha: 2,
         rpc_timeout_us: 300_000,
         reply_budget: 1_200,
+        // Hot-block caching on, so the metrics dump below shows live
+        // CacheStats through the UDP runtime.
+        cache: Some(CacheConfig::default()),
         ..KadConfig::default()
     };
 
@@ -94,6 +98,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let metal = value.entries.iter().find(|e| e.name == "metal").unwrap();
     assert_eq!(metal.weight, 2, "appends from two sockets merged");
     println!("appends from two different sockets merged correctly ✓");
+
+    // Operator telemetry over real sockets: every runtime exposes its
+    // node's gauges (cache statistics, storage/routing occupancy, GET
+    // load) plus transport counters — what a deployment would scrape.
+    println!("\nper-node metrics (UdpRuntime::metrics):");
+    for (i, rt) in runtimes.iter().enumerate() {
+        let line: Vec<String> = rt
+            .metrics()
+            .into_iter()
+            .map(|m| format!("{}={}", m.name, m.value))
+            .collect();
+        println!("  node {i}: {}", line.join(" "));
+    }
     Ok(())
 }
 
