@@ -347,6 +347,33 @@ impl DharmaClient {
         Ok((view.and_then(|v| v.blob), cost))
     }
 
+    /// Gracefully departs the overlay: the home node pushes a parting
+    /// snapshot of every held key to its `k` closest peers and sends
+    /// `Leave` notices so receivers purge it immediately, then it is
+    /// removed from the network. The simulation is run briefly so the
+    /// farewell datagrams land. Every subsequent operation on this client
+    /// fails fast with [`DharmaError::NodeUnavailable`].
+    pub fn leave(&mut self, net: &mut SimNet<KademliaNode>) -> Result<()> {
+        if net.is_removed(self.home) {
+            return Err(DharmaError::NodeUnavailable(format!(
+                "home node {} already departed the overlay",
+                self.home
+            )));
+        }
+        // A crashed (suspended) node cannot execute a farewell — letting it
+        // broadcast parting datagrams while every other op fails fast would
+        // be inconsistent. Revive it first, or let it stay a crash.
+        if !net.is_alive(self.home) {
+            return Err(DharmaError::NodeUnavailable(format!(
+                "home node {} is down (crashed or suspended)",
+                self.home
+            )));
+        }
+        net.leave(self.home, |n, ctx| n.leave(ctx));
+        net.run_until(net.now_us() + 1_000_000);
+        Ok(())
+    }
+
     // ----- blocking operation drivers ---------------------------------
 
     /// Issues one operation on the home node and runs the net until it
@@ -369,8 +396,19 @@ impl DharmaClient {
         let mut attempt = 0u32;
         loop {
             if net.is_removed(self.home) {
-                return Err(DharmaError::Protocol(format!(
+                return Err(DharmaError::NodeUnavailable(format!(
                     "home node {} departed the overlay",
+                    self.home
+                )));
+            }
+            // A crashed (suspended) home is just as unusable as a departed
+            // one: its timers are frozen, so every issued op would sit in
+            // the queue forever and the client would burn all its retries
+            // on timeouts before surfacing a generic error. Fail fast with
+            // the distinct error instead; the caller can revive or rebind.
+            if !net.is_alive(self.home) {
+                return Err(DharmaError::NodeUnavailable(format!(
+                    "home node {} is down (crashed or suspended)",
                     self.home
                 )));
             }
@@ -611,6 +649,68 @@ mod tests {
         // A different CA cannot verify it.
         let other = CertificationAuthority::new(b"other");
         assert!(record.verify(&other.verifier(), 0).is_err());
+    }
+
+    #[test]
+    fn crashed_home_fails_fast_with_distinct_error() {
+        let mut net = overlay(12, 17);
+        let mut c = client(ApproxPolicy::EXACT, 3);
+        c.insert_resource(&mut net, "res", "uri://x", &["rock"])
+            .unwrap();
+        // Suspend the home node: previously every op burned all its
+        // retries on event-queue timeouts before surfacing a generic
+        // Timeout; now the dead coordinator is detected up front.
+        let sent_before = net.counters().sent();
+        net.crash(3);
+        let err = c.search_step(&mut net, "rock").unwrap_err();
+        assert!(
+            matches!(err, DharmaError::NodeUnavailable(_)),
+            "expected NodeUnavailable, got {err:?}"
+        );
+        assert_eq!(
+            net.counters().sent(),
+            sent_before,
+            "fail-fast must not issue any datagrams"
+        );
+        // A crashed node cannot execute a graceful farewell either.
+        assert!(matches!(
+            c.leave(&mut net).unwrap_err(),
+            DharmaError::NodeUnavailable(_)
+        ));
+        assert!(!net.is_removed(3), "a refused leave must not remove");
+        // Revival restores service — the distinct error is retryable by
+        // rebinding or reviving, unlike a permanent departure.
+        net.revive(3);
+        assert!(c.search_step(&mut net, "rock").is_ok());
+    }
+
+    #[test]
+    fn graceful_leave_preserves_data_and_fails_later_ops() {
+        let mut net = overlay(16, 18);
+        let mut c = client(ApproxPolicy::EXACT, 2);
+        c.insert_resource(&mut net, "kept", "uri://kept", &["rock", "jazz"])
+            .unwrap();
+        c.leave(&mut net).unwrap();
+
+        // The departed client refuses further work, with the distinct
+        // error and without touching the network.
+        let err = c.search_step(&mut net, "rock").unwrap_err();
+        assert!(matches!(err, DharmaError::NodeUnavailable(_)));
+        assert!(matches!(
+            c.leave(&mut net).unwrap_err(),
+            DharmaError::NodeUnavailable(_)
+        ));
+
+        // The data it wrote (and any replicas it held) survives: another
+        // client still resolves everything.
+        let mut other = client(ApproxPolicy::EXACT, 7);
+        let (nbrs, res, _) = other.search_step(&mut net, "rock").unwrap();
+        assert_eq!(res.entries.len(), 1);
+        assert_eq!(res.entries[0].0, "kept");
+        assert_eq!(nbrs.entries.len(), 1);
+        assert_eq!(nbrs.entries[0].0, "jazz");
+        let (uri, _) = other.resolve_uri(&mut net, "kept").unwrap();
+        assert!(uri.is_some(), "the URI record survives the departure");
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub mod routing;
 pub mod storage;
 
 pub use messages::{Contact, Message, StoredEntry};
-pub use node::{KadConfig, KadOutput, KademliaNode, MaintConfig};
+pub use node::{AdaptConfig, KadConfig, KadOutput, KademliaNode, MaintConfig};
 pub use routing::{KBucket, NoteOutcome, RoutingTable};
 pub use storage::Storage;

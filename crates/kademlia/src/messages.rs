@@ -219,6 +219,17 @@ pub enum Message {
         /// Responder contact.
         from: Contact,
     },
+    /// Graceful-departure notice: the sender is leaving the overlay *now*.
+    /// Receivers purge it from their routing table immediately (no probe
+    /// round needed), tombstone the id briefly so in-flight stragglers
+    /// cannot re-insert it, and feed their churn estimator. Fire-and-forget
+    /// — the departing node does not wait for replies.
+    Leave {
+        /// Request id (no reply is expected; kept for tracing).
+        rpc: u64,
+        /// The departing node's contact record.
+        from: Contact,
+    },
 }
 
 impl Message {
@@ -235,7 +246,8 @@ impl Message {
             | Message::Append { rpc, .. }
             | Message::Replicate { rpc, .. }
             | Message::CachePush { rpc, .. }
-            | Message::Ack { rpc, .. } => *rpc,
+            | Message::Ack { rpc, .. }
+            | Message::Leave { rpc, .. } => *rpc,
         }
     }
 
@@ -252,7 +264,8 @@ impl Message {
             | Message::Append { from, .. }
             | Message::Replicate { from, .. }
             | Message::CachePush { from, .. }
-            | Message::Ack { from, .. } => from,
+            | Message::Ack { from, .. }
+            | Message::Leave { from, .. } => from,
         }
     }
 
@@ -267,6 +280,7 @@ impl Message {
     const T_ACK: u8 = 9;
     const T_REPLICATE: u8 = 10;
     const T_CACHE_PUSH: u8 = 11;
+    const T_LEAVE: u8 = 12;
 }
 
 impl WireEncode for Message {
@@ -412,6 +426,11 @@ impl WireEncode for Message {
                 buf.put_varint(*rpc);
                 from.encode(buf);
             }
+            Message::Leave { rpc, from } => {
+                buf.put_u8(Self::T_LEAVE);
+                buf.put_varint(*rpc);
+                from.encode(buf);
+            }
         }
     }
 }
@@ -540,6 +559,7 @@ impl WireDecode for Message {
                 }
             }
             Message::T_ACK => Message::Ack { rpc, from },
+            Message::T_LEAVE => Message::Leave { rpc, from },
             other => return Err(DharmaError::Decode(format!("unknown message type {other}"))),
         })
     }
@@ -672,6 +692,10 @@ mod tests {
             Message::Ack {
                 rpc: 13,
                 from: contact(2),
+            },
+            Message::Leave {
+                rpc: 19,
+                from: contact(4),
             },
         ];
         for m in &msgs {

@@ -40,6 +40,28 @@
 //! Repaired replicas arrive via `Replicate`, whose handler invalidates every
 //! cached view of the key — so repair composes with the PR-2 cache rules and
 //! never resurrects a stale cached view.
+//!
+//! **Adaptive cadence & graceful leave** ([`AdaptConfig`], the
+//! `dharma-adapt` subsystem) make maintenance cost a function of *measured*
+//! churn instead of a constant tax:
+//!
+//! * each node keeps a decayed **departure-rate estimate** fed by failed
+//!   probes, timeout evictions, and received [`Message::Leave`] notices;
+//!   probe/repair intervals scale linearly between configured min/max
+//!   bounds as the estimate moves — a quiet overlay coasts, a churning one
+//!   tightens within one min-tick;
+//! * repair passes are **budgeted**: at most `repair_budget` keys per tick,
+//!   with a carry-over cursor in key order so coverage stays complete;
+//! * a departing node can [`KademliaNode::leave`] **gracefully**: it pushes
+//!   a parting `Replicate` snapshot of every held key to the `k` closest
+//!   nodes (the replica set is whole before it goes) and sends `Leave`
+//!   notices that purge it from receivers' routing tables immediately —
+//!   no probe round, no timeout storm — with a short tombstone so
+//!   in-flight stragglers cannot re-insert the corpse.
+//!
+//! When [`KadConfig::record_ttl_us`] is set, every maintenance push (and
+//! every incoming `Replicate` merge) is gated on the record's remaining
+//! TTL, so repair never resurrects a record that already expired locally.
 
 use bytes::Bytes;
 
@@ -52,6 +74,60 @@ use crate::messages::{Contact, FetchedValue, Message, StoredEntry};
 use crate::routing::RoutingTable;
 use crate::storage::Storage;
 
+/// Churn-adaptive maintenance cadence (the `dharma-adapt` subsystem):
+/// instead of fixed probe/repair intervals, each node keeps a decayed
+/// estimate of the departure rate it *observes* — failed liveness probes,
+/// contacts evicted on RPC timeouts, and received [`Message::Leave`]
+/// notices — and scales its maintenance cadence between the configured
+/// bounds: a quiet overlay coasts at the `*_max_us` intervals, a churning
+/// one tightens toward `*_min_us`. This is the DHT survey's
+/// cost/availability dial made local: maintenance cost becomes a function
+/// of measured churn instead of a constant tax.
+#[derive(Clone, Debug)]
+pub struct AdaptConfig {
+    /// Tightest liveness-probe cadence, µs (used when churn is at or above
+    /// [`AdaptConfig::hot_weight`]). Also the tick the adaptive loop
+    /// re-evaluates at, so cadence can tighten within one min-interval of
+    /// churn rising instead of waiting out a long armed timer.
+    pub probe_min_us: u64,
+    /// Laziest liveness-probe cadence, µs (used at zero observed churn).
+    pub probe_max_us: u64,
+    /// Tightest repair-sweep cadence, µs.
+    pub repair_min_us: u64,
+    /// Laziest repair-sweep cadence, µs.
+    pub repair_max_us: u64,
+    /// Half-life of the departure-rate estimate, µs: how fast old
+    /// departures stop counting.
+    pub half_life_us: u64,
+    /// Decayed departure weight at which the cadence pins to the `min`
+    /// bounds; below it the intervals interpolate linearly toward `max`.
+    pub hot_weight: f64,
+    /// How much a received `Leave` notice counts toward the estimate,
+    /// relative to a hard failure's 1.0. Graceful departures hand their
+    /// keys off before going, so they put no data at risk — weighting them
+    /// low is what lets an orderly overlay keep its lazy cadence.
+    pub leave_weight: f64,
+    /// Maximum keys processed per repair tick. A partial pass keeps a
+    /// carry-over cursor and continues next tick, so coverage stays
+    /// complete while any single tick's burst stays bounded. 0 = unbounded.
+    pub repair_budget: usize,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            probe_min_us: 2_000_000,   // 2 s
+            probe_max_us: 10_000_000,  // 10 s
+            repair_min_us: 15_000_000, // 15 s
+            repair_max_us: 60_000_000, // 60 s
+            half_life_us: 30_000_000,  // 30 s
+            hot_weight: 10.0,
+            leave_weight: 0.1,
+            repair_budget: 16,
+        }
+    }
+}
+
 /// Churn-maintenance parameters (the `dharma-maint` subsystem). `None` in
 /// [`KadConfig::maintenance`] disables the whole loop — the node then
 /// behaves exactly like the pre-maintenance protocol, which is what the
@@ -59,11 +135,14 @@ use crate::storage::Storage;
 #[derive(Clone, Debug)]
 pub struct MaintConfig {
     /// Liveness-probe cadence, µs: each tick pings the least-recently-seen
-    /// contact of the next non-empty bucket (round-robin).
+    /// contact of the next non-empty bucket (round-robin). Ignored when
+    /// [`MaintConfig::adaptive`] is set (the estimator drives the cadence
+    /// between its own bounds).
     pub probe_interval_us: u64,
     /// Repair-sweep cadence, µs: each tick re-pushes held keys to their
     /// current `k` closest nodes (suppressed per key for one interval after
     /// an incoming `Replicate`, so only one holder pays per round).
+    /// Ignored when [`MaintConfig::adaptive`] is set.
     pub repair_interval_us: u64,
     /// Join-time key handoff: push held records to a newly-learned contact
     /// that is now among the `k` closest for them.
@@ -75,6 +154,10 @@ pub struct MaintConfig {
     /// key's `k` closest keeps the record — and keeps re-pushing it every
     /// repair interval — forever.
     pub demote_interval_us: Option<u64>,
+    /// Churn-adaptive cadence (`None` = the fixed intervals above): scale
+    /// probe/repair intervals from the observed departure rate and budget
+    /// repair work per tick. See [`AdaptConfig`].
+    pub adaptive: Option<AdaptConfig>,
 }
 
 impl Default for MaintConfig {
@@ -84,7 +167,64 @@ impl Default for MaintConfig {
             repair_interval_us: 30_000_000, // 30 s
             join_handoff: true,
             demote_interval_us: Some(60_000_000), // 60 s
+            adaptive: None,
         }
+    }
+}
+
+impl MaintConfig {
+    /// The tick the probe timer re-arms at: the adaptive loop re-evaluates
+    /// every `probe_min_us` (doing work only when the current estimated
+    /// interval has elapsed); the fixed loop ticks at its one interval.
+    fn probe_tick_us(&self) -> u64 {
+        self.adaptive
+            .as_ref()
+            .map(|a| a.probe_min_us)
+            .unwrap_or(self.probe_interval_us)
+            .max(1)
+    }
+
+    /// The tick the repair timer re-arms at (see [`Self::probe_tick_us`]).
+    fn repair_tick_us(&self) -> u64 {
+        self.adaptive
+            .as_ref()
+            .map(|a| a.repair_min_us)
+            .unwrap_or(self.repair_interval_us)
+            .max(1)
+    }
+}
+
+/// Exponentially-decayed departure counter: the per-node churn estimate
+/// behind [`AdaptConfig`]. `record` adds an event's weight after decaying
+/// what is already there; `weight` reads the current decayed total.
+#[derive(Clone, Debug)]
+struct ChurnEstimator {
+    weight: f64,
+    at_us: u64,
+    half_life_us: u64,
+}
+
+impl ChurnEstimator {
+    fn new(half_life_us: u64) -> Self {
+        ChurnEstimator {
+            weight: 0.0,
+            at_us: 0,
+            half_life_us: half_life_us.max(1),
+        }
+    }
+
+    fn decayed(&self, now_us: u64) -> f64 {
+        let dt = now_us.saturating_sub(self.at_us) as f64;
+        self.weight * 0.5f64.powf(dt / self.half_life_us as f64)
+    }
+
+    fn record(&mut self, now_us: u64, event_weight: f64) {
+        self.weight = self.decayed(now_us) + event_weight;
+        self.at_us = self.at_us.max(now_us);
+    }
+
+    fn weight(&self, now_us: u64) -> f64 {
+        self.decayed(now_us)
     }
 }
 
@@ -275,9 +415,33 @@ pub struct KademliaNode {
     /// Per-key timestamp of the last *incoming* `Replicate` — the repair
     /// sweep's suppression state: a key another holder just repaired is
     /// skipped for one interval (the classic Kademlia republish
-    /// optimization, §2.5). Pruned on every sweep.
+    /// optimization, §2.5). Pruned at the start of every repair pass.
     last_replicate_seen: FxHashMap<Id160, u64>,
+    /// Decayed departure-rate estimate (`dharma-adapt`): fed by failed
+    /// probes, timeout evictions, and received `Leave` notices; drives the
+    /// adaptive maintenance cadence.
+    churn: ChurnEstimator,
+    /// Earliest time the next probe round may run (adaptive cadence: the
+    /// timer ticks at `probe_min_us`, work happens when this is due).
+    probe_due_us: u64,
+    /// Earliest time the next repair pass may start.
+    repair_due_us: u64,
+    /// Carry-over cursor of a budgeted repair pass: the last key (in id
+    /// order) already processed this pass. `None` = no pass in progress.
+    repair_cursor: Option<Id160>,
+    /// Recently-departed peers (id → when their `Leave` arrived): brief
+    /// tombstones so in-flight stragglers — a late `FoundNodes` naming the
+    /// leaver, its own parting `Replicate`s arriving out of order — cannot
+    /// re-insert a corpse the `Leave` already purged.
+    departed: FxHashMap<Id160, u64>,
 }
+
+/// How long a `Leave` tombstone blocks re-insertion of the departed id —
+/// comfortably beyond any in-flight datagram + RPC timeout.
+const DEPART_TOMBSTONE_US: u64 = 10_000_000;
+
+/// Bound on tracked leave tombstones per node.
+const DEPART_TOMBSTONE_CAP: usize = 1024;
 
 /// Read-your-writes bookkeeping for one key (see
 /// [`KademliaNode::note_written`]).
@@ -297,6 +461,12 @@ const WRITE_GUARD_CAP: usize = 8192;
 impl KademliaNode {
     /// Creates a node with the given overlay id and transport address.
     pub fn new(id: Id160, addr: NodeAddr, cfg: KadConfig) -> Self {
+        let half_life = cfg
+            .maintenance
+            .as_ref()
+            .and_then(|m| m.adaptive.as_ref())
+            .map(|a| a.half_life_us)
+            .unwrap_or(30_000_000);
         KademliaNode {
             contact: Contact { id, addr },
             routing: RoutingTable::new(id, cfg.k),
@@ -313,6 +483,11 @@ impl KademliaNode {
             probe_cursor: 0,
             probing: FxHashSet::default(),
             last_replicate_seen: FxHashMap::default(),
+            churn: ChurnEstimator::new(half_life),
+            probe_due_us: 0,
+            repair_due_us: 0,
+            repair_cursor: None,
+            departed: FxHashMap::default(),
         }
     }
 
@@ -519,7 +694,177 @@ impl KademliaNode {
         );
     }
 
-    // ----- churn maintenance (`dharma-maint`) --------------------------
+    // ----- churn maintenance (`dharma-maint` / `dharma-adapt`) ---------
+
+    /// Records one observed departure into the churn estimate.
+    /// `event_weight` is 1.0 for hard failures (failed probes, timeout
+    /// evictions) and [`AdaptConfig::leave_weight`] for graceful notices.
+    fn note_departure(&mut self, now_us: u64, event_weight: f64) {
+        self.churn.record(now_us, event_weight);
+    }
+
+    /// The current decayed departure-rate estimate (diagnostics/tests).
+    pub fn churn_weight(&self, now_us: u64) -> f64 {
+        self.churn.weight(now_us)
+    }
+
+    /// Observed churn normalized to `[0, 1]` against the adaptive config's
+    /// hot threshold — 0 pins cadence to `max`, 1 to `min`.
+    fn churn_level(&self, a: &AdaptConfig, now_us: u64) -> f64 {
+        if a.hot_weight <= 0.0 {
+            return 1.0;
+        }
+        (self.churn.weight(now_us) / a.hot_weight).clamp(0.0, 1.0)
+    }
+
+    /// Linear interpolation of a maintenance interval between its adaptive
+    /// bounds: quiet → `max_us`, churning → `min_us`.
+    fn scaled_interval(&self, a: &AdaptConfig, min_us: u64, max_us: u64, now_us: u64) -> u64 {
+        let max_us = max_us.max(min_us);
+        let span = (max_us - min_us) as f64;
+        let cut = (self.churn_level(a, now_us) * span) as u64;
+        (max_us - cut).max(min_us)
+    }
+
+    /// The probe interval currently in effect (fixed or churn-scaled).
+    /// `None` when maintenance is off.
+    pub fn current_probe_interval_us(&self, now_us: u64) -> Option<u64> {
+        let m = self.cfg.maintenance.as_ref()?;
+        Some(match &m.adaptive {
+            None => m.probe_interval_us,
+            Some(a) => self.scaled_interval(a, a.probe_min_us, a.probe_max_us, now_us),
+        })
+    }
+
+    /// The repair interval currently in effect (fixed or churn-scaled).
+    /// `None` when maintenance is off.
+    pub fn current_repair_interval_us(&self, now_us: u64) -> Option<u64> {
+        let m = self.cfg.maintenance.as_ref()?;
+        Some(match &m.adaptive {
+            None => m.repair_interval_us,
+            Some(a) => self.scaled_interval(a, a.repair_min_us, a.repair_max_us, now_us),
+        })
+    }
+
+    /// True when `key` is held but has outlived [`KadConfig::record_ttl_us`]
+    /// — present only because the periodic expiry sweep has not reached it
+    /// yet. Such zombies must neither be pushed by maintenance nor have
+    /// their clock re-wound by an incoming `Replicate`.
+    fn expired_locally(&self, key: &Id160, now_us: u64) -> bool {
+        match self.cfg.record_ttl_us {
+            Some(ttl) => self
+                .storage
+                .get(key)
+                .map(|s| now_us.saturating_sub(s.refreshed_us) > ttl)
+                .unwrap_or(false),
+            None => false,
+        }
+    }
+
+    /// Lazily drops `key` if it is expired-but-unswept. Returns true when
+    /// the key was dropped (callers skip their push).
+    fn drop_if_expired(&mut self, key: &Id160, now_us: u64) -> bool {
+        if self.expired_locally(key, now_us) {
+            self.storage.remove(key);
+            self.invalidate_cached(key);
+            return true;
+        }
+        false
+    }
+
+    /// True when `id` announced a graceful departure within the tombstone
+    /// window — it must not be re-learned as a contact.
+    fn recently_departed(&self, id: &Id160, now_us: u64) -> bool {
+        self.departed
+            .get(id)
+            .map(|&at| now_us.saturating_sub(at) <= DEPART_TOMBSTONE_US)
+            .unwrap_or(false)
+    }
+
+    /// Handles an incoming [`Message::Leave`]: purge the sender from the
+    /// routing table *immediately* (no probe round needed — the notice is
+    /// first-hand), drop any in-flight probe bookkeeping, tombstone the id
+    /// against stragglers, and feed the churn estimator at the (low)
+    /// graceful weight.
+    fn handle_leave(&mut self, now_us: u64, from: &Contact) {
+        self.routing.note_failure(&from.id);
+        self.probing.remove(&from.id);
+        self.departed.insert(from.id, now_us);
+        if self.departed.len() > DEPART_TOMBSTONE_CAP {
+            self.departed
+                .retain(|_, &mut at| now_us.saturating_sub(at) <= DEPART_TOMBSTONE_US);
+            if self.departed.len() > DEPART_TOMBSTONE_CAP {
+                // Still over cap within one tombstone window (a mass drain,
+                // or spoofed Leave spray): shed the oldest quarter. Those
+                // ids lose straggler protection early — the worst case is
+                // one stale re-insert that the probe loop cleans up.
+                let mut oldest: Vec<(Id160, u64)> =
+                    self.departed.iter().map(|(k, &at)| (*k, at)).collect();
+                oldest.sort_unstable_by_key(|&(_, at)| at);
+                for (k, _) in oldest.into_iter().take(DEPART_TOMBSTONE_CAP / 4) {
+                    self.departed.remove(&k);
+                }
+            }
+        }
+        let leave_weight = self
+            .cfg
+            .maintenance
+            .as_ref()
+            .and_then(|m| m.adaptive.as_ref())
+            .map(|a| a.leave_weight)
+            .unwrap_or(0.0);
+        if leave_weight > 0.0 {
+            self.note_departure(now_us, leave_weight);
+        }
+    }
+
+    /// Graceful departure (the counterpart of crashing): push a parting
+    /// `Replicate` snapshot of every held, unexpired key to the `k`
+    /// closest live nodes — so the replica set is whole *before* we go,
+    /// instead of degraded until someone's repair sweep notices — then
+    /// send a [`Message::Leave`] notice to every routing-table contact so
+    /// receivers purge us immediately rather than discovering the corpse
+    /// by timeout. The caller tears the node down afterwards
+    /// (`SimNet::leave` does both in one step).
+    pub fn leave(&mut self, ctx: &mut Ctx<KadOutput>) {
+        let now = ctx.now_us;
+        let keys: Vec<Id160> = self.storage.keys().copied().collect();
+        let mut pushes = 0u64;
+        for key in keys {
+            if self.drop_if_expired(&key, now) {
+                continue;
+            }
+            let Some((blob, entries)) = self.snapshot_value(&key) else {
+                continue;
+            };
+            let targets = self.routing.closest(&key, self.cfg.k);
+            pushes += targets.len() as u64;
+            for t in targets {
+                self.push_replica(ctx, &t, key, blob.clone(), entries.clone());
+            }
+        }
+        if pushes > 0 {
+            self.cfg.counters.record_leave_handoffs(pushes);
+        }
+        let contacts: Vec<Contact> = self.routing.iter().cloned().collect();
+        if !contacts.is_empty() {
+            self.cfg
+                .counters
+                .record_leave_notices(contacts.len() as u64);
+        }
+        for c in contacts {
+            let rpc = self.next_rpc;
+            self.next_rpc += 1;
+            ctx.send(
+                c.addr,
+                Message::Leave {
+                    rpc,
+                    from: self.contact.clone(),
+                }
+                .encode_to_bytes(),
+            );
+        }
+    }
 
     /// Sends a liveness probe to `contact` unless one is already in
     /// flight. The probe's RPC is tracked under [`PROBE_OP`]; its timeout
@@ -565,6 +910,7 @@ impl KademliaNode {
     /// for (Kademlia §2.5 — keeps the replica set correct as the
     /// population shifts, without waiting for a repair sweep).
     fn handoff_to(&mut self, ctx: &mut Ctx<KadOutput>, newcomer: Contact) {
+        let now = ctx.now_us;
         let keys: Vec<Id160> = self
             .storage
             .keys()
@@ -576,46 +922,77 @@ impl KademliaNode {
             })
             .copied()
             .collect();
-        if keys.is_empty() {
-            return;
-        }
-        self.cfg.counters.record_handoffs(keys.len() as u64);
+        let mut handed = 0u64;
         for key in keys {
+            // A zombie past its TTL must not be handed to a newcomer —
+            // that would resurrect it on a node whose expiry clock starts
+            // fresh.
+            if self.drop_if_expired(&key, now) {
+                continue;
+            }
             if let Some((blob, entries)) = self.snapshot_value(&key) {
                 self.push_replica(ctx, &newcomer, key, blob, entries);
+                handed += 1;
             }
+        }
+        if handed > 0 {
+            self.cfg.counters.record_handoffs(handed);
         }
     }
 
-    /// One repair sweep: re-push every held key to its current `k` closest
+    /// One repair step: re-push held keys to their current `k` closest
     /// nodes, restoring replicas lost to departures. Keys that received an
     /// incoming `Replicate` within the last interval are skipped — some
-    /// other holder already paid for this round.
-    fn repair_sweep(&mut self, ctx: &mut Ctx<KadOutput>, interval_us: u64) {
+    /// other holder already paid for this round — and keys past their TTL
+    /// are dropped instead of pushed (an expired record must not have its
+    /// peers' expiry clocks re-wound by repair).
+    ///
+    /// `budget` bounds the keys processed per step (0 = unbounded, the
+    /// fixed-cadence behavior). A partial pass leaves the carry-over
+    /// cursor in [`Self::repair_cursor`]; the next tick resumes after it
+    /// in key order, so coverage stays complete under any budget.
+    fn repair_sweep_step(&mut self, ctx: &mut Ctx<KadOutput>, interval_us: u64, budget: usize) {
         let now = ctx.now_us;
-        let storage = &self.storage;
-        self.last_replicate_seen
-            .retain(|key, seen| now.saturating_sub(*seen) < interval_us && storage.contains(key));
-        let keys: Vec<Id160> = self
-            .storage
-            .keys()
-            .filter(|key| !self.last_replicate_seen.contains_key(key))
-            .copied()
-            .collect();
+        if self.repair_cursor.is_none() {
+            // Fresh pass: prune suppression state from the previous round.
+            let storage = &self.storage;
+            self.last_replicate_seen.retain(|key, seen| {
+                now.saturating_sub(*seen) < interval_us && storage.contains(key)
+            });
+        }
+        // Re-collected each tick rather than snapshotted per pass: storage
+        // mutates between ticks (expiry, demotion, incoming replicas), and
+        // the id-ordered cursor makes the fresh view resume correctly.
+        let mut keys: Vec<Id160> = self.storage.keys().copied().collect();
+        keys.sort_unstable();
+        let start = match self.repair_cursor {
+            Some(cursor) => keys.partition_point(|k| *k <= cursor),
+            None => 0,
+        };
+        let take = if budget == 0 { keys.len() } else { budget };
+        let batch: Vec<Id160> = keys[start..].iter().take(take).copied().collect();
+        let done = start + batch.len() >= keys.len();
         let mut pushes = 0u64;
-        for key in keys {
-            let Some((blob, entries)) = self.snapshot_value(&key) else {
+        for key in &batch {
+            if self.drop_if_expired(key, now) {
+                continue;
+            }
+            if self.last_replicate_seen.contains_key(key) {
+                continue;
+            }
+            let Some((blob, entries)) = self.snapshot_value(key) else {
                 continue;
             };
-            let targets = self.routing.closest(&key, self.cfg.k);
+            let targets = self.routing.closest(key, self.cfg.k);
             pushes += targets.len() as u64;
             for t in targets {
-                self.push_replica(ctx, &t, key, blob.clone(), entries.clone());
+                self.push_replica(ctx, &t, *key, blob.clone(), entries.clone());
             }
         }
         if pushes > 0 {
             self.cfg.counters.record_rereplications(pushes);
         }
+        self.repair_cursor = if done { None } else { batch.last().copied() };
     }
 
     /// One demotion sweep: reclaim beyond-`k` replicas whose popularity has
@@ -668,6 +1045,12 @@ impl KademliaNode {
             })
             .collect();
         for key in victims {
+            // Expired copies are reclaimed without the parting push — the
+            // snapshot is past its TTL and must not be resurrected on the
+            // authoritative k.
+            if self.drop_if_expired(&key, now) {
+                continue;
+            }
             let Some((blob, entries)) = self.snapshot_value(&key) else {
                 continue;
             };
@@ -739,11 +1122,18 @@ impl KademliaNode {
     /// closest to its key, with idempotent merge-max semantics — the
     /// Kademlia republish rule that keeps replication alive under churn.
     /// Fired periodically when `republish_interval_us` is set; callable
-    /// directly for tests and manual repair.
+    /// directly for tests and manual repair. Keys past their TTL are
+    /// dropped instead of pushed: republishing a zombie would re-stamp its
+    /// `refreshed_us` everywhere (including locally, via the coordinator's
+    /// own merge) and make it immortal.
     pub fn republish_all(&mut self, ctx: &mut Ctx<KadOutput>) -> Vec<u64> {
+        let now = ctx.now_us;
         let keys: Vec<Id160> = self.storage.keys().copied().collect();
         keys.into_iter()
             .filter_map(|key| {
+                if self.drop_if_expired(&key, now) {
+                    return None;
+                }
                 self.snapshot_value(&key).map(|(blob, entries)| {
                     self.start_op(ctx, key, OpKind::Replicate { blob, entries })
                 })
@@ -1069,21 +1459,28 @@ impl Node for KademliaNode {
     type Output = KadOutput;
 
     fn on_start(&mut self, ctx: &mut Ctx<KadOutput>) {
+        // Every periodic sweep arms with a deterministic phase jitter
+        // (drawn from the node's forked RNG): a fleet configured and
+        // started together must not fire its sweeps in lockstep, or every
+        // interval boundary becomes a synchronized message burst (and the
+        // repair suppression never gets to help).
+        use rand::Rng;
         if let Some(interval) = self.cfg.republish_interval_us {
-            ctx.set_timer(interval, TIMER_REPUBLISH);
+            let phase = ctx.rng.gen_range(0..interval.max(1));
+            ctx.set_timer(interval + phase, TIMER_REPUBLISH);
         }
         if let Some(ttl) = self.cfg.record_ttl_us {
-            ctx.set_timer(ttl / 2, TIMER_EXPIRE);
+            let half = (ttl / 2).max(1);
+            let phase = ctx.rng.gen_range(0..half);
+            ctx.set_timer(half + phase, TIMER_EXPIRE);
         }
         if let Some(m) = self.cfg.maintenance.clone() {
-            // Deterministic phase jitter (from the node's forked RNG): a
-            // fleet started at the same instant must not fire its sweeps in
-            // lockstep, or the repair suppression never gets to help.
-            use rand::Rng;
-            let probe_phase = ctx.rng.gen_range(0..m.probe_interval_us.max(1));
-            ctx.set_timer(m.probe_interval_us + probe_phase, TIMER_PROBE);
-            let repair_phase = ctx.rng.gen_range(0..m.repair_interval_us.max(1));
-            ctx.set_timer(m.repair_interval_us + repair_phase, TIMER_REPAIR);
+            let probe_tick = m.probe_tick_us();
+            let probe_phase = ctx.rng.gen_range(0..probe_tick);
+            ctx.set_timer(probe_tick + probe_phase, TIMER_PROBE);
+            let repair_tick = m.repair_tick_us();
+            let repair_phase = ctx.rng.gen_range(0..repair_tick);
+            ctx.set_timer(repair_tick + repair_phase, TIMER_REPAIR);
             if let Some(demote) = m.demote_interval_us {
                 let demote_phase = ctx.rng.gen_range(0..demote.max(1));
                 ctx.set_timer(demote + demote_phase, TIMER_DEMOTE);
@@ -1095,19 +1492,29 @@ impl Node for KademliaNode {
         let Ok(msg) = Message::decode_exact(&payload) else {
             return; // malformed datagram: drop silently, as UDP servers do
         };
+        // Graceful departure: purge first, never note the sender as live.
+        if let Message::Leave { from, .. } = &msg {
+            self.handle_leave(ctx.now_us, from);
+            return;
+        }
         // Every message is evidence of liveness — and a *first* appearance
         // of a contact in a bucket is the join-handoff trigger: the
         // newcomer may now rank among the k closest for keys we hold.
-        let outcome = self.routing.note_contact(msg.sender().clone());
-        if outcome == crate::routing::NoteOutcome::Inserted
-            && self
-                .cfg
-                .maintenance
-                .as_ref()
-                .is_some_and(|m| m.join_handoff)
-            && !self.storage.is_empty()
-        {
-            self.handoff_to(ctx, msg.sender().clone());
+        // Exception: a peer that just announced its departure is
+        // tombstoned; its own out-of-order stragglers (a parting
+        // `Replicate` delivered after the `Leave`) must not re-insert it.
+        if !self.recently_departed(&msg.sender().id, ctx.now_us) {
+            let outcome = self.routing.note_contact(msg.sender().clone());
+            if outcome == crate::routing::NoteOutcome::Inserted
+                && self
+                    .cfg
+                    .maintenance
+                    .as_ref()
+                    .is_some_and(|m| m.join_handoff)
+                && !self.storage.is_empty()
+            {
+                self.handoff_to(ctx, msg.sender().clone());
+            }
         }
 
         match msg {
@@ -1268,15 +1675,20 @@ impl Node for KademliaNode {
                 let Some(pend) = self.pending.remove(&rpc) else {
                     return; // late reply for a finished op
                 };
-                for c in &contacts {
-                    if c.id != self.contact.id {
-                        self.routing.note_contact(c.clone());
-                    }
+                // Third-party views may still name a peer that announced
+                // its departure — keep tombstoned ids out of the table and
+                // the lookup shortlist (querying a known corpse only buys
+                // a timeout).
+                let own = self.contact.id;
+                let now = ctx.now_us;
+                let filtered: Vec<Contact> = contacts
+                    .into_iter()
+                    .filter(|c| c.id != own && !self.recently_departed(&c.id, now))
+                    .collect();
+                for c in &filtered {
+                    self.routing.note_contact(c.clone());
                 }
                 if let Some(op) = self.ops.get_mut(&pend.op) {
-                    let own = self.contact.id;
-                    let filtered: Vec<Contact> =
-                        contacts.into_iter().filter(|c| c.id != own).collect();
                     op.lookup.on_response(&from.id, filtered);
                     // A FoundNodes reply to a FIND_VALUE means the responder
                     // does not hold the value: remember it as a candidate for
@@ -1440,13 +1852,29 @@ impl Node for KademliaNode {
                 blob,
                 entries,
             } => {
-                self.storage
-                    .merge_max(key, blob.as_deref(), &entries, ctx.now_us);
-                self.invalidate_cached(&key);
-                // Repair suppression: someone just re-replicated this key,
-                // so our own next repair sweep can skip it.
-                if self.cfg.maintenance.is_some() {
-                    self.last_replicate_seen.insert(key, ctx.now_us);
+                // TTL accept gate: a record that already outlived
+                // `record_ttl_us` here is a zombie awaiting the expiry
+                // sweep — merging the incoming snapshot would re-wind its
+                // clock and resurrect it (the snapshot stems from the same
+                // stale write; a *gated* sender would not have pushed it).
+                // Drop the zombie and reject the refresh instead; the ack
+                // still flows (the datagram was handled, not lost). If the
+                // sender's copy was genuinely fresher (this node missed a
+                // later write), the rejection costs at most one repair
+                // interval: the next push meets an empty slot and is
+                // accepted as a fresh record.
+                if self.expired_locally(&key, ctx.now_us) {
+                    self.storage.remove(&key);
+                    self.invalidate_cached(&key);
+                } else {
+                    self.storage
+                        .merge_max(key, blob.as_deref(), &entries, ctx.now_us);
+                    self.invalidate_cached(&key);
+                    // Repair suppression: someone just re-replicated this
+                    // key, so our own next repair sweep can skip it.
+                    if self.cfg.maintenance.is_some() {
+                        self.last_replicate_seen.insert(key, ctx.now_us);
+                    }
                 }
                 ctx.send(
                     from.addr,
@@ -1463,6 +1891,7 @@ impl Node for KademliaNode {
                 };
                 self.write_progress(ctx, pend.op, true);
             }
+            Message::Leave { .. } => unreachable!("handled before the sender is noted"),
         }
     }
 
@@ -1483,18 +1912,38 @@ impl Node for KademliaNode {
                 return;
             }
             TIMER_PROBE => {
-                if let Some(m) = &self.cfg.maintenance {
-                    let interval = m.probe_interval_us;
-                    self.probe_tick(ctx);
-                    ctx.set_timer(interval, TIMER_PROBE);
+                if let Some(m) = self.cfg.maintenance.clone() {
+                    // The timer ticks at the tightest cadence; work happens
+                    // only when the churn-scaled interval has elapsed, so a
+                    // quiet overlay pays timer wakeups (free) instead of
+                    // probes (datagrams), yet reacts within one min-tick
+                    // when churn rises.
+                    if ctx.now_us >= self.probe_due_us {
+                        self.probe_tick(ctx);
+                        let interval = self
+                            .current_probe_interval_us(ctx.now_us)
+                            .unwrap_or(m.probe_interval_us);
+                        self.probe_due_us = ctx.now_us + interval;
+                    }
+                    ctx.set_timer(m.probe_tick_us(), TIMER_PROBE);
                 }
                 return;
             }
             TIMER_REPAIR => {
-                if let Some(m) = &self.cfg.maintenance {
-                    let interval = m.repair_interval_us;
-                    self.repair_sweep(ctx, interval);
-                    ctx.set_timer(interval, TIMER_REPAIR);
+                if let Some(m) = self.cfg.maintenance.clone() {
+                    let interval = self
+                        .current_repair_interval_us(ctx.now_us)
+                        .unwrap_or(m.repair_interval_us);
+                    let budget = m.adaptive.as_ref().map(|a| a.repair_budget).unwrap_or(0);
+                    if self.repair_cursor.is_some() {
+                        // A budgeted pass is in progress: keep draining it
+                        // at tick cadence until the cursor wraps.
+                        self.repair_sweep_step(ctx, interval, budget);
+                    } else if ctx.now_us >= self.repair_due_us {
+                        self.repair_sweep_step(ctx, interval, budget);
+                        self.repair_due_us = ctx.now_us + interval;
+                    }
+                    ctx.set_timer(m.repair_tick_us(), TIMER_REPAIR);
                 }
                 return;
             }
@@ -1518,17 +1967,20 @@ impl Node for KademliaNode {
         };
         if pend.op == PROBE_OP {
             // A liveness probe went unanswered: death confirmed. Evict the
-            // contact (promoting the freshest replacement-cache entry).
+            // contact (promoting the freshest replacement-cache entry) and
+            // count the departure into the churn estimate.
             self.probing.remove(&pend.to.id);
-            self.routing.note_failure(&pend.to.id);
+            if self.routing.note_failure(&pend.to.id) {
+                self.note_departure(ctx.now_us, 1.0);
+            }
             return;
         }
         if self.cfg.ping_before_evict {
             // The op moves on below, but the routing table only marks the
             // contact *suspect*: probe it, and evict on probe failure.
             self.probe_contact(ctx, pend.to.clone());
-        } else {
-            self.routing.note_failure(&pend.to.id);
+        } else if self.routing.note_failure(&pend.to.id) {
+            self.note_departure(ctx.now_us, 1.0);
         }
         let Some(op) = self.ops.get_mut(&pend.op) else {
             return;
@@ -2047,6 +2499,7 @@ mod tests {
             repair_interval_us: 10_000_000,
             join_handoff: false,
             demote_interval_us: None,
+            adaptive: None,
         };
         let (mut net, contacts, counters) = build_maint_net(16, 8, 70, maint, None, None);
         // Two nodes depart for good.
@@ -2078,6 +2531,7 @@ mod tests {
             repair_interval_us: 10_000_000_000,
             join_handoff: false,
             demote_interval_us: None,
+            adaptive: None,
         };
         let (mut net, _contacts, counters) = build_maint_net(12, 8, 71, maint, None, None);
         let known_before: Vec<usize> = (0..12u32).map(|a| net.node(a).routing().len()).collect();
@@ -2099,6 +2553,7 @@ mod tests {
             repair_interval_us: 10_000_000_000, // effectively off: isolate handoff
             join_handoff: true,
             demote_interval_us: None,
+            adaptive: None,
         };
         let (mut net, contacts, counters) = build_maint_net(16, 4, 72, maint, None, None);
         let key = sha1(b"handed-off");
@@ -2148,6 +2603,7 @@ mod tests {
             repair_interval_us: 3_000_000,
             join_handoff: true,
             demote_interval_us: None,
+            adaptive: None,
         };
         let (mut net, _contacts, counters) = build_maint_net(20, 5, 73, maint, None, None);
         let key = sha1(b"repaired");
@@ -2196,6 +2652,7 @@ mod tests {
             repair_interval_us: 10_000_000_000, // off: repair would re-stamp refresh times
             join_handoff: false,
             demote_interval_us: Some(4_000_000),
+            adaptive: None,
         };
         let (mut net, _contacts, counters) = build_maint_net(
             24,
@@ -2244,6 +2701,395 @@ mod tests {
         assert!(counters.replicas_demoted() > 0);
         // The authoritative set (k closest + slack) keeps the block.
         assert!(after >= base.min(4), "k closest keep the block: {after}");
+    }
+
+    /// Decodes the `Replicate` keys queued in a test context's sends.
+    fn replicate_keys(sends: &[dharma_net::OutMessage]) -> Vec<Id160> {
+        sends
+            .iter()
+            .filter_map(|m| match Message::decode_exact(&m.payload) {
+                Ok(Message::Replicate { key, .. }) => Some(key),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn adapt_cfg() -> AdaptConfig {
+        AdaptConfig {
+            probe_min_us: 1_000_000,
+            probe_max_us: 8_000_000,
+            repair_min_us: 2_000_000,
+            repair_max_us: 20_000_000,
+            half_life_us: 5_000_000,
+            hot_weight: 4.0,
+            leave_weight: 1.0,
+            repair_budget: 1,
+        }
+    }
+
+    #[test]
+    fn adaptive_cadence_tracks_observed_departures() {
+        let cfg = KadConfig {
+            k: 8,
+            maintenance: Some(MaintConfig {
+                adaptive: Some(adapt_cfg()),
+                ..MaintConfig::default()
+            }),
+            ..KadConfig::default()
+        };
+        let mut node = KademliaNode::new(sha1(b"adaptive"), 0, cfg);
+        let a = adapt_cfg();
+
+        // Quiet overlay: cadence coasts at the max bounds.
+        assert_eq!(node.current_probe_interval_us(0), Some(a.probe_max_us));
+        assert_eq!(node.current_repair_interval_us(0), Some(a.repair_max_us));
+
+        // A burst of observed departures pins the cadence to the min
+        // bounds (leave_weight is 1.0 here, so 5 notices cross hot_weight).
+        let mut ctx: Ctx<KadOutput> = Ctx::new(1_000, 0, 1);
+        for i in 0..5u8 {
+            let from = Contact {
+                id: sha1(&[i]),
+                addr: u32::from(i) + 10,
+            };
+            // Known contact first, so the Leave also exercises the purge.
+            node.on_message(
+                &mut ctx,
+                from.addr,
+                Message::Ping {
+                    rpc: 1,
+                    from: from.clone(),
+                }
+                .encode_to_bytes(),
+            );
+            assert!(node.routing().contains(&from.id));
+            node.on_message(
+                &mut ctx,
+                from.addr,
+                Message::Leave {
+                    rpc: 2,
+                    from: from.clone(),
+                }
+                .encode_to_bytes(),
+            );
+            assert!(
+                !node.routing().contains(&from.id),
+                "Leave purges the sender immediately"
+            );
+        }
+        assert!(node.churn_weight(1_000) >= 4.0);
+        assert_eq!(node.current_probe_interval_us(1_000), Some(a.probe_min_us));
+        assert_eq!(
+            node.current_repair_interval_us(1_000),
+            Some(a.repair_min_us)
+        );
+
+        // The estimate decays: several half-lives later the cadence has
+        // relaxed back toward the max bounds.
+        let later = 1_000 + 6 * a.half_life_us;
+        assert!(node.current_probe_interval_us(later).unwrap() > 6_000_000);
+        assert!(node.current_repair_interval_us(later).unwrap() > 15_000_000);
+    }
+
+    #[test]
+    fn leave_tombstone_blocks_reinsertion_of_the_corpse() {
+        let cfg = KadConfig {
+            k: 8,
+            ..KadConfig::default()
+        };
+        let mut node = KademliaNode::new(sha1(b"keeper"), 0, cfg);
+        let ghost = Contact {
+            id: sha1(b"ghost"),
+            addr: 9,
+        };
+        let mut ctx: Ctx<KadOutput> = Ctx::new(0, 0, 1);
+        node.on_message(
+            &mut ctx,
+            9,
+            Message::Leave {
+                rpc: 1,
+                from: ghost.clone(),
+            }
+            .encode_to_bytes(),
+        );
+        // A straggler from the corpse itself...
+        node.on_message(
+            &mut ctx,
+            9,
+            Message::Ping {
+                rpc: 2,
+                from: ghost.clone(),
+            }
+            .encode_to_bytes(),
+        );
+        assert!(!node.routing().contains(&ghost.id), "straggler ignored");
+        // ...and a third party still naming it in a FoundNodes reply.
+        node.on_message(
+            &mut ctx,
+            7,
+            Message::FoundNodes {
+                rpc: 3,
+                from: Contact {
+                    id: sha1(b"third"),
+                    addr: 7,
+                },
+                contacts: vec![ghost.clone()],
+            }
+            .encode_to_bytes(),
+        );
+        assert!(!node.routing().contains(&ghost.id), "hearsay ignored too");
+        // Once the tombstone lapses, the id may be learned again (a real
+        // rejoin with the same id, however unlikely, is not banned forever).
+        let mut ctx: Ctx<KadOutput> = Ctx::new(DEPART_TOMBSTONE_US + 1_000, 0, 2);
+        node.on_message(
+            &mut ctx,
+            9,
+            Message::Ping {
+                rpc: 4,
+                from: ghost.clone(),
+            }
+            .encode_to_bytes(),
+        );
+        assert!(node.routing().contains(&ghost.id));
+    }
+
+    #[test]
+    fn budgeted_repair_pass_covers_every_key_across_ticks() {
+        let cfg = KadConfig {
+            k: 4,
+            maintenance: Some(MaintConfig {
+                adaptive: Some(adapt_cfg()),
+                ..MaintConfig::default()
+            }),
+            ..KadConfig::default()
+        };
+        let mut node = KademliaNode::new(sha1(b"holder"), 0, cfg);
+        let keys: Vec<Id160> = (0..3u8).map(|i| sha1(&[b'k', i])).collect();
+        let mut ctx: Ctx<KadOutput> = Ctx::new(0, 0, 1);
+        for key in &keys {
+            // Empty routing table: the write applies locally and completes.
+            node.append(&mut ctx, *key, "x", 1);
+        }
+        node.add_seed(Contact {
+            id: sha1(b"peer"),
+            addr: 1,
+        });
+
+        // Budget 1: the pass takes three ticks, carrying the cursor over.
+        let mut ctx: Ctx<KadOutput> = Ctx::new(1_000, 0, 2);
+        node.repair_sweep_step(&mut ctx, 1_000_000, 1);
+        assert!(node.repair_cursor.is_some(), "partial pass keeps a cursor");
+        node.repair_sweep_step(&mut ctx, 1_000_000, 1);
+        node.repair_sweep_step(&mut ctx, 1_000_000, 1);
+        assert!(node.repair_cursor.is_none(), "pass completed");
+        let (sends, _, _) = ctx.into_effects();
+        let mut pushed = replicate_keys(&sends);
+        pushed.sort_unstable();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(pushed, expect, "every key pushed exactly once per pass");
+    }
+
+    #[test]
+    fn replicate_does_not_resurrect_expired_records() {
+        let cfg = KadConfig {
+            record_ttl_us: Some(2_000_000),
+            ..KadConfig::default()
+        };
+        let mut node = KademliaNode::new(sha1(b"ttl-node"), 0, cfg);
+        let key = sha1(b"zombie");
+        let mut ctx: Ctx<KadOutput> = Ctx::new(0, 0, 1);
+        node.append(&mut ctx, key, "rock", 3); // local apply, refreshed at 0
+        assert!(node.storage().contains(&key));
+
+        let peer = Contact {
+            id: sha1(b"pusher"),
+            addr: 1,
+        };
+        let snapshot = vec![StoredEntry {
+            name: "rock".into(),
+            weight: 3,
+        }];
+        // Past the TTL but before the expiry sweep: the repair push used to
+        // bump `refreshed_us` and revive the record indefinitely.
+        let mut ctx: Ctx<KadOutput> = Ctx::new(2_500_000, 0, 2);
+        node.on_message(
+            &mut ctx,
+            1,
+            Message::Replicate {
+                rpc: 1,
+                from: peer.clone(),
+                key,
+                blob: None,
+                entries: snapshot.clone(),
+            }
+            .encode_to_bytes(),
+        );
+        assert!(
+            !node.storage().contains(&key),
+            "an expired record is dropped, not refreshed, by incoming repair"
+        );
+
+        // A key the node never held is accepted normally — repair onto new
+        // replicas must keep working.
+        let fresh = sha1(b"fresh-replica");
+        node.on_message(
+            &mut ctx,
+            1,
+            Message::Replicate {
+                rpc: 2,
+                from: peer,
+                key: fresh,
+                blob: None,
+                entries: snapshot,
+            }
+            .encode_to_bytes(),
+        );
+        assert!(node.storage().contains(&fresh));
+        assert_eq!(
+            node.storage().get(&fresh).unwrap().refreshed_us,
+            2_500_000,
+            "accepted replicas start a fresh TTL clock"
+        );
+    }
+
+    #[test]
+    fn maintenance_never_pushes_expired_records() {
+        let cfg = KadConfig {
+            k: 4,
+            record_ttl_us: Some(2_000_000),
+            ..KadConfig::default()
+        };
+        let mut node = KademliaNode::new(sha1(b"gated"), 0, cfg);
+        let key = sha1(b"stale");
+        let mut ctx: Ctx<KadOutput> = Ctx::new(0, 0, 1);
+        node.append(&mut ctx, key, "x", 1);
+        node.add_seed(Contact {
+            id: sha1(b"peer"),
+            addr: 1,
+        });
+
+        // Republish after the TTL: the zombie is dropped, nothing is sent
+        // (previously the coordinator's own merge re-stamped the clock and
+        // the k closest received a resurrecting snapshot).
+        let mut ctx: Ctx<KadOutput> = Ctx::new(3_000_000, 0, 2);
+        let ops = node.republish_all(&mut ctx);
+        assert!(ops.is_empty(), "no republish op for an expired key");
+        assert!(!node.storage().contains(&key), "lazy-expired instead");
+        let (sends, _, _) = ctx.into_effects();
+        assert!(replicate_keys(&sends).is_empty());
+
+        // Same gate on the repair sweep.
+        let mut node = KademliaNode::new(
+            sha1(b"gated-2"),
+            0,
+            KadConfig {
+                k: 4,
+                record_ttl_us: Some(2_000_000),
+                maintenance: Some(MaintConfig::default()),
+                ..KadConfig::default()
+            },
+        );
+        let mut ctx: Ctx<KadOutput> = Ctx::new(0, 0, 3);
+        node.append(&mut ctx, key, "x", 1);
+        node.add_seed(Contact {
+            id: sha1(b"peer"),
+            addr: 1,
+        });
+        let mut ctx: Ctx<KadOutput> = Ctx::new(3_000_000, 0, 4);
+        node.repair_sweep_step(&mut ctx, 1_000_000, 0);
+        assert!(!node.storage().contains(&key));
+        let (sends, _, _) = ctx.into_effects();
+        assert!(replicate_keys(&sends).is_empty());
+    }
+
+    #[test]
+    fn periodic_timers_arm_with_phase_jitter() {
+        let cfg = KadConfig {
+            republish_interval_us: Some(1_000_000),
+            record_ttl_us: Some(2_000_000),
+            ..KadConfig::default()
+        };
+        let fire = |fork_seed: u64| -> Vec<(u64, u64)> {
+            let mut node = KademliaNode::new(sha1(b"jitter"), 0, cfg.clone());
+            let mut ctx: Ctx<KadOutput> = Ctx::new(0, 0, fork_seed);
+            node.on_start(&mut ctx);
+            let (_, timers, _) = ctx.into_effects();
+            timers
+        };
+        let a = fire(1);
+        let b = fire(2);
+        for timers in [&a, &b] {
+            for &(delay, id) in timers.iter() {
+                let base = match id {
+                    TIMER_REPUBLISH => 1_000_000,
+                    TIMER_EXPIRE => 1_000_000, // ttl / 2
+                    other => panic!("unexpected timer {other}"),
+                };
+                assert!(
+                    (base..2 * base).contains(&delay),
+                    "timer {id} delay {delay} outside [{base}, {})",
+                    2 * base
+                );
+            }
+        }
+        assert_ne!(a, b, "different RNG forks must desynchronize the sweeps");
+        assert_eq!(fire(3), fire(3), "a fixed fork stays deterministic");
+    }
+
+    #[test]
+    fn graceful_leave_hands_off_keys_and_purges_tables() {
+        let maint = MaintConfig {
+            probe_interval_us: 10_000_000_000, // probes off: isolate the leave
+            repair_interval_us: 10_000_000_000,
+            join_handoff: false,
+            demote_interval_us: None,
+            adaptive: None,
+        };
+        let (mut net, _contacts, counters) = build_maint_net(16, 5, 80, maint, None, None);
+        let key = sha1(b"carried");
+        net.with_node(2, |n, ctx| n.append(ctx, key, "rock", 4));
+        net.run_until(4_000_000);
+        net.take_completions();
+        let before = holders(&net, &key);
+        assert!(before.len() >= 5);
+
+        // One replica departs gracefully.
+        let leaver = before[0];
+        let corpse = net
+            .leave(leaver, |n, ctx| n.leave(ctx))
+            .expect("first leave returns the corpse");
+        let knew: Vec<Id160> = corpse.routing().iter().map(|c| c.id).collect();
+        assert!(net.is_removed(leaver));
+        assert!(counters.leave_notices() > 0);
+        assert!(counters.leave_handoffs() > 0);
+
+        // The parting handoff lands without any repair sweep: the replica
+        // set is whole again, weights intact (merge-max).
+        net.run_until(net.now_us() + 2_000_000);
+        let after = holders(&net, &key);
+        assert!(
+            after.len() >= 5,
+            "parting handoff must restore the replica set: {} -> {}",
+            before.len(),
+            after.len()
+        );
+        for a in &after {
+            assert_eq!(net.node(*a).storage().weight(&key, "rock"), 4);
+        }
+        assert_eq!(counters.rereplications(), 0, "no repair sweep needed");
+
+        // Everyone the leaver notified purged it without a probe round.
+        let leaver_id = corpse.contact().id;
+        for a in 0..16u32 {
+            if net.is_removed(a) || !knew.contains(&net.node(a).contact().id) {
+                continue;
+            }
+            assert!(
+                !net.node(a).routing().contains(&leaver_id),
+                "node {a} still routes to the gracefully departed node"
+            );
+        }
     }
 
     #[test]
@@ -2324,9 +3170,11 @@ mod tests {
         };
         net.add_node(KademliaNode::new(sha1(b"solo"), 0, cfg));
         // Several republish ticks fire on a single node without panicking
-        // (empty storage, no peers — the degenerate but legal case).
-        net.run_until(5_500_000);
-        assert!(net.counters().timers_fired() >= 5);
+        // (empty storage, no peers — the degenerate but legal case). The
+        // first tick lands within [interval, 2·interval) — phase jitter —
+        // and every subsequent one exactly an interval later.
+        net.run_until(10_500_000);
+        assert!(net.counters().timers_fired() >= 8);
     }
 
     #[test]

@@ -88,14 +88,20 @@ impl KBucket {
     }
 
     /// Removes a failed contact and promotes the freshest replacement.
-    fn fail(&mut self, id: &Id160) {
+    /// Returns true when a *live* entry was evicted (a replacement-cache
+    /// removal or unknown id is not a membership event).
+    fn fail(&mut self, id: &Id160) -> bool {
         if let Some(pos) = self.entries.iter().position(|e| e.id == *id) {
             self.entries.remove(pos);
             if let Some(promoted) = self.replacements.pop() {
                 self.entries.push(promoted);
             }
-        } else if let Some(pos) = self.replacements.iter().position(|e| e.id == *id) {
-            self.replacements.remove(pos);
+            true
+        } else {
+            if let Some(pos) = self.replacements.iter().position(|e| e.id == *id) {
+                self.replacements.remove(pos);
+            }
+            false
         }
     }
 }
@@ -144,10 +150,14 @@ impl RoutingTable {
 
     /// Records a confirmed failure for `id` (RPC timeout, or a failed
     /// liveness probe under ping-before-evict), evicting it and promoting
-    /// the freshest replacement-cache contact into the freed slot.
-    pub fn note_failure(&mut self, id: &Id160) {
-        if let Some(i) = self.bucket_index(id) {
-            self.buckets[i].fail(id);
+    /// the freshest replacement-cache contact into the freed slot. Returns
+    /// true when a live contact was actually evicted — the node layer's
+    /// departure signal for the churn estimator (repeat failures of an
+    /// already-gone id must not count twice).
+    pub fn note_failure(&mut self, id: &Id160) -> bool {
+        match self.bucket_index(id) {
+            Some(i) => self.buckets[i].fail(id),
+            None => false,
         }
     }
 
@@ -182,6 +192,11 @@ impl RoutingTable {
     /// The bucket at index `i` (tests and maintenance).
     pub fn bucket(&self, i: usize) -> &KBucket {
         &self.buckets[i]
+    }
+
+    /// Iterates every live contact (graceful-leave notices, diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &Contact> {
+        self.buckets.iter().flat_map(|b| b.entries.iter())
     }
 
     /// The `n` known contacts closest to `target`, ascending by XOR
@@ -299,8 +314,13 @@ mod tests {
     fn failure_of_unknown_contact_is_noop() {
         let mut rt = table();
         rt.note_contact(contact(1));
-        rt.note_failure(&sha1(b"stranger"));
+        assert!(!rt.note_failure(&sha1(b"stranger")), "unknown: no eviction");
         assert_eq!(rt.len(), 1);
+        assert!(rt.note_failure(&contact(1).id), "live entry evicted");
+        assert!(
+            !rt.note_failure(&contact(1).id),
+            "an already-gone contact is not a second departure"
+        );
     }
 
     #[test]

@@ -118,6 +118,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 entries,
             }),
         (rpc, arb_contact()).prop_map(|(rpc, from)| Message::Ack { rpc, from }),
+        (rpc, arb_contact()).prop_map(|(rpc, from)| Message::Leave { rpc, from }),
     ]
 }
 
@@ -217,6 +218,92 @@ proptest! {
         for w in result.windows(2) {
             prop_assert!(w[0].id.distance(&target) <= w[1].id.distance(&target));
         }
+    }
+
+    /// The `α`-parallelism bound and convergence hold under *arbitrary*
+    /// response/failure interleavings — not just the lockstep
+    /// query-then-answer-all schedule of `lookup_always_converges`. Each
+    /// command either settles one chosen in-flight query (as a response
+    /// carrying arbitrary new contacts, or as a failure) or pumps
+    /// `next_queries`; settles and pumps interleave freely, so queries
+    /// issued in one batch resolve in any order and partial batches
+    /// overlap. Invariants: `inflight() ≤ α` at every step (and matches
+    /// our own book-keeping), the lookup always converges once drained,
+    /// and `closest_responded()` is distance-sorted, unique, and ≤ k.
+    #[test]
+    fn lookup_alpha_bound_holds_under_arbitrary_interleavings(
+        seeds in proptest::collection::vec(any::<u64>(), 1..12),
+        commands in proptest::collection::vec(
+            // (settle-vs-pump, which inflight query, fail?, contacts learned)
+            (any::<bool>(), any::<u8>(), any::<bool>(), proptest::collection::vec(any::<u64>(), 0..4)),
+            0..200,
+        ),
+        k in 1usize..6,
+        alpha in 1usize..4,
+    ) {
+        let target = sha1(b"t");
+        let mk = |n: u64| Contact { id: sha1(&n.to_le_bytes()), addr: n as u32 };
+        let seed_contacts: Vec<Contact> = seeds.iter().map(|&n| mk(n)).collect();
+        let mut lookup = LookupState::new(target, seed_contacts, k, alpha);
+        let mut inflight: Vec<Contact> = Vec::new();
+
+        let settle = |lookup: &mut LookupState,
+                          inflight: &mut Vec<Contact>,
+                          pick: u8,
+                          fail: bool,
+                          learned: &[u64]| {
+            if inflight.is_empty() {
+                return;
+            }
+            let q = inflight.remove(pick as usize % inflight.len());
+            if fail {
+                lookup.on_failure(&q.id);
+            } else {
+                lookup.on_response(&q.id, learned.iter().map(|&n| mk(n)).collect());
+            }
+        };
+
+        for (pump, pick, fail, learned) in &commands {
+            if *pump {
+                inflight.extend(lookup.next_queries());
+            } else {
+                settle(&mut lookup, &mut inflight, *pick, *fail, learned);
+            }
+            prop_assert!(
+                lookup.inflight() <= alpha,
+                "{} in flight exceeds alpha = {}", lookup.inflight(), alpha
+            );
+            prop_assert_eq!(lookup.inflight(), inflight.len(), "book-keeping agrees");
+        }
+
+        // Drain: settle everything still pending, answering with nothing
+        // new, until the lookup converges.
+        let mut steps = 0usize;
+        loop {
+            inflight.extend(lookup.next_queries());
+            if inflight.is_empty() {
+                break;
+            }
+            settle(&mut lookup, &mut inflight, steps as u8, steps.is_multiple_of(3), &[]);
+            prop_assert!(lookup.inflight() <= alpha);
+            steps += 1;
+            prop_assert!(steps < 10_000, "lookup failed to converge");
+        }
+        prop_assert!(lookup.is_converged());
+
+        let result = lookup.closest_responded();
+        prop_assert!(result.len() <= k);
+        for w in result.windows(2) {
+            prop_assert!(
+                w[0].id.distance(&target) <= w[1].id.distance(&target),
+                "closest_responded must be distance-sorted"
+            );
+        }
+        let mut ids: Vec<_> = result.iter().map(|c| c.id).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "no duplicate contacts in the result");
     }
 
     /// Storage appends commute: any permutation of the same multiset of

@@ -31,6 +31,8 @@ struct Inner {
     handoffs: AtomicU64,
     rereplications: AtomicU64,
     replicas_demoted: AtomicU64,
+    leave_notices: AtomicU64,
+    leave_handoffs: AtomicU64,
 }
 
 impl NetCounters {
@@ -109,6 +111,18 @@ impl NetCounters {
         self.inner.replicas_demoted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` graceful-departure `Leave` notices sent to routing-table
+    /// contacts.
+    pub fn record_leave_notices(&self, n: u64) {
+        self.inner.leave_notices.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` parting key handoffs (replica snapshots pushed by a
+    /// gracefully departing node before it goes).
+    pub fn record_leave_handoffs(&self, n: u64) {
+        self.inner.leave_handoffs.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Datagrams sent.
     pub fn sent(&self) -> u64 {
         self.inner.sent.load(Ordering::Relaxed)
@@ -174,9 +188,24 @@ impl NetCounters {
         self.inner.replicas_demoted.load(Ordering::Relaxed)
     }
 
-    /// Total maintenance traffic: probes + handoffs + re-replications.
+    /// Graceful-departure `Leave` notices sent.
+    pub fn leave_notices(&self) -> u64 {
+        self.inner.leave_notices.load(Ordering::Relaxed)
+    }
+
+    /// Parting key handoffs pushed by gracefully departing nodes.
+    pub fn leave_handoffs(&self) -> u64 {
+        self.inner.leave_handoffs.load(Ordering::Relaxed)
+    }
+
+    /// Total maintenance traffic: probes + handoffs + re-replications +
+    /// graceful-leave notices and parting handoffs.
     pub fn maintenance_messages(&self) -> u64 {
-        self.probes_sent() + self.handoffs() + self.rereplications()
+        self.probes_sent()
+            + self.handoffs()
+            + self.rereplications()
+            + self.leave_notices()
+            + self.leave_handoffs()
     }
 
     /// Cache hit ratio over completed GETs (0 when none recorded).
@@ -230,11 +259,15 @@ mod tests {
         c2.record_handoffs(3);
         c.record_rereplications(5);
         c.record_replica_demoted();
+        c2.record_leave_notices(4);
+        c.record_leave_handoffs(2);
         assert_eq!(c2.probes_sent(), 2);
         assert_eq!(c.handoffs(), 3);
         assert_eq!(c2.rereplications(), 5);
         assert_eq!(c.replicas_demoted(), 1);
-        assert_eq!(c.maintenance_messages(), 10);
+        assert_eq!(c.leave_notices(), 4);
+        assert_eq!(c2.leave_handoffs(), 2);
+        assert_eq!(c.maintenance_messages(), 16);
     }
 
     #[test]

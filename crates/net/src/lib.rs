@@ -28,5 +28,5 @@ pub mod sim;
 pub mod udp;
 
 pub use counters::NetCounters;
-pub use node::{Ctx, Instrumented, Metric, Node, NodeAddr};
+pub use node::{Ctx, Instrumented, Metric, Node, NodeAddr, OutMessage};
 pub use sim::{SimConfig, SimNet};

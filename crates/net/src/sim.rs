@@ -179,6 +179,25 @@ impl<N: Node> SimNet<N> {
         self.nodes[i].take()
     }
 
+    /// Graceful departure: runs `farewell` on the node synchronously (the
+    /// protocol's goodbye — parting key handoffs, `Leave` notices, ...),
+    /// delivers its outgoing effects, then permanently removes the node
+    /// exactly like [`SimNet::remove`]. Replies addressed to the departed
+    /// node are dropped at send time, matching a real socket that closed
+    /// right after its last datagram left. Returns the corpse, or `None`
+    /// when the node was already removed.
+    pub fn leave(
+        &mut self,
+        addr: NodeAddr,
+        farewell: impl FnOnce(&mut N, &mut Ctx<N::Output>),
+    ) -> Option<N> {
+        if self.removed[addr as usize] {
+            return None;
+        }
+        self.with_node(addr, farewell);
+        self.remove(addr)
+    }
+
     /// Marks a node dead: pending and future datagrams to it are dropped,
     /// its timers stop firing. (Simulates an abrupt crash; state is
     /// preserved for [`SimNet::revive`]. For a permanent departure use
@@ -514,6 +533,25 @@ mod tests {
         assert_eq!(net.pending_events_for(b), 0);
         assert_eq!(net.counters().dropped(), 1);
         net.run_until_idle(100);
+    }
+
+    #[test]
+    fn leave_delivers_farewell_then_removes() {
+        let mut net = net(0.0, 11);
+        let a = net.add_node(Echo::new(true));
+        let b = net.add_node(Echo::new(false));
+        // b armed a timer; its farewell datagram must still go out while
+        // the timer (and everything else addressed to b) is scrubbed.
+        net.with_node(b, |_, ctx| ctx.set_timer(5_000, 1));
+        let corpse = net.leave(b, |_, ctx| ctx.send(a, Bytes::from_static(b"bye")));
+        assert!(corpse.is_some());
+        assert!(net.is_removed(b) && !net.is_alive(b));
+        assert_eq!(net.pending_events_for(b), 0, "timer scrubbed with the node");
+        net.run_until_idle(10);
+        assert!(net.node(a).got.iter().any(|(f, p)| *f == b && p == b"bye"));
+        // a's echo reply to the corpse was dropped at send time.
+        assert_eq!(net.counters().dropped(), 1);
+        assert!(net.leave(b, |_, _| {}).is_none(), "second leave is a no-op");
     }
 
     #[test]

@@ -94,6 +94,7 @@ fn main() {
             repair_interval_us: 6_000_000,
             join_handoff: true,
             demote_interval_us: None,
+            adaptive: None,
         }
     } else {
         ChurnConfig::ablation_repair()

@@ -20,6 +20,7 @@ fn main() {
         "ablation_filtering",
         "ablation_cache",
         "ablation_churn",
+        "ablation_adaptive",
         "trend_emergence",
     ];
     let self_path = std::env::current_exe().expect("own path");

@@ -4,9 +4,11 @@
 //! maintenance as *the* cost/availability trade-off of deployed DHTs; this
 //! driver makes it measurable for DHARMA. Over any Zipf-shaped GET workload
 //! it layers **true membership churn**: node sessions end in a permanent
-//! [`dharma_net::SimNet::remove`] (state lost — not the suspend/resume
-//! `crash` model) and, one seeded downtime later, a **fresh-identity** node
-//! [`dharma_net::SimNet::spawn`]s and bootstraps in its place. Session and
+//! departure — crash-style [`dharma_net::SimNet::remove`] (state lost, no
+//! warning) or, for a seeded [`ChurnConfig::graceful_fraction`] of them,
+//! a graceful [`dharma_net::SimNet::leave`] (parting key handoff + `Leave`
+//! notices first) — and, one seeded downtime later, a **fresh-identity**
+//! node [`dharma_net::SimNet::spawn`]s and bootstraps in its place. Session and
 //! downtime lengths are drawn from seeded Weibull distributions (shape 1 =
 //! exponential, the memoryless baseline; shape < 1 = the heavy-tailed
 //! session lengths measured in deployed P2P systems).
@@ -61,8 +63,14 @@ pub struct ChurnConfig {
     /// Weibull shape of the session distribution (1.0 = exponential).
     pub session_shape: f64,
     /// Maintenance (repair) configuration; `None` = repair disabled, the
-    /// ablation's baseline.
+    /// ablation's baseline. Adaptive cadence rides in
+    /// [`MaintConfig::adaptive`].
     pub repair: Option<MaintConfig>,
+    /// Fraction of departures that are *graceful* (seeded per departure):
+    /// the node hands its keys off and sends `Leave` notices before going,
+    /// instead of vanishing crash-style. 0.0 (the default) reproduces the
+    /// PR-3 crash-only scenario; 1.0 models an orderly fleet drain.
+    pub graceful_fraction: f64,
     /// Availability is sampled every this many µs.
     pub sample_interval_us: u64,
     /// How often a failed GET is reissued from another live node before
@@ -86,6 +94,7 @@ impl Default for ChurnConfig {
             mean_downtime_us: 10_000_000,
             session_shape: 1.0,
             repair: Some(MaintConfig::default()),
+            graceful_fraction: 0.0,
             sample_interval_us: 5_000_000,
             get_retries: 2,
             seed: 42,
@@ -108,6 +117,32 @@ impl ChurnConfig {
             repair_interval_us: 15_000_000,
             join_handoff: true,
             demote_interval_us: None,
+            adaptive: None,
+        }
+    }
+
+    /// The churn-adaptive counterpart of [`Self::ablation_repair`]: same
+    /// tightest cadence (so a churning overlay gets the same protection),
+    /// but scaled up to 5× lazier as the observed departure rate falls.
+    /// `hot_weight` is tuned so the moderate-churn scenario (one
+    /// departure/s observed per node) pins the cadence to the min bounds
+    /// while a near-idle overlay coasts at the max.
+    pub fn ablation_adaptive() -> MaintConfig {
+        MaintConfig {
+            probe_interval_us: 2_000_000, // unused: adaptive cadence below
+            repair_interval_us: 15_000_000,
+            join_handoff: true,
+            demote_interval_us: None,
+            adaptive: Some(dharma_kademlia::AdaptConfig {
+                probe_min_us: 2_000_000,
+                probe_max_us: 6_000_000,
+                repair_min_us: 15_000_000,
+                repair_max_us: 60_000_000,
+                half_life_us: 20_000_000,
+                hot_weight: 5.0,
+                leave_weight: 0.1,
+                repair_budget: 16,
+            }),
         }
     }
 }
@@ -133,6 +168,9 @@ pub struct ChurnReport {
     pub lost_records: usize,
     /// Permanent departures processed.
     pub departures: u64,
+    /// Departures that went through the graceful-leave protocol (the rest
+    /// were crash-style removals).
+    pub graceful_departures: u64,
     /// Fresh-identity joins processed.
     pub joins: u64,
     /// Liveness probes sent.
@@ -141,6 +179,10 @@ pub struct ChurnReport {
     pub handoffs: u64,
     /// Repair re-replication pushes.
     pub rereplications: u64,
+    /// Graceful-leave notices sent.
+    pub leave_notices: u64,
+    /// Parting key handoffs pushed by gracefully departing nodes.
+    pub leave_handoffs: u64,
     /// Total datagrams sent over the whole run.
     pub messages_total: u64,
     /// Maintenance datagrams (probes + handoffs + re-replications) per
@@ -179,9 +221,11 @@ fn sample_weibull(rng: &mut StdRng, mean_us: u64, shape: f64) -> u64 {
     (scale * (-u.ln()).powf(1.0 / shape)).round().max(1.0) as u64
 }
 
-/// Γ(1 + x) for x in (0, ~2] via the Lanczos-free Stirling series is
-/// overkill here; a 8-term Taylor of ln Γ around 1 is plenty for scenario
-/// scaling (the shapes in use are 0.5..=2).
+/// Γ(1 + x) for the scenario-scaling range (the shapes in use are
+/// 0.5..=2, so x ∈ (0, 2]): the Abramowitz & Stegun 6.1.36 eight-term
+/// minimax polynomial for Γ(1 + x) on [0, 1] (|ε| < 3·10⁻⁷ — not a Taylor
+/// expansion of ln Γ), extended to x > 1 by the recurrence
+/// Γ(1 + x) = x · Γ(x).
 fn gamma_1p(x: f64) -> f64 {
     // Γ(1+x) = x·Γ(x); use the Weierstrass product truncation via the
     // well-known polynomial min-max fit on [0,1] (Abramowitz & Stegun
@@ -315,6 +359,7 @@ pub fn simulate_churn(cfg: &ChurnConfig) -> ChurnReport {
     let mut gets_ok = 0u64;
     let mut retries = 0u64;
     let mut departures = 0u64;
+    let mut graceful_departures = 0u64;
     let mut joins = 0u64;
     let mut next_join_slot = cfg.nodes as u64;
     let mut trace: Vec<(u64, f64)> = Vec::new();
@@ -392,7 +437,12 @@ pub fn simulate_churn(cfg: &ChurnConfig) -> ChurnReport {
                 if net.is_removed(addr) {
                     continue;
                 }
-                net.remove(addr);
+                if rng.gen::<f64>() < cfg.graceful_fraction {
+                    net.leave(addr, |n, ctx| n.leave(ctx));
+                    graceful_departures += 1;
+                } else {
+                    net.remove(addr);
+                }
                 live.retain(|&a| a != addr);
                 departures += 1;
                 let downtime = sample_weibull(&mut rng, cfg.mean_downtime_us, 1.0);
@@ -496,10 +546,13 @@ pub fn simulate_churn(cfg: &ChurnConfig) -> ChurnReport {
         mean_availability,
         lost_records,
         departures,
+        graceful_departures,
         joins,
         probes: counters.probes_sent(),
         handoffs: counters.handoffs(),
         rereplications: counters.rereplications(),
+        leave_notices: counters.leave_notices(),
+        leave_handoffs: counters.leave_handoffs(),
         messages_total: counters.sent(),
         maint_msgs_per_get: if gets == 0 {
             0.0
@@ -535,6 +588,7 @@ mod tests {
             repair_interval_us: 6_000_000,
             join_handoff: true,
             demote_interval_us: None,
+            adaptive: None,
         }
     }
 
@@ -573,6 +627,25 @@ mod tests {
         assert!(
             without.lost_records >= with.lost_records,
             "repair off loses at least as many records"
+        );
+    }
+
+    #[test]
+    fn graceful_departures_preserve_data() {
+        let mut cfg = small(Some(fast_repair()), 11);
+        cfg.graceful_fraction = 1.0;
+        let rep = simulate_churn(&cfg);
+        assert!(rep.departures > 0, "churn must happen");
+        assert_eq!(
+            rep.graceful_departures, rep.departures,
+            "fraction 1.0 makes every departure graceful"
+        );
+        assert!(rep.leave_notices > 0 && rep.leave_handoffs > 0);
+        assert_eq!(rep.lost_records, 0, "parting handoff must not lose data");
+        assert!(
+            rep.lookup_success > 0.95,
+            "success {:.3} too low",
+            rep.lookup_success
         );
     }
 

@@ -13,6 +13,7 @@
 //! | `ablation_policies` / `ablation_k_sweep` / `ablation_filtering` | A1/A2/A4 |
 //! | `ablation_cache` | A5 — hot-block caching & adaptive replication vs Zipf load |
 //! | `ablation_churn` | A6 — churn rate × repair on/off (`dharma-maint`) |
+//! | `ablation_adaptive` | A7 — fixed vs adaptive cadence × churn, graceful leave (`dharma-adapt`) |
 //! | `run_all` | everything above, in sequence |
 //!
 //! Each binary prints the paper-shaped table to stdout and writes CSV series

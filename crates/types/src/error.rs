@@ -21,6 +21,10 @@ pub enum DharmaError {
     NotFound(String),
     /// An RPC timed out.
     Timeout(String),
+    /// The node an operation was bound to is unreachable — crashed,
+    /// suspended, or departed. Unlike [`DharmaError::Timeout`], retrying
+    /// against the same node cannot help; callers should rebind first.
+    NodeUnavailable(String),
     /// A signature or certificate failed verification.
     Unauthorized(String),
     /// The operation conflicts with protocol state (e.g. unknown node).
@@ -40,6 +44,7 @@ impl fmt::Display for DharmaError {
             }
             DharmaError::NotFound(m) => write!(f, "not found: {m}"),
             DharmaError::Timeout(m) => write!(f, "timeout: {m}"),
+            DharmaError::NodeUnavailable(m) => write!(f, "node unavailable: {m}"),
             DharmaError::Unauthorized(m) => write!(f, "unauthorized: {m}"),
             DharmaError::Protocol(m) => write!(f, "protocol error: {m}"),
             DharmaError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),

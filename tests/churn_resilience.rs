@@ -1,9 +1,12 @@
-//! Acceptance tests for the `dharma-maint` churn subsystem: under true
-//! membership churn (permanent departures + fresh-identity joins) the
-//! maintenance loop must keep every record resolvable, routing tables must
-//! forget the departed, and everything must stay bit-deterministic.
+//! Acceptance tests for the `dharma-maint` churn subsystem (and its
+//! `dharma-adapt` extension): under true membership churn (permanent
+//! departures + fresh-identity joins) the maintenance loop must keep every
+//! record resolvable, routing tables must forget the departed, everything
+//! must stay bit-deterministic — and the churn-adaptive cadence must shed
+//! maintenance cost when the overlay is quiet without giving up the repair
+//! guarantee when it is not.
 
-use dharma_kademlia::MaintConfig;
+use dharma_kademlia::{AdaptConfig, MaintConfig};
 use dharma_sim::overlay::{build_overlay, OverlayConfig};
 use dharma_sim::{simulate_churn, ChurnConfig};
 use dharma_types::sha1;
@@ -31,6 +34,7 @@ fn repair_cfg() -> MaintConfig {
         repair_interval_us: 8_000_000,
         join_handoff: true,
         demote_interval_us: None,
+        adaptive: None,
     }
 }
 
@@ -89,6 +93,76 @@ fn churn_replay_is_bit_deterministic() {
     );
 }
 
+fn adaptive_cfg() -> MaintConfig {
+    MaintConfig {
+        adaptive: Some(AdaptConfig {
+            probe_min_us: 1_000_000,
+            probe_max_us: 5_000_000,
+            repair_min_us: 8_000_000,
+            repair_max_us: 32_000_000,
+            half_life_us: 15_000_000,
+            hot_weight: 6.0,
+            leave_weight: 0.1,
+            repair_budget: 16,
+        }),
+        ..repair_cfg()
+    }
+}
+
+/// The adaptive-cadence dial: a quiet overlay pays several times less
+/// maintenance traffic than the fixed knobs, while under real churn the
+/// tightened cadence still keeps every record resolvable.
+#[test]
+fn adaptive_cadence_sheds_cost_when_quiet_and_holds_the_line_when_not() {
+    // Quiet: sessions far longer than the horizon — essentially no churn.
+    let mut quiet = scenario(Some(repair_cfg()), 103);
+    quiet.mean_session_us = 4_000_000_000;
+    let quiet_fixed = simulate_churn(&quiet);
+    quiet.repair = Some(adaptive_cfg());
+    let quiet_adaptive = simulate_churn(&quiet);
+    assert!(
+        quiet_adaptive.maint_msgs_per_get * 2.0 <= quiet_fixed.maint_msgs_per_get,
+        "adaptive cadence must cut quiet-overlay maintenance ≥ 2x: {:.2} vs {:.2}",
+        quiet_adaptive.maint_msgs_per_get,
+        quiet_fixed.maint_msgs_per_get
+    );
+    assert!(quiet_adaptive.lookup_success >= 0.99);
+
+    // Churning: the PR-3 guarantee must survive the adaptive dial.
+    let churning = scenario(Some(adaptive_cfg()), 104);
+    let rep = simulate_churn(&churning);
+    assert!(rep.departures > 10, "the scenario must actually churn");
+    assert_eq!(rep.lost_records, 0, "adaptive repair must not lose records");
+    assert!(
+        rep.lookup_success >= 0.97,
+        "lookup success {:.3} below the bar",
+        rep.lookup_success
+    );
+}
+
+/// Graceful departures pre-heal the replica set (parting handoff) and
+/// announce themselves (`Leave` purges, low churn-estimate weight), so a
+/// full graceful drain loses nothing and needs far less repair
+/// re-replication than the same drain done crash-style.
+#[test]
+fn graceful_drain_loses_nothing_with_far_less_repair_traffic() {
+    let crash = scenario(Some(adaptive_cfg()), 105);
+    let mut graceful = crash.clone();
+    graceful.graceful_fraction = 1.0;
+    let crash_rep = simulate_churn(&crash);
+    let graceful_rep = simulate_churn(&graceful);
+    assert!(graceful_rep.departures > 10);
+    assert_eq!(graceful_rep.graceful_departures, graceful_rep.departures);
+    assert_eq!(graceful_rep.lost_records, 0, "graceful drain loses nothing");
+    assert!(graceful_rep.lookup_success >= crash_rep.lookup_success);
+    assert!(
+        (graceful_rep.rereplications as f64) <= 0.7 * crash_rep.rereplications as f64,
+        "graceful drain must need well below crash-style repair traffic: {} vs {}",
+        graceful_rep.rereplications,
+        crash_rep.rereplications
+    );
+}
+
 /// After permanent departures, a few probe rounds must purge every routing
 /// table of the departed contacts (ping-before-evict confirms death and
 /// the replacement cache refills the bucket) — across several seeds.
@@ -104,6 +178,7 @@ fn probe_rounds_purge_departed_contacts_across_seeds() {
                 repair_interval_us: 60_000_000_000,
                 join_handoff: false,
                 demote_interval_us: None,
+                adaptive: None,
             }),
             ..OverlayConfig::default()
         });
@@ -144,6 +219,7 @@ fn data_outlives_every_original_holder() {
         repair_interval_us: 3_000_000,
         join_handoff: true,
         demote_interval_us: None,
+        adaptive: None,
     };
     let mut net = build_overlay(&OverlayConfig {
         nodes: 16,
