@@ -36,6 +36,12 @@ fn bench_codec(c: &mut Criterion) {
                 addr: u32::from(i),
             })
             .collect(),
+        digest: (0..8)
+            .map(|i| dharma_kademlia::DigestEntry {
+                key: sha1(&[0x40, i]),
+                version: u64::from(i) * 7,
+            })
+            .collect(),
     };
     group.bench_function("encode_found_nodes_20", |b| {
         b.iter(|| msg.encode_to_bytes())

@@ -80,6 +80,10 @@ struct Slot<V> {
     value: V,
     version: u64,
     cached_at_us: u64,
+    /// When this view (at this version) first entered the cache. Unlike
+    /// `cached_at_us`, digest confirmations never move it — it anchors the
+    /// hard ceiling on how long gossip may keep a view alive past its TTL.
+    inserted_at_us: u64,
     prev: u32,
     next: u32,
     seg: Seg,
@@ -202,6 +206,15 @@ impl<V: Clone> HotCache<V> {
         self.slots[idx as usize].as_ref().map(|s| s.version)
     }
 
+    /// How long ago a cached view was last minted or confirmed fresh
+    /// (drives the refresh-ahead probe of the `dharma-fresh` subsystem).
+    pub fn age_of(&self, key: &CacheKey, now_us: u64) -> Option<u64> {
+        let &idx = self.map.get(key)?;
+        self.slots[idx as usize]
+            .as_ref()
+            .map(|s| now_us.saturating_sub(s.cached_at_us))
+    }
+
     /// Offers a view for caching. Replaces an existing view of the same key
     /// unless the resident is strictly *newer* (higher version) — an
     /// equal-or-newer candidate wins and restamps the TTL clock, which is
@@ -224,6 +237,14 @@ impl<V: Clone> HotCache<V> {
             let slot = self.slots[idx as usize].as_mut().expect("mapped slot");
             if version >= slot.version {
                 slot.value = value;
+                // The lifetime anchor moves only when the *version*
+                // advances: an equal-version re-insert refreshes the TTL
+                // clock but not the confirmation ceiling, so a replica
+                // whose per-holder counter coincides with a stale view
+                // cannot keep re-arming digest confirmations forever.
+                if version > slot.version {
+                    slot.inserted_at_us = now_us;
+                }
                 slot.version = version;
                 slot.cached_at_us = now_us;
                 self.stats.insertions += 1;
@@ -261,6 +282,7 @@ impl<V: Clone> HotCache<V> {
             value,
             version,
             cached_at_us: now_us,
+            inserted_at_us: now_us,
             prev: NIL,
             next: NIL,
             seg: Seg::Probation,
@@ -293,6 +315,64 @@ impl<V: Clone> HotCache<V> {
         }
         self.stats.invalidations += dropped as u64;
         dropped
+    }
+
+    /// Version-gossip revalidation, the *drop* half: removes every cached
+    /// view of block `id` whose version is strictly below `below` (a digest
+    /// claimed a newer write exists, so these views must not be served
+    /// again). Returns the `top_n` variants dropped, so the caller can
+    /// refresh the ones worth refreshing.
+    pub fn invalidate_stale(&mut self, id: &Id160, below: u64) -> Vec<u32> {
+        let Some(indices) = self.by_id.get(id).cloned() else {
+            return Vec::new();
+        };
+        let mut dropped = Vec::new();
+        for idx in indices {
+            if let Some(slot) = self.slots[idx as usize].as_ref() {
+                if slot.key.0 == *id
+                    && self.map.get(&slot.key) == Some(&idx)
+                    && slot.version < below
+                {
+                    dropped.push(slot.key.1);
+                    self.remove_slot(idx);
+                }
+            }
+        }
+        self.stats.invalidations += dropped.len() as u64;
+        dropped
+    }
+
+    /// Version-gossip revalidation, the *keep* half: a digest confirmed
+    /// `id` is still at `version`, so restamp the TTL clock of every
+    /// cached view holding exactly that version — still-valid entries
+    /// outlive their TTL without widening the staleness window. The
+    /// extension is capped: a view whose *first insertion* is more than
+    /// `max_lifetime_us` ago is not restamped (version counters are
+    /// per-holder, so an unlucky counter coincidence must not pin a view
+    /// forever). Returns how many views were restamped.
+    pub fn confirm_fresh(
+        &mut self,
+        id: &Id160,
+        version: u64,
+        now_us: u64,
+        max_lifetime_us: u64,
+    ) -> usize {
+        let Some(indices) = self.by_id.get(id) else {
+            return 0;
+        };
+        let mut confirmed = 0;
+        for &idx in indices {
+            if let Some(slot) = self.slots[idx as usize].as_mut() {
+                if slot.key.0 == *id
+                    && slot.version == version
+                    && now_us.saturating_sub(slot.inserted_at_us) <= max_lifetime_us
+                {
+                    slot.cached_at_us = slot.cached_at_us.max(now_us);
+                    confirmed += 1;
+                }
+            }
+        }
+        confirmed
     }
 
     /// Drops one cached view.
@@ -491,6 +571,35 @@ mod tests {
         assert!(!c.insert(key(1, 0), 1, "v".into(), 0));
         assert!(c.get(&key(1, 0), 0).is_none());
         assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn invalidate_stale_drops_only_older_versions() {
+        let mut c = cache(8, u64::MAX);
+        c.insert(key(1, 0), 3, "v3-full".into(), 0);
+        c.insert(key(1, 10), 5, "v5-top10".into(), 0);
+        c.insert(key(2, 0), 1, "other".into(), 0);
+        let mut dropped = c.invalidate_stale(&sha1(&[1]), 5);
+        dropped.sort_unstable();
+        assert_eq!(dropped, vec![0], "only the version-3 view is stale");
+        assert!(c.peek(&key(1, 0)).is_none());
+        assert!(c.peek(&key(1, 10)).is_some(), "equal version survives");
+        assert!(c.peek(&key(2, 0)).is_some(), "other keys untouched");
+        assert!(c.invalidate_stale(&sha1(&[9]), 99).is_empty());
+    }
+
+    #[test]
+    fn confirm_fresh_extends_ttl_up_to_the_lifetime_cap() {
+        let mut c = cache(4, 1_000);
+        c.insert(key(1, 0), 7, "v".into(), 0);
+        // Confirmation at t=900 restamps the TTL clock: the view survives
+        // past its original expiry at t=1000.
+        assert_eq!(c.confirm_fresh(&sha1(&[1]), 7, 900, 10_000), 1);
+        assert!(c.get(&key(1, 0), 1_800).is_some(), "outlives the TTL");
+        // A mismatched version confirms nothing.
+        assert_eq!(c.confirm_fresh(&sha1(&[1]), 8, 1_900, 10_000), 0);
+        // Past the insertion-age cap, confirmations stop extending.
+        assert_eq!(c.confirm_fresh(&sha1(&[1]), 7, 11_000, 10_000), 0);
     }
 
     #[test]

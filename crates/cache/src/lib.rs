@@ -28,6 +28,14 @@
 //!   replication). Cold keys decay back below the threshold and their
 //!   extra replicas age out through the normal record-TTL path.
 //!
+//! * [`FreshnessBook`] / [`HitHistory`] ([`fresh`], the `dharma-fresh`
+//!   subsystem) — the requester-side state of **version gossip** and
+//!   **cache-aware lookup routing**: the highest gossiped write-version per
+//!   key (the monotone-freshness serving gate, plus TTL extension on fresh
+//!   confirmations via [`HotCache::confirm_fresh`] and revalidation drops
+//!   via [`HotCache::invalidate_stale`]), and a decayed per-peer history of
+//!   who recently served each key (warm-peer shortlist seeding).
+//!
 //! Everything here is deterministic and allocation-conscious: the cache is
 //! a slab with intrusive lists (no per-op allocation), the sketch is a few
 //! kilobytes of packed 4-bit counters, and time is caller-provided
@@ -35,10 +43,12 @@
 
 #![warn(missing_docs)]
 
+pub mod fresh;
 pub mod hot;
 pub mod popularity;
 pub mod sketch;
 
+pub use fresh::{FreshConfig, FreshnessBook, HitHistory};
 pub use hot::{CacheConfig, CacheKey, CacheStats, HotCache};
 pub use popularity::{PopularityConfig, PopularityEstimator};
 pub use sketch::FreqSketch;

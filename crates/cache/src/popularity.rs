@@ -130,6 +130,33 @@ impl PopularityEstimator {
         extra.min(self.cfg.max_extra_replicas)
     }
 
+    /// The `n` tracked keys with the highest decayed weight as of
+    /// `now_us`, heaviest first (deterministic ties by key). The version
+    /// gossip digest uses this: a holder's hottest keys are exactly the
+    /// ones most likely cached elsewhere, so their versions are the most
+    /// valuable news to piggyback.
+    pub fn hottest(&self, n: usize, now_us: u64) -> Vec<Id160> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut entries: Vec<(Id160, f64)> = self
+            .map
+            .iter()
+            .map(|(k, t)| (*k, self.decay(t.weight, now_us.saturating_sub(t.last_us))))
+            .collect();
+        // Called per outgoing reply (the version-gossip digest), so keep
+        // it O(n) + O(n' log n') on the kept prefix, not a full sort.
+        let cmp = |a: &(Id160, f64), b: &(Id160, f64)| {
+            b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0))
+        };
+        if entries.len() > n {
+            entries.select_nth_unstable_by(n - 1, cmp);
+            entries.truncate(n);
+        }
+        entries.sort_unstable_by(cmp);
+        entries.into_iter().map(|(k, _)| k).collect()
+    }
+
     /// Consumes a promotion opportunity: when `key` is hot and its cooldown
     /// has lapsed, stamps the cooldown and returns how many extra replicas
     /// to push. Returns `None` otherwise (not hot, or too soon).
@@ -243,6 +270,26 @@ mod tests {
         assert!(e.should_promote(&k, 600_000).is_some(), "cooldown lapsed");
         // Once cold, no promotion.
         assert!(e.should_promote(&k, 60_000_000).is_none());
+    }
+
+    #[test]
+    fn hottest_ranks_by_decayed_weight() {
+        let mut e = est(4.0);
+        let (a, b, c) = (sha1(b"a"), sha1(b"b"), sha1(b"c"));
+        for _ in 0..8 {
+            e.record(a, 0);
+        }
+        for _ in 0..4 {
+            e.record(b, 0);
+        }
+        e.record(c, 0);
+        assert_eq!(e.hottest(2, 0), vec![a, b]);
+        // Recency matters: b recorded later out-decays a.
+        for _ in 0..8 {
+            e.record(b, 3_000_000);
+        }
+        assert_eq!(e.hottest(1, 3_000_000), vec![b]);
+        assert!(e.hottest(10, 0).len() <= 3);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! invalidation is total per key, and decayed weights stay finite and
 //! monotone under decay.
 
-use dharma_cache::{CacheConfig, FreqSketch, HotCache, PopularityConfig, PopularityEstimator};
+use dharma_cache::{
+    CacheConfig, FreqSketch, FreshnessBook, HotCache, PopularityConfig, PopularityEstimator,
+};
 use dharma_types::sha1;
 use proptest::prelude::*;
 
@@ -113,6 +115,72 @@ proptest! {
                 Op::Remove { key, top_n } => {
                     cache.remove(&(sha1(&[key]), u32::from(top_n)));
                     model.remove(&(key, top_n));
+                }
+            }
+        }
+    }
+
+    /// **Monotone freshness** (the `dharma-fresh` revalidation contract):
+    /// driving a `HotCache` and a `FreshnessBook` exactly the way the
+    /// overlay node does — digests note the book then drop-or-confirm
+    /// cached views, lookups consult the book's `admits` gate before
+    /// serving, refused views are dropped — a served cached view's version
+    /// is **never** below the highest digest version the node has seen for
+    /// that key, under any interleaving of inserts, digests and reads.
+    #[test]
+    fn revalidation_never_serves_below_the_highest_digest(
+        ops in proptest::collection::vec(
+            // (kind % 3: insert/digest/get, key, top_n, version)
+            (0u8..3, 0u8..6, 0u8..3, 0u64..32),
+            1..400,
+        ),
+        max_lifetime in 1u64..5_000,
+    ) {
+        let mut cache: HotCache<u64> = HotCache::new(CacheConfig {
+            capacity: 2048,
+            ttl_us: 1_000,
+        });
+        let mut book = FreshnessBook::new(0); // unbounded: the exact bound
+        let mut highest: BTreeMap<u8, u64> = BTreeMap::new();
+        let mut now = 0u64;
+        for (i, (kind, key, top_n, version)) in ops.into_iter().enumerate() {
+            now += 7;
+            let id = sha1(&[key]);
+            let ck = (id, u32::from(top_n));
+            match kind {
+                // A view read from the network is offered for caching —
+                // possibly *below* the highest digest already seen (a late
+                // reply from a lagging holder); the serve-time gate must
+                // cover that case.
+                0 => {
+                    cache.insert(ck, version, i as u64, now);
+                }
+                // A digest arrives: note the book, then reconcile exactly
+                // like `KademliaNode::absorb_digest`.
+                1 => {
+                    book.note(id, version);
+                    let h = highest.entry(key).or_insert(0);
+                    *h = (*h).max(version);
+                    let dropped = cache.invalidate_stale(&id, version);
+                    if dropped.is_empty() {
+                        cache.confirm_fresh(&id, version, now, max_lifetime);
+                    }
+                }
+                // A read: serve only through the gate, dropping refusals.
+                _ => {
+                    if let Some((_, served_version)) = cache.get(&ck, now) {
+                        if book.admits(&id, served_version) {
+                            let bound = highest.get(&key).copied().unwrap_or(0);
+                            prop_assert!(
+                                served_version >= bound,
+                                "served v{} below highest digest v{} for key {}",
+                                served_version, bound, key
+                            );
+                        } else {
+                            let bound = book.highest(&id).unwrap_or(0);
+                            cache.invalidate_stale(&id, bound);
+                        }
+                    }
                 }
             }
         }

@@ -32,7 +32,7 @@ pub mod node;
 pub mod routing;
 pub mod storage;
 
-pub use messages::{Contact, Message, StoredEntry};
+pub use messages::{Contact, DigestEntry, Message, StoredEntry};
 pub use node::{AdaptConfig, KadConfig, KadOutput, KademliaNode, MaintConfig};
 pub use routing::{KBucket, NoteOutcome, RoutingTable};
 pub use storage::Storage;

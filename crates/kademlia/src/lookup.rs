@@ -9,8 +9,17 @@
 //! This module is pure state (no I/O): the node layer feeds it responses
 //! and failures and asks it which contacts to query next, which makes the
 //! convergence logic unit-testable without a network.
+//!
+//! **Cache-aware routing** (the `dharma-fresh` subsystem): the node layer
+//! may mark shortlist entries *warm* — peers its hit history says recently
+//! served this key. Candidate selection then prefers the nearest warm
+//! eligible entry over a nearer cold one (both stay within the classic
+//! `k`-nearest eligibility window, so convergence and the result set are
+//! unchanged — only the *order* of queries shifts toward peers likely to
+//! answer `FoundValue` outright). Each such preference is counted as a
+//! *warm redirect* for the observability layer.
 
-use dharma_types::{Distance, Id160};
+use dharma_types::{Distance, FxHashSet, Id160};
 
 use crate::messages::Contact;
 
@@ -42,6 +51,16 @@ pub struct LookupState {
     alpha: usize,
     slots: Vec<Slot>,
     inflight: usize,
+    /// Peers the hit history marked as recent servers of this key.
+    warm: FxHashSet<Id160>,
+    /// Times a warm candidate was queried ahead of a nearer cold one.
+    warm_redirects: u64,
+    /// True until the first query batch is issued: when a warm candidate
+    /// exists, that batch probes it *alone* (effective `α = 1`), so a
+    /// still-warm server resolves the lookup with a single datagram
+    /// instead of a full fan-out. A warm miss costs one RTT before the
+    /// normal `α`-parallel rounds resume.
+    first_batch: bool,
 }
 
 impl LookupState {
@@ -54,6 +73,9 @@ impl LookupState {
             alpha: alpha.max(1),
             slots: Vec::new(),
             inflight: 0,
+            warm: FxHashSet::default(),
+            warm_redirects: 0,
+            first_batch: true,
         };
         for c in seeds {
             state.insert(c);
@@ -64,6 +86,19 @@ impl LookupState {
     /// The lookup target.
     pub fn target(&self) -> Id160 {
         self.target
+    }
+
+    /// Marks `id` as a *warm* peer (a known recent server of this key):
+    /// candidate selection will prefer it over nearer cold candidates
+    /// within the eligibility window.
+    pub fn mark_warm(&mut self, id: Id160) {
+        self.warm.insert(id);
+    }
+
+    /// Drains the warm-redirect count accumulated since the last call
+    /// (the node layer flushes it into its shared counters).
+    pub fn take_warm_redirects(&mut self) -> u64 {
+        std::mem::take(&mut self.warm_redirects)
     }
 
     /// Inserts a contact if unseen, keeping distance order.
@@ -90,35 +125,58 @@ impl LookupState {
     /// beyond that cannot improve the result.
     pub fn next_queries(&mut self) -> Vec<Contact> {
         let mut out = Vec::new();
+        let first = std::mem::take(&mut self.first_batch);
         while self.inflight < self.alpha {
-            let Some(idx) = self.next_candidate() else {
+            let Some((idx, redirected)) = self.next_candidate() else {
                 break;
             };
+            if redirected {
+                self.warm_redirects += 1;
+            }
+            let is_warm = self.warm.contains(&self.slots[idx].contact.id);
             self.slots[idx].state = SlotState::Inflight;
             self.inflight += 1;
             out.push(self.slots[idx].contact.clone());
+            if first && is_warm && out.len() == 1 {
+                // Warm probe: try the known recent server alone first.
+                break;
+            }
         }
         out
     }
 
-    /// Index of the nearest `New` slot within the active window.
-    fn next_candidate(&self) -> Option<usize> {
+    /// The next slot to query within the active window: the nearest *warm*
+    /// `New` entry when one exists, else the nearest `New` entry. The
+    /// second component reports whether a warm entry was preferred over a
+    /// strictly nearer cold one (a warm redirect).
+    fn next_candidate(&self) -> Option<(usize, bool)> {
         let mut live_seen = 0usize;
+        let mut first_new: Option<usize> = None;
         for (i, s) in self.slots.iter().enumerate() {
             match s.state {
                 SlotState::Failed => continue,
-                SlotState::New => return Some(i),
+                SlotState::New => {
+                    if self.warm.contains(&s.contact.id) {
+                        // Nearest warm eligible entry (slots are in
+                        // distance order, so the first hit is nearest).
+                        return Some((i, first_new.is_some()));
+                    }
+                    if first_new.is_none() {
+                        first_new = Some(i);
+                    }
+                }
                 SlotState::Inflight | SlotState::Responded => {
                     live_seen += 1;
                     if live_seen >= self.k {
                         // The k nearest live slots are already queried or
-                        // answered; nothing beyond them can enter the result.
-                        return None;
+                        // answered; nothing beyond them can enter the
+                        // result — stop the scan at the window edge.
+                        break;
                     }
                 }
             }
         }
-        None
+        first_new.map(|i| (i, false))
     }
 
     /// Records a reply from `from` carrying new candidate contacts.
@@ -271,6 +329,58 @@ mod tests {
         // but its contacts are learned.
         assert_eq!(l.known(), 2);
         assert_eq!(l.closest_responded().len(), 0);
+    }
+
+    #[test]
+    fn warm_peers_are_queried_first_and_counted() {
+        let target = sha1(b"t");
+        let mut seeds: Vec<Contact> = (0..6).map(c).collect();
+        seeds.sort_by_key(|s| s.id.distance(&target));
+        // Mark the *farthest* seed warm: with alpha = 1 it must be queried
+        // ahead of all nearer cold seeds, and counted as a redirect.
+        let warm = seeds.last().unwrap().clone();
+        let mut l = LookupState::new(target, seeds.clone(), 20, 1);
+        l.mark_warm(warm.id);
+        let q = l.next_queries();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].id, warm.id, "the warm peer goes first");
+        assert_eq!(l.take_warm_redirects(), 1);
+        assert_eq!(l.take_warm_redirects(), 0, "the counter drains");
+        // Once the warm peer is in flight, ordering falls back to nearest.
+        l.on_response(&warm.id, vec![]);
+        let q = l.next_queries();
+        assert_eq!(q[0].id, seeds[0].id);
+        assert_eq!(l.take_warm_redirects(), 0, "no redirect without warmth");
+    }
+
+    #[test]
+    fn warm_bias_reorders_queries_but_never_changes_the_result() {
+        // k = 2 over 8 seeds with the farthest marked warm: the warm entry
+        // may be queried early, but the converged result is still the two
+        // nearest responders — warmth shifts the order, not the outcome.
+        let target = sha1(b"t");
+        let mut seeds: Vec<Contact> = (0..8).map(c).collect();
+        seeds.sort_by_key(|s| s.id.distance(&target));
+        let far_warm = seeds.last().unwrap().clone();
+        let mut l = LookupState::new(target, seeds.clone(), 2, 2);
+        l.mark_warm(far_warm.id);
+        let mut queried = 0usize;
+        loop {
+            let q = l.next_queries();
+            if q.is_empty() && l.inflight() == 0 {
+                break;
+            }
+            for contact in q {
+                queried += 1;
+                l.on_response(&contact.id, vec![]);
+            }
+        }
+        assert!(l.is_converged());
+        let result = l.closest_responded();
+        assert_eq!(result.len(), 2);
+        assert_eq!(result[0].id, seeds[0].id, "nearest still wins");
+        assert_eq!(result[1].id, seeds[1].id);
+        assert!(queried <= 4, "warmth must not widen the crawl: {queried}");
     }
 
     #[test]

@@ -64,6 +64,38 @@ impl WireDecode for StoredEntry {
     }
 }
 
+/// One entry of a piggybacked version-gossip digest: a key the responder
+/// holds authoritatively, and its current write-version. Receivers compare
+/// digest entries against their cached views — a newer version triggers
+/// cheap revalidation (drop-or-refresh), an equal one confirms freshness
+/// and lets the view's TTL be restamped (the `dharma-fresh` subsystem).
+///
+/// Wire format: the 20 raw id bytes followed by the version as a varint —
+/// 21..=30 bytes per entry, so a full default digest (8 entries) adds well
+/// under 256 bytes to a reply.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DigestEntry {
+    /// The block key.
+    pub key: Id160,
+    /// The responder's write-version of the block.
+    pub version: u64,
+}
+
+impl WireEncode for DigestEntry {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_id(&self.key);
+        buf.put_varint(self.version);
+    }
+}
+
+impl WireDecode for DigestEntry {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        let key = buf.get_id()?;
+        let version = buf.get_varint()?;
+        Ok(DigestEntry { key, version })
+    }
+}
+
 /// A fetched value: blob and/or weighted entries.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct FetchedValue {
@@ -96,6 +128,9 @@ pub enum Message {
         rpc: u64,
         /// Responder contact.
         from: Contact,
+        /// Version-gossip digest: recent local writes the responder holds
+        /// (empty when the `dharma-fresh` subsystem is off).
+        digest: Vec<DigestEntry>,
     },
     /// Ask for the `k` closest contacts to `target`.
     FindNode {
@@ -114,6 +149,10 @@ pub enum Message {
         from: Contact,
         /// Closest contacts known to the responder.
         contacts: Vec<Contact>,
+        /// Version-gossip digest: recent writes, hottest held keys, and
+        /// held keys near the lookup target (empty when `dharma-fresh`
+        /// is off).
+        digest: Vec<DigestEntry>,
     },
     /// Ask for the value at `key` (or closest contacts), optionally with
     /// index-side filtering to the heaviest `top_n` entries.
@@ -147,6 +186,10 @@ pub enum Message {
         version: u64,
         /// True when served from the responder's hot-block cache.
         from_cache: bool,
+        /// Version-gossip digest (empty when `dharma-fresh` is off, and
+        /// always empty on cache-served replies — only authoritative
+        /// holders gossip versions).
+        digest: Vec<DigestEntry>,
     },
     /// Store a blob at `key` (replaces any previous blob).
     Store {
@@ -292,10 +335,11 @@ impl WireEncode for Message {
                 buf.put_varint(*rpc);
                 from.encode(buf);
             }
-            Message::Pong { rpc, from } => {
+            Message::Pong { rpc, from, digest } => {
                 buf.put_u8(Self::T_PONG);
                 buf.put_varint(*rpc);
                 from.encode(buf);
+                digest.encode(buf);
             }
             Message::FindNode { rpc, from, target } => {
                 buf.put_u8(Self::T_FIND_NODE);
@@ -307,11 +351,13 @@ impl WireEncode for Message {
                 rpc,
                 from,
                 contacts,
+                digest,
             } => {
                 buf.put_u8(Self::T_FOUND_NODES);
                 buf.put_varint(*rpc);
                 from.encode(buf);
                 contacts.encode(buf);
+                digest.encode(buf);
             }
             Message::FindValue {
                 rpc,
@@ -335,6 +381,7 @@ impl WireEncode for Message {
                 truncated,
                 version,
                 from_cache,
+                digest,
             } => {
                 buf.put_u8(Self::T_FOUND_VALUE);
                 buf.put_varint(*rpc);
@@ -350,6 +397,7 @@ impl WireEncode for Message {
                 buf.put_u8(u8::from(*truncated));
                 buf.put_varint(*version);
                 buf.put_u8(u8::from(*from_cache));
+                digest.encode(buf);
             }
             Message::Store {
                 rpc,
@@ -446,7 +494,11 @@ impl WireDecode for Message {
         let from = Contact::decode(buf)?;
         Ok(match ty {
             Message::T_PING => Message::Ping { rpc, from },
-            Message::T_PONG => Message::Pong { rpc, from },
+            Message::T_PONG => Message::Pong {
+                rpc,
+                from,
+                digest: Vec::<DigestEntry>::decode(buf)?,
+            },
             Message::T_FIND_NODE => Message::FindNode {
                 rpc,
                 from,
@@ -456,6 +508,7 @@ impl WireDecode for Message {
                 rpc,
                 from,
                 contacts: Vec::<Contact>::decode(buf)?,
+                digest: Vec::<DigestEntry>::decode(buf)?,
             },
             Message::T_FIND_VALUE => {
                 let key = buf.get_id()?;
@@ -500,6 +553,7 @@ impl WireDecode for Message {
                     truncated,
                     version,
                     from_cache,
+                    digest: Vec::<DigestEntry>::decode(buf)?,
                 }
             }
             Message::T_STORE => Message::Store {
@@ -593,6 +647,21 @@ mod tests {
             Message::Pong {
                 rpc: 1,
                 from: contact(2),
+                digest: vec![],
+            },
+            Message::Pong {
+                rpc: 2,
+                from: contact(2),
+                digest: vec![
+                    DigestEntry {
+                        key: sha1(b"hot"),
+                        version: 9,
+                    },
+                    DigestEntry {
+                        key: sha1(b"news"),
+                        version: u64::MAX,
+                    },
+                ],
             },
             Message::FindNode {
                 rpc: 7,
@@ -603,6 +672,10 @@ mod tests {
                 rpc: 7,
                 from: contact(2),
                 contacts: vec![contact(3), contact(4)],
+                digest: vec![DigestEntry {
+                    key: sha1(b"k"),
+                    version: 3,
+                }],
             },
             Message::FindValue {
                 rpc: 9,
@@ -635,6 +708,10 @@ mod tests {
                 truncated: true,
                 version: 7,
                 from_cache: false,
+                digest: vec![DigestEntry {
+                    key: sha1(b"k"),
+                    version: 7,
+                }],
             },
             Message::FoundValue {
                 rpc: 9,
@@ -644,6 +721,7 @@ mod tests {
                 truncated: false,
                 version: 0,
                 from_cache: true,
+                digest: vec![],
             },
             Message::Store {
                 rpc: 11,

@@ -62,15 +62,42 @@
 //! When [`KadConfig::record_ttl_us`] is set, every maintenance push (and
 //! every incoming `Replicate` merge) is gated on the record's remaining
 //! TTL, so repair never resurrects a record that already expired locally.
+//!
+//! **Version gossip & cache-aware routing** ([`FreshConfig`], the
+//! `dharma-fresh` subsystem) replace TTL-only cache expiry with
+//! opportunistic freshness information:
+//!
+//! * every `Pong`, `FoundNodes` and authoritative `FoundValue` this node
+//!   sends piggybacks a compact **digest** — `(key, write-version)` pairs
+//!   for recent local writes, the hottest held keys, and held keys near
+//!   the lookup target (`build_digest`);
+//! * received digests feed a per-node [`FreshnessBook`]; a digest naming a
+//!   *newer* version than a cached view triggers cheap **revalidation**:
+//!   the stale views are dropped immediately and one is refreshed with a
+//!   direct `FindValue` to the digest sender (2 datagrams, no lookup) —
+//!   instead of the stale view being served until its TTL runs out;
+//! * a digest *confirming* a cached view's version restamps its TTL clock
+//!   (bounded by [`FreshConfig::max_view_lifetime_us`]), so hot views
+//!   outlive their TTL without widening the staleness window;
+//! * cached views are only ever served through the book's
+//!   **monotone-freshness gate**: never below the highest gossiped
+//!   version (see `fresh_admits`);
+//! * a decayed per-peer [`HitHistory`] remembers who recently served each
+//!   key; GET lookups seed their shortlist with those **warm** peers and
+//!   prefer them over nearer cold candidates (warm redirects), cutting
+//!   hops on repeat keys and steering load off authoritative holders.
 
 use bytes::Bytes;
 
-use dharma_cache::{CacheConfig, CacheStats, HotCache, PopularityConfig, PopularityEstimator};
+use dharma_cache::{
+    CacheConfig, CacheStats, FreshConfig, FreshnessBook, HitHistory, HotCache, PopularityConfig,
+    PopularityEstimator,
+};
 use dharma_net::{Ctx, Instrumented, Metric, NetCounters, Node, NodeAddr};
 use dharma_types::{FxHashMap, FxHashSet, Id160, WireDecode, WireEncode};
 
 use crate::lookup::LookupState;
-use crate::messages::{Contact, FetchedValue, Message, StoredEntry};
+use crate::messages::{Contact, DigestEntry, FetchedValue, Message, StoredEntry};
 use crate::routing::RoutingTable;
 use crate::storage::Storage;
 
@@ -268,6 +295,13 @@ pub struct KadConfig {
     /// probes, join-time key handoff, failure-driven re-replication, and
     /// replica demotion. See [`MaintConfig`].
     pub maintenance: Option<MaintConfig>,
+    /// Version gossip & cache-aware lookup routing (`None` = disabled,
+    /// the default): piggybacked write-version digests, revalidation of
+    /// gossip-stale cached views, TTL extension on fresh confirmations,
+    /// and warm-peer lookup bias. Disabled nodes send empty digests and
+    /// behave byte-identically to the TTL-only protocol. Most effective
+    /// together with [`KadConfig::cache`].
+    pub freshness: Option<FreshConfig>,
     /// Shared counters cache hits/misses and replica promotions are
     /// recorded into. Runtimes wire their own [`NetCounters`] here (the
     /// overlay builders do); the default is a private, unobserved set.
@@ -287,6 +321,7 @@ impl Default for KadConfig {
             replication: None,
             ping_before_evict: true,
             maintenance: None,
+            freshness: None,
             counters: NetCounters::new(),
         }
     }
@@ -383,6 +418,35 @@ const TIMER_DEMOTE: u64 = u64::MAX - 4;
 /// Sentinel operation id marking a pending RPC as a standalone liveness
 /// probe (client operation ids count up from 1).
 const PROBE_OP: u64 = 0;
+/// Sentinel operation id for tracked maintenance `Replicate` pushes
+/// (repair / handoff / demotion): the ack settles the RPC, a timeout runs
+/// the standard suspect path, so a corpse in a replica set is discovered
+/// by the first repair round instead of waiting for the probe cursor.
+/// Client op ids count up from 1 and can never collide.
+const REPAIR_OP: u64 = u64::MAX;
+/// Sentinel operation id for version-gossip revalidation `FindValue`s
+/// (direct refresh of a digest-stale cached view).
+const REFRESH_OP: u64 = u64::MAX - 1;
+
+/// Bound on the digest news ring (recent effective local writes).
+const NEWS_CAP: usize = 32;
+
+/// Per-node state of the `dharma-fresh` subsystem (present when
+/// [`KadConfig::freshness`] is set).
+struct FreshState {
+    /// The configuration in force (a copy of [`KadConfig::freshness`]).
+    cfg: FreshConfig,
+    /// Highest gossiped write-version per key — the monotone serving gate.
+    book: FreshnessBook,
+    /// Decayed per-peer hit history feeding cache-aware lookup routing.
+    hits: HitHistory,
+    /// Recent effective local writes, newest last — the digest's news
+    /// section. Bounded by [`NEWS_CAP`].
+    news: Vec<(Id160, u64)>,
+    /// In-flight revalidations: rpc id → the `(key, top_n)` view being
+    /// refreshed (routes the reply and dedups refreshes per key).
+    revalidating: FxHashMap<u64, (Id160, u32)>,
+}
 
 /// The Kademlia node.
 pub struct KademliaNode {
@@ -434,6 +498,9 @@ pub struct KademliaNode {
     /// leaver, its own parting `Replicate`s arriving out of order — cannot
     /// re-insert a corpse the `Leave` already purged.
     departed: FxHashMap<Id160, u64>,
+    /// Version-gossip & hit-history state (`dharma-fresh`; present when
+    /// `cfg.freshness` is set).
+    fresh: Option<FreshState>,
 }
 
 /// How long a `Leave` tombstone blocks re-insertion of the departed id —
@@ -467,6 +534,13 @@ impl KademliaNode {
             .and_then(|m| m.adaptive.as_ref())
             .map(|a| a.half_life_us)
             .unwrap_or(30_000_000);
+        let fresh = cfg.freshness.clone().map(|f| FreshState {
+            book: FreshnessBook::new(f.max_versions),
+            hits: HitHistory::new(&f),
+            news: Vec::new(),
+            revalidating: FxHashMap::default(),
+            cfg: f,
+        });
         KademliaNode {
             contact: Contact { id, addr },
             routing: RoutingTable::new(id, cfg.k),
@@ -474,6 +548,7 @@ impl KademliaNode {
             cache: cfg.cache.clone().map(HotCache::new),
             popularity: cfg.replication.clone().map(PopularityEstimator::new),
             cfg,
+            fresh,
             ops: FxHashMap::default(),
             pending: FxHashMap::default(),
             next_rpc: 1,
@@ -605,6 +680,263 @@ impl KademliaNode {
                 .unwrap_or(false)
     }
 
+    // ----- version gossip & cache-aware routing (`dharma-fresh`) -------
+
+    /// Records an effective local write into the digest's news ring:
+    /// the next few replies this node sends will gossip the key's new
+    /// write-version, so peers with cached views learn of it without
+    /// waiting out their TTL.
+    fn note_news(&mut self, key: Id160, now_us: u64) {
+        let Some(f) = self.fresh.as_mut() else {
+            return;
+        };
+        f.news.retain(|(k, _)| *k != key);
+        f.news.push((key, now_us));
+        if f.news.len() > NEWS_CAP {
+            f.news.remove(0);
+        }
+    }
+
+    /// Builds the version digest piggybacked on a reply: up to
+    /// [`FreshConfig::digest_max`] `(held key, write-version)` pairs,
+    /// picked as (1) recent local writes (the news ring, newest first) —
+    /// the versions peers are most likely stale on; (2) the hottest held
+    /// keys per the popularity tracker — the views most likely cached
+    /// elsewhere, so their confirmations extend the most TTLs; (3) held
+    /// keys nearest `around` (the lookup target) — what the requester is
+    /// asking about. Empty when `dharma-fresh` is off, so disabled nodes
+    /// gossip nothing.
+    fn build_digest(&self, around: Option<&Id160>, now_us: u64) -> Vec<DigestEntry> {
+        let Some(f) = &self.fresh else {
+            return Vec::new();
+        };
+        let max = f.cfg.digest_max;
+        if max == 0 || self.storage.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<DigestEntry> = Vec::new();
+        let push = |out: &mut Vec<DigestEntry>, key: &Id160| {
+            if out.len() < max && !out.iter().any(|e| e.key == *key) {
+                if let Some(state) = self.storage.get(key) {
+                    out.push(DigestEntry {
+                        key: *key,
+                        version: state.version,
+                    });
+                }
+            }
+        };
+        for (key, at) in f.news.iter().rev() {
+            if now_us.saturating_sub(*at) <= f.cfg.news_window_us {
+                push(&mut out, key);
+            }
+        }
+        if let Some(pop) = &self.popularity {
+            for key in pop.hottest(max, now_us) {
+                push(&mut out, &key);
+            }
+        }
+        if let Some(target) = around {
+            if out.len() < max {
+                // Per-reply hot path: bounded selection of the nearest
+                // held keys, not a full sort of everything held. `max`
+                // candidates always suffice: at most `out.len()` of them
+                // can be dedup-skipped, leaving ≥ `max - out.len()` — as
+                // many as the digest still has room for.
+                let mut held: Vec<Id160> = self.storage.keys().copied().collect();
+                if held.len() > max {
+                    held.select_nth_unstable_by_key(max - 1, |k| k.distance(target));
+                    held.truncate(max);
+                }
+                held.sort_unstable_by_key(|k| k.distance(target));
+                for key in held {
+                    if out.len() >= max {
+                        break;
+                    }
+                    push(&mut out, &key);
+                }
+            }
+        }
+        out
+    }
+
+    /// The monotone-freshness gate: may a cached view of `key` at
+    /// `version` be served? False once any digest claimed a newer version.
+    fn fresh_admits(&self, key: &Id160, version: u64) -> bool {
+        self.fresh
+            .as_ref()
+            .map(|f| f.book.admits(key, version))
+            .unwrap_or(true)
+    }
+
+    /// The full serving gate for an own cached view: the monotone version
+    /// check plus the serve-age bar — a view neither confirmed nor
+    /// refreshed within [`FreshConfig::max_serve_age_us`] is a miss even
+    /// inside its TTL, which is what bounds the staleness window by the
+    /// gossip cadence instead of the TTL.
+    fn fresh_serves(&self, key: &Id160, top_n: u32, version: u64, now_us: u64) -> bool {
+        let Some(f) = &self.fresh else {
+            return true;
+        };
+        if !f.book.admits(key, version) {
+            return false;
+        }
+        if f.cfg.max_serve_age_us > 0 {
+            let age = self
+                .cache
+                .as_ref()
+                .and_then(|c| c.age_of(&(*key, top_n), now_us))
+                .unwrap_or(0);
+            if age > f.cfg.max_serve_age_us {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Drops every cached view of `key` the freshness book now rejects
+    /// (called when the gate refused a view this node was about to serve).
+    /// Returns how many views were dropped.
+    fn drop_gossip_stale(&mut self, key: &Id160) -> usize {
+        let highest = self
+            .fresh
+            .as_ref()
+            .and_then(|f| f.book.highest(key))
+            .unwrap_or(0);
+        let Some(cache) = &mut self.cache else {
+            return 0;
+        };
+        let dropped = cache.invalidate_stale(key, highest).len();
+        if dropped > 0 {
+            self.cfg.counters.record_stale_drops(dropped as u64);
+        }
+        dropped
+    }
+
+    /// Absorbs a piggybacked digest from `from`: records every entry in
+    /// the freshness book, then reconciles the cache — views the digest
+    /// proves stale are dropped (and one variant revalidated with a direct
+    /// `FindValue` to the sender, which is authoritative for digest keys),
+    /// views it confirms current get their TTL clock restamped (bounded by
+    /// [`FreshConfig::max_view_lifetime_us`]).
+    fn absorb_digest(&mut self, ctx: &mut Ctx<KadOutput>, from: &Contact, digest: &[DigestEntry]) {
+        if digest.is_empty() || self.fresh.is_none() {
+            return;
+        }
+        let mut refresh: Vec<(Id160, u32)> = Vec::new();
+        {
+            let Self {
+                fresh,
+                cache,
+                storage,
+                cfg,
+                ..
+            } = self;
+            let f = fresh.as_mut().expect("checked above");
+            for e in digest {
+                f.book.note(e.key, e.version);
+                // Authoritative holders reconcile through `Replicate`
+                // merges, not gossip; only cached views are managed here.
+                if storage.contains(&e.key) {
+                    continue;
+                }
+                let Some(cache) = cache.as_mut() else {
+                    continue;
+                };
+                let dropped = cache.invalidate_stale(&e.key, e.version);
+                if dropped.is_empty() {
+                    cache.confirm_fresh(&e.key, e.version, ctx.now_us, f.cfg.max_view_lifetime_us);
+                    continue;
+                }
+                cfg.counters.record_stale_drops(dropped.len() as u64);
+                if f.cfg.revalidate_on_stale && !f.revalidating.values().any(|(k, _)| *k == e.key) {
+                    refresh.push((e.key, dropped[0]));
+                }
+            }
+        }
+        for (key, top_n) in refresh {
+            self.send_revalidation(ctx, from.clone(), key, top_n);
+        }
+    }
+
+    /// One revalidation probe: a direct `FindValue` (authoritative-only —
+    /// a cached view elsewhere could be exactly as stale as the one being
+    /// checked) to `to`, tracked under [`REFRESH_OP`]. The reply re-pins
+    /// the view; a timeout or a `FoundNodes` leaves things as they are.
+    fn send_revalidation(&mut self, ctx: &mut Ctx<KadOutput>, to: Contact, key: Id160, top_n: u32) {
+        let rpc = self.next_rpc;
+        self.next_rpc += 1;
+        self.cfg.counters.record_revalidation();
+        if let Some(f) = self.fresh.as_mut() {
+            f.revalidating.insert(rpc, (key, top_n));
+        }
+        ctx.send(
+            to.addr,
+            Message::FindValue {
+                rpc,
+                from: self.contact.clone(),
+                key,
+                top_n,
+                no_cache: true,
+            }
+            .encode_to_bytes(),
+        );
+        self.pending.insert(rpc, PendingRpc { op: REFRESH_OP, to });
+        ctx.set_timer(self.cfg.rpc_timeout_us, rpc);
+    }
+
+    /// Refresh-ahead: a local cache hit is being served, but the view's
+    /// last mint/confirmation is older than [`FreshConfig::refresh_age_us`]
+    /// — probe a likely holder in the background so the view's *content*
+    /// tracks writes instead of aging toward the TTL. The serve itself
+    /// stays a zero-message hit; the probe costs two datagrams and only
+    /// fires when no revalidation for the key is already in flight.
+    fn maybe_refresh_ahead(&mut self, ctx: &mut Ctx<KadOutput>, key: Id160, top_n: u32) {
+        let Some(f) = &self.fresh else {
+            return;
+        };
+        let age_bar = f.cfg.refresh_age_us;
+        if age_bar == 0 || f.revalidating.values().any(|(k, _)| *k == key) {
+            return;
+        }
+        let age = self
+            .cache
+            .as_ref()
+            .and_then(|c| c.age_of(&(key, top_n), ctx.now_us));
+        if age.map(|a| a < age_bar).unwrap_or(true) {
+            return;
+        }
+        // The closest known contact is the likeliest authoritative holder;
+        // a warm recent server is the fallback.
+        let target = self
+            .routing
+            .closest(&key, 1)
+            .into_iter()
+            .next()
+            .or_else(|| {
+                self.fresh.as_ref().and_then(|f| {
+                    f.hits
+                        .warm_peers(&key, ctx.now_us)
+                        .into_iter()
+                        .next()
+                        .map(|(id, addr)| Contact { id, addr })
+                })
+            });
+        if let Some(to) = target {
+            self.send_revalidation(ctx, to, key, top_n);
+        }
+    }
+
+    /// Records that `server` answered a GET for `key` — the warm-peer hit
+    /// history behind cache-aware routing and refresh-ahead targeting.
+    /// (Recording is unconditional under `dharma-fresh`; only the lookup
+    /// *bias* is gated on [`FreshConfig::cache_aware_routing`].)
+    fn note_served_by(&mut self, key: Id160, server: &Contact, from_cache: bool, now_us: u64) {
+        if let Some(f) = self.fresh.as_mut() {
+            f.hits
+                .record(key, server.id, server.addr, from_cache, now_us);
+        }
+    }
+
     /// Adaptive replication: called after this node served `key` from
     /// authoritative storage. Feeds the popularity estimator and, when the
     /// key is hot and its promotion cooldown has lapsed, pushes idempotent
@@ -669,8 +1001,13 @@ impl KademliaNode {
         })
     }
 
-    /// Fire-and-forget `Replicate` push of `key`'s snapshot to `to`
-    /// (idempotent merge-max on the receiver; the ack is ignored).
+    /// `Replicate` push of `key`'s snapshot to `to` (idempotent merge-max
+    /// on the receiver), **tracked** with a pending-RPC timeout under
+    /// [`REPAIR_OP`]: the ack settles it, and a timeout marks the silent
+    /// replica suspect through the standard path (probe-then-evict by
+    /// default), so a corpse in a replica set feeds the departure-rate
+    /// estimator on the first repair round instead of waiting for the
+    /// probe cursor to reach its bucket.
     fn push_replica(
         &mut self,
         ctx: &mut Ctx<KadOutput>,
@@ -679,10 +1016,31 @@ impl KademliaNode {
         blob: Option<Vec<u8>>,
         entries: Vec<StoredEntry>,
     ) {
+        let rpc = self.send_replica_raw(ctx, to.addr, key, blob, entries);
+        self.pending.insert(
+            rpc,
+            PendingRpc {
+                op: REPAIR_OP,
+                to: to.clone(),
+            },
+        );
+        ctx.set_timer(self.cfg.rpc_timeout_us, rpc);
+    }
+
+    /// Untracked `Replicate` send (graceful leave only: the sender is
+    /// tearing itself down, so pending-RPC state would never be read).
+    fn send_replica_raw(
+        &mut self,
+        ctx: &mut Ctx<KadOutput>,
+        to: NodeAddr,
+        key: Id160,
+        blob: Option<Vec<u8>>,
+        entries: Vec<StoredEntry>,
+    ) -> u64 {
         let rpc = self.next_rpc;
         self.next_rpc += 1;
         ctx.send(
-            to.addr,
+            to,
             Message::Replicate {
                 rpc,
                 from: self.contact.clone(),
@@ -692,6 +1050,7 @@ impl KademliaNode {
             }
             .encode_to_bytes(),
         );
+        rpc
     }
 
     // ----- churn maintenance (`dharma-maint` / `dharma-adapt`) ---------
@@ -789,6 +1148,10 @@ impl KademliaNode {
     fn handle_leave(&mut self, now_us: u64, from: &Contact) {
         self.routing.note_failure(&from.id);
         self.probing.remove(&from.id);
+        if let Some(f) = self.fresh.as_mut() {
+            // A departed peer must not be seeded into future shortlists.
+            f.hits.forget_peer(&from.id);
+        }
         self.departed.insert(from.id, now_us);
         if self.departed.len() > DEPART_TOMBSTONE_CAP {
             self.departed
@@ -819,16 +1182,29 @@ impl KademliaNode {
     }
 
     /// Graceful departure (the counterpart of crashing): push a parting
-    /// `Replicate` snapshot of every held, unexpired key to the `k`
-    /// closest live nodes — so the replica set is whole *before* we go,
-    /// instead of degraded until someone's repair sweep notices — then
-    /// send a [`Message::Leave`] notice to every routing-table contact so
+    /// `Replicate` snapshot of held, unexpired keys to the `k` closest
+    /// live nodes — so the replica set is whole *before* we go, instead of
+    /// degraded until someone's repair sweep notices — then send a
+    /// [`Message::Leave`] notice to every routing-table contact so
     /// receivers purge us immediately rather than discovering the corpse
     /// by timeout. The caller tears the node down afterwards
     /// (`SimNet::leave` does both in one step).
+    ///
+    /// The handoff is **trimmed**: a key is pushed only when this node
+    /// ranks within `k + LEAVE_SLACK` of it. A copy held further out (a
+    /// demotion candidate, or leftover from old membership) is redundant —
+    /// the authoritative `k` are all strictly closer and hold the record
+    /// without us — so pushing it would be pure drain overhead, the bulk
+    /// of A7's graceful-row message bill. The slack mirrors the demotion
+    /// sweep's: near the boundary our view of the k-set may be slightly
+    /// off, so a key we *might* be needed for is still pushed.
     pub fn leave(&mut self, ctx: &mut Ctx<KadOutput>) {
+        /// Keys we rank beyond `k + LEAVE_SLACK` for are not handed off.
+        const LEAVE_SLACK: usize = 2;
         let now = ctx.now_us;
         let keys: Vec<Id160> = self.storage.keys().copied().collect();
+        let keep_within = self.cfg.k + LEAVE_SLACK;
+        let own = self.contact.id;
         let mut pushes = 0u64;
         for key in keys {
             if self.drop_if_expired(&key, now) {
@@ -837,10 +1213,19 @@ impl KademliaNode {
             let Some((blob, entries)) = self.snapshot_value(&key) else {
                 continue;
             };
-            let targets = self.routing.closest(&key, self.cfg.k);
+            let mut targets = self.routing.closest(&key, keep_within);
+            if targets.len() >= keep_within {
+                let kth = targets.last().expect("len checked").id.distance(&key);
+                if kth < own.distance(&key) {
+                    // At least k + slack known contacts are strictly
+                    // closer: the replica set is whole without us.
+                    continue;
+                }
+            }
+            targets.truncate(self.cfg.k);
             pushes += targets.len() as u64;
             for t in targets {
-                self.push_replica(ctx, &t, key, blob.clone(), entries.clone());
+                self.send_replica_raw(ctx, t.addr, key, blob.clone(), entries.clone());
             }
         }
         if pushes > 0 {
@@ -1191,8 +1576,12 @@ impl KademliaNode {
                 return op_id;
             }
             if !bypass_cache {
-                if let Some(cache) = &mut self.cache {
-                    if let Some((view, _version)) = cache.get(&(target, *top_n), ctx.now_us) {
+                let cached = self
+                    .cache
+                    .as_mut()
+                    .and_then(|cache| cache.get(&(target, *top_n), ctx.now_us));
+                if let Some((view, version)) = cached {
+                    if self.fresh_serves(&target, *top_n, version, ctx.now_us) {
                         self.cfg.counters.record_cache_hit();
                         ctx.complete(
                             op_id,
@@ -1201,14 +1590,45 @@ impl KademliaNode {
                                 messages: 0,
                             },
                         );
+                        self.maybe_refresh_ahead(ctx, target, *top_n);
                         return op_id;
                     }
+                    if !self.fresh_admits(&target, version) {
+                        // Gossip proved the view stale: drop it and read
+                        // through — a miss where TTL-only would have
+                        // served outdated data.
+                        self.drop_gossip_stale(&target);
+                    }
+                    // An age-refused view stays resident: the read-through
+                    // below refreshes it, and a digest may yet confirm it.
                 }
             }
         }
 
-        let seeds = self.routing.closest(&target, self.cfg.k);
-        let lookup = LookupState::new(target, seeds, self.cfg.k, self.cfg.alpha);
+        let mut seeds = self.routing.closest(&target, self.cfg.k);
+        // Cache-aware routing: seed the shortlist with peers that recently
+        // served this key, and remember them as warm so candidate ordering
+        // prefers them — a repeat GET often resolves at the first hop.
+        let mut warm_ids: Vec<Id160> = Vec::new();
+        if matches!(kind, OpKind::Get { .. }) {
+            if let Some(f) = &self.fresh {
+                if f.cfg.cache_aware_routing {
+                    for (id, addr) in f.hits.warm_peers(&target, ctx.now_us) {
+                        if self.recently_departed(&id, ctx.now_us) {
+                            continue;
+                        }
+                        warm_ids.push(id);
+                        if !seeds.iter().any(|c| c.id == id) {
+                            seeds.push(Contact { id, addr });
+                        }
+                    }
+                }
+            }
+        }
+        let mut lookup = LookupState::new(target, seeds, self.cfg.k, self.cfg.alpha);
+        for id in warm_ids {
+            lookup.mark_warm(id);
+        }
         let op = OpState {
             lookup,
             kind,
@@ -1241,6 +1661,10 @@ impl KademliaNode {
             return;
         }
         let queries = op.lookup.next_queries();
+        let warm_redirects = op.lookup.take_warm_redirects();
+        if warm_redirects > 0 {
+            self.cfg.counters.record_warm_redirects(warm_redirects);
+        }
         let target = op.lookup.target();
         let is_get = matches!(op.kind, OpKind::Get { .. });
         let no_cache = op.bypass_cache;
@@ -1367,6 +1791,7 @@ impl KademliaNode {
                         _ => unreachable!(),
                     }
                     self.invalidate_cached(&key);
+                    self.note_news(key, ctx.now_us);
                 }
 
                 if replicas.is_empty() {
@@ -1519,30 +1944,35 @@ impl Node for KademliaNode {
 
         match msg {
             Message::Ping { rpc, from } => {
+                let digest = self.build_digest(None, ctx.now_us);
                 ctx.send(
                     from.addr,
                     Message::Pong {
                         rpc,
                         from: self.contact.clone(),
+                        digest,
                     }
                     .encode_to_bytes(),
                 );
             }
-            Message::Pong { rpc, .. } => {
+            Message::Pong { rpc, from, digest } => {
                 // Liveness noted above; additionally settle the probe (if
                 // this Pong answers one) so its timeout cannot evict.
                 if let Some(pend) = self.pending.remove(&rpc) {
                     self.probing.remove(&pend.to.id);
                 }
+                self.absorb_digest(ctx, &from, &digest);
             }
             Message::FindNode { rpc, from, target } => {
                 let contacts = self.routing.closest(&target, self.cfg.k);
+                let digest = self.build_digest(Some(&target), ctx.now_us);
                 ctx.send(
                     from.addr,
                     Message::FoundNodes {
                         rpc,
                         from: self.contact.clone(),
                         contacts,
+                        digest,
                     }
                     .encode_to_bytes(),
                 );
@@ -1560,6 +1990,7 @@ impl Node for KademliaNode {
                     .read_filtered(&key, top_n, self.cfg.reply_budget)
                 {
                     Some(read) => {
+                        let digest = self.build_digest(Some(&key), ctx.now_us);
                         ctx.send(
                             from.addr,
                             Message::FoundValue {
@@ -1570,6 +2001,7 @@ impl Node for KademliaNode {
                                 truncated: read.truncated,
                                 version: read.version,
                                 from_cache: false,
+                                digest,
                             }
                             .encode_to_bytes(),
                         );
@@ -1587,19 +2019,29 @@ impl Node for KademliaNode {
                         // reply keeps its lookup advancing instead).
                         if no_cache {
                             let contacts = self.routing.closest(&key, self.cfg.k);
+                            let digest = self.build_digest(Some(&key), ctx.now_us);
                             ctx.send(
                                 from.addr,
                                 Message::FoundNodes {
                                     rpc,
                                     from: self.contact.clone(),
                                     contacts,
+                                    digest,
                                 }
                                 .encode_to_bytes(),
                             );
                             return;
                         }
-                        if let Some(cache) = &mut self.cache {
-                            if let Some((view, version)) = cache.get(&(key, top_n), ctx.now_us) {
+                        let cached = self
+                            .cache
+                            .as_mut()
+                            .and_then(|cache| cache.get(&(key, top_n), ctx.now_us));
+                        if let Some((view, version)) = cached {
+                            // The freshness gate: a view some digest
+                            // already superseded — or one past the
+                            // serve-age bar — must not be served; answer
+                            // with contacts instead.
+                            if self.fresh_serves(&key, top_n, version, ctx.now_us) {
                                 ctx.send(
                                     from.addr,
                                     Message::FoundValue {
@@ -1610,19 +2052,35 @@ impl Node for KademliaNode {
                                         truncated: view.truncated,
                                         version,
                                         from_cache: true,
+                                        // Cached views never gossip: their
+                                        // versions are another holder's.
+                                        digest: Vec::new(),
                                     }
                                     .encode_to_bytes(),
                                 );
+                                // A path cache actively serving a key is
+                                // exactly the view whose staleness matters
+                                // most — refresh it ahead of the TTL too.
+                                self.maybe_refresh_ahead(ctx, key, top_n);
                                 return;
+                            }
+                            if !self.fresh_admits(&key, version) {
+                                self.drop_gossip_stale(&key);
+                            } else {
+                                // Aged out, not superseded: refresh it so
+                                // the next requester gets a servable view.
+                                self.maybe_refresh_ahead(ctx, key, top_n);
                             }
                         }
                         let contacts = self.routing.closest(&key, self.cfg.k);
+                        let digest = self.build_digest(Some(&key), ctx.now_us);
                         ctx.send(
                             from.addr,
                             Message::FoundNodes {
                                 rpc,
                                 from: self.contact.clone(),
                                 contacts,
+                                digest,
                             }
                             .encode_to_bytes(),
                         );
@@ -1638,6 +2096,7 @@ impl Node for KademliaNode {
                 self.storage.put_blob(key, blob);
                 self.storage.touch(key, ctx.now_us);
                 self.invalidate_cached(&key);
+                self.note_news(key, ctx.now_us);
                 ctx.send(
                     from.addr,
                     Message::Ack {
@@ -1658,6 +2117,7 @@ impl Node for KademliaNode {
                 }
                 self.storage.touch(key, ctx.now_us);
                 self.invalidate_cached(&key);
+                self.note_news(key, ctx.now_us);
                 ctx.send(
                     from.addr,
                     Message::Ack {
@@ -1671,10 +2131,25 @@ impl Node for KademliaNode {
                 rpc,
                 from,
                 contacts,
+                digest,
             } => {
+                // Digests carry freshness news even on late replies.
+                self.absorb_digest(ctx, &from, &digest);
                 let Some(pend) = self.pending.remove(&rpc) else {
                     return; // late reply for a finished op
                 };
+                if pend.op == REFRESH_OP {
+                    // The digest sender no longer holds the key (expired
+                    // or demoted between digest and refresh): the dropped
+                    // view stays dropped, nothing to refresh.
+                    if let Some(f) = self.fresh.as_mut() {
+                        f.revalidating.remove(&rpc);
+                    }
+                    return;
+                }
+                if pend.op == REPAIR_OP {
+                    return;
+                }
                 // Third-party views may still name a peer that announced
                 // its departure — keep tombstoned ids out of the table and
                 // the lookup shortlist (querying a known corpse only buys
@@ -1707,12 +2182,50 @@ impl Node for KademliaNode {
                 truncated,
                 version,
                 from_cache,
+                digest,
             } => {
+                self.absorb_digest(ctx, &from, &digest);
                 let Some(pend) = self.pending.remove(&rpc) else {
                     return;
                 };
-                let _ = from;
-                let Some(op) = self.ops.get_mut(&pend.op) else {
+                if pend.op == REFRESH_OP {
+                    // A revalidation came back: re-pin the refreshed view
+                    // (authoritative by construction — the request set
+                    // `no_cache`) under its new version.
+                    let revalidated = self
+                        .fresh
+                        .as_mut()
+                        .and_then(|f| f.revalidating.remove(&rpc));
+                    let Some((key, top_n)) = revalidated else {
+                        return;
+                    };
+                    if from_cache || self.recently_wrote(&key, ctx.now_us) {
+                        return;
+                    }
+                    if let Some(f) = self.fresh.as_mut() {
+                        f.book.note(key, version);
+                    }
+                    self.note_served_by(key, &from, false, ctx.now_us);
+                    if let Some(cache) = &mut self.cache {
+                        cache.insert(
+                            (key, top_n),
+                            version,
+                            FetchedValue {
+                                blob,
+                                entries,
+                                truncated,
+                                version,
+                                from_cache: true,
+                            },
+                            ctx.now_us,
+                        );
+                    }
+                    return;
+                }
+                if pend.op == REPAIR_OP {
+                    return;
+                }
+                let Some(op) = self.ops.get(&pend.op) else {
                     return;
                 };
                 let OpKind::Get { top_n } = op.kind else {
@@ -1721,26 +2234,40 @@ impl Node for KademliaNode {
                 if op.done {
                     return;
                 }
-                if from_cache && op.bypass_cache {
-                    // Defensive: bypassing GETs request authoritative-only
-                    // service (`no_cache`), so a cached reply should not
-                    // arrive — but if one does, the view may predate this
-                    // node's write. Count the responder as an empty miss
+                let bypass = op.bypass_cache;
+                let gossip_stale = from_cache && !self.fresh_admits(&op.lookup.target(), version);
+                if from_cache && (bypass || gossip_stale) {
+                    // A cached reply this GET must not accept: bypassing
+                    // GETs requested authoritative-only service (the view
+                    // may predate this node's write), and the monotone-
+                    // freshness gate rejects views some digest already
+                    // superseded. Count the responder as an empty miss
                     // (not a failure: the node is alive and well-behaved)
                     // and keep looking for an authoritative holder.
-                    op.lookup.on_response(&from.id, Vec::new());
+                    if let Some(op) = self.ops.get_mut(&pend.op) {
+                        op.lookup.on_response(&from.id, Vec::new());
+                    }
                     self.pump(ctx, pend.op);
                     return;
                 }
+                let Some(op) = self.ops.get_mut(&pend.op) else {
+                    return;
+                };
                 let messages = op.messages;
                 let key = op.lookup.target();
                 let misses = std::mem::take(&mut op.value_misses);
                 let issued_at = op.issued_at_us;
                 op.done = true;
+                // Warm-peer bookkeeping: this contact just served the key.
+                self.note_served_by(key, &from, from_cache, ctx.now_us);
                 if from_cache {
                     self.cfg.counters.record_cache_hit();
                 } else {
                     self.cfg.counters.record_cache_miss();
+                    // The served authoritative version is gossip too.
+                    if let Some(f) = self.fresh.as_mut() {
+                        f.book.note(key, version);
+                    }
                     // An authoritative read can disarm the read-your-writes
                     // guard — but only if it cannot predate the guarded
                     // write: no write for the key may still be in flight,
@@ -1870,6 +2397,7 @@ impl Node for KademliaNode {
                     self.storage
                         .merge_max(key, blob.as_deref(), &entries, ctx.now_us);
                     self.invalidate_cached(&key);
+                    self.note_news(key, ctx.now_us);
                     // Repair suppression: someone just re-replicated this
                     // key, so our own next repair sweep can skip it.
                     if self.cfg.maintenance.is_some() {
@@ -1889,6 +2417,11 @@ impl Node for KademliaNode {
                 let Some(pend) = self.pending.remove(&rpc) else {
                     return;
                 };
+                if pend.op == REPAIR_OP {
+                    // A tracked maintenance push landed; nothing more to do
+                    // (the replica is alive, the timeout is settled).
+                    return;
+                }
                 self.write_progress(ctx, pend.op, true);
             }
             Message::Leave { .. } => unreachable!("handled before the sender is noted"),
@@ -1965,6 +2498,11 @@ impl Node for KademliaNode {
         let Some(pend) = self.pending.remove(&id) else {
             return; // reply beat the timer
         };
+        if pend.op == REFRESH_OP {
+            if let Some(f) = self.fresh.as_mut() {
+                f.revalidating.remove(&id);
+            }
+        }
         if pend.op == PROBE_OP {
             // A liveness probe went unanswered: death confirmed. Evict the
             // contact (promoting the freshest replacement-cache entry) and
@@ -1972,6 +2510,9 @@ impl Node for KademliaNode {
             self.probing.remove(&pend.to.id);
             if self.routing.note_failure(&pend.to.id) {
                 self.note_departure(ctx.now_us, 1.0);
+            }
+            if let Some(f) = self.fresh.as_mut() {
+                f.hits.forget_peer(&pend.to.id);
             }
             return;
         }
@@ -1981,6 +2522,9 @@ impl Node for KademliaNode {
             self.probe_contact(ctx, pend.to.clone());
         } else if self.routing.note_failure(&pend.to.id) {
             self.note_departure(ctx.now_us, 1.0);
+            if let Some(f) = self.fresh.as_mut() {
+                f.hits.forget_peer(&pend.to.id);
+            }
         }
         let Some(op) = self.ops.get_mut(&pend.op) else {
             return;
@@ -2022,6 +2566,13 @@ impl Instrumented for KademliaNode {
         }
         if let Some(pop) = &self.popularity {
             out.push(Metric::new("popularity_tracked", pop.tracked() as f64));
+        }
+        if let Some(f) = &self.fresh {
+            out.push(Metric::new("fresh_versions_known", f.book.len() as f64));
+            out.push(Metric::new(
+                "fresh_keys_with_history",
+                f.hits.tracked() as f64,
+            ));
         }
         out
     }
@@ -2834,6 +3385,7 @@ mod tests {
                     addr: 7,
                 },
                 contacts: vec![ghost.clone()],
+                digest: vec![],
             }
             .encode_to_bytes(),
         );
@@ -3090,6 +3642,350 @@ mod tests {
                 "node {a} still routes to the gracefully departed node"
             );
         }
+    }
+
+    // ----- dharma-fresh: version gossip & cache-aware routing ----------
+
+    fn contact(n: u8) -> Contact {
+        Contact {
+            id: sha1(&[n]),
+            addr: u32::from(n),
+        }
+    }
+
+    fn fresh_cfg(ttl_us: u64) -> KadConfig {
+        KadConfig {
+            k: 8,
+            cache: Some(CacheConfig {
+                capacity: 64,
+                ttl_us,
+            }),
+            freshness: Some(dharma_cache::FreshConfig::default()),
+            ..KadConfig::default()
+        }
+    }
+
+    fn push_view(node: &mut KademliaNode, ctx: &mut Ctx<KadOutput>, key: Id160, version: u64) {
+        node.on_message(
+            ctx,
+            1,
+            Message::CachePush {
+                rpc: 900,
+                from: contact(9),
+                key,
+                top_n: 0,
+                blob: None,
+                entries: vec![StoredEntry {
+                    name: "rock".into(),
+                    weight: version,
+                }],
+                truncated: false,
+                version,
+            }
+            .encode_to_bytes(),
+        );
+    }
+
+    /// Issues a GET at `now_us`. `Some(value)` when it completed within
+    /// the same callback (a local serve — cache hit, or a value-less
+    /// convergence on a peerless node); `None` when it went to the
+    /// network, i.e. was *not* served from the local cache.
+    fn try_local_get(
+        node: &mut KademliaNode,
+        now_us: u64,
+        key: Id160,
+    ) -> Option<Option<FetchedValue>> {
+        let mut ctx: Ctx<KadOutput> = Ctx::new(now_us, 0, 99);
+        let op = node.get(&mut ctx, key, 0);
+        let (_, _, completions) = ctx.into_effects();
+        for (id, out) in completions {
+            if id == op {
+                if let KadOutput::Value { value, .. } = out {
+                    return Some(value);
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn stale_digest_drops_the_cached_view_and_revalidates() {
+        let counters = NetCounters::new();
+        let mut node = KademliaNode::new(
+            sha1(b"gossip-node"),
+            0,
+            KadConfig {
+                counters: counters.clone(),
+                ..fresh_cfg(3_600_000_000)
+            },
+        );
+        let key = sha1(b"gossiped-block");
+        let mut ctx: Ctx<KadOutput> = Ctx::new(0, 0, 1);
+        push_view(&mut node, &mut ctx, key, 3);
+        let served = try_local_get(&mut node, 500, key)
+            .expect("cache hit completes locally")
+            .expect("view present");
+        assert!(served.from_cache, "the pushed view serves locally");
+
+        // A digest names version 5: the view is stale. It must be dropped
+        // and a direct revalidation FindValue sent to the digest sender.
+        let mut ctx: Ctx<KadOutput> = Ctx::new(1_000, 0, 2);
+        node.on_message(
+            &mut ctx,
+            7,
+            Message::Pong {
+                rpc: 77,
+                from: contact(7),
+                digest: vec![DigestEntry { key, version: 5 }],
+            }
+            .encode_to_bytes(),
+        );
+        assert_eq!(counters.stale_drops(), 1, "the stale view is dropped");
+        assert_eq!(counters.revalidations(), 1);
+        let (sends, timers, _) = ctx.into_effects();
+        let reval = sends
+            .iter()
+            .find_map(|m| match Message::decode_exact(&m.payload) {
+                Ok(Message::FindValue {
+                    rpc,
+                    key: k,
+                    no_cache,
+                    ..
+                }) if k == key => Some((m.to, rpc, no_cache)),
+                _ => None,
+            })
+            .expect("a revalidation FindValue is sent");
+        assert_eq!(reval.0, 7, "sent to the digest sender");
+        assert!(reval.2, "revalidation demands authoritative service");
+        assert!(timers.iter().any(|&(_, id)| id == reval.1), "rpc tracked");
+
+        // Monotone freshness: until the refresh lands, the key must not be
+        // served from cache — the GET reads through to the network.
+        assert!(
+            try_local_get(&mut node, 2_000, key).is_none(),
+            "no cached view may be served below the gossiped version"
+        );
+
+        // The refresh reply re-pins the view at the new version.
+        let mut ctx: Ctx<KadOutput> = Ctx::new(3_000, 0, 4);
+        node.on_message(
+            &mut ctx,
+            7,
+            Message::FoundValue {
+                rpc: reval.1,
+                from: contact(7),
+                blob: None,
+                entries: vec![StoredEntry {
+                    name: "rock".into(),
+                    weight: 5,
+                }],
+                truncated: false,
+                version: 5,
+                from_cache: false,
+                digest: vec![],
+            }
+            .encode_to_bytes(),
+        );
+        let v = try_local_get(&mut node, 4_000, key)
+            .expect("refreshed view serves locally")
+            .expect("view present");
+        assert!(v.from_cache);
+        assert_eq!(v.version, 5, "the refreshed view carries the new version");
+    }
+
+    #[test]
+    fn fresh_digest_confirmation_lets_views_outlive_the_ttl() {
+        let mut node = KademliaNode::new(sha1(b"confirming"), 0, fresh_cfg(1_000_000));
+        let key = sha1(b"warm-block");
+        let mut ctx: Ctx<KadOutput> = Ctx::new(0, 0, 1);
+        push_view(&mut node, &mut ctx, key, 4);
+
+        // Just before expiry, a digest confirms the view is still current.
+        let mut ctx: Ctx<KadOutput> = Ctx::new(900_000, 0, 2);
+        node.on_message(
+            &mut ctx,
+            7,
+            Message::Pong {
+                rpc: 7,
+                from: contact(7),
+                digest: vec![DigestEntry { key, version: 4 }],
+            }
+            .encode_to_bytes(),
+        );
+
+        // Past the original TTL the view still serves: the confirmation
+        // restamped its clock without widening staleness (the version is
+        // provably current as of the confirmation).
+        let v = try_local_get(&mut node, 1_500_000, key)
+            .expect("confirmed view outlives the TTL")
+            .expect("view present");
+        assert!(v.from_cache);
+
+        // Without further confirmations the extended clock runs out too.
+        assert!(
+            !matches!(try_local_get(&mut node, 2_500_000, key), Some(Some(_))),
+            "the extension is not an immortality pass"
+        );
+    }
+
+    #[test]
+    fn digest_lists_news_and_keys_near_the_target() {
+        let mut node = KademliaNode::new(sha1(b"digesting"), 0, fresh_cfg(1_000_000));
+        let near = sha1(b"near-target");
+        let far = sha1(b"far-away");
+        let mut ctx: Ctx<KadOutput> = Ctx::new(0, 0, 1);
+        // Local appends (empty routing table: apply locally, stay news).
+        node.append(&mut ctx, near, "x", 1);
+        node.append(&mut ctx, far, "y", 2);
+        let digest = node.build_digest(Some(&near), 1_000);
+        assert!(
+            digest.iter().any(|e| e.key == near),
+            "held key near the target is gossiped"
+        );
+        assert!(
+            digest.iter().any(|e| e.key == far),
+            "recent writes are gossiped regardless of distance"
+        );
+        for e in &digest {
+            assert_eq!(
+                e.version,
+                node.storage().version(&e.key),
+                "digest carries current write-versions"
+            );
+        }
+        // A freshness-disabled node gossips nothing.
+        let mut plain = KademliaNode::new(sha1(b"plain"), 1, KadConfig::default());
+        let mut ctx: Ctx<KadOutput> = Ctx::new(0, 0, 2);
+        plain.append(&mut ctx, near, "x", 1);
+        assert!(plain.build_digest(Some(&near), 1_000).is_empty());
+    }
+
+    #[test]
+    fn repair_push_timeout_feeds_the_churn_estimator() {
+        let cfg = KadConfig {
+            k: 4,
+            ping_before_evict: false, // direct evict: isolate the repair path
+            maintenance: Some(MaintConfig {
+                adaptive: Some(adapt_cfg()),
+                ..MaintConfig::default()
+            }),
+            ..KadConfig::default()
+        };
+        let mut node = KademliaNode::new(sha1(b"holder"), 0, cfg);
+        let key = sha1(b"repaired-key");
+        let mut ctx: Ctx<KadOutput> = Ctx::new(0, 0, 1);
+        node.append(&mut ctx, key, "x", 1);
+        let corpse = Contact {
+            id: sha1(b"corpse"),
+            addr: 9,
+        };
+        node.add_seed(corpse.clone());
+        assert!(node.routing().contains(&corpse.id));
+        assert_eq!(node.churn_weight(0), 0.0);
+
+        // The repair sweep pushes the key to the corpse — tracked.
+        let mut ctx: Ctx<KadOutput> = Ctx::new(1_000, 0, 2);
+        node.repair_sweep_step(&mut ctx, 1_000_000, 0);
+        let (sends, timers, _) = ctx.into_effects();
+        let rpc = sends
+            .iter()
+            .find_map(|m| match Message::decode_exact(&m.payload) {
+                Ok(Message::Replicate { rpc, .. }) => Some(rpc),
+                _ => None,
+            })
+            .expect("repair pushes the key");
+        assert!(
+            timers.iter().any(|&(_, id)| id == rpc),
+            "repair pushes are tracked with a pending-RPC timeout"
+        );
+
+        // No ack arrives: the timeout must evict the corpse and count the
+        // departure — the estimator learns on the *first* repair round.
+        let mut ctx: Ctx<KadOutput> = Ctx::new(2_000_000, 0, 3);
+        node.on_timer(&mut ctx, rpc);
+        assert!(
+            !node.routing().contains(&corpse.id),
+            "the silent replica is evicted"
+        );
+        assert!(
+            node.churn_weight(2_000_000) >= 1.0,
+            "the departure feeds the churn estimate"
+        );
+    }
+
+    #[test]
+    fn parting_handoff_skips_keys_the_leaver_is_redundant_for() {
+        let counters = NetCounters::new();
+        let cfg = KadConfig {
+            k: 2,
+            counters: counters.clone(),
+            ..KadConfig::default()
+        };
+        let own = sha1(b"leaver");
+        let mut node = KademliaNode::new(own, 0, cfg);
+        let needed = sha1(b"needed-key");
+        let redundant = sha1(b"redundant-key");
+        let mut ctx: Ctx<KadOutput> = Ctx::new(0, 0, 1);
+        node.append(&mut ctx, needed, "x", 1);
+        node.append(&mut ctx, redundant, "y", 1);
+
+        // Craft > k + slack contacts strictly closer to `redundant` than
+        // the leaver but strictly *farther* from `needed`: flip one low
+        // bit of the leaver's own id per contact — a bit set in
+        // `own ⊕ redundant` (clearing it shrinks that distance) and clear
+        // in `own ⊕ needed` (setting it grows that one). Each flipped bit
+        // position lands the contact in its own bucket, so the k-capped
+        // buckets hold them all.
+        let d_red: Vec<u8> = own
+            .as_bytes()
+            .iter()
+            .zip(redundant.as_bytes())
+            .map(|(a, b)| a ^ b)
+            .collect();
+        let d_need: Vec<u8> = own
+            .as_bytes()
+            .iter()
+            .zip(needed.as_bytes())
+            .map(|(a, b)| a ^ b)
+            .collect();
+        let mut crafted = 0u32;
+        'outer: for byte in (8..20).rev() {
+            for bit in 0..8u8 {
+                let mask = 1u8 << bit;
+                if d_red[byte] & mask != 0 && d_need[byte] & mask == 0 {
+                    let mut b = *own.as_bytes();
+                    b[byte] ^= mask;
+                    node.add_seed(Contact {
+                        id: Id160::from_bytes(b),
+                        addr: 100 + crafted,
+                    });
+                    crafted += 1;
+                    if crafted >= 6 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(crafted >= 5, "found only {crafted} usable bit positions");
+        node.add_seed(contact(9));
+
+        let mut ctx: Ctx<KadOutput> = Ctx::new(1_000, 0, 2);
+        node.leave(&mut ctx);
+        let (sends, _, _) = ctx.into_effects();
+        let pushed = replicate_keys(&sends);
+        assert!(
+            pushed.contains(&needed),
+            "keys the leaver is authoritative for are handed off"
+        );
+        assert!(
+            !pushed.contains(&redundant),
+            "keys with k + slack strictly-closer holders are not re-pushed"
+        );
+        assert_eq!(
+            counters.leave_handoffs(),
+            pushed.len() as u64,
+            "the handoff counter reflects the trimmed bill"
+        );
     }
 
     #[test]

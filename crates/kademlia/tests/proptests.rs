@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 use dharma_kademlia::lookup::LookupState;
-use dharma_kademlia::{Contact, Message, RoutingTable, Storage, StoredEntry};
+use dharma_kademlia::{Contact, DigestEntry, Message, RoutingTable, Storage, StoredEntry};
 use dharma_types::{sha1, Id160, WireDecode, WireEncode};
 use proptest::prelude::*;
 
@@ -14,6 +14,16 @@ fn arb_contact() -> impl Strategy<Value = Contact> {
     })
 }
 
+fn arb_digest() -> impl Strategy<Value = Vec<DigestEntry>> {
+    proptest::collection::vec(
+        (any::<[u8; 20]>(), any::<u64>()).prop_map(|(k, version)| DigestEntry {
+            key: Id160::from_bytes(k),
+            version,
+        }),
+        0..8,
+    )
+}
+
 fn arb_entry() -> impl Strategy<Value = StoredEntry> {
     ("[a-z0-9-]{1,24}", 0u64..1_000_000).prop_map(|(name, weight)| StoredEntry { name, weight })
 }
@@ -22,7 +32,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
     let rpc = any::<u64>();
     prop_oneof![
         (rpc, arb_contact()).prop_map(|(rpc, from)| Message::Ping { rpc, from }),
-        (rpc, arb_contact()).prop_map(|(rpc, from)| Message::Pong { rpc, from }),
+        (rpc, arb_contact(), arb_digest()).prop_map(|(rpc, from, digest)| Message::Pong {
+            rpc,
+            from,
+            digest
+        }),
         (rpc, arb_contact(), any::<[u8; 20]>()).prop_map(|(rpc, from, t)| Message::FindNode {
             rpc,
             from,
@@ -31,12 +45,14 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (
             rpc,
             arb_contact(),
-            proptest::collection::vec(arb_contact(), 0..24)
+            proptest::collection::vec(arb_contact(), 0..24),
+            arb_digest()
         )
-            .prop_map(|(rpc, from, contacts)| Message::FoundNodes {
+            .prop_map(|(rpc, from, contacts, digest)| Message::FoundNodes {
                 rpc,
                 from,
-                contacts
+                contacts,
+                digest
             }),
         (
             rpc,
@@ -57,10 +73,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
             arb_contact(),
             proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
             proptest::collection::vec(arb_entry(), 0..16),
-            (any::<bool>(), any::<u64>(), any::<bool>())
+            (any::<bool>(), any::<u64>(), any::<bool>()),
+            arb_digest()
         )
             .prop_map(
-                |(rpc, from, blob, entries, (truncated, version, from_cache))| {
+                |(rpc, from, blob, entries, (truncated, version, from_cache), digest)| {
                     Message::FoundValue {
                         rpc,
                         from,
@@ -69,6 +86,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
                         truncated,
                         version,
                         from_cache,
+                        digest,
                     }
                 }
             ),

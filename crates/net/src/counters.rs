@@ -33,6 +33,9 @@ struct Inner {
     replicas_demoted: AtomicU64,
     leave_notices: AtomicU64,
     leave_handoffs: AtomicU64,
+    revalidations: AtomicU64,
+    stale_drops: AtomicU64,
+    warm_redirects: AtomicU64,
 }
 
 impl NetCounters {
@@ -123,6 +126,24 @@ impl NetCounters {
         self.inner.leave_handoffs.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records a version-gossip revalidation: a stale digest dropped a
+    /// cached view and a direct refresh `FindValue` was issued for it.
+    pub fn record_revalidation(&self) {
+        self.inner.revalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` cached views dropped because a gossiped digest carried
+    /// a newer write-version than they were read at.
+    pub fn record_stale_drops(&self, n: u64) {
+        self.inner.stale_drops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` lookup queries routed to a *warm* peer (a known recent
+    /// server of the key) ahead of a strictly nearer cold candidate.
+    pub fn record_warm_redirects(&self, n: u64) {
+        self.inner.warm_redirects.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Datagrams sent.
     pub fn sent(&self) -> u64 {
         self.inner.sent.load(Ordering::Relaxed)
@@ -198,6 +219,21 @@ impl NetCounters {
         self.inner.leave_handoffs.load(Ordering::Relaxed)
     }
 
+    /// Version-gossip revalidation RPCs issued.
+    pub fn revalidations(&self) -> u64 {
+        self.inner.revalidations.load(Ordering::Relaxed)
+    }
+
+    /// Cached views dropped on stale digests.
+    pub fn stale_drops(&self) -> u64 {
+        self.inner.stale_drops.load(Ordering::Relaxed)
+    }
+
+    /// Lookup queries redirected to warm peers.
+    pub fn warm_redirects(&self) -> u64 {
+        self.inner.warm_redirects.load(Ordering::Relaxed)
+    }
+
     /// Total maintenance traffic: probes + handoffs + re-replications +
     /// graceful-leave notices and parting handoffs.
     pub fn maintenance_messages(&self) -> u64 {
@@ -268,6 +304,23 @@ mod tests {
         assert_eq!(c.leave_notices(), 4);
         assert_eq!(c2.leave_handoffs(), 2);
         assert_eq!(c.maintenance_messages(), 16);
+    }
+
+    #[test]
+    fn freshness_counters_accumulate_and_share() {
+        let c = NetCounters::new();
+        let c2 = c.clone();
+        c.record_revalidation();
+        c2.record_stale_drops(3);
+        c.record_warm_redirects(2);
+        assert_eq!(c2.revalidations(), 1);
+        assert_eq!(c.stale_drops(), 3);
+        assert_eq!(c2.warm_redirects(), 2);
+        assert_eq!(
+            c.maintenance_messages(),
+            0,
+            "freshness traffic is lookup-path, not maintenance"
+        );
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Consolidated CI benchmark artifact: runs the three load-scaling
+//! ablations at smoke scale and emits one `BENCH_ci.json` with the
+//! headline numbers the perf trajectory is tracked by — cache hit ratio,
+//! lookup hops per GET, maintenance messages per GET, max-load ratio, and
+//! the freshness staleness percentiles. The CI `bench` job uploads the
+//! file as a workflow artifact, so every run leaves a data point.
+//!
+//! The schema is documented in `crates/bench/README.md`; all runs are
+//! seeded (`--seed`, default 42) and deterministic, so diffs between two
+//! artifacts are real regressions or wins, never noise.
+
+use dharma_sim::{
+    simulate_cache_workload, simulate_churn, simulate_freshness, CacheSimConfig, ChurnConfig,
+    ExpArgs, FreshSimConfig,
+};
+
+fn main() {
+    let args = ExpArgs::parse();
+
+    // ----- cache effectiveness (A5 smoke scale) -----------------------
+    let cache_base = CacheSimConfig {
+        nodes: 32,
+        k: 6,
+        keys: 16,
+        ops: 600,
+        zipf_s: 1.2,
+        seed: args.seed,
+        ..CacheSimConfig::default()
+    };
+    let cache_off = simulate_cache_workload(&cache_base);
+    let cache_on = simulate_cache_workload(&CacheSimConfig {
+        cache: Some(CacheSimConfig::ablation_cache()),
+        replication: Some(CacheSimConfig::ablation_replication()),
+        ..cache_base.clone()
+    });
+    // How much the busiest node's GET load drops when caching is on.
+    let max_load_ratio = if cache_on.max_get_load == 0 {
+        0.0
+    } else {
+        cache_off.max_get_load as f64 / cache_on.max_get_load as f64
+    };
+
+    // ----- adaptive maintenance (A7 smoke scale) ----------------------
+    let churn = simulate_churn(&ChurnConfig {
+        nodes: 24,
+        k: 8,
+        keys: 12,
+        horizon_us: 60_000_000,
+        op_interval_us: 500_000,
+        mean_session_us: 20_000_000,
+        mean_downtime_us: 5_000_000,
+        sample_interval_us: 3_000_000,
+        repair: Some(ChurnConfig::ablation_adaptive()),
+        seed: args.seed,
+        ..ChurnConfig::default()
+    });
+
+    // ----- cache freshness (A8 smoke scale) ---------------------------
+    let fresh_base = FreshSimConfig {
+        nodes: 32,
+        k: 6,
+        keys: 16,
+        ops: 600,
+        seed: args.seed,
+        ..FreshSimConfig::default()
+    };
+    let fresh_ttl = simulate_freshness(&fresh_base);
+    let fresh_gossip = simulate_freshness(&FreshSimConfig {
+        freshness: Some(FreshSimConfig::ablation_freshness()),
+        ..fresh_base.clone()
+    });
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"dharma-bench-ci/1\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"cache\": {{\n",
+            "    \"hit_ratio\": {hit:.6},\n",
+            "    \"max_load_ratio\": {mlr:.4},\n",
+            "    \"messages_per_get\": {mpg:.4}\n",
+            "  }},\n",
+            "  \"maintenance\": {{\n",
+            "    \"lookup_success\": {ok:.6},\n",
+            "    \"lost_records\": {lost},\n",
+            "    \"maint_msgs_per_get\": {maint:.4}\n",
+            "  }},\n",
+            "  \"freshness\": {{\n",
+            "    \"ttl_only_hit_ratio\": {fth:.6},\n",
+            "    \"gossip_hit_ratio\": {fgh:.6},\n",
+            "    \"ttl_only_p99_staleness_us\": {ftp},\n",
+            "    \"gossip_p99_staleness_us\": {fgp},\n",
+            "    \"ttl_only_hops_per_get\": {fthop:.4},\n",
+            "    \"gossip_hops_per_get\": {fghop:.4}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        seed = args.seed,
+        hit = cache_on.hit_ratio,
+        mlr = max_load_ratio,
+        mpg = cache_on.messages_per_get,
+        ok = churn.lookup_success,
+        lost = churn.lost_records,
+        maint = churn.maint_msgs_per_get,
+        fth = fresh_ttl.hit_ratio,
+        fgh = fresh_gossip.hit_ratio,
+        ftp = fresh_ttl.p99_staleness_us,
+        fgp = fresh_gossip.p99_staleness_us,
+        fthop = fresh_ttl.mean_hops_per_get,
+        fghop = fresh_gossip.mean_hops_per_get,
+    );
+
+    std::fs::create_dir_all(&args.out).expect("output dir");
+    let path = std::path::Path::new(&args.out).join("BENCH_ci.json");
+    std::fs::write(&path, &json).expect("write BENCH_ci.json");
+    print!("{json}");
+    println!("wrote {}", path.display());
+}

@@ -14,6 +14,8 @@
 //! | `ablation_cache` | A5 — hot-block caching & adaptive replication vs Zipf load |
 //! | `ablation_churn` | A6 — churn rate × repair on/off (`dharma-maint`) |
 //! | `ablation_adaptive` | A7 — fixed vs adaptive cadence × churn, graceful leave (`dharma-adapt`) |
+//! | `ablation_freshness` | A8 — TTL-only vs version gossip vs gossip + warm routing (`dharma-fresh`) |
+//! | `bench_ci` | consolidated `BENCH_ci.json` for the CI bench job |
 //! | `run_all` | everything above, in sequence |
 //!
 //! Each binary prints the paper-shaped table to stdout and writes CSV series
@@ -24,6 +26,7 @@
 pub mod args;
 pub mod cache_sim;
 pub mod churn;
+pub mod fresh_sim;
 pub mod output;
 pub mod overlay;
 pub mod parallel_replay;
@@ -35,6 +38,7 @@ pub mod trend;
 pub use args::ExpArgs;
 pub use cache_sim::{simulate_cache_workload, CacheSimConfig, CacheSimReport};
 pub use churn::{simulate_churn, ChurnConfig, ChurnReport};
+pub use fresh_sim::{simulate_freshness, FreshSimConfig, FreshSimReport};
 pub use parallel_replay::replay_parallel;
 pub use pipeline::ExpContext;
 pub use replay::{replay, EventOrder, ReplayConfig};

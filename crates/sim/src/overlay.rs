@@ -1,6 +1,6 @@
 //! Simulated-overlay construction shared by the DHT-level experiments.
 
-use dharma_cache::{CacheConfig, PopularityConfig};
+use dharma_cache::{CacheConfig, FreshConfig, PopularityConfig};
 use dharma_kademlia::{KadConfig, KademliaNode, MaintConfig};
 use dharma_net::{SimConfig, SimNet};
 use dharma_types::Id160;
@@ -31,6 +31,9 @@ pub struct OverlayConfig {
     /// Churn maintenance (probes / handoff / repair) on every node.
     /// `None` keeps the static-experiment overlay byte-identical to PR 2.
     pub maintenance: Option<MaintConfig>,
+    /// Version gossip & cache-aware lookup routing on every node
+    /// (`dharma-fresh`); `None` keeps the TTL-only cache protocol.
+    pub freshness: Option<FreshConfig>,
 }
 
 impl Default for OverlayConfig {
@@ -46,6 +49,28 @@ impl Default for OverlayConfig {
             cache: None,
             replication: None,
             maintenance: None,
+            freshness: None,
+        }
+    }
+}
+
+impl OverlayConfig {
+    /// The per-node protocol configuration this overlay runs, recording
+    /// into `counters`. Exposed so drivers that spawn *additional* nodes
+    /// mid-run (e.g. the freshness turnover scenario) give them exactly
+    /// the config the original fleet got.
+    pub fn kad_config(&self, counters: dharma_net::NetCounters) -> KadConfig {
+        KadConfig {
+            k: self.k,
+            alpha: self.alpha,
+            rpc_timeout_us: 300_000,
+            reply_budget: self.mtu.saturating_sub(200).max(256),
+            cache: self.cache.clone(),
+            replication: self.replication.clone(),
+            maintenance: self.maintenance.clone(),
+            freshness: self.freshness.clone(),
+            counters,
+            ..KadConfig::default()
         }
     }
 }
@@ -61,17 +86,7 @@ pub fn build_overlay(cfg: &OverlayConfig) -> SimNet<KademliaNode> {
         seed: cfg.seed,
     });
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD1A2);
-    let kad = KadConfig {
-        k: cfg.k,
-        alpha: cfg.alpha,
-        rpc_timeout_us: 300_000,
-        reply_budget: cfg.mtu.saturating_sub(200).max(256),
-        cache: cfg.cache.clone(),
-        replication: cfg.replication.clone(),
-        maintenance: cfg.maintenance.clone(),
-        counters: net.counters(),
-        ..KadConfig::default()
-    };
+    let kad = cfg.kad_config(net.counters());
     let mut rendezvous = None;
     for i in 0..cfg.nodes {
         let id = Id160::random(&mut rng);
