@@ -15,6 +15,7 @@ pub(crate) fn overlay(n: usize, seed: u64) -> SimNet<KademliaNode> {
         drop_rate: 0.0,
         mtu: 64 * 1024,
         seed,
+        shards: 1,
     });
     let mut rng = StdRng::seed_from_u64(seed);
     let cfg = KadConfig {

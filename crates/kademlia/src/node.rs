@@ -988,17 +988,7 @@ impl KademliaNode {
 
     /// A `Replicate`-ready snapshot of one held value.
     fn snapshot_value(&self, key: &Id160) -> Option<(Option<Vec<u8>>, Vec<StoredEntry>)> {
-        self.storage.get(key).map(|state| {
-            let entries: Vec<StoredEntry> = state
-                .entries
-                .iter()
-                .map(|(name, &weight)| StoredEntry {
-                    name: name.clone(),
-                    weight,
-                })
-                .collect();
-            (state.blob.clone(), entries)
-        })
+        self.storage.snapshot(key)
     }
 
     /// `Replicate` push of `key`'s snapshot to `to` (idempotent merge-max
@@ -2596,6 +2586,7 @@ mod tests {
             drop_rate: 0.0,
             mtu: 64 * 1024,
             seed,
+            shards: 1,
         });
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A2);
         let cfg = KadConfig {
@@ -2793,6 +2784,7 @@ mod tests {
             drop_rate: 0.0,
             mtu: 64 * 1024,
             seed,
+            shards: 1,
         });
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A2);
         let counters = NetCounters::new();
@@ -3003,6 +2995,7 @@ mod tests {
             drop_rate: 0.0,
             mtu: 64 * 1024,
             seed,
+            shards: 1,
         });
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A2);
         let counters = NetCounters::new();
@@ -4029,6 +4022,7 @@ mod tests {
             drop_rate: 0.0,
             mtu: 64 * 1024,
             seed: 21,
+            shards: 1,
         });
         let cfg = KadConfig {
             record_ttl_us: Some(2_000_000),
@@ -4059,6 +4053,7 @@ mod tests {
             drop_rate: 0.0,
             mtu: 64 * 1024,
             seed: 22,
+            shards: 1,
         });
         let cfg = KadConfig {
             republish_interval_us: Some(1_000_000),

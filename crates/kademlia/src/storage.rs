@@ -6,18 +6,36 @@
 //! only by the addition of one-bit tokens"). Reads support index-side
 //! filtering: the heaviest `top_n` entries, bounded further by an encoded
 //! payload budget so replies fit one UDP datagram (§V-A).
+//!
+//! ## Memory layout
+//!
+//! Node state is the dominant RAM cost of large simulations, and record
+//! storage dominates node state, so the representation is compact by
+//! construction:
+//!
+//! * entry names are interned **once per node** in a [`NameInterner`] —
+//!   every value stores `(Sym, weight)` pairs (12 bytes each, sorted by
+//!   symbol for binary-search lookup) instead of an owned `String` per
+//!   entry per key. Tag vocabularies are tiny compared to key counts, so
+//!   the shared table amortizes to near-zero per record;
+//! * blobs are `Box<[u8]>` — no spare `Vec` capacity is retained.
+//!
+//! The compact layout is an internal detail: reads resolve symbols back to
+//! names ([`Storage::snapshot`], [`Storage::read_filtered`]) and all
+//! observable semantics — ordering, truncation, versioning, expiry — are
+//! unchanged from the string-keyed representation.
 
-use dharma_types::{FxHashMap, Id160};
+use dharma_types::{FxHashMap, Id160, NameInterner, Sym};
 
 use crate::messages::StoredEntry;
 
-/// A stored value.
+/// A stored value (compact form; names are interned per [`Storage`]).
 #[derive(Clone, Debug, Default)]
 pub struct ValueState {
-    /// Blob payload (`r̃` URI records).
-    pub blob: Option<Vec<u8>>,
-    /// Weighted entries, name → token count.
-    pub entries: FxHashMap<String, u64>,
+    /// Blob payload (`r̃` URI records), stored without spare capacity.
+    blob: Option<Box<[u8]>>,
+    /// Weighted entries, `(interned name, token count)`, sorted by symbol.
+    entries: Vec<(Sym, u64)>,
     /// Last write (or replication refresh) time, µs. Drives expiry.
     pub refreshed_us: u64,
     /// Monotone write counter, bumped by every effective mutation. Cached
@@ -30,10 +48,64 @@ pub struct ValueState {
     pub version: u64,
 }
 
+impl ValueState {
+    /// The blob payload, if stored.
+    pub fn blob(&self) -> Option<&[u8]> {
+        self.blob.as_deref()
+    }
+
+    /// Number of weighted entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn weight_of(&self, sym: Sym) -> Option<u64> {
+        self.entries
+            .binary_search_by_key(&sym, |&(s, _)| s)
+            .ok()
+            .map(|ix| self.entries[ix].1)
+    }
+
+    /// Adds `tokens` to `sym`'s weight (inserting at the sort position on
+    /// first sight) and returns the new weight.
+    fn add(&mut self, sym: Sym, tokens: u64) -> u64 {
+        match self.entries.binary_search_by_key(&sym, |&(s, _)| s) {
+            Ok(ix) => {
+                self.entries[ix].1 += tokens;
+                self.entries[ix].1
+            }
+            Err(ix) => {
+                self.entries.insert(ix, (sym, tokens));
+                tokens
+            }
+        }
+    }
+
+    /// Raises `sym`'s weight to at least `weight`; true when it changed.
+    fn raise_to(&mut self, sym: Sym, weight: u64) -> bool {
+        match self.entries.binary_search_by_key(&sym, |&(s, _)| s) {
+            Ok(ix) => {
+                if weight > self.entries[ix].1 {
+                    self.entries[ix].1 = weight;
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(ix) => {
+                self.entries.insert(ix, (sym, weight));
+                true
+            }
+        }
+    }
+}
+
 /// Node-local storage.
 #[derive(Clone, Debug, Default)]
 pub struct Storage {
     values: FxHashMap<Id160, ValueState>,
+    /// Shared name table: every entry name across every key, stored once.
+    names: NameInterner,
 }
 
 /// Result of a filtered read.
@@ -73,25 +145,17 @@ impl Storage {
     /// Stores/replaces the blob at `key`.
     pub fn put_blob(&mut self, key: Id160, blob: Vec<u8>) {
         let state = self.values.entry(key).or_default();
-        state.blob = Some(blob);
+        state.blob = Some(blob.into_boxed_slice());
         state.version += 1;
     }
 
     /// Appends `tokens` to entry `name` at `key` (creating both as needed).
     /// Returns the new weight.
     pub fn append(&mut self, key: Id160, name: &str, tokens: u64) -> u64 {
+        let sym = self.names.intern(name);
         let state = self.values.entry(key).or_default();
         state.version += 1;
-        match state.entries.get_mut(name) {
-            Some(w) => {
-                *w += tokens;
-                *w
-            }
-            None => {
-                state.entries.insert(name.to_owned(), tokens);
-                tokens
-            }
-        }
+        state.add(sym, tokens)
     }
 
     /// The write-version of `key` (0 when absent or never written).
@@ -119,20 +183,17 @@ impl Storage {
         entries: &[crate::messages::StoredEntry],
         now_us: u64,
     ) {
+        let syms: Vec<Sym> = entries.iter().map(|e| self.names.intern(&e.name)).collect();
         let state = self.values.entry(key).or_default();
         let mut changed = false;
         if state.blob.is_none() {
             if let Some(b) = blob {
-                state.blob = Some(b.to_vec());
+                state.blob = Some(b.to_vec().into_boxed_slice());
                 changed = true;
             }
         }
-        for e in entries {
-            let slot = state.entries.entry(e.name.clone()).or_insert(0);
-            if e.weight > *slot {
-                *slot = e.weight;
-                changed = true;
-            }
+        for (e, sym) in entries.iter().zip(syms) {
+            changed |= state.raise_to(sym, e.weight);
         }
         // Bump the version only when the merge changed something: no-op
         // republish sweeps must not inflate it, or replicas' version
@@ -145,7 +206,9 @@ impl Storage {
     }
 
     /// Drops one value outright (replica demotion / manual reclamation).
-    /// Returns true when the key was present.
+    /// Returns true when the key was present. Interned names are kept —
+    /// the vocabulary table only grows, which is fine: it is shared and
+    /// tiny relative to the values it deduplicates.
     pub fn remove(&mut self, key: &Id160) -> bool {
         self.values.remove(key).is_some()
     }
@@ -164,11 +227,31 @@ impl Storage {
         self.values.get(key)
     }
 
+    /// A `Replicate`-ready snapshot of one held value: the blob plus every
+    /// entry with its name resolved from the intern table. Entry order is
+    /// symbol order (deterministic; receivers re-rank by weight anyway).
+    pub fn snapshot(&self, key: &Id160) -> Option<(Option<Vec<u8>>, Vec<StoredEntry>)> {
+        self.values.get(key).map(|state| {
+            let entries: Vec<StoredEntry> = state
+                .entries
+                .iter()
+                .map(|&(sym, weight)| StoredEntry {
+                    name: self.names.resolve(sym).to_owned(),
+                    weight,
+                })
+                .collect();
+            (state.blob.as_deref().map(<[u8]>::to_vec), entries)
+        })
+    }
+
     /// The weight of one entry (0 when absent).
     pub fn weight(&self, key: &Id160, name: &str) -> u64 {
+        let Some(sym) = self.names.lookup(name) else {
+            return 0;
+        };
         self.values
             .get(key)
-            .and_then(|v| v.entries.get(name).copied())
+            .and_then(|v| v.weight_of(sym))
             .unwrap_or(0)
     }
 
@@ -186,8 +269,8 @@ impl Storage {
         let mut entries: Vec<StoredEntry> = state
             .entries
             .iter()
-            .map(|(name, &weight)| StoredEntry {
-                name: name.clone(),
+            .map(|&(sym, weight)| StoredEntry {
+                name: self.names.resolve(sym).to_owned(),
                 weight,
             })
             .collect();
@@ -212,7 +295,7 @@ impl Storage {
         entries.truncate(keep);
         Some(FilteredRead {
             entries,
-            blob: state.blob.clone(),
+            blob: state.blob.as_deref().map(<[u8]>::to_vec),
             truncated,
             version: state.version,
         })
@@ -221,6 +304,21 @@ impl Storage {
     /// Iterates all keys (replication/maintenance).
     pub fn keys(&self) -> impl Iterator<Item = &Id160> {
         self.values.keys()
+    }
+
+    /// Approximate heap bytes held: values, entry vectors, blobs, and the
+    /// shared name table. Used by scale runs to report per-node state size.
+    pub fn heap_bytes(&self) -> usize {
+        let per_value = std::mem::size_of::<Id160>() + std::mem::size_of::<ValueState>();
+        let values: usize = self
+            .values
+            .values()
+            .map(|v| {
+                v.entries.len() * std::mem::size_of::<(Sym, u64)>()
+                    + v.blob.as_ref().map(|b| b.len()).unwrap_or(0)
+            })
+            .sum();
+        self.values.len() * per_value + values + self.names.heap_bytes()
     }
 }
 
@@ -325,7 +423,7 @@ mod tests {
         s.merge_max(k, Some(b"uri"), &snapshot, 200);
         assert_eq!(s.weight(&k, "rock"), 5, "max, not sum");
         assert_eq!(s.weight(&k, "pop"), 2);
-        assert_eq!(s.get(&k).unwrap().blob.as_deref(), Some(b"uri".as_slice()));
+        assert_eq!(s.get(&k).unwrap().blob(), Some(b"uri".as_slice()));
         // Local value above the snapshot survives.
         s.append(k, "rock", 10);
         s.merge_max(k, None, &snapshot, 300);
@@ -355,5 +453,57 @@ mod tests {
         let s = Storage::new();
         assert!(s.read_filtered(&sha1(b"nope"), 10, 1000).is_none());
         assert!(!s.contains(&sha1(b"nope")));
+    }
+
+    #[test]
+    fn snapshot_resolves_interned_names() {
+        let mut s = Storage::new();
+        let k1 = sha1(b"k1");
+        let k2 = sha1(b"k2");
+        s.append(k1, "rock", 3);
+        s.append(k1, "pop", 1);
+        // Same names on another key: the intern table stores them once.
+        s.append(k2, "rock", 7);
+        s.put_blob(k2, b"uri://x".to_vec());
+        let (blob, entries) = s.snapshot(&k1).unwrap();
+        assert!(blob.is_none());
+        let mut names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["pop", "rock"]);
+        assert_eq!(entries.iter().find(|e| e.name == "rock").unwrap().weight, 3);
+        let (blob, entries) = s.snapshot(&k2).unwrap();
+        assert_eq!(blob.as_deref(), Some(b"uri://x".as_slice()));
+        assert_eq!(entries.len(), 1);
+        assert!(s.snapshot(&sha1(b"absent")).is_none());
+        assert!(s.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn shared_vocabulary_is_stored_once() {
+        // 200 keys × the same 4 tags: entry storage is 200×4 (Sym, u64)
+        // pairs, but the name bytes appear exactly 4 times.
+        let mut s = Storage::new();
+        for i in 0..200u32 {
+            let k = sha1(&i.to_be_bytes());
+            for tag in ["rock", "pop", "jazz", "metal"] {
+                s.append(k, tag, u64::from(i) + 1);
+            }
+        }
+        assert_eq!(s.len(), 200);
+        for i in 0..200u32 {
+            let k = sha1(&i.to_be_bytes());
+            assert_eq!(s.weight(&k, "jazz"), u64::from(i) + 1);
+            assert_eq!(s.get(&k).unwrap().entry_count(), 4);
+        }
+        // Against a store with 800 *distinct* names, the shared-vocabulary
+        // store is strictly smaller: name bytes are paid once, not per key.
+        let mut unique = Storage::new();
+        for i in 0..200u32 {
+            let k = sha1(&i.to_be_bytes());
+            for tag in ["rock", "pop", "jazz", "metal"] {
+                unique.append(k, &format!("{tag}-{i}"), u64::from(i) + 1);
+            }
+        }
+        assert!(s.heap_bytes() < unique.heap_bytes());
     }
 }

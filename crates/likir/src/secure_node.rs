@@ -181,6 +181,7 @@ mod tests {
             drop_rate: 0.0,
             mtu: 4096,
             seed: 5,
+            shards: 1,
         })
     }
 

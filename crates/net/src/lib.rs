@@ -27,6 +27,6 @@ pub mod node;
 pub mod sim;
 pub mod udp;
 
-pub use counters::NetCounters;
+pub use counters::{NetCounters, ShardCounters};
 pub use node::{Ctx, Instrumented, Metric, Node, NodeAddr, OutMessage};
 pub use sim::{SimConfig, SimNet};

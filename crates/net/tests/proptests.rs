@@ -35,6 +35,7 @@ fn run(scripts: &[Vec<(NodeAddr, u8)>], seed: u64, drop_rate: f64) -> RunResult 
         drop_rate,
         mtu: 1_400,
         seed,
+        shards: 1,
     });
     for script in scripts {
         net.add_node(Scripted {
@@ -161,6 +162,7 @@ fn run_lifecycle(ops: &[LifecycleOp], seed: u64) -> (u64, (u64, u64, u64, u64), 
         drop_rate: 0.0,
         mtu: 1_400,
         seed,
+        shards: 1,
     });
     let mut live: Vec<NodeAddr> = Vec::new();
     let mut removed: Vec<NodeAddr> = Vec::new();
@@ -225,5 +227,214 @@ proptest! {
         let a = run_lifecycle(&ops, seed);
         let b = run_lifecycle(&ops, seed);
         prop_assert_eq!(a, b);
+    }
+}
+
+/// A scripted echo/completer node for the sharded-equivalence property:
+/// sends a start batch, acknowledges every datagram below a bounce budget,
+/// re-arms one periodic timer, and completes one op per payload seen.
+struct Mixed {
+    script: Vec<(NodeAddr, u8)>,
+    bounces: u8,
+    received: Vec<(u64, NodeAddr, u8)>,
+    timers: Vec<(u64, u64)>,
+}
+
+impl Node for Mixed {
+    type Output = (u64, u8);
+
+    fn on_start(&mut self, ctx: &mut Ctx<(u64, u8)>) {
+        for &(to, tag) in &self.script {
+            ctx.send(to, Bytes::from(vec![tag, 0]));
+        }
+        ctx.set_timer(1_500, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<(u64, u8)>, from: NodeAddr, payload: Bytes) {
+        let (tag, hops) = (payload[0], payload[1]);
+        self.received.push((ctx.now_us, from, tag));
+        ctx.complete(u64::from(tag), (ctx.now_us, hops));
+        if hops < self.bounces {
+            ctx.send(from, Bytes::from(vec![tag, hops + 1]));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<(u64, u8)>, id: u64) {
+        self.timers.push((ctx.now_us, id));
+        if id < 3 {
+            // A few timer rounds, each poking the next node round-robin.
+            ctx.send(
+                (ctx.self_addr + 1) % 8,
+                Bytes::from(vec![200 + id as u8, 0]),
+            );
+            ctx.set_timer(1_500, id + 1);
+        }
+    }
+}
+
+/// One scenario action interleaved with sharded runs.
+#[derive(Clone, Debug)]
+enum ShardOp {
+    /// Run for this many µs of virtual time.
+    Run(u16),
+    /// Crash the node at this (modular) position.
+    Crash(u8),
+    /// Revive a crashed node again.
+    Revive(u8),
+    /// Permanently remove the node at this (modular) position.
+    Remove(u8),
+    /// Spawn a fresh node scripted to poke this position.
+    Spawn(u8),
+}
+
+fn arb_shard_ops() -> impl Strategy<Value = Vec<ShardOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (500u16..20_000).prop_map(ShardOp::Run),
+            any::<u8>().prop_map(ShardOp::Crash),
+            any::<u8>().prop_map(ShardOp::Revive),
+            any::<u8>().prop_map(ShardOp::Remove),
+            any::<u8>().prop_map(ShardOp::Spawn),
+        ],
+        1..24,
+    )
+}
+
+/// Everything observable about a sharded run: per-node logs and timers,
+/// the clock, event count, completions and counters.
+type ShardSnapshot = (
+    Vec<(NodeAddr, Vec<(u64, NodeAddr, u8)>, Vec<(u64, u64)>)>,
+    u64,
+    u64,
+    Vec<(u64, (u64, u8))>,
+    (u64, u64, u64, u64),
+    u64,
+);
+
+fn run_sharded(
+    scripts: &[Vec<(NodeAddr, u8)>],
+    ops: &[ShardOp],
+    seed: u64,
+    drop_rate: f64,
+    shards: usize,
+    parallel: bool,
+) -> ShardSnapshot {
+    let mut net: SimNet<Mixed> = SimNet::new(SimConfig {
+        latency_min_us: 800,
+        latency_max_us: 6_000,
+        drop_rate,
+        mtu: 1_400,
+        seed,
+        shards,
+    });
+    if parallel {
+        net.enable_parallel();
+    }
+    for script in scripts {
+        net.add_node(Mixed {
+            script: script.clone(),
+            bounces: 2,
+            received: Vec::new(),
+            timers: Vec::new(),
+        });
+    }
+    let mut completions = Vec::new();
+    let mut crashed: Vec<NodeAddr> = Vec::new();
+    let mut live: Vec<NodeAddr> = (0..scripts.len() as NodeAddr).collect();
+    let mut deadline = 0u64;
+    for op in ops {
+        match op {
+            ShardOp::Run(dt) => {
+                deadline += u64::from(*dt);
+                net.run_until(deadline);
+            }
+            ShardOp::Crash(pos) => {
+                if !live.is_empty() {
+                    let addr = live[*pos as usize % live.len()];
+                    if net.is_alive(addr) {
+                        net.crash(addr);
+                        crashed.push(addr);
+                    }
+                }
+            }
+            ShardOp::Revive(pos) => {
+                if !crashed.is_empty() {
+                    let addr = crashed.remove(*pos as usize % crashed.len());
+                    net.revive(addr);
+                }
+            }
+            ShardOp::Remove(pos) => {
+                if live.len() > 1 {
+                    let addr = live.remove(*pos as usize % live.len());
+                    crashed.retain(|&a| a != addr);
+                    assert!(net.remove(addr).is_some());
+                    assert_eq!(net.pending_events_for(addr), 0);
+                }
+            }
+            ShardOp::Spawn(pos) => {
+                let target = live[*pos as usize % live.len()];
+                let addr = net.spawn(Mixed {
+                    script: vec![(target, 250)],
+                    bounces: 2,
+                    received: Vec::new(),
+                    timers: Vec::new(),
+                });
+                live.push(addr);
+            }
+        }
+        completions.extend(net.take_completions());
+    }
+    net.run_until(deadline + 60_000);
+    completions.extend(net.take_completions());
+    let mut nodes = Vec::new();
+    for addr in 0..net.len() as NodeAddr {
+        if net.is_removed(addr) {
+            continue;
+        }
+        let n = net.node(addr);
+        nodes.push((addr, n.received.clone(), n.timers.clone()));
+    }
+    (
+        nodes,
+        net.now_us(),
+        net.events_processed(),
+        completions,
+        net.counters().snapshot(),
+        net.counters().timers_fired(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The satellite equivalence property: for randomized overlays with
+    /// churn (crash/revive/remove/spawn interleaved with timed runs), the
+    /// sharded engine at 2, 4 and 8 shards — executed serially *and* on
+    /// the work-stealing pool — produces bit-identical counters,
+    /// completions and final node state.
+    #[test]
+    fn sharded_engine_equivalent_across_shards_and_threads(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec((0u32..8, any::<u8>()), 0..6),
+            8..=8,
+        ),
+        ops in arb_shard_ops(),
+        seed in any::<u64>(),
+        drop_rate in prop_oneof![Just(0.0), Just(0.15)],
+    ) {
+        // Serial execution of the 2-shard engine is the reference.
+        let base = run_sharded(&scripts, &ops, seed, drop_rate, 2, false);
+        for shards in [2usize, 4, 8] {
+            for parallel in [false, true] {
+                if shards == 2 && !parallel {
+                    continue;
+                }
+                let got = run_sharded(&scripts, &ops, seed, drop_rate, shards, parallel);
+                prop_assert_eq!(
+                    &got, &base,
+                    "shards={} parallel={} diverged", shards, parallel
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,212 @@
+//! `BENCH_ci.json` trend gate: compares two benchmark artifacts and flags
+//! quality regressions beyond a tolerance band.
+//!
+//! The artifact is the hand-rolled two-level JSON `bench_ci` emits
+//! (`dharma-bench-ci/1`/`2` schema). The parser here is deliberately
+//! minimal — section-aware line scanning, no serde — because the format
+//! is machine-written by this repo with one `"key": value` pair per line.
+//!
+//! Only *quality* metrics are gated, direction-aware:
+//!
+//! * higher-is-better: hit ratios, lookup success, max-load ratio,
+//!   availability — regression when `new < old × (1 − tolerance)`;
+//! * lower-is-better: staleness, hops, per-GET message costs, lost
+//!   records — regression when `new > old × (1 + tolerance)` (and any
+//!   increase from a zero baseline).
+//!
+//! Everything else — seeds, raw event counts, events/sec, wall time, RSS —
+//! is informational: wall-clock metrics are nondeterministic across
+//! runners, and raw counts move legitimately whenever a scenario is
+//! retuned, so neither belongs in a pass/fail gate.
+
+use dharma_types::FxHashMap;
+
+/// Gate tolerance: a metric may move 15% in the losing direction before
+/// the comparison fails (the ROADMAP's trend-gate band).
+pub const TOLERANCE: f64 = 0.15;
+
+/// Flat metric view of one artifact: `"section.key" → value`.
+pub fn parse_metrics(json: &str) -> FxHashMap<String, f64> {
+    let mut out = FxHashMap::default();
+    let mut section: Vec<String> = Vec::new();
+    for raw in json.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.ends_with('}') && !section.is_empty() && !line.contains(':') {
+            section.pop();
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        if value == "{" {
+            section.push(key.to_string());
+            continue;
+        }
+        if let Ok(num) = value.parse::<f64>() {
+            let path = if section.is_empty() {
+                key.to_string()
+            } else {
+                format!("{}.{key}", section.join("."))
+            };
+            out.insert(path, num);
+        }
+    }
+    out
+}
+
+/// Whether a metric path is gated, and in which direction. `None` =
+/// informational only.
+fn direction(path: &str) -> Option<bool> {
+    // true = higher is better, false = lower is better.
+    let higher = [
+        "hit_ratio",
+        "lookup_success",
+        "max_load_ratio",
+        "availability",
+    ];
+    let lower = ["staleness", "hops", "per_get", "lost", "messages"];
+    if higher.iter().any(|m| path.contains(m)) {
+        return Some(true);
+    }
+    if lower.iter().any(|m| path.contains(m)) {
+        return Some(false);
+    }
+    None
+}
+
+/// Compares two artifacts; returns one line per regression (empty = pass).
+/// Metrics present in only one artifact are skipped — schema growth must
+/// not fail the gate against an older baseline.
+pub fn compare(old_json: &str, new_json: &str) -> Vec<String> {
+    let old = parse_metrics(old_json);
+    let new = parse_metrics(new_json);
+    let mut failures = Vec::new();
+    let mut paths: Vec<&String> = old.keys().filter(|p| new.contains_key(*p)).collect();
+    paths.sort();
+    for path in paths {
+        let Some(higher_better) = direction(path) else {
+            continue;
+        };
+        let (o, n) = (old[path], new[path.as_str()]);
+        let regressed = if higher_better {
+            n < o * (1.0 - TOLERANCE)
+        } else if o == 0.0 {
+            n > 0.0
+        } else {
+            n > o * (1.0 + TOLERANCE)
+        };
+        if regressed {
+            failures.push(format!(
+                "{path}: {o} -> {n} ({} by more than {:.0}%)",
+                if higher_better { "dropped" } else { "grew" },
+                TOLERANCE * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+  "schema": "dharma-bench-ci/1",
+  "seed": 42,
+  "cache": {
+    "hit_ratio": 0.800000,
+    "max_load_ratio": 3.0000,
+    "messages_per_get": 4.0000
+  },
+  "maintenance": {
+    "lookup_success": 1.000000,
+    "lost_records": 0,
+    "maint_msgs_per_get": 10.0000
+  },
+  "freshness": {
+    "gossip_p99_staleness_us": 100000,
+    "gossip_hops_per_get": 2.0000
+  },
+  "engine": {
+    "serial_events_per_sec": 1000000.0,
+    "speedup": 1.00
+  }
+}
+"#;
+
+    fn tweak(path_key: &str, new_value: &str) -> String {
+        OLD.lines()
+            .map(|l| {
+                if l.trim_start().starts_with(&format!("\"{path_key}\"")) {
+                    let comma = if l.trim_end().ends_with(',') { "," } else { "" };
+                    format!("    \"{path_key}\": {new_value}{comma}")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn parses_sections_into_paths() {
+        let m = parse_metrics(OLD);
+        assert_eq!(m["cache.hit_ratio"], 0.8);
+        assert_eq!(m["maintenance.lost_records"], 0.0);
+        assert_eq!(m["freshness.gossip_p99_staleness_us"], 100_000.0);
+        assert_eq!(m["seed"], 42.0);
+        assert!(!m.contains_key("schema"), "non-numeric values are skipped");
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        assert!(compare(OLD, OLD).is_empty());
+    }
+
+    #[test]
+    fn higher_better_drop_fails_and_rise_passes() {
+        let dropped = tweak("hit_ratio", "0.600000");
+        assert_eq!(compare(OLD, &dropped).len(), 1, "20% hit-ratio drop gates");
+        let improved = tweak("hit_ratio", "0.900000");
+        assert!(compare(OLD, &improved).is_empty());
+        let within = tweak("hit_ratio", "0.700000");
+        assert!(compare(OLD, &within).is_empty(), "12.5% drop is in-band");
+    }
+
+    #[test]
+    fn lower_better_growth_fails_and_drop_passes() {
+        let grew = tweak("gossip_hops_per_get", "2.4000");
+        assert_eq!(compare(OLD, &grew).len(), 1, "20% hops growth gates");
+        let shrunk = tweak("gossip_hops_per_get", "1.0000");
+        assert!(compare(OLD, &shrunk).is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_lower_better_gates_any_growth() {
+        let lost = tweak("lost_records", "1");
+        assert_eq!(compare(OLD, &lost).len(), 1, "0 -> 1 lost records gates");
+    }
+
+    #[test]
+    fn wall_clock_metrics_are_informational() {
+        let slower = tweak("serial_events_per_sec", "100.0");
+        let no_speedup = tweak("speedup", "0.10");
+        assert!(compare(OLD, &slower).is_empty());
+        assert!(compare(OLD, &no_speedup).is_empty());
+    }
+
+    #[test]
+    fn schema_growth_does_not_fail_old_baselines() {
+        let extended = OLD.replace(
+            "  \"engine\": {",
+            "  \"extra\": {\n    \"new_hops_per_get\": 9.0\n  },\n  \"engine\": {",
+        );
+        assert!(
+            compare(OLD, &extended).is_empty(),
+            "new metrics are skipped"
+        );
+        assert!(compare(&extended, OLD).is_empty(), "removed metrics too");
+    }
+}

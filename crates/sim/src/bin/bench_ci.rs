@@ -1,21 +1,61 @@
 //! Consolidated CI benchmark artifact: runs the three load-scaling
 //! ablations at smoke scale and emits one `BENCH_ci.json` with the
 //! headline numbers the perf trajectory is tracked by — cache hit ratio,
-//! lookup hops per GET, maintenance messages per GET, max-load ratio, and
-//! the freshness staleness percentiles. The CI `bench` job uploads the
-//! file as a workflow artifact, so every run leaves a data point.
+//! lookup hops per GET, maintenance messages per GET, max-load ratio, the
+//! freshness staleness percentiles, and the event-engine throughput
+//! section (serial vs sharded events/sec, peak RSS). The CI `bench` job
+//! uploads the file as a workflow artifact, so every run leaves a data
+//! point.
 //!
-//! The schema is documented in `crates/bench/README.md`; all runs are
-//! seeded (`--seed`, default 42) and deterministic, so diffs between two
-//! artifacts are real regressions or wins, never noise.
+//! `bench_ci --compare old.json new.json` is the trend gate: it fails
+//! (exit 1) when a *quality* metric of `new.json` regresses more than 15%
+//! against `old.json` (direction-aware; see `dharma_sim::bench_compare`).
+//! Wall-clock metrics — events/sec, speedup, RSS — are informational and
+//! never gated: they vary across runners.
+//!
+//! The schema is documented in `crates/bench/README.md`; all simulated
+//! metrics are seeded (`--seed`, default 42) and deterministic, so gated
+//! diffs between two artifacts are real regressions or wins, never noise.
 
 use dharma_sim::{
-    simulate_cache_workload, simulate_churn, simulate_freshness, CacheSimConfig, ChurnConfig,
-    ExpArgs, FreshSimConfig,
+    bench_compare, measure_engine_run, scale_bench, simulate_cache_workload, simulate_churn,
+    simulate_freshness, CacheSimConfig, ChurnConfig, ExpArgs, FreshSimConfig,
 };
 
+/// `--compare old.json new.json`: exit 0 on pass, 1 on regression.
+fn run_compare(old_path: &str, new_path: &str) -> ! {
+    let old = std::fs::read_to_string(old_path).unwrap_or_else(|e| panic!("read {old_path}: {e}"));
+    let new = std::fs::read_to_string(new_path).unwrap_or_else(|e| panic!("read {new_path}: {e}"));
+    let failures = bench_compare::compare(&old, &new);
+    if failures.is_empty() {
+        println!("bench compare: no quality regressions vs {old_path}");
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("BENCH REGRESSION: {f}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
-    let args = ExpArgs::parse();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("--compare") {
+        match (raw.get(1), raw.get(2)) {
+            (Some(old), Some(new)) => run_compare(old, new),
+            _ => {
+                eprintln!("usage: bench_ci --compare old.json new.json");
+                std::process::exit(2);
+            }
+        }
+    }
+    let args = match ExpArgs::try_parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: bench_ci [--seed N] [--out DIR] | --compare old.json new.json");
+            std::process::exit(2);
+        }
+    };
 
     // ----- cache effectiveness (A5 smoke scale) -----------------------
     let cache_base = CacheSimConfig {
@@ -70,10 +110,21 @@ fn main() {
         ..fresh_base.clone()
     });
 
+    // ----- engine throughput (serial vs sharded, bench scale) ---------
+    // Event counts are deterministic per discipline; events/sec, speedup
+    // and RSS are wall-clock measurements — informational in the artifact
+    // and explicitly exempt from the `--compare` gate.
+    let mut engine_cfg = scale_bench(args.seed);
+    engine_cfg.shards = 1;
+    let engine_serial = measure_engine_run(&engine_cfg);
+    engine_cfg.shards = 4;
+    let engine_sharded = measure_engine_run(&engine_cfg);
+    let speedup = engine_sharded.events_per_sec / engine_serial.events_per_sec.max(1e-9);
+
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"dharma-bench-ci/1\",\n",
+            "  \"schema\": \"dharma-bench-ci/2\",\n",
             "  \"seed\": {seed},\n",
             "  \"cache\": {{\n",
             "    \"hit_ratio\": {hit:.6},\n",
@@ -92,6 +143,14 @@ fn main() {
             "    \"gossip_p99_staleness_us\": {fgp},\n",
             "    \"ttl_only_hops_per_get\": {fthop:.4},\n",
             "    \"gossip_hops_per_get\": {fghop:.4}\n",
+            "  }},\n",
+            "  \"engine\": {{\n",
+            "    \"serial_events\": {sev},\n",
+            "    \"sharded_events\": {shev},\n",
+            "    \"serial_events_per_sec\": {seps:.1},\n",
+            "    \"sharded_events_per_sec\": {sheps:.1},\n",
+            "    \"speedup\": {spd:.2},\n",
+            "    \"peak_rss_bytes\": {rss}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -108,6 +167,12 @@ fn main() {
         fgp = fresh_gossip.p99_staleness_us,
         fthop = fresh_ttl.mean_hops_per_get,
         fghop = fresh_gossip.mean_hops_per_get,
+        sev = engine_serial.events,
+        shev = engine_sharded.events,
+        seps = engine_serial.events_per_sec,
+        sheps = engine_sharded.events_per_sec,
+        spd = speedup,
+        rss = engine_sharded.peak_rss_bytes,
     );
 
     std::fs::create_dir_all(&args.out).expect("output dir");

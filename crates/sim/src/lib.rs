@@ -15,7 +15,8 @@
 //! | `ablation_churn` | A6 — churn rate × repair on/off (`dharma-maint`) |
 //! | `ablation_adaptive` | A7 — fixed vs adaptive cadence × churn, graceful leave (`dharma-adapt`) |
 //! | `ablation_freshness` | A8 — TTL-only vs version gossip vs gossip + warm routing (`dharma-fresh`) |
-//! | `bench_ci` | consolidated `BENCH_ci.json` for the CI bench job |
+//! | `ablation_scale` | A-scale — serial vs sharded engine throughput at 1k/10k nodes (events/sec, peak RSS) |
+//! | `bench_ci` | consolidated `BENCH_ci.json` for the CI bench job (`--compare` = trend gate) |
 //! | `run_all` | everything above, in sequence |
 //!
 //! Each binary prints the paper-shaped table to stdout and writes CSV series
@@ -24,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod bench_compare;
 pub mod cache_sim;
 pub mod churn;
 pub mod fresh_sim;
@@ -32,6 +34,7 @@ pub mod overlay;
 pub mod parallel_replay;
 pub mod pipeline;
 pub mod replay;
+pub mod scale;
 pub mod search_sim;
 pub mod trend;
 
@@ -42,5 +45,8 @@ pub use fresh_sim::{simulate_freshness, FreshSimConfig, FreshSimReport};
 pub use parallel_replay::replay_parallel;
 pub use pipeline::ExpContext;
 pub use replay::{replay, EventOrder, ReplayConfig};
+pub use scale::{
+    measure_engine_run, peak_rss_bytes, scale_bench, scale_full, scale_smoke, EngineRun,
+};
 pub use search_sim::{simulate_searches, SearchSimConfig, SearchSimReport, StrategyStats};
 pub use trend::{run_trend, TrendConfig, TrendReport};

@@ -1,0 +1,255 @@
+//! Interning tables for the two identifier kinds the node state is full of:
+//! entry names (tag strings) and [`Id160`] storage keys.
+//!
+//! At simulation scale (10⁴–10⁵ nodes) the dominant RAM cost of a node is
+//! its record storage, and the dominant cost of a record is the repeated
+//! identifier material: the same tag names recur across thousands of
+//! entries, and the same block keys recur across replica sets, caches and
+//! per-key statistics. Interning replaces each repeat with a 4-byte handle
+//! into a table that stores the identifier once.
+//!
+//! Both tables use a hash-chain index (`FxHash → candidate ids`) instead of
+//! a `HashMap<owned key, id>` so the identifier bytes are stored exactly
+//! once, in the resolve table. Handles are dense indices: allocation order
+//! is insertion order, which keeps resolution a bounds-checked array load
+//! and makes the tables trivially serializable.
+
+use crate::fx::FxHashMap;
+use crate::id::Id160;
+use std::hash::Hasher;
+
+/// An interned string handle (index into a [`NameInterner`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The dense table index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interned [`Id160`] handle (index into a [`KeyInterner`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Kid(u32);
+
+impl Kid {
+    /// The dense table index of this key handle.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = crate::fx::FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// A string interner: each distinct name is stored once, handles are
+/// [`Sym`]s in insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct NameInterner {
+    /// FxHash of a name → table indices of names with that hash.
+    buckets: FxHashMap<u64, Vec<u32>>,
+    names: Vec<Box<str>>,
+}
+
+impl NameInterner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the handle of `name`, inserting it on first sight.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        let h = fx_hash_bytes(name.as_bytes());
+        let chain = self.buckets.entry(h).or_default();
+        for &ix in chain.iter() {
+            if &*self.names[ix as usize] == name {
+                return Sym(ix);
+            }
+        }
+        let ix = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(name.into());
+        chain.push(ix);
+        Sym(ix)
+    }
+
+    /// Returns the handle of `name` if it was interned before.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        let h = fx_hash_bytes(name.as_bytes());
+        let chain = self.buckets.get(&h)?;
+        chain
+            .iter()
+            .find(|&&ix| &*self.names[ix as usize] == name)
+            .map(|&ix| Sym(ix))
+    }
+
+    /// The name behind a handle.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Approximate heap bytes held by the table (name bytes + index).
+    pub fn heap_bytes(&self) -> usize {
+        let names: usize = self
+            .names
+            .iter()
+            .map(|n| n.len() + std::mem::size_of::<Box<str>>())
+            .sum();
+        let index = self.buckets.len()
+            * (std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>())
+            + self.names.len() * std::mem::size_of::<u32>();
+        names + index
+    }
+}
+
+/// An [`Id160`] interner: each distinct key is stored once (20 bytes),
+/// handles are [`Kid`]s in insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct KeyInterner {
+    buckets: FxHashMap<u64, Vec<u32>>,
+    keys: Vec<Id160>,
+}
+
+impl KeyInterner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the handle of `key`, inserting it on first sight.
+    pub fn intern(&mut self, key: &Id160) -> Kid {
+        let h = fx_hash_bytes(key.as_bytes());
+        let chain = self.buckets.entry(h).or_default();
+        for &ix in chain.iter() {
+            if self.keys[ix as usize] == *key {
+                return Kid(ix);
+            }
+        }
+        let ix = u32::try_from(self.keys.len()).expect("interner overflow");
+        self.keys.push(*key);
+        chain.push(ix);
+        Kid(ix)
+    }
+
+    /// Returns the handle of `key` if it was interned before.
+    pub fn lookup(&self, key: &Id160) -> Option<Kid> {
+        let h = fx_hash_bytes(key.as_bytes());
+        let chain = self.buckets.get(&h)?;
+        chain
+            .iter()
+            .find(|&&ix| self.keys[ix as usize] == *key)
+            .map(|&ix| Kid(ix))
+    }
+
+    /// The key behind a handle.
+    pub fn resolve(&self, kid: Kid) -> &Id160 {
+        &self.keys[kid.index()]
+    }
+
+    /// Number of distinct interned keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when nothing was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_dedupe_and_resolve() {
+        let mut t = NameInterner::new();
+        let a = t.intern("rock");
+        let b = t.intern("jazz");
+        let a2 = t.intern("rock");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a), "rock");
+        assert_eq!(t.resolve(b), "jazz");
+        assert_eq!(t.lookup("rock"), Some(a));
+        assert_eq!(t.lookup("metal"), None);
+        assert!(!t.is_empty());
+        assert!(t.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn names_survive_many_inserts_with_collisions() {
+        // Thousands of short names: exercises bucket chains and checks the
+        // handle ↔ name bijection end-to-end.
+        let mut t = NameInterner::new();
+        let names: Vec<String> = (0..5_000).map(|i| format!("tag-{i}")).collect();
+        let syms: Vec<Sym> = names.iter().map(|n| t.intern(n)).collect();
+        assert_eq!(t.len(), names.len());
+        for (n, s) in names.iter().zip(&syms) {
+            assert_eq!(t.resolve(*s), n.as_str());
+            assert_eq!(t.lookup(n), Some(*s));
+            assert_eq!(t.intern(n), *s, "re-intern must not grow the table");
+        }
+        assert_eq!(t.len(), names.len());
+    }
+
+    #[test]
+    fn empty_and_unusual_names_are_distinct() {
+        let mut t = NameInterner::new();
+        let empty = t.intern("");
+        let nul = t.intern("\0");
+        let spaced = t.intern(" ");
+        assert_eq!(t.len(), 3);
+        assert_ne!(empty, nul);
+        assert_ne!(nul, spaced);
+        assert_eq!(t.resolve(empty), "");
+    }
+
+    #[test]
+    fn keys_dedupe_and_resolve() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut t = KeyInterner::new();
+        let keys: Vec<Id160> = (0..2_000).map(|_| Id160::random(&mut rng)).collect();
+        let kids: Vec<Kid> = keys.iter().map(|k| t.intern(k)).collect();
+        assert_eq!(t.len(), keys.len());
+        for (k, kid) in keys.iter().zip(&kids) {
+            assert_eq!(t.resolve(*kid), k);
+            assert_eq!(t.lookup(k), Some(*kid));
+            assert_eq!(t.intern(k), *kid);
+        }
+        let other = Id160::random(&mut rng);
+        assert_eq!(t.lookup(&other), None);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn handles_are_dense_insertion_order() {
+        let mut t = NameInterner::new();
+        for i in 0..100usize {
+            let s = t.intern(&format!("n{i}"));
+            assert_eq!(s.index(), i, "handles are dense and ordered");
+        }
+        let mut k = KeyInterner::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..100usize {
+            let kid = k.intern(&Id160::random(&mut rng));
+            assert_eq!(kid.index(), i);
+        }
+    }
+}

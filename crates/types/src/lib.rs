@@ -26,6 +26,7 @@ pub mod fx;
 pub mod hex;
 pub mod hmac;
 pub mod id;
+pub mod intern;
 pub mod keys;
 pub mod sha1;
 pub mod wire;
@@ -33,6 +34,7 @@ pub mod wire;
 pub use error::{DharmaError, Result};
 pub use fx::{FxHashMap, FxHashSet};
 pub use id::{Distance, Id160, ID160_BITS, ID160_BYTES};
+pub use intern::{KeyInterner, Kid, NameInterner, Sym};
 pub use keys::{block_key, node_id_for_user, BlockType};
 pub use sha1::{sha1, Sha1};
 pub use wire::{ReadBytes, WireDecode, WireEncode, WriteBytes};

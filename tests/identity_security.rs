@@ -108,6 +108,7 @@ fn full_kademlia_overlay_over_signed_envelopes() {
         drop_rate: 0.0,
         mtu: 8 * 1024,
         seed: 900,
+        shards: 1,
     });
     let kad_cfg = KadConfig {
         k: 6,
