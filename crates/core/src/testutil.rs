@@ -16,6 +16,7 @@ pub(crate) fn overlay(n: usize, seed: u64) -> SimNet<KademliaNode> {
         mtu: 64 * 1024,
         seed,
         shards: 1,
+        topology: None,
     });
     let mut rng = StdRng::seed_from_u64(seed);
     let cfg = KadConfig {

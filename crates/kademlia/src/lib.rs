@@ -30,9 +30,11 @@ pub mod lookup;
 pub mod messages;
 pub mod node;
 pub mod routing;
+pub mod rtt;
 pub mod storage;
 
 pub use messages::{Contact, DigestEntry, Message, StoredEntry};
 pub use node::{AdaptConfig, KadConfig, KadOutput, KademliaNode, MaintConfig};
 pub use routing::{KBucket, NoteOutcome, RoutingTable};
+pub use rtt::{AlphaController, LatencyConfig, RttBook};
 pub use storage::Storage;

@@ -18,8 +18,23 @@
 //! unchanged — only the *order* of queries shifts toward peers likely to
 //! answer `FoundValue` outright). Each such preference is counted as a
 //! *warm redirect* for the observability layer.
+//!
+//! **Latency-biased ordering** (the latency-aware overlay): the node layer
+//! may additionally seed per-contact RTT *hints* and enable RTT bias.
+//! Among the nearest `k` eligible cold candidates the lowest-hinted-RTT
+//! one is queried first (unhinted contacts compete at the configurable
+//! [`LookupState::set_rtt_default`] — the node layer seeds its book's
+//! median, so a measured-slow contact loses to an unmeasured one; ties
+//! fall back to distance order; the k-bounded lookahead keeps the crawl
+//! from chasing fast-but-far candidates beyond the window a lookup must
+//! cover anyway).
+//! Warmth still outranks RTT — a peer known to hold the value beats a peer
+//! that is merely close. Like warmth, the bias shifts only the query
+//! *order*: the eligibility window and result set are untouched. The node
+//! layer may also retune `α` mid-lookup ([`LookupState::set_alpha`]) when
+//! adaptive concurrency reacts to timeouts.
 
-use dharma_types::{Distance, FxHashSet, Id160};
+use dharma_types::{Distance, FxHashMap, FxHashSet, Id160};
 
 use crate::messages::Contact;
 
@@ -55,6 +70,17 @@ pub struct LookupState {
     warm: FxHashSet<Id160>,
     /// Times a warm candidate was queried ahead of a nearer cold one.
     warm_redirects: u64,
+    /// Per-contact smoothed RTT hints (µs) from the node's RTT book.
+    rtt_hints: FxHashMap<Id160, u64>,
+    /// When set, cold candidate selection prefers the lowest RTT hint
+    /// within the eligibility window instead of plain distance order.
+    rtt_bias: bool,
+    /// Assumed RTT (µs) for candidates with no hint — the node seeds it
+    /// with its book's median so unmeasured contacts compete as *average*
+    /// rather than ranking last: a contact measured slow loses to an
+    /// unknown, a contact measured fast beats it. `u64::MAX` (the
+    /// default) restores strict hinted-first ordering.
+    rtt_default: u64,
     /// True until the first query batch is issued: when a warm candidate
     /// exists, that batch probes it *alone* (effective `α = 1`), so a
     /// still-warm server resolves the lookup with a single datagram
@@ -75,6 +101,9 @@ impl LookupState {
             inflight: 0,
             warm: FxHashSet::default(),
             warm_redirects: 0,
+            rtt_hints: FxHashMap::default(),
+            rtt_bias: false,
+            rtt_default: u64::MAX,
             first_batch: true,
         };
         for c in seeds {
@@ -99,6 +128,31 @@ impl LookupState {
     /// (the node layer flushes it into its shared counters).
     pub fn take_warm_redirects(&mut self) -> u64 {
         std::mem::take(&mut self.warm_redirects)
+    }
+
+    /// Seeds the RTT hint for `id` (µs) and enables latency-biased cold
+    /// candidate ordering.
+    pub fn hint_rtt(&mut self, id: Id160, rtt_us: u64) {
+        self.rtt_hints.insert(id, rtt_us);
+        self.rtt_bias = true;
+    }
+
+    /// Sets the RTT (µs) assumed for unhinted candidates under bias —
+    /// typically the RTT book's median, so unmeasured contacts compete as
+    /// average instead of ranking last.
+    pub fn set_rtt_default(&mut self, rtt_us: u64) {
+        self.rtt_default = rtt_us;
+    }
+
+    /// Retunes lookup parallelism mid-flight (adaptive α). Queries already
+    /// in flight are unaffected; the next pump honours the new bound.
+    pub fn set_alpha(&mut self, alpha: usize) {
+        self.alpha = alpha.max(1);
+    }
+
+    /// The current parallelism bound.
+    pub fn alpha(&self) -> usize {
+        self.alpha
     }
 
     /// Inserts a contact if unseen, keeping distance order.
@@ -146,12 +200,19 @@ impl LookupState {
     }
 
     /// The next slot to query within the active window: the nearest *warm*
-    /// `New` entry when one exists, else the nearest `New` entry. The
-    /// second component reports whether a warm entry was preferred over a
+    /// `New` entry when one exists, else the nearest `New` entry — or,
+    /// under RTT bias, the lowest-RTT-hinted entry among the nearest `k`
+    /// eligible cold ones (unhinted entries compete at `rtt_default`, ties
+    /// keep distance order — a *bounded* lookahead, so the bias reorders
+    /// queries the lookup would issue anyway instead of widening the
+    /// crawl). The second
+    /// component reports whether a warm entry was preferred over a
     /// strictly nearer cold one (a warm redirect).
     fn next_candidate(&self) -> Option<(usize, bool)> {
         let mut live_seen = 0usize;
+        let mut new_seen = 0usize;
         let mut first_new: Option<usize> = None;
+        let mut fastest_new: Option<(usize, u64)> = None;
         for (i, s) in self.slots.iter().enumerate() {
             match s.state {
                 SlotState::Failed => continue,
@@ -164,6 +225,26 @@ impl LookupState {
                     if first_new.is_none() {
                         first_new = Some(i);
                     }
+                    if self.rtt_bias && new_seen < self.k {
+                        // Bounded lookahead: only the nearest `k` `New`
+                        // entries compete on RTT — exactly the eligibility
+                        // window a lookup must cover before it can finish,
+                        // so the bias reorders queries the crawl would
+                        // issue anyway instead of widening it. For value
+                        // lookups this is the whole point: any of the k
+                        // nearest may hold a replica, and the measurably
+                        // closest one answers a round trip sooner.
+                        let hint = self
+                            .rtt_hints
+                            .get(&s.contact.id)
+                            .copied()
+                            .unwrap_or(self.rtt_default);
+                        // Strictly-less keeps ties in distance order.
+                        if fastest_new.is_none_or(|(_, best)| hint < best) {
+                            fastest_new = Some((i, hint));
+                        }
+                    }
+                    new_seen += 1;
                 }
                 SlotState::Inflight | SlotState::Responded => {
                     live_seen += 1;
@@ -174,6 +255,11 @@ impl LookupState {
                         break;
                     }
                 }
+            }
+        }
+        if self.rtt_bias {
+            if let Some((i, _)) = fastest_new {
+                return Some((i, false));
             }
         }
         first_new.map(|i| (i, false))
@@ -381,6 +467,95 @@ mod tests {
         assert_eq!(result[0].id, seeds[0].id, "nearest still wins");
         assert_eq!(result[1].id, seeds[1].id);
         assert!(queried <= 4, "warmth must not widen the crawl: {queried}");
+    }
+
+    #[test]
+    fn rtt_hints_reorder_cold_candidates() {
+        let target = sha1(b"t");
+        let mut seeds: Vec<Contact> = (0..5).map(c).collect();
+        seeds.sort_by_key(|s| s.id.distance(&target));
+        let mut l = LookupState::new(target, seeds.clone(), 20, 5);
+        // The farthest seed is measurably fastest; the nearest is slow.
+        // Every seed sits in the k-window lookahead, so RTT fully reorders.
+        l.hint_rtt(seeds[4].id, 2_000);
+        l.hint_rtt(seeds[0].id, 90_000);
+        let q = l.next_queries();
+        assert_eq!(q[0].id, seeds[4].id, "lowest-RTT candidate goes first");
+        assert_eq!(q[1].id, seeds[0].id, "hinted beats unhinted");
+        assert_eq!(q[2].id, seeds[1].id, "unhinted fall back to distance");
+        assert_eq!(q[3].id, seeds[2].id);
+    }
+
+    #[test]
+    fn rtt_bias_lookahead_is_bounded_by_the_k_window() {
+        // With k = 1 the eligibility window holds only the nearest
+        // candidate: a fast-but-far hint must not jump the queue.
+        let target = sha1(b"t");
+        let mut seeds: Vec<Contact> = (0..5).map(c).collect();
+        seeds.sort_by_key(|s| s.id.distance(&target));
+        let mut l = LookupState::new(target, seeds.clone(), 1, 1);
+        l.hint_rtt(seeds[4].id, 1_000);
+        let q = l.next_queries();
+        assert_eq!(q[0].id, seeds[0].id, "nearest wins outside the window");
+    }
+
+    #[test]
+    fn warmth_outranks_rtt_hints() {
+        let target = sha1(b"t");
+        let mut seeds: Vec<Contact> = (0..4).map(c).collect();
+        seeds.sort_by_key(|s| s.id.distance(&target));
+        let mut l = LookupState::new(target, seeds.clone(), 20, 1);
+        l.hint_rtt(seeds[0].id, 1_000);
+        l.mark_warm(seeds[3].id);
+        let q = l.next_queries();
+        assert_eq!(q[0].id, seeds[3].id, "a known server beats a fast peer");
+    }
+
+    #[test]
+    fn rtt_bias_reorders_queries_but_never_changes_the_result() {
+        // Mirror of the warm-bias invariant: hints shift the query order
+        // only — the converged result is still the k nearest responders
+        // and the crawl is not widened.
+        let target = sha1(b"t");
+        let mut seeds: Vec<Contact> = (0..8).map(c).collect();
+        seeds.sort_by_key(|s| s.id.distance(&target));
+        let mut biased = LookupState::new(target, seeds.clone(), 2, 2);
+        for (i, s) in seeds.iter().enumerate() {
+            // Farther seeds get faster hints: maximal reordering pressure.
+            biased.hint_rtt(s.id, 100_000 - (i as u64) * 10_000);
+        }
+        let mut queried = 0usize;
+        loop {
+            let q = biased.next_queries();
+            if q.is_empty() && biased.inflight() == 0 {
+                break;
+            }
+            for contact in q {
+                queried += 1;
+                biased.on_response(&contact.id, vec![]);
+            }
+        }
+        assert!(biased.is_converged());
+        let result = biased.closest_responded();
+        assert_eq!(result.len(), 2);
+        assert_eq!(result[0].id, seeds[0].id, "nearest still wins");
+        assert_eq!(result[1].id, seeds[1].id);
+        assert!(queried <= 4, "bias must not widen the crawl: {queried}");
+    }
+
+    #[test]
+    fn set_alpha_retunes_parallelism_mid_lookup() {
+        let target = sha1(b"t");
+        let mut l = LookupState::new(target, (0..10).map(c).collect(), 20, 2);
+        assert_eq!(l.next_queries().len(), 2);
+        // Widening mid-flight allows more queries immediately.
+        l.set_alpha(5);
+        assert_eq!(l.alpha(), 5);
+        assert_eq!(l.next_queries().len(), 3, "2 inflight + 3 new = α");
+        // Narrowing never cancels inflight queries.
+        l.set_alpha(1);
+        assert!(l.next_queries().is_empty());
+        assert_eq!(l.inflight(), 5);
     }
 
     #[test]

@@ -99,6 +99,7 @@ use dharma_types::{FxHashMap, FxHashSet, Id160, WireDecode, WireEncode};
 use crate::lookup::LookupState;
 use crate::messages::{Contact, DigestEntry, FetchedValue, Message, StoredEntry};
 use crate::routing::RoutingTable;
+use crate::rtt::{AlphaController, LatencyConfig, RttBook};
 use crate::storage::Storage;
 
 /// Churn-adaptive maintenance cadence (the `dharma-adapt` subsystem):
@@ -302,6 +303,13 @@ pub struct KadConfig {
     /// behave byte-identically to the TTL-only protocol. Most effective
     /// together with [`KadConfig::cache`].
     pub freshness: Option<FreshConfig>,
+    /// Latency awareness (`None` = disabled, the default): decayed
+    /// per-contact RTT estimation from RPC round trips, proximity neighbor
+    /// selection on full buckets, latency-biased shortlist ordering, and
+    /// adaptive lookup concurrency between `alpha_min` and `alpha_max`.
+    /// Disabled nodes behave byte-identically to the latency-oblivious
+    /// protocol. See [`LatencyConfig`].
+    pub latency: Option<LatencyConfig>,
     /// Shared counters cache hits/misses and replica promotions are
     /// recorded into. Runtimes wire their own [`NetCounters`] here (the
     /// overlay builders do); the default is a private, unobserved set.
@@ -322,6 +330,7 @@ impl Default for KadConfig {
             ping_before_evict: true,
             maintenance: None,
             freshness: None,
+            latency: None,
             counters: NetCounters::new(),
         }
     }
@@ -395,12 +404,28 @@ struct OpState {
     /// When the operation was issued (guard-disarm ordering: only a GET
     /// issued after a write guard was armed may disarm it).
     issued_at_us: u64,
+    /// Adaptive lookup concurrency, scoped to this operation: widens as
+    /// *this* lookup's RPCs time out, narrows on its clean streaks. `None`
+    /// when adaptive α is off.
+    alpha_ctl: Option<AlphaController>,
 }
 
 #[derive(Clone, Debug)]
 struct PendingRpc {
     op: u64,
     to: Contact,
+    /// When the request left this node — the RTT sample base for the reply.
+    sent_at_us: u64,
+    /// The timeout (µs) this attempt was armed with. Anything below the
+    /// conservative `rpc_timeout_us` is an RTT-adaptive *early* timer:
+    /// its firing means "stop waiting and retransmit", not "the peer is
+    /// dead" — it must not evict from the routing table or feed the churn
+    /// estimate.
+    timeout_us: u64,
+    /// When the *first* attempt of this branch left the node. Retransmits
+    /// inherit it, so the branch's total patience stays bounded by
+    /// `rpc_timeout_us` no matter how many early timers fired.
+    first_sent_us: u64,
 }
 
 /// Timer id for the periodic republish sweep (RPC ids count up from 1 and
@@ -501,6 +526,13 @@ pub struct KademliaNode {
     /// Version-gossip & hit-history state (`dharma-fresh`; present when
     /// `cfg.freshness` is set).
     fresh: Option<FreshState>,
+    /// Decayed per-contact RTT estimates (present when `cfg.latency` is
+    /// set; samples are recorded only then, keeping disabled nodes
+    /// byte-identical to history).
+    rtt: Option<RttBook>,
+    /// The α the most recent adaptive-controller update settled on — an
+    /// observability gauge (each lookup carries its own controller).
+    last_alpha: usize,
 }
 
 /// How long a `Leave` tombstone blocks re-insertion of the departed id —
@@ -541,6 +573,16 @@ impl KademliaNode {
             revalidating: FxHashMap::default(),
             cfg: f,
         });
+        let rtt = cfg
+            .latency
+            .as_ref()
+            .map(|l| RttBook::new(l.rtt_half_life_us));
+        let last_alpha = cfg
+            .latency
+            .as_ref()
+            .filter(|l| l.adaptive_alpha)
+            .map(|l| l.alpha_min.max(1))
+            .unwrap_or(cfg.alpha);
         KademliaNode {
             contact: Contact { id, addr },
             routing: RoutingTable::new(id, cfg.k),
@@ -563,12 +605,98 @@ impl KademliaNode {
             repair_due_us: 0,
             repair_cursor: None,
             departed: FxHashMap::default(),
+            rtt,
+            last_alpha,
         }
     }
 
     /// This node's contact record.
     pub fn contact(&self) -> &Contact {
         &self.contact
+    }
+
+    /// The per-contact RTT book (`None` when latency awareness is off).
+    pub fn rtt(&self) -> Option<&RttBook> {
+        self.rtt.as_ref()
+    }
+
+    /// The lookup parallelism most recently in effect: the latest per-op
+    /// adaptive-controller reading when adaptive α is enabled, the
+    /// configured constant otherwise.
+    pub fn current_alpha(&self) -> usize {
+        if self.adaptive_alpha() {
+            self.last_alpha
+        } else {
+            self.cfg.alpha
+        }
+    }
+
+    /// True when per-lookup adaptive α is enabled.
+    fn adaptive_alpha(&self) -> bool {
+        self.cfg.latency.as_ref().is_some_and(|l| l.adaptive_alpha)
+    }
+
+    /// How long a lookup query to `peer` may stay unanswered: β × the
+    /// smoothed RTT when adaptive timeouts are on and the peer is
+    /// measured (clamped to `rto_min_us ..= rpc_timeout_us`), the global
+    /// conservative timeout otherwise. Maintenance RPCs never use this —
+    /// their timeouts confirm death, and a hair-trigger there would evict
+    /// live contacts.
+    fn rpc_timeout_for(&self, peer: &Id160) -> u64 {
+        if let (Some(l), Some(book)) = (self.cfg.latency.as_ref(), self.rtt.as_ref()) {
+            if l.adaptive_timeout {
+                if let Some(srtt) = book.estimate_us(peer) {
+                    let rto = (srtt as f64 * l.rto_beta) as u64;
+                    return rto.clamp(
+                        l.rto_min_us.min(self.cfg.rpc_timeout_us),
+                        self.cfg.rpc_timeout_us,
+                    );
+                }
+            }
+        }
+        self.cfg.rpc_timeout_us
+    }
+
+    /// True when latency-biased shortlist ordering is enabled.
+    fn bias_shortlist(&self) -> bool {
+        self.cfg.latency.as_ref().is_some_and(|l| l.bias_shortlist)
+    }
+
+    /// Settles one request/response round trip: folds the RTT sample into
+    /// the book and credits the adaptive-α controller's clean streak.
+    /// No-op without latency awareness, keeping history byte-identical.
+    fn note_rpc_settled(&mut self, pend: &PendingRpc, now_us: u64) {
+        if let Some(book) = self.rtt.as_mut() {
+            book.observe(pend.to.id, now_us.saturating_sub(pend.sent_at_us), now_us);
+            self.cfg.counters.record_rtt_sample();
+        }
+        if let Some(op) = self.ops.get_mut(&pend.op) {
+            if let Some(ctl) = op.alpha_ctl.as_mut() {
+                if ctl.on_clean_reply() {
+                    self.cfg.counters.record_alpha_narrowed();
+                }
+                op.lookup.set_alpha(ctl.current());
+                self.last_alpha = ctl.current();
+            }
+        }
+    }
+
+    /// Notes contact activity with proximity neighbor selection when
+    /// enabled (a full bucket swaps its slowest measured resident for a
+    /// measurably faster newcomer), falling back to the classic rule.
+    fn note_contact_latency_aware(&mut self, c: Contact) -> crate::routing::NoteOutcome {
+        let pns = self.cfg.latency.as_ref().is_some_and(|l| l.pns);
+        match (&self.rtt, pns) {
+            (Some(book), true) => {
+                let (outcome, demoted) =
+                    self.routing.note_contact_pns(c, &|id| book.estimate_us(id));
+                if demoted {
+                    self.cfg.counters.record_pns_eviction();
+                }
+                outcome
+            }
+            _ => self.routing.note_contact(c),
+        }
     }
 
     /// The routing table (read access for tests/diagnostics).
@@ -880,7 +1008,16 @@ impl KademliaNode {
             }
             .encode_to_bytes(),
         );
-        self.pending.insert(rpc, PendingRpc { op: REFRESH_OP, to });
+        self.pending.insert(
+            rpc,
+            PendingRpc {
+                op: REFRESH_OP,
+                to,
+                sent_at_us: ctx.now_us,
+                timeout_us: self.cfg.rpc_timeout_us,
+                first_sent_us: ctx.now_us,
+            },
+        );
         ctx.set_timer(self.cfg.rpc_timeout_us, rpc);
     }
 
@@ -1012,6 +1149,9 @@ impl KademliaNode {
             PendingRpc {
                 op: REPAIR_OP,
                 to: to.clone(),
+                sent_at_us: ctx.now_us,
+                timeout_us: self.cfg.rpc_timeout_us,
+                first_sent_us: ctx.now_us,
             },
         );
         ctx.set_timer(self.cfg.rpc_timeout_us, rpc);
@@ -1264,6 +1404,9 @@ impl KademliaNode {
             PendingRpc {
                 op: PROBE_OP,
                 to: contact,
+                sent_at_us: ctx.now_us,
+                timeout_us: self.cfg.rpc_timeout_us,
+                first_sent_us: ctx.now_us,
             },
         );
         ctx.set_timer(self.cfg.rpc_timeout_us, rpc);
@@ -1615,9 +1758,39 @@ impl KademliaNode {
                 }
             }
         }
-        let mut lookup = LookupState::new(target, seeds, self.cfg.k, self.cfg.alpha);
+        // Latency awareness: shortlist bias seeds the lookup with current
+        // RTT estimates, and adaptive α gives the op its own controller
+        // (starting at `alpha_min`, widening only on this op's timeouts).
+        let rtt_hints: Vec<(Id160, u64)> = match (&self.rtt, self.bias_shortlist()) {
+            (Some(book), true) => seeds
+                .iter()
+                .filter_map(|c| book.estimate_us(&c.id).map(|e| (c.id, e)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let rtt_default = match (&self.rtt, self.bias_shortlist()) {
+            (Some(book), true) => book.percentile_us(0.5),
+            _ => None,
+        };
+        let alpha_ctl = self
+            .cfg
+            .latency
+            .as_ref()
+            .filter(|l| l.adaptive_alpha)
+            .map(AlphaController::new);
+        let start_alpha = alpha_ctl
+            .as_ref()
+            .map(AlphaController::current)
+            .unwrap_or(self.cfg.alpha);
+        let mut lookup = LookupState::new(target, seeds, self.cfg.k, start_alpha);
         for id in warm_ids {
             lookup.mark_warm(id);
+        }
+        for (id, est) in rtt_hints {
+            lookup.hint_rtt(id, est);
+        }
+        if let Some(med) = rtt_default {
+            lookup.set_rtt_default(med);
         }
         let op = OpState {
             lookup,
@@ -1628,6 +1801,7 @@ impl KademliaNode {
             value_misses: Vec::new(),
             bypass_cache,
             issued_at_us: ctx.now_us,
+            alpha_ctl,
         };
 
         if op.lookup.is_converged() {
@@ -1689,15 +1863,19 @@ impl KademliaNode {
             op.messages += sent;
         }
         for (rpc, contact, msg) in to_send {
+            let timeout_us = self.rpc_timeout_for(&contact.id);
             self.pending.insert(
                 rpc,
                 PendingRpc {
                     op: op_id,
                     to: contact.clone(),
+                    sent_at_us: ctx.now_us,
+                    timeout_us,
+                    first_sent_us: ctx.now_us,
                 },
             );
             ctx.send(contact.addr, msg.encode_to_bytes());
-            ctx.set_timer(self.cfg.rpc_timeout_us, rpc);
+            ctx.set_timer(timeout_us, rpc);
         }
         // The lookup may have converged (no queries issuable, none inflight).
         let converged = self
@@ -1832,6 +2010,9 @@ impl KademliaNode {
                         PendingRpc {
                             op: op_id,
                             to: contact.clone(),
+                            sent_at_us: ctx.now_us,
+                            timeout_us: self.cfg.rpc_timeout_us,
+                            first_sent_us: ctx.now_us,
                         },
                     );
                     ctx.send(contact.addr, msg.encode_to_bytes());
@@ -1919,7 +2100,7 @@ impl Node for KademliaNode {
         // tombstoned; its own out-of-order stragglers (a parting
         // `Replicate` delivered after the `Leave`) must not re-insert it.
         if !self.recently_departed(&msg.sender().id, ctx.now_us) {
-            let outcome = self.routing.note_contact(msg.sender().clone());
+            let outcome = self.note_contact_latency_aware(msg.sender().clone());
             if outcome == crate::routing::NoteOutcome::Inserted
                 && self
                     .cfg
@@ -1949,6 +2130,7 @@ impl Node for KademliaNode {
                 // Liveness noted above; additionally settle the probe (if
                 // this Pong answers one) so its timeout cannot evict.
                 if let Some(pend) = self.pending.remove(&rpc) {
+                    self.note_rpc_settled(&pend, ctx.now_us);
                     self.probing.remove(&pend.to.id);
                 }
                 self.absorb_digest(ctx, &from, &digest);
@@ -2128,6 +2310,7 @@ impl Node for KademliaNode {
                 let Some(pend) = self.pending.remove(&rpc) else {
                     return; // late reply for a finished op
                 };
+                self.note_rpc_settled(&pend, ctx.now_us);
                 if pend.op == REFRESH_OP {
                     // The digest sender no longer holds the key (expired
                     // or demoted between digest and refresh): the dropped
@@ -2151,7 +2334,18 @@ impl Node for KademliaNode {
                     .filter(|c| c.id != own && !self.recently_departed(&c.id, now))
                     .collect();
                 for c in &filtered {
-                    self.routing.note_contact(c.clone());
+                    self.note_contact_latency_aware(c.clone());
+                }
+                // Latency-biased shortlists: hand the lookup the current
+                // RTT estimates for the contacts it just learned.
+                if self.bias_shortlist() {
+                    if let (Some(book), Some(op)) = (&self.rtt, self.ops.get_mut(&pend.op)) {
+                        for c in &filtered {
+                            if let Some(est) = book.estimate_us(&c.id) {
+                                op.lookup.hint_rtt(c.id, est);
+                            }
+                        }
+                    }
                 }
                 if let Some(op) = self.ops.get_mut(&pend.op) {
                     op.lookup.on_response(&from.id, filtered);
@@ -2178,6 +2372,7 @@ impl Node for KademliaNode {
                 let Some(pend) = self.pending.remove(&rpc) else {
                     return;
                 };
+                self.note_rpc_settled(&pend, ctx.now_us);
                 if pend.op == REFRESH_OP {
                     // A revalidation came back: re-pin the refreshed view
                     // (authoritative by construction — the request set
@@ -2407,6 +2602,7 @@ impl Node for KademliaNode {
                 let Some(pend) = self.pending.remove(&rpc) else {
                     return;
                 };
+                self.note_rpc_settled(&pend, ctx.now_us);
                 if pend.op == REPAIR_OP {
                     // A tracked maintenance push landed; nothing more to do
                     // (the replica is alive, the timeout is settled).
@@ -2506,7 +2702,15 @@ impl Node for KademliaNode {
             }
             return;
         }
-        if self.cfg.ping_before_evict {
+        let early = pend.timeout_us < self.cfg.rpc_timeout_us;
+        if early || pend.first_sent_us < pend.sent_at_us {
+            // An RTT-adaptive timer fired at ~β×srtt (or a retransmitted
+            // attempt gave up): the reply may simply still be in flight,
+            // or one datagram was lost on a live link. The lookup moves
+            // on below, but the routing table keeps the contact — only
+            // untouched full-timeout RPCs and liveness probes carry
+            // enough evidence to evict and count a departure.
+        } else if self.cfg.ping_before_evict {
             // The op moves on below, but the routing table only marks the
             // contact *suspect*: probe it, and evict on probe failure.
             self.probe_contact(ctx, pend.to.clone());
@@ -2521,9 +2725,73 @@ impl Node for KademliaNode {
         };
         match op.phase {
             Phase::Lookup => {
-                op.lookup.on_failure(&pend.to.id);
-                self.pump(ctx, pend.op);
-                // pump() completes converged lookups itself.
+                // Adaptive α: a branch's *first* timeout is evidence of
+                // loss on this op's path — widen *its* parallelism so
+                // redundancy hides it. Later timers of the same branch
+                // (retransmit backoff) carry no new evidence.
+                if pend.first_sent_us == pend.sent_at_us {
+                    if let Some(ctl) = op.alpha_ctl.as_mut() {
+                        if ctl.on_timeout() {
+                            self.cfg.counters.record_alpha_widened();
+                        }
+                        op.lookup.set_alpha(ctl.current());
+                        self.last_alpha = ctl.current();
+                    }
+                }
+                let next_timeout = (pend.timeout_us * 2).min(self.cfg.rpc_timeout_us);
+                let branch_age = ctx.now_us.saturating_sub(pend.first_sent_us);
+                if early && branch_age + next_timeout <= self.cfg.rpc_timeout_us {
+                    // Fast retransmit with backoff: the RTT-adaptive timer
+                    // fired, so the datagram was probably lost on a
+                    // live-but-lossy link. Re-send the same query to the
+                    // same contact with a doubled timeout instead of
+                    // failing the branch — a crawl that marks every
+                    // lost-datagram holder `Failed` can converge valueless
+                    // and push the client into a second full attempt,
+                    // doubling the tail. The branch's total patience stays
+                    // within the conservative `rpc_timeout_us`.
+                    let is_get = matches!(op.kind, OpKind::Get { .. });
+                    let top_n = match op.kind {
+                        OpKind::Get { top_n } => top_n,
+                        _ => 0,
+                    };
+                    let no_cache = op.bypass_cache;
+                    let target = op.lookup.target();
+                    op.messages += 1;
+                    let rpc = self.next_rpc;
+                    self.next_rpc += 1;
+                    let msg = if is_get {
+                        Message::FindValue {
+                            rpc,
+                            from: self.contact.clone(),
+                            key: target,
+                            top_n,
+                            no_cache,
+                        }
+                    } else {
+                        Message::FindNode {
+                            rpc,
+                            from: self.contact.clone(),
+                            target,
+                        }
+                    };
+                    self.pending.insert(
+                        rpc,
+                        PendingRpc {
+                            op: pend.op,
+                            to: pend.to.clone(),
+                            sent_at_us: ctx.now_us,
+                            timeout_us: next_timeout,
+                            first_sent_us: pend.first_sent_us,
+                        },
+                    );
+                    ctx.send(pend.to.addr, msg.encode_to_bytes());
+                    ctx.set_timer(next_timeout, rpc);
+                } else {
+                    op.lookup.on_failure(&pend.to.id);
+                    self.pump(ctx, pend.op);
+                    // pump() completes converged lookups itself.
+                }
             }
             Phase::Write { .. } => {
                 self.write_progress(ctx, pend.op, false);
@@ -2564,6 +2832,19 @@ impl Instrumented for KademliaNode {
                 f.hits.tracked() as f64,
             ));
         }
+        if let Some(book) = &self.rtt {
+            out.push(Metric::new("rtt_contacts", book.len() as f64));
+            out.push(Metric::new("rtt_samples", book.samples() as f64));
+            if let Some(p50) = book.percentile_us(0.5) {
+                out.push(Metric::new("rtt_p50_us", p50 as f64));
+            }
+            if let Some(p95) = book.percentile_us(0.95) {
+                out.push(Metric::new("rtt_p95_us", p95 as f64));
+            }
+        }
+        if self.adaptive_alpha() {
+            out.push(Metric::new("lookup_alpha", self.last_alpha as f64));
+        }
         out
     }
 }
@@ -2587,6 +2868,7 @@ mod tests {
             mtu: 64 * 1024,
             seed,
             shards: 1,
+            topology: None,
         });
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A2);
         let cfg = KadConfig {
@@ -2615,6 +2897,116 @@ mod tests {
         net.run_until_idle(2_000_000);
         net.take_completions();
         (net, contacts)
+    }
+
+    /// Like [`build_net`], but on a geo-clustered topology with full
+    /// latency awareness enabled on every node.
+    fn build_latency_net(n: usize, seed: u64) -> (SimNet<KademliaNode>, Vec<Contact>) {
+        let topo = dharma_net::TopologyConfig {
+            clusters: 3,
+            intra_us: (1_000, 4_000),
+            inter_us: (10_000, 30_000),
+            jitter_us: 1_000,
+            base_loss: 0.0,
+            lossy_cluster: None,
+            lossy_loss: 0.0,
+        };
+        let mut net = SimNet::new(SimConfig {
+            latency_min_us: topo.min_delay_us(),
+            latency_max_us: 0,
+            drop_rate: 0.0,
+            mtu: 64 * 1024,
+            seed,
+            shards: 1,
+            topology: Some(topo),
+        });
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A2);
+        let cfg = KadConfig {
+            k: 8,
+            alpha: 3,
+            rpc_timeout_us: 500_000,
+            reply_budget: 60_000,
+            latency: Some(LatencyConfig::default()),
+            ..KadConfig::default()
+        };
+        let mut contacts = Vec::new();
+        for i in 0..n {
+            let id = Id160::random(&mut rng);
+            let node = KademliaNode::new(id, i as NodeAddr, cfg.clone());
+            let addr = net.add_node(node);
+            contacts.push(Contact { id, addr });
+        }
+        for i in 1..n {
+            net.node_mut(i as NodeAddr).add_seed(contacts[0].clone());
+        }
+        for i in 1..n {
+            net.with_node(i as NodeAddr, |node, ctx| {
+                node.bootstrap(ctx);
+            });
+        }
+        net.run_until_idle(2_000_000);
+        net.take_completions();
+        (net, contacts)
+    }
+
+    #[test]
+    fn latency_aware_overlay_records_rtt_and_serves_gets() {
+        let (mut net, _contacts) = build_latency_net(20, 9);
+        let counters = net.node(0).cfg.counters.clone();
+        assert!(
+            counters.rtt_samples() > 0,
+            "bootstrap RPCs must feed the RTT books"
+        );
+        let key = sha1(b"latency:key");
+        let op_put = net.with_node(3, |n, ctx| n.put_blob(ctx, key, b"v".to_vec()));
+        net.run_until_idle(200_000);
+        let put_done = net.take_completions().iter().any(|(id, out)| {
+            *id == op_put && matches!(out, KadOutput::Written { acks, .. } if *acks >= 1)
+        });
+        assert!(put_done, "write must succeed on the topology net");
+        let op_get = net.with_node(15, |n, ctx| n.get(ctx, key, 0));
+        net.run_until_idle(200_000);
+        let completions = net.take_completions();
+        let got = completions
+            .iter()
+            .find(|(id, _)| *id == op_get)
+            .expect("get completes");
+        assert!(
+            matches!(&got.1, KadOutput::Value { value: Some(_), .. }),
+            "value found over the latency-aware overlay: {:?}",
+            got.1
+        );
+        // Observability: the RTT book surfaces percentile gauges.
+        let metrics = net.node(15).metrics();
+        let names: Vec<&str> = metrics.iter().map(|m| m.name).collect();
+        assert!(names.contains(&"rtt_p50_us"), "metrics: {names:?}");
+        assert!(names.contains(&"rtt_p95_us"));
+        assert!(names.contains(&"lookup_alpha"));
+        // Loss-free topology: α never widened beyond its floor.
+        assert_eq!(net.node(15).current_alpha(), 3);
+    }
+
+    #[test]
+    fn latency_aware_runs_are_deterministic() {
+        // The latency path must be as reproducible as the classic one:
+        // identical seeds give identical books, counters and tables.
+        let (net_a, _) = build_latency_net(16, 77);
+        let (net_b, _) = build_latency_net(16, 77);
+        let ca = net_a.node(0).cfg.counters.clone();
+        let cb = net_b.node(0).cfg.counters.clone();
+        assert_eq!(ca.snapshot(), cb.snapshot());
+        assert_eq!(ca.rtt_samples(), cb.rtt_samples());
+        assert_eq!(ca.pns_evictions(), cb.pns_evictions());
+        for i in 0..16u32 {
+            assert_eq!(
+                net_a.node(i).routing().len(),
+                net_b.node(i).routing().len(),
+                "node {i} routing diverged"
+            );
+            let (a, b) = (net_a.node(i).rtt().unwrap(), net_b.node(i).rtt().unwrap());
+            assert_eq!(a.samples(), b.samples());
+            assert_eq!(a.percentile_us(0.5), b.percentile_us(0.5));
+        }
     }
 
     #[test]
@@ -2785,6 +3177,7 @@ mod tests {
             mtu: 64 * 1024,
             seed,
             shards: 1,
+            topology: None,
         });
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A2);
         let counters = NetCounters::new();
@@ -2996,6 +3389,7 @@ mod tests {
             mtu: 64 * 1024,
             seed,
             shards: 1,
+            topology: None,
         });
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A2);
         let counters = NetCounters::new();
@@ -4023,6 +4417,7 @@ mod tests {
             mtu: 64 * 1024,
             seed: 21,
             shards: 1,
+            topology: None,
         });
         let cfg = KadConfig {
             record_ttl_us: Some(2_000_000),
@@ -4054,6 +4449,7 @@ mod tests {
             mtu: 64 * 1024,
             seed: 22,
             shards: 1,
+            topology: None,
         });
         let cfg = KadConfig {
             republish_interval_us: Some(1_000_000),

@@ -77,6 +77,52 @@ impl KBucket {
             return NoteOutcome::Inserted;
         }
         // Full: stash in the replacement cache (newest kept last).
+        self.stash(c);
+        NoteOutcome::Stashed
+    }
+
+    /// Like [`KBucket::note`], but with **proximity neighbor selection**:
+    /// when the bucket is full and the newcomer's measured RTT is strictly
+    /// lower than the worst measured resident's, that resident is demoted
+    /// to the replacement cache and the newcomer takes its slot. Residents
+    /// without an estimate are never demoted (unmeasured ≠ slow), and a
+    /// newcomer without an estimate is stashed as usual. The second return
+    /// reports whether a PNS demotion happened.
+    fn note_pns(
+        &mut self,
+        c: Contact,
+        k: usize,
+        rtt: &dyn Fn(&Id160) -> Option<u64>,
+    ) -> (NoteOutcome, bool) {
+        if self.entries.len() >= k && !self.entries.iter().any(|e| e.id == c.id) {
+            if let Some(new_rtt) = rtt(&c.id) {
+                let worst = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, e)| rtt(&e.id).map(|r| (i, r)))
+                    .max_by_key(|&(_, r)| r);
+                if let Some((pos, worst_rtt)) = worst {
+                    if new_rtt < worst_rtt {
+                        // The newcomer may have been stashed earlier; it
+                        // must not live in both lists.
+                        if let Some(p) = self.replacements.iter().position(|e| e.id == c.id) {
+                            self.replacements.remove(p);
+                        }
+                        let demoted = self.entries.remove(pos);
+                        self.stash(demoted);
+                        self.entries.push(c);
+                        return (NoteOutcome::Inserted, true);
+                    }
+                }
+            }
+        }
+        (self.note(c, k), false)
+    }
+
+    /// Puts `c` into the replacement cache (newest kept last, deduplicated,
+    /// capped at [`REPLACEMENT_CACHE`]).
+    fn stash(&mut self, c: Contact) {
         if let Some(pos) = self.replacements.iter().position(|e| e.id == c.id) {
             self.replacements.remove(pos);
         }
@@ -84,7 +130,6 @@ impl KBucket {
         if self.replacements.len() > REPLACEMENT_CACHE {
             self.replacements.remove(0);
         }
-        NoteOutcome::Stashed
     }
 
     /// Removes a failed contact and promotes the freshest replacement.
@@ -145,6 +190,23 @@ impl RoutingTable {
         match self.bucket_index(&c.id) {
             Some(i) => self.buckets[i].note(c, self.k),
             None => NoteOutcome::Ignored,
+        }
+    }
+
+    /// Records activity from a contact with **proximity neighbor
+    /// selection**: `rtt` supplies the current smoothed RTT estimate for
+    /// any id. A full bucket demotes its slowest measured resident to the
+    /// replacement cache when the newcomer is measurably faster; in every
+    /// other case this behaves exactly like [`RoutingTable::note_contact`].
+    /// The second return reports whether a PNS demotion happened.
+    pub fn note_contact_pns(
+        &mut self,
+        c: Contact,
+        rtt: &dyn Fn(&Id160) -> Option<u64>,
+    ) -> (NoteOutcome, bool) {
+        match self.bucket_index(&c.id) {
+            Some(i) => self.buckets[i].note_pns(c, self.k, rtt),
+            None => (NoteOutcome::Ignored, false),
         }
     }
 
@@ -349,6 +411,71 @@ mod tests {
         // A failed probe evicts the candidate.
         rt.note_failure(&c.id);
         assert!(!rt.contains(&c.id));
+    }
+
+    #[test]
+    fn pns_demotes_the_slowest_measured_resident() {
+        let local = Id160::ZERO;
+        let mut rt = RoutingTable::new(local, 2);
+        let mk = |tail: u8| {
+            let mut b = [0u8; 20];
+            b[0] = 0x80;
+            b[19] = tail;
+            Contact {
+                id: Id160::from_bytes(b),
+                addr: u32::from(tail),
+            }
+        };
+        rt.note_contact(mk(1));
+        rt.note_contact(mk(2));
+        // RTT oracle: contact 1 is slow (80ms), 2 fast (5ms), 3 medium (20ms).
+        let rtt = |id: &Id160| {
+            [(mk(1).id, 80_000u64), (mk(2).id, 5_000), (mk(3).id, 20_000)]
+                .iter()
+                .find(|(i, _)| i == id)
+                .map(|&(_, r)| r)
+        };
+        // The measurably faster newcomer displaces the slow resident.
+        let (outcome, evicted) = rt.note_contact_pns(mk(3), &rtt);
+        assert_eq!(outcome, NoteOutcome::Inserted);
+        assert!(evicted);
+        let ids: Vec<u32> = rt.bucket(0).contacts().iter().map(|c| c.addr).collect();
+        assert_eq!(ids, vec![2, 3], "slow resident demoted, fast ones stay");
+        // The demoted resident waits in the replacement cache: failing a
+        // live entry brings it back.
+        rt.note_failure(&mk(3).id);
+        assert!(rt.contains(&mk(1).id), "demotion is not amnesia");
+    }
+
+    #[test]
+    fn pns_never_demotes_unmeasured_residents() {
+        let local = Id160::ZERO;
+        let mut rt = RoutingTable::new(local, 2);
+        let mk = |tail: u8| {
+            let mut b = [0u8; 20];
+            b[0] = 0x80;
+            b[19] = tail;
+            Contact {
+                id: Id160::from_bytes(b),
+                addr: u32::from(tail),
+            }
+        };
+        rt.note_contact(mk(1));
+        rt.note_contact(mk(2));
+        // Only the newcomer is measured: nobody can be judged slower.
+        let rtt = |id: &Id160| (*id == mk(3).id).then_some(1_000u64);
+        let (outcome, evicted) = rt.note_contact_pns(mk(3), &rtt);
+        assert_eq!(outcome, NoteOutcome::Stashed);
+        assert!(!evicted);
+        // An unmeasured newcomer is stashed even when residents are slow.
+        let rtt2 = |id: &Id160| (*id != mk(4).id).then_some(50_000u64);
+        let (outcome, evicted) = rt.note_contact_pns(mk(4), &rtt2);
+        assert_eq!(outcome, NoteOutcome::Stashed);
+        assert!(!evicted);
+        // Refresh of a resident never goes through the PNS path.
+        let (outcome, evicted) = rt.note_contact_pns(mk(1), &rtt2);
+        assert_eq!(outcome, NoteOutcome::Refreshed);
+        assert!(!evicted);
     }
 
     #[test]

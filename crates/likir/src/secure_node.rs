@@ -182,6 +182,7 @@ mod tests {
             mtu: 4096,
             seed: 5,
             shards: 1,
+            topology: None,
         })
     }
 

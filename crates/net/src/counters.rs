@@ -36,6 +36,10 @@ struct Inner {
     revalidations: AtomicU64,
     stale_drops: AtomicU64,
     warm_redirects: AtomicU64,
+    rtt_samples: AtomicU64,
+    pns_evictions: AtomicU64,
+    alpha_widened: AtomicU64,
+    alpha_narrowed: AtomicU64,
 }
 
 /// Engine-side transport tallies accumulated by one event shard as plain
@@ -195,6 +199,29 @@ impl NetCounters {
         self.inner.warm_redirects.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records a round-trip time sample folded into a node's RTT book.
+    pub fn record_rtt_sample(&self) {
+        self.inner.rtt_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a proximity-neighbor-selection demotion: a full bucket
+    /// swapped its slowest measured resident for a faster newcomer.
+    pub fn record_pns_eviction(&self) {
+        self.inner.pns_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an adaptive-α widening step (an RPC timeout pushed lookup
+    /// parallelism up).
+    pub fn record_alpha_widened(&self) {
+        self.inner.alpha_widened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an adaptive-α narrowing step (a clean reply streak pulled
+    /// lookup parallelism back down).
+    pub fn record_alpha_narrowed(&self) {
+        self.inner.alpha_narrowed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Datagrams sent.
     pub fn sent(&self) -> u64 {
         self.inner.sent.load(Ordering::Relaxed)
@@ -285,6 +312,26 @@ impl NetCounters {
         self.inner.warm_redirects.load(Ordering::Relaxed)
     }
 
+    /// RTT samples recorded.
+    pub fn rtt_samples(&self) -> u64 {
+        self.inner.rtt_samples.load(Ordering::Relaxed)
+    }
+
+    /// Proximity-neighbor-selection bucket demotions.
+    pub fn pns_evictions(&self) -> u64 {
+        self.inner.pns_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Adaptive-α widening steps.
+    pub fn alpha_widened(&self) -> u64 {
+        self.inner.alpha_widened.load(Ordering::Relaxed)
+    }
+
+    /// Adaptive-α narrowing steps.
+    pub fn alpha_narrowed(&self) -> u64 {
+        self.inner.alpha_narrowed.load(Ordering::Relaxed)
+    }
+
     /// Total maintenance traffic: probes + handoffs + re-replications +
     /// graceful-leave notices and parting handoffs.
     pub fn maintenance_messages(&self) -> u64 {
@@ -371,6 +418,26 @@ mod tests {
             c.maintenance_messages(),
             0,
             "freshness traffic is lookup-path, not maintenance"
+        );
+    }
+
+    #[test]
+    fn latency_counters_accumulate_and_share() {
+        let c = NetCounters::new();
+        let c2 = c.clone();
+        c.record_rtt_sample();
+        c.record_rtt_sample();
+        c2.record_pns_eviction();
+        c.record_alpha_widened();
+        c2.record_alpha_narrowed();
+        assert_eq!(c2.rtt_samples(), 2);
+        assert_eq!(c.pns_evictions(), 1);
+        assert_eq!(c2.alpha_widened(), 1);
+        assert_eq!(c.alpha_narrowed(), 1);
+        assert_eq!(
+            c.maintenance_messages(),
+            0,
+            "latency adaptation is lookup-path, not maintenance"
         );
     }
 

@@ -45,9 +45,24 @@
 //! orders by construction); `shards = 1` exists precisely to preserve the
 //! historical numbers exactly.
 //!
-//! The link model is the classic uniform-jitter one: each datagram is
-//! delayed by `latency_min_us ..= latency_max_us` drawn independently, lost
-//! with probability `drop_rate`, and **rejected at send time when larger
+//! Two **delay disciplines** share the send path, selected by
+//! [`SimConfig::topology`]:
+//!
+//! * `topology: None` (the default) — the classic global-uniform model:
+//!   each datagram is delayed by `latency_min_us ..= latency_max_us` drawn
+//!   independently and lost with probability `drop_rate`. Every historical
+//!   number was measured here, and the draw order is preserved exactly, so
+//!   `None` runs stay byte-identical to them.
+//! * `topology: Some(t)` — the geo-clustered per-link model of
+//!   [`crate::topology`]: the delay is the link's deterministic base
+//!   (`f(seed, sender, receiver)`) plus uniform jitter from the sender's
+//!   stream, and the loss probability is per-link (`base_loss`, or
+//!   `lossy_loss` on links touching the designated lossy cluster).
+//!   `latency_min_us` then serves only as the sharded lookahead and must
+//!   not exceed [`crate::topology::TopologyConfig::min_delay_us`];
+//!   `latency_max_us` and `drop_rate` are unused.
+//!
+//! In both disciplines a datagram is **rejected at send time when larger
 //! than `mtu` bytes** — the UDP constraint that motivates the paper's
 //! index-side filtering (§V-A).
 
@@ -60,17 +75,22 @@ use rand::{Rng, SeedableRng};
 
 use crate::counters::{NetCounters, ShardCounters};
 use crate::node::{Ctx, Node, NodeAddr, OpId};
+use crate::topology::TopologyConfig;
 
 /// Simulator parameters.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
-    /// Minimum one-way datagram latency (µs). Doubles as the conservative
-    /// lookahead (window length) of the sharded engine, which therefore
-    /// requires it to be ≥ 1.
+    /// Minimum one-way datagram latency (µs) of the global-uniform delay
+    /// discipline (`topology: None`). Doubles as the conservative lookahead
+    /// (window length) of the sharded engine, which therefore requires it
+    /// to be ≥ 1 — and, with a topology installed, to be at most the
+    /// topology's minimum one-way delay.
     pub latency_min_us: u64,
-    /// Maximum one-way datagram latency (µs).
+    /// Maximum one-way datagram latency (µs). Unused when a topology is
+    /// installed (per-link delays replace the global range).
     pub latency_max_us: u64,
-    /// Independent loss probability per datagram.
+    /// Independent loss probability per datagram. Unused when a topology
+    /// is installed (loss becomes per-link).
     pub drop_rate: f64,
     /// Maximum datagram payload in bytes (UDP MTU budget).
     pub mtu: usize,
@@ -80,11 +100,17 @@ pub struct SimConfig {
     /// serial engine, byte-identical to the pre-sharding simulator;
     /// `≥ 2` selects the windowed sharded engine (see the module docs).
     pub shards: usize,
+    /// Per-link delay/loss model (`None` = the classic global-uniform
+    /// model, byte-identical to every historical run). See
+    /// [`crate::topology`] and the module docs for the two disciplines.
+    pub topology: Option<TopologyConfig>,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        // 20–120 ms WAN-ish latency, no loss, conservative 1400-byte MTU.
+        // Global-uniform discipline: 20–120 ms WAN-ish latency for every
+        // link, no loss, conservative 1400-byte MTU. Install a `topology`
+        // for geo-clustered per-link delays instead.
         SimConfig {
             latency_min_us: 20_000,
             latency_max_us: 120_000,
@@ -92,6 +118,44 @@ impl Default for SimConfig {
             mtu: 1400,
             seed: 0,
             shards: 1,
+            topology: None,
+        }
+    }
+}
+
+/// One datagram's fate on the `from → to` link: `None` = lost, otherwise
+/// the one-way delay in µs. All draws come from `rng` — the master stream
+/// in the serial discipline, the *sender's* stream in the sharded one.
+///
+/// With `topology: None` this performs exactly the classic draws in the
+/// classic order (one loss draw, then a latency draw only when
+/// `max > min`), keeping legacy runs byte-identical to history. With a
+/// topology, the loss probability and base delay are per-link pure
+/// functions of `(seed, from, to)` and only the loss draw plus an optional
+/// jitter draw consume RNG state — the same count and order at every
+/// shard layout.
+fn link_draw(cfg: &SimConfig, rng: &mut StdRng, from: NodeAddr, to: NodeAddr) -> Option<u64> {
+    match &cfg.topology {
+        None => {
+            if rng.gen::<f64>() < cfg.drop_rate {
+                return None;
+            }
+            Some(if cfg.latency_max_us > cfg.latency_min_us {
+                rng.gen_range(cfg.latency_min_us..=cfg.latency_max_us)
+            } else {
+                cfg.latency_min_us
+            })
+        }
+        Some(t) => {
+            if rng.gen::<f64>() < t.link_loss(cfg.seed, from, to) {
+                return None;
+            }
+            let base = t.link_base_us(cfg.seed, from, to);
+            Some(if t.jitter_us > 0 {
+                base + rng.gen_range(0..=t.jitter_us)
+            } else {
+                base
+            })
         }
     }
 }
@@ -272,14 +336,9 @@ impl<N: Node> Shard<N> {
             }
             self.counts.sent += 1;
             self.counts.bytes_sent += msg.payload.len() as u64;
-            if self.rngs[slot].gen::<f64>() < view.cfg.drop_rate {
+            let Some(latency) = link_draw(view.cfg, &mut self.rngs[slot], from, msg.to) else {
                 self.counts.dropped += 1;
                 continue;
-            }
-            let latency = if view.cfg.latency_max_us > view.cfg.latency_min_us {
-                self.rngs[slot].gen_range(view.cfg.latency_min_us..=view.cfg.latency_max_us)
-            } else {
-                view.cfg.latency_min_us
             };
             let ord_b = self.seqs[slot];
             self.seqs[slot] += 1;
@@ -345,14 +404,27 @@ impl<N: Node> SimNet<N> {
     /// Creates an empty simulated network.
     ///
     /// # Panics
-    /// When `cfg.shards == 0`, or when `cfg.shards ≥ 2` with
-    /// `latency_min_us == 0` (the sharded engine's lookahead would vanish).
+    /// When `cfg.shards == 0`; when `cfg.shards ≥ 2` with
+    /// `latency_min_us == 0` (the sharded engine's lookahead would vanish);
+    /// when an installed topology is malformed; or when a sharded run's
+    /// lookahead exceeds the topology's minimum one-way delay (a datagram
+    /// could then arrive inside the window that sent it).
     pub fn new(cfg: SimConfig) -> Self {
         assert!(cfg.shards >= 1, "shards must be >= 1");
         assert!(
             cfg.shards == 1 || cfg.latency_min_us >= 1,
             "sharded engine needs latency_min_us >= 1 (conservative lookahead)"
         );
+        if let Some(t) = &cfg.topology {
+            t.validate();
+            assert!(
+                cfg.shards == 1 || cfg.latency_min_us <= t.min_delay_us(),
+                "sharded lookahead (latency_min_us = {}) exceeds the topology's \
+                 minimum one-way delay ({})",
+                cfg.latency_min_us,
+                t.min_delay_us()
+            );
+        }
         let rng = StdRng::seed_from_u64(cfg.seed);
         let nshards = u32::try_from(cfg.shards).expect("shard count fits u32");
         SimNet {
@@ -696,15 +768,9 @@ impl<N: Node> SimNet<N> {
                 continue;
             }
             self.counters.record_sent(msg.payload.len());
-            if self.rng.gen::<f64>() < self.cfg.drop_rate {
+            let Some(latency) = link_draw(&self.cfg, &mut self.rng, from, msg.to) else {
                 self.counters.record_dropped();
                 continue;
-            }
-            let latency = if self.cfg.latency_max_us > self.cfg.latency_min_us {
-                self.rng
-                    .gen_range(self.cfg.latency_min_us..=self.cfg.latency_max_us)
-            } else {
-                self.cfg.latency_min_us
             };
             self.seq += 1;
             self.shards[0].queue.push(Reverse(Event {
@@ -756,15 +822,10 @@ impl<N: Node> SimNet<N> {
                 continue;
             }
             self.counters.record_sent(msg.payload.len());
-            if self.shards[s].rngs[slot].gen::<f64>() < self.cfg.drop_rate {
+            let Some(latency) = link_draw(&self.cfg, &mut self.shards[s].rngs[slot], from, msg.to)
+            else {
                 self.counters.record_dropped();
                 continue;
-            }
-            let latency = if self.cfg.latency_max_us > self.cfg.latency_min_us {
-                self.shards[s].rngs[slot]
-                    .gen_range(self.cfg.latency_min_us..=self.cfg.latency_max_us)
-            } else {
-                self.cfg.latency_min_us
             };
             let ord_b = self.shards[s].seqs[slot];
             self.shards[s].seqs[slot] += 1;
@@ -969,6 +1030,7 @@ mod tests {
             mtu: 100,
             seed,
             shards: 1,
+            topology: None,
         })
     }
 
@@ -1171,15 +1233,20 @@ mod tests {
 
     /// A churn-ish Echo scenario under the sharded discipline: ring
     /// traffic, timers, a crash, a removal, budget-bounded and
-    /// deadline-bounded runs.
-    fn sharded_scenario(shards: usize, parallel: bool) -> EchoSnapshot {
+    /// deadline-bounded runs. Runs under either delay discipline.
+    fn sharded_scenario_with(
+        shards: usize,
+        parallel: bool,
+        topology: Option<TopologyConfig>,
+    ) -> EchoSnapshot {
         let mut net: SimNet<Echo> = SimNet::new(SimConfig {
-            latency_min_us: 1_000,
+            latency_min_us: topology.as_ref().map(|t| t.min_delay_us()).unwrap_or(1_000),
             latency_max_us: 5_000,
             drop_rate: 0.2,
             mtu: 100,
             seed: 77,
             shards,
+            topology,
         });
         if parallel {
             net.enable_parallel();
@@ -1224,7 +1291,7 @@ mod tests {
     /// bit for bit.
     #[test]
     fn sharded_runs_invariant_across_shard_count_and_execution() {
-        let base = sharded_scenario(2, false);
+        let base = sharded_scenario_with(2, false, None);
         assert!(base.3 > 0, "scenario must fire events");
         for shards in [2usize, 4, 8] {
             for parallel in [false, true] {
@@ -1232,12 +1299,97 @@ mod tests {
                     continue;
                 }
                 assert_eq!(
-                    sharded_scenario(shards, parallel),
+                    sharded_scenario_with(shards, parallel, None),
                     base,
                     "shards={shards} parallel={parallel}"
                 );
             }
         }
+    }
+
+    /// The same invariance holds with a per-link topology installed: base
+    /// delays are pure hash functions and the jitter/loss draws come from
+    /// sender streams, so shard layout cannot leak into the outcome.
+    #[test]
+    fn sharded_topology_runs_invariant_across_shard_count_and_execution() {
+        let topo = TopologyConfig {
+            clusters: 3,
+            intra_us: (1_000, 3_000),
+            inter_us: (8_000, 20_000),
+            jitter_us: 500,
+            base_loss: 0.05,
+            lossy_cluster: Some(0),
+            lossy_loss: 0.3,
+        };
+        let base = sharded_scenario_with(2, false, Some(topo.clone()));
+        assert!(base.3 > 0, "scenario must fire events");
+        assert_ne!(
+            base,
+            sharded_scenario_with(2, false, None),
+            "the topology must actually change delays/losses"
+        );
+        for shards in [2usize, 4, 8] {
+            for parallel in [false, true] {
+                if shards == 2 && !parallel {
+                    continue;
+                }
+                assert_eq!(
+                    sharded_scenario_with(shards, parallel, Some(topo.clone())),
+                    base,
+                    "shards={shards} parallel={parallel}"
+                );
+            }
+        }
+    }
+
+    /// Jitter-free, loss-free topology links deliver at exactly the
+    /// deterministic base delay of the pair.
+    #[test]
+    fn topology_delivery_times_match_link_base() {
+        let topo = TopologyConfig {
+            clusters: 2,
+            intra_us: (2_000, 4_000),
+            inter_us: (10_000, 30_000),
+            jitter_us: 0,
+            base_loss: 0.0,
+            lossy_cluster: None,
+            lossy_loss: 0.0,
+        };
+        let seed = 21;
+        let mut net: SimNet<Echo> = SimNet::new(SimConfig {
+            latency_min_us: topo.min_delay_us(),
+            latency_max_us: 0,
+            drop_rate: 0.0,
+            mtu: 100,
+            seed,
+            shards: 1,
+            topology: Some(topo.clone()),
+        });
+        let a = net.add_node(Echo::new(false));
+        let b = net.add_node(Echo::new(false));
+        net.with_node(a, |_, ctx| ctx.send(b, Bytes::from_static(b"x")));
+        net.run_until_idle(10);
+        assert_eq!(net.node(b).got.len(), 1);
+        assert_eq!(net.now_us(), topo.link_base_us(seed, a, b));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the topology's")]
+    fn sharded_topology_rejects_oversized_lookahead() {
+        let topo = TopologyConfig {
+            intra_us: (2_000, 8_000),
+            inter_us: (20_000, 60_000),
+            ..TopologyConfig::default()
+        };
+        let _net: SimNet<Echo> = SimNet::new(SimConfig {
+            latency_min_us: 5_000, // > min_delay_us() = 2_000
+            latency_max_us: 0,
+            drop_rate: 0.0,
+            mtu: 100,
+            seed: 0,
+            shards: 2,
+            topology: Some(topo),
+        });
     }
 
     /// A node that completes one op per received datagram; exercises the
@@ -1262,6 +1414,7 @@ mod tests {
                 mtu: 100,
                 seed: 5,
                 shards,
+                topology: None,
             });
             if parallel {
                 net.enable_parallel();
@@ -1297,6 +1450,7 @@ mod tests {
             mtu: 100,
             seed: 3,
             shards: 4,
+            topology: None,
         });
         let a = net.add_node(Echo::new(false));
         let b = net.add_node(Echo::new(false));
@@ -1322,6 +1476,7 @@ mod tests {
             mtu: 100,
             seed: 0,
             shards: 2,
+            topology: None,
         });
     }
 }

@@ -2,7 +2,7 @@
 //! and conservation under arbitrary traffic patterns.
 
 use bytes::Bytes;
-use dharma_net::{Ctx, Node, NodeAddr, SimConfig, SimNet};
+use dharma_net::{Ctx, Node, NodeAddr, SimConfig, SimNet, TopologyConfig};
 use proptest::prelude::*;
 
 /// A scripted node: on start it sends a batch of messages; every received
@@ -36,6 +36,7 @@ fn run(scripts: &[Vec<(NodeAddr, u8)>], seed: u64, drop_rate: f64) -> RunResult 
         mtu: 1_400,
         seed,
         shards: 1,
+        topology: None,
     });
     for script in scripts {
         net.add_node(Scripted {
@@ -163,6 +164,7 @@ fn run_lifecycle(ops: &[LifecycleOp], seed: u64) -> (u64, (u64, u64, u64, u64), 
         mtu: 1_400,
         seed,
         shards: 1,
+        topology: None,
     });
     let mut live: Vec<NodeAddr> = Vec::new();
     let mut removed: Vec<NodeAddr> = Vec::new();
@@ -300,6 +302,33 @@ fn arb_shard_ops() -> impl Strategy<Value = Vec<ShardOp>> {
     )
 }
 
+/// A randomized geo-clustered topology: 1–4 clusters, short intra and
+/// longer inter delay ranges, optional jitter, loss and a lossy cluster.
+fn arb_topology() -> impl Strategy<Value = TopologyConfig> {
+    (
+        (1u32..=4, 500u64..2_000, 1u64..1_500),
+        (3_000u64..8_000, 1u64..4_000, 0u64..=1_200),
+        (0usize..3, proptest::option::of(0u32..4), 0usize..2),
+    )
+        .prop_map(
+            |(
+                (clusters, intra_lo, intra_w),
+                (inter_lo, inter_w, jitter),
+                (loss_ix, lossy, lossy_ix),
+            )| {
+                TopologyConfig {
+                    clusters,
+                    intra_us: (intra_lo, intra_lo + intra_w),
+                    inter_us: (inter_lo, inter_lo + inter_w),
+                    jitter_us: jitter,
+                    base_loss: [0.0, 0.02, 0.2][loss_ix],
+                    lossy_cluster: lossy.map(|c| c % clusters),
+                    lossy_loss: [0.1, 0.35][lossy_ix],
+                }
+            },
+        )
+}
+
 /// Everything observable about a sharded run: per-node logs and timers,
 /// the clock, event count, completions and counters.
 type ShardSnapshot = (
@@ -318,14 +347,16 @@ fn run_sharded(
     drop_rate: f64,
     shards: usize,
     parallel: bool,
+    topology: Option<TopologyConfig>,
 ) -> ShardSnapshot {
     let mut net: SimNet<Mixed> = SimNet::new(SimConfig {
-        latency_min_us: 800,
+        latency_min_us: topology.as_ref().map(|t| t.min_delay_us()).unwrap_or(800),
         latency_max_us: 6_000,
         drop_rate,
         mtu: 1_400,
         seed,
         shards,
+        topology,
     });
     if parallel {
         net.enable_parallel();
@@ -423,16 +454,45 @@ proptest! {
         drop_rate in prop_oneof![Just(0.0), Just(0.15)],
     ) {
         // Serial execution of the 2-shard engine is the reference.
-        let base = run_sharded(&scripts, &ops, seed, drop_rate, 2, false);
+        let base = run_sharded(&scripts, &ops, seed, drop_rate, 2, false, None);
         for shards in [2usize, 4, 8] {
             for parallel in [false, true] {
                 if shards == 2 && !parallel {
                     continue;
                 }
-                let got = run_sharded(&scripts, &ops, seed, drop_rate, shards, parallel);
+                let got = run_sharded(&scripts, &ops, seed, drop_rate, shards, parallel, None);
                 prop_assert_eq!(
                     &got, &base,
                     "shards={} parallel={} diverged", shards, parallel
+                );
+            }
+        }
+    }
+
+    /// The same equivalence property under randomized geo-clustered
+    /// topologies: per-link delays and losses keep the sharded engine
+    /// bit-identical across shard counts and execution modes.
+    #[test]
+    fn sharded_engine_equivalent_under_random_topologies(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec((0u32..8, any::<u8>()), 0..6),
+            8..=8,
+        ),
+        ops in arb_shard_ops(),
+        seed in any::<u64>(),
+        topology in arb_topology(),
+    ) {
+        let base = run_sharded(&scripts, &ops, seed, 0.0, 2, false, Some(topology.clone()));
+        for shards in [2usize, 4, 8] {
+            for parallel in [false, true] {
+                if shards == 2 && !parallel {
+                    continue;
+                }
+                let got =
+                    run_sharded(&scripts, &ops, seed, 0.0, shards, parallel, Some(topology.clone()));
+                prop_assert_eq!(
+                    &got, &base,
+                    "topology run shards={} parallel={} diverged", shards, parallel
                 );
             }
         }

@@ -2,7 +2,7 @@
 //! quality regressions beyond a tolerance band.
 //!
 //! The artifact is the hand-rolled two-level JSON `bench_ci` emits
-//! (`dharma-bench-ci/1`/`2` schema). The parser here is deliberately
+//! (`dharma-bench-ci/1`–`3` schema). The parser here is deliberately
 //! minimal — section-aware line scanning, no serde — because the format
 //! is machine-written by this repo with one `"key": value` pair per line.
 //!
@@ -11,8 +11,9 @@
 //! * higher-is-better: hit ratios, lookup success, max-load ratio,
 //!   availability — regression when `new < old × (1 − tolerance)`;
 //! * lower-is-better: staleness, hops, per-GET message costs, lost
-//!   records — regression when `new > old × (1 + tolerance)` (and any
-//!   increase from a zero baseline).
+//!   records, GET completion-time percentiles (`p50_us`/`p95_us`, virtual
+//!   time, so deterministic) — regression when `new > old × (1 + tolerance)`
+//!   (and any increase from a zero baseline).
 //!
 //! Everything else — seeds, raw event counts, events/sec, wall time, RSS —
 //! is informational: wall-clock metrics are nondeterministic across
@@ -66,7 +67,15 @@ fn direction(path: &str) -> Option<bool> {
         "max_load_ratio",
         "availability",
     ];
-    let lower = ["staleness", "hops", "per_get", "lost", "messages"];
+    let lower = [
+        "staleness",
+        "hops",
+        "per_get",
+        "lost",
+        "messages",
+        "p50_us",
+        "p95_us",
+    ];
     if higher.iter().any(|m| path.contains(m)) {
         return Some(true);
     }
@@ -129,6 +138,10 @@ mod tests {
     "gossip_p99_staleness_us": 100000,
     "gossip_hops_per_get": 2.0000
   },
+  "latency": {
+    "aware_p50_us": 12000,
+    "aware_p95_us": 90000
+  },
   "engine": {
     "serial_events_per_sec": 1000000.0,
     "speedup": 1.00
@@ -181,6 +194,14 @@ mod tests {
         assert_eq!(compare(OLD, &grew).len(), 1, "20% hops growth gates");
         let shrunk = tweak("gossip_hops_per_get", "1.0000");
         assert!(compare(OLD, &shrunk).is_empty());
+    }
+
+    #[test]
+    fn completion_time_percentiles_gate_as_lower_better() {
+        let slower = tweak("aware_p95_us", "120000");
+        assert_eq!(compare(OLD, &slower).len(), 1, "33% p95 growth gates");
+        let faster = tweak("aware_p50_us", "8000");
+        assert!(compare(OLD, &faster).is_empty());
     }
 
     #[test]

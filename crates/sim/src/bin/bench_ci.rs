@@ -1,11 +1,11 @@
-//! Consolidated CI benchmark artifact: runs the three load-scaling
-//! ablations at smoke scale and emits one `BENCH_ci.json` with the
-//! headline numbers the perf trajectory is tracked by — cache hit ratio,
-//! lookup hops per GET, maintenance messages per GET, max-load ratio, the
-//! freshness staleness percentiles, and the event-engine throughput
-//! section (serial vs sharded events/sec, peak RSS). The CI `bench` job
-//! uploads the file as a workflow artifact, so every run leaves a data
-//! point.
+//! Consolidated CI benchmark artifact: runs the four headline ablations
+//! at smoke scale and emits one `BENCH_ci.json` with the numbers the perf
+//! trajectory is tracked by — cache hit ratio, lookup hops per GET,
+//! maintenance messages per GET, max-load ratio, the freshness staleness
+//! percentiles, the latency-aware lookup completion-time percentiles
+//! (A9 baseline vs full), and the event-engine throughput section (serial
+//! vs sharded events/sec, peak RSS). The CI `bench` job uploads the file
+//! as a workflow artifact, so every run leaves a data point.
 //!
 //! `bench_ci --compare old.json new.json` is the trend gate: it fails
 //! (exit 1) when a *quality* metric of `new.json` regresses more than 15%
@@ -17,9 +17,11 @@
 //! metrics are seeded (`--seed`, default 42) and deterministic, so gated
 //! diffs between two artifacts are real regressions or wins, never noise.
 
+use dharma_kademlia::LatencyConfig;
 use dharma_sim::{
     bench_compare, measure_engine_run, scale_bench, simulate_cache_workload, simulate_churn,
-    simulate_freshness, CacheSimConfig, ChurnConfig, ExpArgs, FreshSimConfig,
+    simulate_freshness, simulate_latency, CacheSimConfig, ChurnConfig, ExpArgs, FreshSimConfig,
+    LatencySimConfig,
 };
 
 /// `--compare old.json new.json`: exit 0 on pass, 1 on regression.
@@ -110,6 +112,21 @@ fn main() {
         ..fresh_base.clone()
     });
 
+    // ----- latency-aware lookups (A9 smoke scale) ---------------------
+    let latency_base = LatencySimConfig {
+        nodes: 32,
+        keys: 16,
+        warmup_ops: 240,
+        ops: 400,
+        seed: args.seed,
+        ..LatencySimConfig::default()
+    };
+    let lat_blind = simulate_latency(&latency_base);
+    let lat_full = simulate_latency(&LatencySimConfig {
+        latency: Some(LatencyConfig::default()),
+        ..latency_base.clone()
+    });
+
     // ----- engine throughput (serial vs sharded, bench scale) ---------
     // Event counts are deterministic per discipline; events/sec, speedup
     // and RSS are wall-clock measurements — informational in the artifact
@@ -124,7 +141,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"dharma-bench-ci/2\",\n",
+            "  \"schema\": \"dharma-bench-ci/3\",\n",
             "  \"seed\": {seed},\n",
             "  \"cache\": {{\n",
             "    \"hit_ratio\": {hit:.6},\n",
@@ -143,6 +160,15 @@ fn main() {
             "    \"gossip_p99_staleness_us\": {fgp},\n",
             "    \"ttl_only_hops_per_get\": {fthop:.4},\n",
             "    \"gossip_hops_per_get\": {fghop:.4}\n",
+            "  }},\n",
+            "  \"latency\": {{\n",
+            "    \"baseline_p50_us\": {lbp50},\n",
+            "    \"baseline_p95_us\": {lbp95},\n",
+            "    \"baseline_messages_per_get\": {lbmpg:.4},\n",
+            "    \"aware_p50_us\": {lap50},\n",
+            "    \"aware_p95_us\": {lap95},\n",
+            "    \"aware_messages_per_get\": {lampg:.4},\n",
+            "    \"aware_lookup_success\": {lasucc:.6}\n",
             "  }},\n",
             "  \"engine\": {{\n",
             "    \"serial_events\": {sev},\n",
@@ -167,6 +193,13 @@ fn main() {
         fgp = fresh_gossip.p99_staleness_us,
         fthop = fresh_ttl.mean_hops_per_get,
         fghop = fresh_gossip.mean_hops_per_get,
+        lbp50 = lat_blind.p50_us,
+        lbp95 = lat_blind.p95_us,
+        lbmpg = lat_blind.messages_per_get,
+        lap50 = lat_full.p50_us,
+        lap95 = lat_full.p95_us,
+        lampg = lat_full.messages_per_get,
+        lasucc = lat_full.success_ratio,
         sev = engine_serial.events,
         shev = engine_sharded.events,
         seps = engine_serial.events_per_sec,

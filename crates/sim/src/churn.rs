@@ -336,6 +336,7 @@ pub fn simulate_churn(cfg: &ChurnConfig) -> ChurnReport {
         mtu: 64 * 1024,
         seed: cfg.seed,
         shards: cfg.shards.max(1),
+        topology: None,
     });
     net.enable_parallel();
     let counters = net.counters();

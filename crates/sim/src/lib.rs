@@ -15,6 +15,7 @@
 //! | `ablation_churn` | A6 — churn rate × repair on/off (`dharma-maint`) |
 //! | `ablation_adaptive` | A7 — fixed vs adaptive cadence × churn, graceful leave (`dharma-adapt`) |
 //! | `ablation_freshness` | A8 — TTL-only vs version gossip vs gossip + warm routing (`dharma-fresh`) |
+//! | `ablation_latency` | A9 — latency-blind vs PNS + biased shortlists vs + adaptive α on the clustered lossy topology (`dharma-latency`) |
 //! | `ablation_scale` | A-scale — serial vs sharded engine throughput at 1k/10k nodes (events/sec, peak RSS) |
 //! | `bench_ci` | consolidated `BENCH_ci.json` for the CI bench job (`--compare` = trend gate) |
 //! | `run_all` | everything above, in sequence |
@@ -29,6 +30,7 @@ pub mod bench_compare;
 pub mod cache_sim;
 pub mod churn;
 pub mod fresh_sim;
+pub mod latency_sim;
 pub mod output;
 pub mod overlay;
 pub mod parallel_replay;
@@ -42,6 +44,7 @@ pub use args::ExpArgs;
 pub use cache_sim::{simulate_cache_workload, CacheSimConfig, CacheSimReport};
 pub use churn::{simulate_churn, ChurnConfig, ChurnReport};
 pub use fresh_sim::{simulate_freshness, FreshSimConfig, FreshSimReport};
+pub use latency_sim::{simulate_latency, LatencySimConfig, LatencySimReport};
 pub use parallel_replay::replay_parallel;
 pub use pipeline::ExpContext;
 pub use replay::{replay, EventOrder, ReplayConfig};

@@ -1,8 +1,8 @@
 //! Simulated-overlay construction shared by the DHT-level experiments.
 
 use dharma_cache::{CacheConfig, FreshConfig, PopularityConfig};
-use dharma_kademlia::{KadConfig, KademliaNode, MaintConfig};
-use dharma_net::{SimConfig, SimNet};
+use dharma_kademlia::{KadConfig, KademliaNode, LatencyConfig, MaintConfig};
+use dharma_net::{SimConfig, SimNet, TopologyConfig};
 use dharma_types::Id160;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,6 +37,15 @@ pub struct OverlayConfig {
     /// Event-engine shards (1 = the serial engine; ≥2 enables the
     /// window-barrier sharded engine and its parallel executor).
     pub shards: usize,
+    /// Geo-clustered per-link delay/loss model. `None` keeps the classic
+    /// global-uniform `latency_us`/`drop_rate` link discipline and stays
+    /// byte-identical to prior runs; `Some` switches the simulator to
+    /// per-link base delays + jitter and ignores `latency_us.1`/`drop_rate`.
+    pub topology: Option<TopologyConfig>,
+    /// Latency-aware protocol behaviour on every node (RTT estimation,
+    /// proximity neighbor selection, shortlist bias, adaptive α).
+    /// `None` keeps the latency-oblivious protocol of prior PRs.
+    pub latency: Option<LatencyConfig>,
     /// Join-batch size for bootstrap. `0` keeps the legacy single-drain
     /// bootstrap (byte-identical to prior runs). At large N set this to a
     /// few hundred: joins are admitted in batches and each batch settles
@@ -60,6 +69,8 @@ impl Default for OverlayConfig {
             maintenance: None,
             freshness: None,
             shards: 1,
+            topology: None,
+            latency: None,
             bootstrap_batch: 0,
         }
     }
@@ -80,6 +91,7 @@ impl OverlayConfig {
             replication: self.replication.clone(),
             maintenance: self.maintenance.clone(),
             freshness: self.freshness.clone(),
+            latency: self.latency.clone(),
             counters,
             ..KadConfig::default()
         }
@@ -101,12 +113,19 @@ const JOIN_EVENT_BUDGET: u64 = 4_096;
 /// node's routing table is asserted populated.
 pub fn build_overlay(cfg: &OverlayConfig) -> SimNet<KademliaNode> {
     let mut net = SimNet::new(SimConfig {
-        latency_min_us: cfg.latency_us.0,
+        // With a topology the min delay is the engine lookahead; the
+        // global-uniform bounds are ignored by the per-link discipline.
+        latency_min_us: cfg
+            .topology
+            .as_ref()
+            .map(|t| t.min_delay_us())
+            .unwrap_or(cfg.latency_us.0),
         latency_max_us: cfg.latency_us.1,
         drop_rate: cfg.drop_rate,
         mtu: cfg.mtu,
         seed: cfg.seed,
         shards: cfg.shards.max(1),
+        topology: cfg.topology.clone(),
     });
     net.enable_parallel();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD1A2);

@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use dharma_cache::CacheConfig;
-use dharma_kademlia::{KadConfig, KadOutput, KademliaNode};
+use dharma_kademlia::{KadConfig, KadOutput, KademliaNode, LatencyConfig};
 use dharma_net::udp::UdpRuntime;
 use dharma_types::{block_key, sha1, BlockType};
 
@@ -24,6 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Hot-block caching on, so the metrics dump below shows live
         // CacheStats through the UDP runtime.
         cache: Some(CacheConfig::default()),
+        // Latency awareness on: the RTT books fill from real loopback
+        // round trips, and the dump below carries rtt_contacts /
+        // rtt_p50_us / rtt_p95_us / lookup_alpha per node.
+        latency: Some(LatencyConfig::default()),
         ..KadConfig::default()
     };
 

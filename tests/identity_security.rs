@@ -109,6 +109,7 @@ fn full_kademlia_overlay_over_signed_envelopes() {
         mtu: 8 * 1024,
         seed: 900,
         shards: 1,
+        topology: None,
     });
     let kad_cfg = KadConfig {
         k: 6,
