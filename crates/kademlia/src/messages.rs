@@ -637,9 +637,11 @@ mod tests {
         assert_eq!(&dec, m);
     }
 
-    #[test]
-    fn all_messages_roundtrip() {
-        let msgs = vec![
+    /// One representative encoding per variant shape (empty and populated
+    /// collections, present and absent options) — shared by the roundtrip,
+    /// truncation, and mutation tests.
+    fn corpus() -> Vec<Message> {
+        vec![
             Message::Ping {
                 rpc: 1,
                 from: contact(1),
@@ -775,9 +777,51 @@ mod tests {
                 rpc: 19,
                 from: contact(4),
             },
-        ];
-        for m in &msgs {
+        ]
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        for m in &corpus() {
             roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_fails_to_decode() {
+        // A UDP datagram can arrive truncated (or an MTU mismatch can cut
+        // it); the decoder must reject every strict prefix of a valid
+        // encoding — cleanly, never by panicking or inventing a message.
+        for m in &corpus() {
+            let enc = m.encode_to_bytes();
+            for cut in 0..enc.len() {
+                assert!(
+                    Message::decode_exact(&enc[..cut]).is_err(),
+                    "prefix of {} bytes (of {}) decoded for {m:?}",
+                    cut,
+                    enc.len(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_byte_mutations_never_panic() {
+        // Bit-flip every byte of every corpus encoding with several
+        // patterns. Decoding may succeed (some flips land in payload
+        // bytes) or fail — but it must always *return*, and anything it
+        // accepts must survive a re-encode roundtrip.
+        for m in &corpus() {
+            let enc = m.encode_to_bytes();
+            for i in 0..enc.len() {
+                for pattern in [0x01u8, 0x80, 0xff] {
+                    let mut bent = enc.to_vec();
+                    bent[i] ^= pattern;
+                    if let Ok(decoded) = Message::decode_exact(&bent) {
+                        roundtrip(&decoded);
+                    }
+                }
+            }
         }
     }
 

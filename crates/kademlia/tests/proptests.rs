@@ -135,6 +135,20 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 key: Id160::from_bytes(k),
                 entries,
             }),
+        (
+            rpc,
+            arb_contact(),
+            any::<[u8; 20]>(),
+            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
+            proptest::collection::vec(arb_entry(), 0..16)
+        )
+            .prop_map(|(rpc, from, k, blob, entries)| Message::Replicate {
+                rpc,
+                from,
+                key: Id160::from_bytes(k),
+                blob,
+                entries,
+            }),
         (rpc, arb_contact()).prop_map(|(rpc, from)| Message::Ack { rpc, from }),
         (rpc, arb_contact()).prop_map(|(rpc, from)| Message::Leave { rpc, from }),
     ]
@@ -155,6 +169,33 @@ proptest! {
         let _ = Message::decode_exact(&data);
         let mut bytes = Bytes::from(data);
         let _ = Message::decode(&mut bytes);
+    }
+
+    /// Every strict prefix of a valid encoding is rejected — a truncated
+    /// datagram can never decode to a (different) valid message.
+    #[test]
+    fn message_prefixes_never_decode(msg in arb_message()) {
+        let enc = msg.encode_to_bytes();
+        for cut in 0..enc.len() {
+            prop_assert!(
+                Message::decode_exact(&enc[..cut]).is_err(),
+                "prefix of {} bytes decoded", cut
+            );
+        }
+    }
+
+    /// Single-byte corruption of a valid encoding never panics the
+    /// decoder, and anything it still accepts re-encodes consistently.
+    #[test]
+    fn mutated_messages_never_panic(msg in arb_message(), idx in any::<u64>(), xor in 1u8..255) {
+        let mut enc = msg.encode_to_bytes().to_vec();
+        let i = (idx % enc.len() as u64) as usize;
+        enc[i] ^= xor;
+        if let Ok(decoded) = Message::decode_exact(&enc) {
+            let re = decoded.encode_to_bytes();
+            let again = Message::decode_exact(&re).unwrap();
+            prop_assert_eq!(again, decoded, "accepted mutants must roundtrip");
+        }
     }
 
     /// Routing-table invariants under arbitrary contact/failure streams:

@@ -23,6 +23,7 @@ struct Inner {
     dropped: AtomicU64,
     bytes_sent: AtomicU64,
     oversize_rejected: AtomicU64,
+    unknown_sender: AtomicU64,
     timers_fired: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -120,6 +121,21 @@ impl NetCounters {
     /// Records a send rejected for exceeding the MTU.
     pub fn record_oversize(&self) {
         self.inner.oversize_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` sends and their payload bytes in one shot (used by the
+    /// batched UDP flush path, which learns the accepted count from a
+    /// single `sendmmsg` return).
+    pub fn record_sent_batch(&self, n: u64, bytes: u64) {
+        self.inner.sent.fetch_add(n, Ordering::Relaxed);
+        self.inner.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a datagram discarded because its sender is not in the
+    /// runtime's address book (no implicit trust — but the silence is
+    /// counted, not swallowed).
+    pub fn record_unknown_sender(&self) {
+        self.inner.unknown_sender.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a timer expiry.
@@ -245,6 +261,11 @@ impl NetCounters {
     /// Sends rejected at the MTU check.
     pub fn oversize_rejected(&self) -> u64 {
         self.inner.oversize_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams discarded because the sender was not a registered peer.
+    pub fn unknown_sender(&self) -> u64 {
+        self.inner.unknown_sender.load(Ordering::Relaxed)
     }
 
     /// Timers fired.
@@ -377,11 +398,26 @@ mod tests {
         c.record_delivered();
         c.record_dropped();
         c.record_oversize();
+        c.record_unknown_sender();
+        c2.record_unknown_sender();
         assert_eq!(c.sent(), 2);
         assert_eq!(c.bytes_sent(), 150);
         assert_eq!(c2.delivered(), 1);
         assert_eq!(c2.dropped(), 1);
         assert_eq!(c2.oversize_rejected(), 1);
+        assert_eq!(c.unknown_sender(), 2);
+    }
+
+    #[test]
+    fn batched_send_recording_matches_per_send() {
+        let singles = NetCounters::new();
+        singles.record_sent(40);
+        singles.record_sent(60);
+        singles.record_sent(100);
+        let batched = NetCounters::new();
+        batched.record_sent_batch(3, 200);
+        assert_eq!(batched.sent(), singles.sent());
+        assert_eq!(batched.bytes_sent(), singles.bytes_sent());
     }
 
     #[test]

@@ -28,8 +28,10 @@
 pub mod counters;
 pub mod node;
 pub mod sim;
+pub mod sys;
 pub mod topology;
 pub mod udp;
+pub mod udp_swarm;
 
 pub use counters::{NetCounters, ShardCounters};
 pub use node::{Ctx, Instrumented, Metric, Node, NodeAddr, OutMessage};

@@ -1,0 +1,344 @@
+//! Rendezvous bootstrap for multi-process UDP overlay swarms.
+//!
+//! A swarm run spans several OS processes, each hosting a [`UdpWorker`]
+//! with K overlay nodes on real loopback sockets. Before any UDP flows,
+//! everyone must learn everyone else's socket addresses and start in
+//! lockstep. This module provides that control plane: a tiny line-based
+//! TCP protocol served by the parent process.
+//!
+//! Protocol (one persistent TCP connection per participant):
+//!
+//! ```text
+//! C: register <node_addr> <ip:port>      (repeated, one per hosted node)
+//! C: done
+//! S: peers <n>                            (after ALL participants sent done)
+//! S: <node_addr> <ip:port>               (n lines — the full address book)
+//! S: end
+//! C: barrier <name>                       (blocks until all reach <name>)
+//! S: go
+//! C: report <key> <value>                 (repeated, fire-and-forget)
+//! C: bye
+//! ```
+//!
+//! The rendezvous is *control plane only*: it carries socket addresses and
+//! scalar results, never datagrams. Its latency is irrelevant to the
+//! benchmark, which times UDP traffic exclusively between barriers.
+//!
+//! [`UdpWorker`]: crate::udp::UdpWorker
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use dharma_types::{DharmaError, Result};
+
+use crate::node::NodeAddr;
+
+/// How long any side waits on a peer before declaring the swarm wedged.
+const IO_TIMEOUT: Duration = Duration::from_secs(60);
+
+#[derive(Default)]
+struct State {
+    peers: Vec<(NodeAddr, SocketAddr)>,
+    done: usize,
+    barriers: HashMap<String, usize>,
+    reports: Vec<(String, f64)>,
+    byes: usize,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    expected: usize,
+}
+
+/// The parent-side rendezvous: accepts `expected` participants, collects
+/// registrations, releases barriers, and gathers final reports.
+pub struct RendezvousServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RendezvousServer {
+    /// Binds a loopback listener and starts serving `expected`
+    /// participants on background threads.
+    pub fn start(expected: usize) -> Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            expected,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            let mut conns = Vec::new();
+            for _ in 0..expected {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                let conn_shared = Arc::clone(&accept_shared);
+                conns.push(std::thread::spawn(move || {
+                    let _ = serve_one(stream, conn_shared);
+                }));
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        });
+        Ok(RendezvousServer {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The TCP address participants connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until every participant said `bye` (or `timeout` passes),
+    /// then returns all `(key, value)` report lines in arrival order.
+    pub fn wait_reports(&mut self, timeout: Duration) -> Result<Vec<(String, f64)>> {
+        let guard = self
+            .shared
+            .state
+            .lock()
+            .map_err(|_| DharmaError::Io("rendezvous state poisoned".into()))?;
+        let (guard, wait) = self
+            .shared
+            .cv
+            .wait_timeout_while(guard, timeout, |s| s.byes < self.shared.expected)
+            .map_err(|_| DharmaError::Io("rendezvous state poisoned".into()))?;
+        if wait.timed_out() {
+            return Err(DharmaError::Io(format!(
+                "rendezvous: only {}/{} participants reported back",
+                guard.byes, self.shared.expected
+            )));
+        }
+        let reports = guard.reports.clone();
+        drop(guard);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        Ok(reports)
+    }
+}
+
+fn serve_one(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // participant hung up
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["register", addr, sock] => {
+                let parsed = (addr.parse::<NodeAddr>(), sock.parse::<SocketAddr>());
+                if let (Ok(a), Ok(s)) = parsed {
+                    let mut st = shared.state.lock().expect("rendezvous lock");
+                    st.peers.push((a, s));
+                }
+            }
+            ["done"] => {
+                let mut st = shared.state.lock().expect("rendezvous lock");
+                st.done += 1;
+                shared.cv.notify_all();
+                while st.done < shared.expected {
+                    st = shared.cv.wait(st).expect("rendezvous lock");
+                }
+                let snapshot = st.peers.clone();
+                drop(st);
+                writeln!(writer, "peers {}", snapshot.len())?;
+                for (a, s) in snapshot {
+                    writeln!(writer, "{a} {s}")?;
+                }
+                writeln!(writer, "end")?;
+            }
+            ["barrier", name] => {
+                let mut st = shared.state.lock().expect("rendezvous lock");
+                *st.barriers.entry(name.to_string()).or_insert(0) += 1;
+                shared.cv.notify_all();
+                while st.barriers[*name] < shared.expected {
+                    st = shared.cv.wait(st).expect("rendezvous lock");
+                }
+                drop(st);
+                writeln!(writer, "go")?;
+            }
+            ["report", key, value] => {
+                if let Ok(v) = value.parse::<f64>() {
+                    let mut st = shared.state.lock().expect("rendezvous lock");
+                    st.reports.push((key.to_string(), v));
+                }
+            }
+            ["bye"] => {
+                let mut st = shared.state.lock().expect("rendezvous lock");
+                st.byes += 1;
+                shared.cv.notify_all();
+                return Ok(());
+            }
+            _ => { /* ignore malformed control lines */ }
+        }
+    }
+}
+
+/// A participant's connection to the rendezvous.
+pub struct RendezvousClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RendezvousClient {
+    /// Connects to the parent's rendezvous listener.
+    pub fn connect(addr: SocketAddr) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(RendezvousClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Announces one hosted node's overlay address and UDP socket.
+    pub fn register(&mut self, addr: NodeAddr, sock: SocketAddr) -> Result<()> {
+        writeln!(self.writer, "register {addr} {sock}")?;
+        Ok(())
+    }
+
+    /// Ends registration and blocks until every participant has too;
+    /// returns the complete swarm address book.
+    pub fn done(&mut self) -> Result<Vec<(NodeAddr, SocketAddr)>> {
+        writeln!(self.writer, "done")?;
+        let header = self.read_line()?;
+        let n: usize = header
+            .strip_prefix("peers ")
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| DharmaError::Io(format!("bad rendezvous header: {header:?}")))?;
+        let mut peers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = self.read_line()?;
+            let mut fields = line.split_whitespace();
+            let parsed = (
+                fields.next().and_then(|f| f.parse::<NodeAddr>().ok()),
+                fields.next().and_then(|f| f.parse::<SocketAddr>().ok()),
+            );
+            let (Some(a), Some(s)) = parsed else {
+                return Err(DharmaError::Io(format!("bad rendezvous peer: {line:?}")));
+            };
+            peers.push((a, s));
+        }
+        let fin = self.read_line()?;
+        if fin.trim() != "end" {
+            return Err(DharmaError::Io(format!("bad rendezvous trailer: {fin:?}")));
+        }
+        Ok(peers)
+    }
+
+    /// Blocks until all participants reach the barrier `name`.
+    pub fn barrier(&mut self, name: &str) -> Result<()> {
+        writeln!(self.writer, "barrier {name}")?;
+        let reply = self.read_line()?;
+        if reply.trim() != "go" {
+            return Err(DharmaError::Io(format!("bad barrier reply: {reply:?}")));
+        }
+        Ok(())
+    }
+
+    /// Ships one scalar result to the parent.
+    pub fn report(&mut self, key: &str, value: f64) -> Result<()> {
+        writeln!(self.writer, "report {key} {value}")?;
+        Ok(())
+    }
+
+    /// Signs off; the parent's `wait_reports` completes once everyone has.
+    pub fn bye(mut self) -> Result<()> {
+        writeln!(self.writer, "bye")?;
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(DharmaError::Io("rendezvous hung up".into()));
+        }
+        Ok(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_registers_barriers_and_reports() {
+        let mut server = RendezvousServer::start(3).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..3u32)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = RendezvousClient::connect(addr).unwrap();
+                    let sock: SocketAddr = format!("127.0.0.1:{}", 9000 + i).parse().unwrap();
+                    c.register(i, sock).unwrap();
+                    c.register(100 + i, sock).unwrap();
+                    let peers = c.done().unwrap();
+                    assert_eq!(peers.len(), 6, "address book covers every node");
+                    assert!(peers.iter().any(|&(a, _)| a == i));
+                    assert!(peers.iter().any(|&(a, _)| a == 100 + i));
+                    c.barrier("warmup").unwrap();
+                    c.barrier("measure").unwrap();
+                    c.report("lookups", f64::from(10 * (i + 1))).unwrap();
+                    c.bye().unwrap();
+                })
+            })
+            .collect();
+        let reports = server.wait_reports(Duration::from_secs(30)).unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reports.len(), 3);
+        let total: f64 = reports.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 60.0);
+        assert!(reports.iter().all(|(k, _)| k == "lookups"));
+    }
+
+    #[test]
+    fn barrier_blocks_until_all_arrive() {
+        let mut server = RendezvousServer::start(2).unwrap();
+        let addr = server.addr();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let early = std::thread::spawn(move || {
+            let mut c = RendezvousClient::connect(addr).unwrap();
+            c.register(0, "127.0.0.1:9000".parse().unwrap()).unwrap();
+            c.done().unwrap();
+            c.barrier("b").unwrap();
+            tx.send(()).unwrap();
+            c.bye().unwrap();
+        });
+        let mut late = RendezvousClient::connect(addr).unwrap();
+        late.register(1, "127.0.0.1:9001".parse().unwrap()).unwrap();
+        // The early thread cannot pass `done` (and thus the barrier)
+        // before this side completes registration.
+        assert!(
+            rx.recv_timeout(Duration::from_millis(100)).is_err(),
+            "barrier released before all participants arrived"
+        );
+        late.done().unwrap();
+        late.barrier("b").unwrap();
+        rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        late.bye().unwrap();
+        early.join().unwrap();
+        server.wait_reports(Duration::from_secs(10)).unwrap();
+    }
+}

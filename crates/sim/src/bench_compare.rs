@@ -2,7 +2,7 @@
 //! quality regressions beyond a tolerance band.
 //!
 //! The artifact is the hand-rolled two-level JSON `bench_ci` emits
-//! (`dharma-bench-ci/1`–`3` schema). The parser here is deliberately
+//! (`dharma-bench-ci/1`–`4` schema). The parser here is deliberately
 //! minimal — section-aware line scanning, no serde — because the format
 //! is machine-written by this repo with one `"key": value` pair per line.
 //!
@@ -15,10 +15,15 @@
 //!   time, so deterministic) — regression when `new > old × (1 + tolerance)`
 //!   (and any increase from a zero baseline).
 //!
-//! Everything else — seeds, raw event counts, events/sec, wall time, RSS —
+//! Everything else — seeds, raw event counts, events/sec, wall time, RSS,
+//! the schema-v4 `udp` wall measurements (`dgrams_per_sec_core`,
+//! `batching_speedup`, `p50_wall_us`/`p99_wall_us`, `syscall_cost_ns`) —
 //! is informational: wall-clock metrics are nondeterministic across
 //! runners, and raw counts move legitimately whenever a scenario is
-//! retuned, so neither belongs in a pass/fail gate.
+//! retuned, so neither belongs in a pass/fail gate. `udp.lookup_success`
+//! is the exception that proves the rule: loopback is lossless, so the
+//! real-socket swarm finding its records is a quality invariant, not a
+//! speed measurement.
 
 use dharma_types::FxHashMap;
 
@@ -145,6 +150,14 @@ mod tests {
   "engine": {
     "serial_events_per_sec": 1000000.0,
     "speedup": 1.00
+  },
+  "udp": {
+    "dgrams_per_sec_core": 500000.0,
+    "batching_speedup": 2.100,
+    "syscall_cost_ns": 650.0,
+    "lookup_success": 1.000000,
+    "p50_wall_us": 2300.0,
+    "p99_wall_us": 4800.0
   }
 }
 "#;
@@ -216,6 +229,32 @@ mod tests {
         let no_speedup = tweak("speedup", "0.10");
         assert!(compare(OLD, &slower).is_empty());
         assert!(compare(OLD, &no_speedup).is_empty());
+    }
+
+    #[test]
+    fn udp_wall_metrics_are_informational() {
+        // Host-dependent measurements must never fail the gate, however
+        // badly a slow runner skews them.
+        for (key, value) in [
+            ("dgrams_per_sec_core", "1000.0"),
+            ("batching_speedup", "0.500"),
+            ("p50_wall_us", "99999.0"),
+            ("p99_wall_us", "999999.0"),
+            ("syscall_cost_ns", "5000.0"),
+        ] {
+            assert!(
+                compare(OLD, &tweak(key, value)).is_empty(),
+                "udp.{key} must not gate"
+            );
+        }
+    }
+
+    #[test]
+    fn udp_lookup_success_gates_as_higher_better() {
+        let dropped = tweak("lookup_success", "0.800000");
+        // Both maintenance.lookup_success and udp.lookup_success drop (the
+        // tweak helper matches by key), and both must gate.
+        assert_eq!(compare(OLD, &dropped).len(), 2, "20% success drop gates");
     }
 
     #[test]

@@ -3,15 +3,20 @@
 //! trajectory is tracked by — cache hit ratio, lookup hops per GET,
 //! maintenance messages per GET, max-load ratio, the freshness staleness
 //! percentiles, the latency-aware lookup completion-time percentiles
-//! (A9 baseline vs full), and the event-engine throughput section (serial
-//! vs sharded events/sec, peak RSS). The CI `bench` job uploads the file
+//! (A9 baseline vs full), the event-engine throughput section (serial
+//! vs sharded events/sec, peak RSS), and the real-socket `udp` section
+//! (syscall-batching speedup, datagrams/sec/core, swarm lookup success
+//! and wall latency percentiles). The CI `bench` job uploads the file
 //! as a workflow artifact, so every run leaves a data point.
 //!
 //! `bench_ci --compare old.json new.json` is the trend gate: it fails
 //! (exit 1) when a *quality* metric of `new.json` regresses more than 15%
 //! against `old.json` (direction-aware; see `dharma_sim::bench_compare`).
-//! Wall-clock metrics — events/sec, speedup, RSS — are informational and
-//! never gated: they vary across runners.
+//! Wall-clock metrics — events/sec, speedup, RSS, datagrams/sec,
+//! wall-latency percentiles — are informational and never gated: they
+//! vary across runners. `udp.lookup_success` IS gated: over lossless
+//! loopback the swarm must keep finding its records regardless of host
+//! speed.
 //!
 //! The schema is documented in `crates/bench/README.md`; all simulated
 //! metrics are seeded (`--seed`, default 42) and deterministic, so gated
@@ -19,9 +24,9 @@
 
 use dharma_kademlia::LatencyConfig;
 use dharma_sim::{
-    bench_compare, measure_engine_run, scale_bench, simulate_cache_workload, simulate_churn,
-    simulate_freshness, simulate_latency, CacheSimConfig, ChurnConfig, ExpArgs, FreshSimConfig,
-    LatencySimConfig,
+    bench_compare, measure_engine_run, run_swarm_threaded, scale_bench, simulate_cache_workload,
+    simulate_churn, simulate_freshness, simulate_latency, transport_microbench, CacheSimConfig,
+    ChurnConfig, ExpArgs, FreshSimConfig, LatencySimConfig, UdpBenchConfig,
 };
 
 /// `--compare old.json new.json`: exit 0 on pass, 1 on regression.
@@ -138,10 +143,17 @@ fn main() {
     let engine_sharded = measure_engine_run(&engine_cfg);
     let speedup = engine_sharded.events_per_sec / engine_serial.events_per_sec.max(1e-9);
 
+    // ----- real-socket transport (bench_udp smoke scale) ---------------
+    // The swarm runs its participants on threads here — bench_ci has no
+    // child-process re-exec hook, and CI wants one process to watch. The
+    // multi-process variant is exercised by the dedicated bench-udp job.
+    let udp_micro = transport_microbench(20_000).expect("udp microbench");
+    let udp_swarm = run_swarm_threaded(&UdpBenchConfig::smoke(args.seed)).expect("udp swarm");
+
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"dharma-bench-ci/3\",\n",
+            "  \"schema\": \"dharma-bench-ci/4\",\n",
             "  \"seed\": {seed},\n",
             "  \"cache\": {{\n",
             "    \"hit_ratio\": {hit:.6},\n",
@@ -177,6 +189,15 @@ fn main() {
             "    \"sharded_events_per_sec\": {sheps:.1},\n",
             "    \"speedup\": {spd:.2},\n",
             "    \"peak_rss_bytes\": {rss}\n",
+            "  }},\n",
+            "  \"udp\": {{\n",
+            "    \"dgrams_per_sec_core\": {udps:.1},\n",
+            "    \"batching_speedup\": {ubsp:.3},\n",
+            "    \"syscall_cost_ns\": {usys:.1},\n",
+            "    \"lookup_success\": {usucc:.6},\n",
+            "    \"swarm_nodes\": {unodes},\n",
+            "    \"p50_wall_us\": {up50:.1},\n",
+            "    \"p99_wall_us\": {up99:.1}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -206,6 +227,13 @@ fn main() {
         sheps = engine_sharded.events_per_sec,
         spd = speedup,
         rss = engine_sharded.peak_rss_bytes,
+        udps = udp_micro.batched_dgrams_per_sec,
+        ubsp = udp_micro.speedup,
+        usys = udp_micro.syscall_cost_ns,
+        usucc = udp_swarm.lookup_success,
+        unodes = udp_swarm.nodes,
+        up50 = udp_swarm.p50_wall_us,
+        up99 = udp_swarm.p99_wall_us,
     );
 
     std::fs::create_dir_all(&args.out).expect("output dir");

@@ -17,6 +17,7 @@
 //! | `ablation_freshness` | A8 — TTL-only vs version gossip vs gossip + warm routing (`dharma-fresh`) |
 //! | `ablation_latency` | A9 — latency-blind vs PNS + biased shortlists vs + adaptive α on the clustered lossy topology (`dharma-latency`) |
 //! | `ablation_scale` | A-scale — serial vs sharded engine throughput at 1k/10k nodes (events/sec, peak RSS) |
+//! | `bench_udp` | real-socket transport bench — syscall-batching microbench + multi-process UDP swarm |
 //! | `bench_ci` | consolidated `BENCH_ci.json` for the CI bench job (`--compare` = trend gate) |
 //! | `run_all` | everything above, in sequence |
 //!
@@ -39,6 +40,7 @@ pub mod replay;
 pub mod scale;
 pub mod search_sim;
 pub mod trend;
+pub mod udp_bench;
 
 pub use args::ExpArgs;
 pub use cache_sim::{simulate_cache_workload, CacheSimConfig, CacheSimReport};
@@ -53,3 +55,7 @@ pub use scale::{
 };
 pub use search_sim::{simulate_searches, SearchSimConfig, SearchSimReport, StrategyStats};
 pub use trend::{run_trend, TrendConfig, TrendReport};
+pub use udp_bench::{
+    maybe_run_swarm_child, run_swarm_multiprocess, run_swarm_threaded, transport_microbench,
+    MicrobenchReport, SwarmReport, UdpBenchConfig,
+};

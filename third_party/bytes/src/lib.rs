@@ -10,7 +10,7 @@ use std::sync::Arc;
 /// A cheaply cloneable, sliceable view of shared immutable bytes.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -62,6 +62,22 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// Converts back into a mutable buffer **without copying** when this
+    /// handle is the sole owner of the underlying storage; returns `self`
+    /// unchanged otherwise. Mirrors upstream `bytes >= 1.4`; the UDP
+    /// runtime's receive pool uses it to recycle datagram buffers so the
+    /// hot path allocates nothing in steady state.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        match Arc::try_unwrap(self.data) {
+            Ok(vec) => Ok(BytesMut { data: vec }),
+            Err(data) => Err(Bytes {
+                data,
+                start: self.start,
+                end: self.end,
+            }),
+        }
+    }
 }
 
 impl Default for Bytes {
@@ -74,7 +90,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end: len,
         }
@@ -226,6 +242,21 @@ impl BytesMut {
         self.data.clear();
     }
 
+    /// Resizes to `new_len`, filling any growth with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(new_len, value);
+    }
+
+    /// Shortens the buffer to `len` (no-op when already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Reserved-but-unwritten headroom.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Appends a slice.
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
@@ -251,6 +282,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
@@ -290,6 +327,22 @@ mod tests {
         let c = b.clone();
         assert_eq!(b, c);
         assert!(Arc::ptr_eq(&b.data, &c.data));
+    }
+
+    #[test]
+    fn try_into_mut_recovers_unique_storage_without_copy() {
+        let mut m = BytesMut::with_capacity(2048);
+        m.resize(5, 0);
+        m.copy_from_slice(&[1, 2, 3, 4, 5]);
+        let frozen = m.freeze();
+        let shared = frozen.clone();
+        // Two handles: recovery must refuse and hand the view back.
+        let frozen = frozen.try_into_mut().unwrap_err();
+        drop(shared);
+        // Sole owner again: the original storage (and capacity) comes back.
+        let recovered = frozen.try_into_mut().unwrap();
+        assert_eq!(recovered.as_ref(), &[1, 2, 3, 4, 5]);
+        assert!(recovered.capacity() >= 2048, "capacity survives the trip");
     }
 
     #[test]
