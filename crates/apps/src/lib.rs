@@ -1,2 +1,4 @@
 //! Example applications for the DHARMA stack. The runnable sources live
 //! in the top-level `examples/` directory (see Cargo.toml `[[example]]`).
+
+#![forbid(unsafe_code)]

@@ -1,2 +1,4 @@
 //! Criterion benchmark harness for the DHARMA reproduction. See the
 //! `benches/` directory; this library intentionally exposes nothing.
+
+#![forbid(unsafe_code)]

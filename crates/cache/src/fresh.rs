@@ -143,6 +143,7 @@ impl FreshnessBook {
             // Shed the lowest-versioned quarter (deterministic: ties by
             // key). Low versions are the oldest news and the cheapest
             // bounds to lose.
+            // dharma-lint: allow(D3): collected then sorted by (version, key) — a total order
             let mut entries: Vec<(Id160, u64)> = self.seen.iter().map(|(k, &v)| (*k, v)).collect();
             entries.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
             for (k, _) in entries.into_iter().take(self.cap / 4 + 1) {
@@ -271,6 +272,7 @@ impl HitHistory {
         }
         if self.keys.len() > self.max_keys {
             // Evict the least-recently-touched key (deterministic ties by key).
+            // dharma-lint: allow(D3): `min_by` with a (touched, key) total order is order-independent
             if let Some(victim) = self
                 .keys
                 .iter()
@@ -285,6 +287,7 @@ impl HitHistory {
 
     /// Drops a peer everywhere (it departed / was evicted from routing).
     pub fn forget_peer(&mut self, peer: &Id160) {
+        // dharma-lint: allow(D3): each entry is mutated independently; no order escapes
         for entry in self.keys.values_mut() {
             entry.peers.retain(|p| p.id != *peer);
         }

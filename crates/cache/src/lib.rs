@@ -41,6 +41,7 @@
 //! kilobytes of packed 4-bit counters, and time is caller-provided
 //! microseconds so the discrete-event simulator stays reproducible.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fresh;

@@ -139,6 +139,7 @@ impl PopularityEstimator {
         if n == 0 {
             return Vec::new();
         }
+        // dharma-lint: allow(D3): selected and sorted by a (weight, key) total order below
         let mut entries: Vec<(Id160, f64)> = self
             .map
             .iter()
@@ -190,6 +191,7 @@ impl PopularityEstimator {
             // `max_tracked` by weight *decayed to now* — raw stored weights
             // favor long-idle keys over actively warming ones (ties broken
             // by key for determinism).
+            // dharma-lint: allow(D3): collected then sorted by a (weight, key) total order
             let mut entries: Vec<(Id160, f64)> = self
                 .map
                 .iter()

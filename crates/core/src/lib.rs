@@ -27,6 +27,7 @@
 //! DHT, with the index-side filtering of §V-A (top-`N` by weight within one
 //! UDP payload) applied by the storing nodes.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

@@ -18,6 +18,7 @@
 //! Every randomised component takes an explicit seed; a given
 //! `(config, seed)` pair generates the identical dataset on every run.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dataset;

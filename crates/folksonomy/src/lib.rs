@@ -20,6 +20,7 @@
 //! and [`compare`]/[`kendall`] the graph-quality metrics of the evaluation
 //! (§V-B): Kendall τ-b, cosine similarity, recall and `sim1%`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compare;

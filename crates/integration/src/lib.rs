@@ -1,2 +1,4 @@
 //! Cross-crate integration tests. The test sources live in the top-level
 //! `tests/` directory (see Cargo.toml `[[test]]`).
+
+#![forbid(unsafe_code)]

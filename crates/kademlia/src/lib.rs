@@ -24,6 +24,7 @@
 //! machine, so it runs identically on the discrete-event simulator and on
 //! real UDP sockets.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod lookup;

@@ -826,6 +826,99 @@ mod tests {
     }
 
     #[test]
+    fn two_byte_mutations_never_panic() {
+        // Pairs of corruptions interact in ways single flips cannot: the
+        // first flip can grow a length field so the *second* lands inside
+        // a now-misinterpreted region. Exhaustive pairs are quadratic in
+        // datagram size, so pair every byte with a striding partner and
+        // keep the per-byte pattern variety from the single-flip test.
+        for m in &corpus() {
+            let enc = m.encode_to_bytes();
+            let n = enc.len();
+            for i in 0..n {
+                for stride in [1usize, 2, 3, 7, 13] {
+                    let j = (i + stride) % n;
+                    if i == j {
+                        continue;
+                    }
+                    for (pa, pb) in [(0xffu8, 0x01u8), (0x80, 0xff), (0x01, 0x80)] {
+                        let mut bent = enc.to_vec();
+                        bent[i] ^= pa;
+                        bent[j] ^= pb;
+                        if let Ok(decoded) = Message::decode_exact(&bent) {
+                            roundtrip(&decoded);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_inside_digest_entries_fails_cleanly() {
+        // The digest rides piggyback at the *tail* of Pong / FoundNodes /
+        // FoundValue, so a cut mid-`DigestEntry` (28 bytes: 20-byte key +
+        // 8-byte version) is exactly where an MTU clip lands. Walk every
+        // cut position inside the digest region specifically, not just
+        // every prefix, and confirm the decoder neither panics nor yields
+        // a message with a shortened digest.
+        let digest = vec![
+            DigestEntry {
+                key: sha1(b"a"),
+                version: 1,
+            },
+            DigestEntry {
+                key: sha1(b"b"),
+                version: u64::MAX,
+            },
+            DigestEntry {
+                key: sha1(b"c"),
+                version: 0x0102_0304_0506_0708,
+            },
+        ];
+        let carriers = vec![
+            Message::Pong {
+                rpc: 5,
+                from: contact(1),
+                digest: digest.clone(),
+            },
+            Message::FoundNodes {
+                rpc: 6,
+                from: contact(2),
+                contacts: vec![contact(3)],
+                digest: digest.clone(),
+            },
+            Message::FoundValue {
+                rpc: 7,
+                from: contact(2),
+                blob: Some(b"uri://x".to_vec()),
+                entries: vec![StoredEntry {
+                    name: "rock".into(),
+                    weight: 2,
+                }],
+                truncated: false,
+                version: 3,
+                from_cache: false,
+                digest: digest.clone(),
+            },
+        ];
+        for m in &carriers {
+            let enc = m.encode_to_bytes();
+            // The digest is encoded last: the final 3 entries occupy the
+            // trailing 3 * 28 bytes.
+            let digest_bytes = digest.len() * 28;
+            assert!(enc.len() > digest_bytes);
+            let digest_start = enc.len() - digest_bytes;
+            for cut in digest_start..enc.len() {
+                assert!(
+                    Message::decode_exact(&enc[..cut]).is_err(),
+                    "cut at {cut} (digest starts {digest_start}) decoded for {m:?}",
+                );
+            }
+        }
+    }
+
+    #[test]
     fn decode_rejects_garbage() {
         assert!(Message::decode_exact(&[]).is_err());
         assert!(Message::decode_exact(&[99, 0]).is_err());

@@ -758,13 +758,16 @@ impl KademliaNode {
                 // their guard early (their next read may be a cached view
                 // predating the write by < TTL) — the bounded-staleness
                 // floor every non-writer already lives with.
+                // dharma-lint: allow(D3): collected then sorted by (armed_at, key) — a total order
                 let mut idle: Vec<(Id160, u64)> = self
                     .recent_writes
                     .iter()
                     .filter(|(_, g)| g.inflight == 0)
                     .map(|(k, g)| (*k, g.armed_at_us))
                     .collect();
-                idle.sort_unstable_by_key(|&(_, at)| at);
+                // Ties on the timestamp are broken by key: sorting by
+                // `armed_at` alone would pick victims in hash order.
+                idle.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
                 for (k, _) in idle.into_iter().take(WRITE_GUARD_CAP / 4) {
                     self.recent_writes.remove(&k);
                 }
@@ -976,6 +979,7 @@ impl KademliaNode {
                     continue;
                 }
                 cfg.counters.record_stale_drops(dropped.len() as u64);
+                // dharma-lint: allow(D3): `.any()` over an equality predicate is order-independent
                 if f.cfg.revalidate_on_stale && !f.revalidating.values().any(|(k, _)| *k == e.key) {
                     refresh.push((e.key, dropped[0]));
                 }
@@ -1032,6 +1036,7 @@ impl KademliaNode {
             return;
         };
         let age_bar = f.cfg.refresh_age_us;
+        // dharma-lint: allow(D3): `.any()` over an equality predicate is order-independent
         if age_bar == 0 || f.revalidating.values().any(|(k, _)| *k == key) {
             return;
         }
@@ -1291,9 +1296,12 @@ impl KademliaNode {
                 // or spoofed Leave spray): shed the oldest quarter. Those
                 // ids lose straggler protection early — the worst case is
                 // one stale re-insert that the probe loop cleans up.
+                // dharma-lint: allow(D3): collected then sorted by (at, key) — a total order
                 let mut oldest: Vec<(Id160, u64)> =
                     self.departed.iter().map(|(k, &at)| (*k, at)).collect();
-                oldest.sort_unstable_by_key(|&(_, at)| at);
+                // Ties on the timestamp are broken by key: sorting by the
+                // stamp alone would pick victims in hash order.
+                oldest.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
                 for (k, _) in oldest.into_iter().take(DEPART_TOMBSTONE_CAP / 4) {
                     self.departed.remove(&k);
                 }

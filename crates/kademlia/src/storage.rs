@@ -25,7 +25,9 @@
 //! observable semantics — ordering, truncation, versioning, expiry — are
 //! unchanged from the string-keyed representation.
 
-use dharma_types::{FxHashMap, Id160, NameInterner, Sym};
+use std::collections::BTreeMap;
+
+use dharma_types::{Id160, NameInterner, Sym};
 
 use crate::messages::StoredEntry;
 
@@ -103,7 +105,7 @@ impl ValueState {
 /// Node-local storage.
 #[derive(Clone, Debug, Default)]
 pub struct Storage {
-    values: FxHashMap<Id160, ValueState>,
+    values: BTreeMap<Id160, ValueState>,
     /// Shared name table: every entry name across every key, stored once.
     names: NameInterner,
 }

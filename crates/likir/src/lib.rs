@@ -23,6 +23,7 @@
 //! [`CaVerifier`] handle models "anyone can verify" exactly as a published
 //! CA public key would.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ca;

@@ -1,0 +1,374 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! The rules in this crate need exactly three things a regex over raw
+//! source cannot give them: (1) pattern words inside **string literals**
+//! and **comments** must never match, (2) comment *text* must be
+//! available (SAFETY comments, suppression pragmas), and (3) brace
+//! structure must be walkable (to skip `#[cfg(test)] mod` bodies). A
+//! full parse (`syn`) would buy nothing the rules use — so the lexer
+//! stays dependency-free and understands just enough Rust: line and
+//! nested block comments, plain/raw/byte string literals, char literals
+//! vs. lifetimes, numbers, identifiers, and single-char punctuation.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (multi-char operators arrive as
+    /// consecutive tokens: `::` is `Punct(':') Punct(':')`).
+    Punct(char),
+    /// String / char / byte / numeric literal. The payload text is
+    /// deliberately dropped: no rule may match inside a literal.
+    Literal,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment with its text and the 1-based lines it spans. Doc comments
+/// (`///`, `//!`, `/** */`) are comments here — rules treat them the
+/// same as plain ones.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub text: String,
+    pub first_line: u32,
+    pub last_line: u32,
+}
+
+/// Lexer output: code tokens and comments, each with line numbers.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Spanned>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unterminated constructs (string, block comment) consume
+/// the rest of the file rather than erroring: the linter must keep
+/// scanning whatever real repositories throw at it.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    first_line: line,
+                    last_line: line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let first_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i.min(b.len())].to_string(),
+                    first_line,
+                    last_line: line,
+                });
+            }
+            b'"' => {
+                let tok_line = line;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Spanned {
+                    tok: Tok::Literal,
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                let tok_line = line;
+                if let Some(next) = char_literal_end(b, i) {
+                    i = next;
+                    out.tokens.push(Spanned {
+                        tok: Tok::Literal,
+                        line: tok_line,
+                    });
+                } else {
+                    // Lifetime or loop label: consume the quote plus the
+                    // identifier; no closing quote exists.
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Spanned {
+                        tok: Tok::Literal,
+                        line: tok_line,
+                    });
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // Raw / byte string prefixes: `r"`, `r#"`, `b"`, `br#"`,
+                // `c"` — the quote follows the prefix identifier.
+                if matches!(word, "r" | "b" | "br" | "rb" | "c" | "cr")
+                    && (b.get(i) == Some(&b'"') || b.get(i) == Some(&b'#'))
+                {
+                    let tok_line = line;
+                    if let Some(next) = skip_raw_or_plain_string(b, i, word, &mut line) {
+                        i = next;
+                        out.tokens.push(Spanned {
+                            tok: Tok::Literal,
+                            line: tok_line,
+                        });
+                        continue;
+                    }
+                }
+                // Byte char literal `b'x'`.
+                if word == "b" && b.get(i) == Some(&b'\'') {
+                    if let Some(next) = char_literal_end(b, i) {
+                        i = next;
+                        out.tokens.push(Spanned {
+                            tok: Tok::Literal,
+                            line,
+                        });
+                        continue;
+                    }
+                }
+                out.tokens.push(Spanned {
+                    tok: Tok::Ident(word.to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers, loosely: digits, underscores, hex/suffix
+                // letters, and a decimal point only when a digit follows
+                // (so `1.method()` keeps its dot as punctuation).
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric()
+                        || b[i] == b'_'
+                        || (b[i] == b'.'
+                            && b.get(i + 1).is_some_and(u8::is_ascii_digit)
+                            && !src[..i].ends_with('.')))
+                {
+                    i += 1;
+                }
+                out.tokens.push(Spanned {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Spanned {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Consumes a plain `"..."` string starting at `i` (which must point at
+/// the opening quote); returns the index after the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes the string following a raw/byte prefix: for `r`/`br`-style
+/// prefixes counts the `#`s and finds `"###...`; for plain `b"`/`c"`
+/// defers to escape-aware skipping. `i` points just past the prefix.
+fn skip_raw_or_plain_string(b: &[u8], mut i: usize, prefix: &str, line: &mut u32) -> Option<usize> {
+    let raw = prefix.contains('r');
+    if !raw {
+        return (b.get(i) == Some(&b'"')).then(|| skip_string(b, i, line));
+    }
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return Some(i + 1 + hashes);
+        } else {
+            i += 1;
+        }
+    }
+    Some(i)
+}
+
+/// If a char literal starts at `i` (pointing at `'`), returns the index
+/// just past its closing quote; `None` means this quote introduces a
+/// lifetime instead.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    match b.get(i + 1)? {
+        b'\\' => {
+            // Escape: find the closing quote (handles `'\n'`, `'\''`,
+            // `'\u{1F600}'`).
+            let mut j = i + 2;
+            while j < b.len() {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return Some(j + 1),
+                    _ => j += 1,
+                }
+            }
+            Some(j)
+        }
+        c if is_ident_continue(*c) => {
+            // `'a'` is a char, `'a` / `'static` is a lifetime: decided
+            // by whether a quote immediately follows one ident char.
+            if b.get(i + 2) == Some(&b'\'') {
+                Some(i + 3)
+            } else {
+                None
+            }
+        }
+        // Punctuation chars: `'('`, `' '`, etc.
+        _ => (b.get(i + 2) == Some(&b'\'')).then_some(i + 3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|s| match &s.tok {
+                Tok::Ident(w) => Some(w.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn words_in_strings_and_comments_do_not_tokenize() {
+        let src = r##"
+            let x = "Instant::now() inside a string";
+            // Instant::now() inside a comment
+            let y = r#"raw "quoted" Instant::now"#;
+            let z = b"bytes thread_rng";
+        "##;
+        let words = idents(src);
+        assert!(!words.contains(&"Instant".to_string()), "{words:?}");
+        assert!(!words.contains(&"thread_rng".to_string()));
+        assert_eq!(lex(src).comments.len(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ fn after() {}";
+        let words = idents(src);
+        assert_eq!(words, vec!["fn", "after"]);
+        let c = &lex(src).comments[0];
+        assert!(c.text.contains("inner"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; let sp = ' '; }";
+        let words = idents(src);
+        // `x` the char payload must not leak out as an identifier, while
+        // the lifetime name does get consumed silently.
+        assert_eq!(
+            words,
+            vec!["fn", "f", "x", "str", "let", "c", "let", "esc", "let", "sp"]
+        );
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let src = "let a = \"one\ntwo\nthree\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b_line = lexed
+            .tokens
+            .iter()
+            .find(|s| s.tok == Tok::Ident("b".into()))
+            .unwrap()
+            .line;
+        assert_eq!(b_line, 4);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_doc_comments() {
+        let src = "/// doc about unsafe\nlet s = r##\"has \"# inside\"##; unsafe {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        let words = idents(src);
+        assert_eq!(words, vec!["let", "s", "unsafe"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let words = idents("let x = 1.max(2); let y = 1.5f64; let z = 0xff_u8;");
+        assert!(words.contains(&"max".to_string()));
+        // Numeric suffixes stay inside the literal token.
+        assert!(!words.contains(&"f64".to_string()));
+        assert!(!words.contains(&"u8".to_string()));
+    }
+}

@@ -1,0 +1,53 @@
+//! The `dharma-lint` binary: lints the workspace, prints violations,
+//! exits 1 if any remain unsuppressed.
+//!
+//! ```text
+//! dharma-lint [workspace-root]
+//! ```
+//!
+//! With no argument the workspace root is located by walking up from the
+//! current directory to the first `Cargo.toml` declaring `[workspace]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: dharma-lint [workspace-root]");
+        println!("rules: {}", dharma_lint::RULES.join(", "));
+        println!("see crates/lint/README.md for the rule table and pragma syntax");
+        return;
+    }
+    let root = match args.first() {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match dharma_lint::workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "dharma-lint: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    let (violations, files) = dharma_lint::lint_workspace(&root);
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("dharma-lint: {files} files clean");
+    } else {
+        println!(
+            "dharma-lint: {} violation(s) across {files} files — suppress only with an \
+             in-source `// dharma-lint: allow(<RULE>): <reason>` pragma",
+            violations.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Workspace walker: finds every first-party `.rs` file and lints it.
+//!
+//! Covered roots: `crates/`, `examples/`, `tests/` under the workspace
+//! root. Skipped: `target/` build output, `third_party/` (vendored API
+//! stubs we do not own), and dotted directories. Files are visited in
+//! sorted path order so output (and CI logs) are deterministic — the
+//! linter holds itself to the contract it enforces.
+
+use std::path::{Path, PathBuf};
+
+use crate::rules::{lint_source, Violation};
+
+/// Directories under the workspace root that are linted.
+const ROOTS: &[&str] = &["crates", "examples", "tests"];
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "third_party"];
+
+/// Finds the workspace root: the nearest ancestor of `start` (inclusive)
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Lints every covered file under `root`. Returns all violations plus
+/// the number of files scanned. I/O errors on individual files are
+/// reported as violations (rule `P0`) rather than aborting the run.
+pub fn lint_workspace(root: &Path) -> (Vec<Violation>, usize) {
+    let mut files = Vec::new();
+    for top in ROOTS {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match std::fs::read_to_string(path) {
+            Ok(src) => violations.extend(lint_source(&rel, &src)),
+            Err(e) => violations.push(Violation {
+                path: rel,
+                line: 0,
+                rule: "P0",
+                msg: format!("unreadable file: {e}"),
+            }),
+        }
+    }
+    (violations, files.len())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}

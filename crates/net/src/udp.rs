@@ -25,6 +25,9 @@
 //! senders are discarded (no implicit trust) but counted in
 //! [`NetCounters::unknown_sender`] so operators can see the silence.
 
+// dharma-lint: allow-file(D1): the real-socket runtime is wall-clock by nature —
+// its whole job is pacing actual sockets; nothing here feeds the SimNet trace.
+
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::net::{SocketAddr, ToSocketAddrs};

@@ -257,9 +257,13 @@ impl<'scope> Scope<'scope> {
     }
 }
 
-// The child scope handed to tasks refers to shared Arc state; it is only ever
-// used while the owning `ThreadPool::scope` frame is alive.
+// SAFETY: `Scope` holds only `Arc`s to `Sync` state (the injector, the
+// task counter, the panic slot) plus a `PhantomData` lifetime marker, so
+// sending or sharing it across worker threads cannot create unsynchronized
+// access. The `'scope` borrow it represents stays valid because
+// `ThreadPool::scope` does not return until the task counter reaches zero.
 unsafe impl Send for Scope<'_> {}
+// SAFETY: as above — every field reachable through `&Scope` is `Sync`.
 unsafe impl Sync for Scope<'_> {}
 
 /// The process-wide default pool, sized to available parallelism.
@@ -308,6 +312,10 @@ where
 /// Wrapper making a raw pointer `Send` so chunk tasks can write disjoint
 /// output slots.
 struct SendPtr<T>(*mut T);
+// SAFETY: the wrapper is only ever used by `par_map`-style helpers whose
+// chunk tasks write *disjoint* index ranges of one allocation owned by the
+// caller's stack frame, which outlives the scope; `T: Send` makes moving
+// the written values across threads sound.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {

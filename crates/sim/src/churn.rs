@@ -466,11 +466,15 @@ pub fn simulate_churn(cfg: &ChurnConfig) -> ChurnReport {
             }
         }
         let now = net.now_us();
-        let overdue: Vec<(NodeAddr, u64)> = inflight
+        // dharma-lint: allow(D3): collected then sorted by (addr, op) — a total order
+        let mut overdue: Vec<(NodeAddr, u64)> = inflight
             .iter()
             .filter(|(_, g)| now.saturating_sub(g.issued_at_us) > get_deadline_us)
             .map(|(&key, _)| key)
             .collect();
+        // Expired GETs retry (and draw RNG) in whatever order this list
+        // yields, so canonicalize it before the order reaches the trace.
+        overdue.sort_unstable();
         for key in overdue {
             done.push((key, false));
         }

@@ -24,6 +24,7 @@
 //! Each binary prints the paper-shaped table to stdout and writes CSV series
 //! under `--out` (default `results/`). All runs are seeded and reproducible.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;

@@ -1,5 +1,8 @@
 //! Shared experiment pipeline: dataset → exact FG → replayed FGs.
 
+// dharma-lint: allow-file(D1): harness-side stderr timing logs around fully
+// deterministic stages; the timings never enter any simulated state.
+
 use std::time::Instant;
 
 use dharma_dataset::{Dataset, GeneratorConfig};

@@ -19,6 +19,7 @@
 //! ever drawn from caller-provided [`rand::Rng`] instances so that whole-system
 //! simulations are reproducible bit-for-bit.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
