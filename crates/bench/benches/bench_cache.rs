@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dharma_cache::{CacheConfig, FreqSketch, HotCache, PopularityConfig, PopularityEstimator};
 use dharma_dataset::Zipf;
-use dharma_types::{sha1, Id160};
+use dharma_types::{sha1, Id160, VersionStamp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,7 +48,7 @@ fn bench_hot_cache(c: &mut Criterion) {
             now += 1;
             let key = (universe[zipf.sample(&mut rng)], 0u32);
             if cache.get(&key, now).is_none() {
-                cache.insert(key, 1, now, now);
+                cache.insert(key, VersionStamp::new(1, sha1(b"w")), now, now);
             }
         })
     });
@@ -62,7 +62,7 @@ fn bench_hot_cache(c: &mut Criterion) {
     group.bench_function("invalidate_key_4_variants", |b| {
         b.iter(|| {
             for top_n in 0u32..4 {
-                cache.insert((hot, top_n), 1, 7, 0);
+                cache.insert((hot, top_n), VersionStamp::new(1, sha1(b"w")), 7, 0);
             }
             cache.invalidate_key(&hot)
         })

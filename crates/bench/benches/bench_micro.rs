@@ -8,7 +8,7 @@ use dharma_folksonomy::kendall::{tau_b, tau_b_reference};
 use dharma_folksonomy::{Fg, TagId};
 use dharma_kademlia::{Contact, Message};
 use dharma_par::ThreadPool;
-use dharma_types::{sha1, WireDecode, WireEncode};
+use dharma_types::{sha1, VersionStamp, WireDecode, WireEncode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -39,7 +39,7 @@ fn bench_codec(c: &mut Criterion) {
         digest: (0..8)
             .map(|i| dharma_kademlia::DigestEntry {
                 key: sha1(&[0x40, i]),
-                version: u64::from(i) * 7,
+                version: VersionStamp::new(u64::from(i) * 7, sha1(b"w")),
             })
             .collect(),
     };

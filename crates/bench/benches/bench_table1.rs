@@ -41,10 +41,10 @@ fn bench_primitives(c: &mut Criterion) {
         let mut client = DharmaClient::new(
             1,
             identity.clone(),
-            DharmaConfig {
-                policy: ApproxPolicy::paper(1),
-                ..DharmaConfig::default()
-            },
+            DharmaConfig::builder()
+                .policy(ApproxPolicy::paper(1))
+                .build()
+                .expect("bench client config is in range"),
         );
         let tags: Vec<String> = (0..10).map(|t| format!("base-{t}")).collect();
         let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
@@ -69,10 +69,10 @@ fn bench_primitives(c: &mut Criterion) {
         let mut client = DharmaClient::new(
             1,
             identity.clone(),
-            DharmaConfig {
-                policy: ApproxPolicy::EXACT,
-                ..DharmaConfig::default()
-            },
+            DharmaConfig::builder()
+                .policy(ApproxPolicy::EXACT)
+                .build()
+                .expect("bench client config is in range"),
         );
         let tags: Vec<String> = (0..10).map(|t| format!("nb-{t}")).collect();
         let refs: Vec<&str> = tags.iter().map(String::as_str).collect();

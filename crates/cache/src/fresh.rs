@@ -22,21 +22,26 @@
 //! Both are deterministic, allocation-light, and bounded; time is
 //! caller-provided microseconds, as everywhere in this workspace.
 //!
-//! **Version caveat** (same as [`crate::hot`]): write-version counters are
-//! per-holder, so digests from a holder other than a view's origin are not
-//! a precise order. The book errs toward freshness — a higher digest
-//! version drops the view (a false positive costs one revalidation), and
-//! TTL-extension on confirmation is capped by the hot cache's
-//! insertion-age bound so a degenerate counter can never pin a stale view
-//! forever.
+//! Versions are **origin stamps** ([`VersionStamp`]): minted once at the
+//! write's coordinator and totally ordered by `(seq, writer)`, so digests
+//! from *any* holder compare exactly against a cached view's stamp — there
+//! is no per-holder counter ambiguity left. TTL-extension on confirmation
+//! is still capped by the hot cache's insertion-age bound, so even a
+//! buggy or hostile stamp can never pin a stale view forever.
 
-use dharma_types::{FxHashMap, Id160};
+use dharma_types::{FxHashMap, Id160, VersionStamp};
 
 /// Configuration of the `dharma-fresh` subsystem (version gossip +
 /// cache-aware lookup routing). Carried by the overlay node's config;
 /// `None` there disables both features and keeps the node's behavior
 /// byte-identical to the TTL-only protocol (digests are sent empty).
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`FreshConfig::default()`] (then mutate fields) or through the
+/// range-validated [`FreshConfig::builder()`], so new knobs can land
+/// without breaking every literal in downstream crates.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct FreshConfig {
     /// Maximum entries in one piggybacked digest (keeps replies well under
     /// the MTU: one entry is 20 id bytes + a varint).
@@ -80,6 +85,17 @@ pub struct FreshConfig {
     /// shortlists from the hit history (cache-aware routing). Off leaves
     /// routing purely XOR-driven while gossip still manages freshness.
     pub cache_aware_routing: bool,
+    /// Write-triggered invalidation push: when a holder applies a write,
+    /// it sends a bounded fan-out of `InvalidatePush` RPCs to the key's
+    /// recent fetchers, invalidating (or triggering a one-RTT refresh of)
+    /// their cached views immediately instead of waiting for gossip to
+    /// reach them. Off keeps the gossip-only protocol byte-identical.
+    pub push_on_write: bool,
+    /// Maximum `InvalidatePush` RPCs one holder sends per applied write.
+    pub push_fanout: usize,
+    /// Only fetchers seen within this window are pushed to, µs — older
+    /// interest has likely TTL-expired anyway.
+    pub push_window_us: u64,
 }
 
 impl Default for FreshConfig {
@@ -97,11 +113,132 @@ impl Default for FreshConfig {
             refresh_age_us: 15_000_000,   // half the default cache TTL
             max_serve_age_us: 24_000_000, // 80% of the default cache TTL
             cache_aware_routing: true,
+            push_on_write: false,
+            push_fanout: 4,
+            push_window_us: 30_000_000, // one default cache TTL
         }
     }
 }
 
-/// The highest write-version this node has seen gossiped for each key.
+impl FreshConfig {
+    /// A range-validated builder starting from [`FreshConfig::default()`].
+    pub fn builder() -> FreshConfigBuilder {
+        FreshConfigBuilder {
+            cfg: FreshConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`FreshConfig`] with validated ranges ([`FreshConfig::builder()`]).
+#[derive(Clone, Debug)]
+pub struct FreshConfigBuilder {
+    cfg: FreshConfig,
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, v: $ty) -> Self {
+            self.cfg.$name = v;
+            self
+        }
+    };
+}
+
+impl FreshConfigBuilder {
+    setter!(
+        /// See [`FreshConfig::digest_max`].
+        digest_max: usize
+    );
+    setter!(
+        /// See [`FreshConfig::news_window_us`].
+        news_window_us: u64
+    );
+    setter!(
+        /// See [`FreshConfig::hit_half_life_us`].
+        hit_half_life_us: u64
+    );
+    setter!(
+        /// See [`FreshConfig::warm_threshold`].
+        warm_threshold: f64
+    );
+    setter!(
+        /// See [`FreshConfig::max_tracked_keys`].
+        max_tracked_keys: usize
+    );
+    setter!(
+        /// See [`FreshConfig::max_peers_per_key`].
+        max_peers_per_key: usize
+    );
+    setter!(
+        /// See [`FreshConfig::max_versions`].
+        max_versions: usize
+    );
+    setter!(
+        /// See [`FreshConfig::max_view_lifetime_us`].
+        max_view_lifetime_us: u64
+    );
+    setter!(
+        /// See [`FreshConfig::revalidate_on_stale`].
+        revalidate_on_stale: bool
+    );
+    setter!(
+        /// See [`FreshConfig::refresh_age_us`].
+        refresh_age_us: u64
+    );
+    setter!(
+        /// See [`FreshConfig::max_serve_age_us`].
+        max_serve_age_us: u64
+    );
+    setter!(
+        /// See [`FreshConfig::cache_aware_routing`].
+        cache_aware_routing: bool
+    );
+    setter!(
+        /// See [`FreshConfig::push_on_write`].
+        push_on_write: bool
+    );
+    setter!(
+        /// See [`FreshConfig::push_fanout`].
+        push_fanout: usize
+    );
+    setter!(
+        /// See [`FreshConfig::push_window_us`].
+        push_window_us: u64
+    );
+
+    /// Validates ranges and produces the config. Errors name the bad knob.
+    pub fn build(self) -> Result<FreshConfig, String> {
+        let c = &self.cfg;
+        if c.digest_max == 0 || c.digest_max > 64 {
+            return Err(format!("digest_max {} out of range 1..=64", c.digest_max));
+        }
+        if c.hit_half_life_us == 0 {
+            return Err("hit_half_life_us must be positive".into());
+        }
+        if !(c.warm_threshold > 0.0 && c.warm_threshold.is_finite()) {
+            return Err(format!(
+                "warm_threshold {} must be positive and finite",
+                c.warm_threshold
+            ));
+        }
+        if c.max_serve_age_us != 0 && c.max_serve_age_us <= c.refresh_age_us {
+            return Err(format!(
+                "max_serve_age_us {} must exceed refresh_age_us {} (or be 0): views would age out before their refresh fires",
+                c.max_serve_age_us, c.refresh_age_us
+            ));
+        }
+        if c.push_on_write && c.push_fanout == 0 {
+            return Err("push_fanout must be >= 1 when push_on_write is set".into());
+        }
+        if c.push_on_write && c.push_window_us == 0 {
+            return Err("push_window_us must be positive when push_on_write is set".into());
+        }
+        Ok(self.cfg)
+    }
+}
+
+/// The highest origin stamp this node has seen gossiped for each key.
 ///
 /// The book is advisory: losing an entry (capacity shed) only loses the
 /// tightened bound, never correctness — staleness falls back to the TTL
@@ -109,7 +246,7 @@ impl Default for FreshConfig {
 #[derive(Clone, Debug, Default)]
 pub struct FreshnessBook {
     cap: usize,
-    seen: FxHashMap<Id160, u64>,
+    seen: FxHashMap<Id160, VersionStamp>,
 }
 
 impl FreshnessBook {
@@ -131,20 +268,21 @@ impl FreshnessBook {
         self.seen.is_empty()
     }
 
-    /// Records one gossiped `(key, version)` observation. Returns `true`
+    /// Records one gossiped `(key, stamp)` observation. Returns `true`
     /// when it *raised* the key's known bound (i.e. carried news).
-    pub fn note(&mut self, key: Id160, version: u64) -> bool {
-        let slot = self.seen.entry(key).or_insert(0);
+    pub fn note(&mut self, key: Id160, version: VersionStamp) -> bool {
+        let slot = self.seen.entry(key).or_insert(VersionStamp::ZERO);
         let news = version > *slot;
         if news {
             *slot = version;
         }
         if self.cap > 0 && self.seen.len() > self.cap {
-            // Shed the lowest-versioned quarter (deterministic: ties by
-            // key). Low versions are the oldest news and the cheapest
+            // Shed the lowest-stamped quarter (deterministic: ties by
+            // key). Low stamps are the oldest news and the cheapest
             // bounds to lose.
-            // dharma-lint: allow(D3): collected then sorted by (version, key) — a total order
-            let mut entries: Vec<(Id160, u64)> = self.seen.iter().map(|(k, &v)| (*k, v)).collect();
+            // dharma-lint: allow(D3): collected then sorted by (stamp, key) — a total order
+            let mut entries: Vec<(Id160, VersionStamp)> =
+                self.seen.iter().map(|(k, &v)| (*k, v)).collect();
             entries.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
             for (k, _) in entries.into_iter().take(self.cap / 4 + 1) {
                 if k != key {
@@ -155,15 +293,15 @@ impl FreshnessBook {
         news
     }
 
-    /// The highest gossiped version recorded for `key`.
-    pub fn highest(&self, key: &Id160) -> Option<u64> {
+    /// The highest gossiped stamp recorded for `key`.
+    pub fn highest(&self, key: &Id160) -> Option<VersionStamp> {
         self.seen.get(key).copied()
     }
 
     /// The monotone-freshness gate: may a cached view of `key` at
     /// `version` still be served? True iff no digest has claimed a newer
-    /// version. Unknown keys are admitted (the TTL still bounds them).
-    pub fn admits(&self, key: &Id160, version: u64) -> bool {
+    /// stamp. Unknown keys are admitted (the TTL still bounds them).
+    pub fn admits(&self, key: &Id160, version: VersionStamp) -> bool {
         self.highest(key).map(|h| version >= h).unwrap_or(true)
     }
 
@@ -330,20 +468,41 @@ mod tests {
     use super::*;
     use dharma_types::sha1;
 
+    fn stamp(seq: u64) -> VersionStamp {
+        VersionStamp::new(seq, sha1(b"writer"))
+    }
+
     #[test]
     fn book_tracks_highest_and_admits_monotonically() {
         let mut b = FreshnessBook::new(0);
         let k = sha1(b"k");
-        assert!(b.admits(&k, 0), "unknown keys are admitted");
-        assert!(b.note(k, 3), "first observation is news");
-        assert!(!b.note(k, 2), "lower versions are not");
-        assert!(b.note(k, 7));
-        assert_eq!(b.highest(&k), Some(7));
-        assert!(!b.admits(&k, 6));
-        assert!(b.admits(&k, 7));
-        assert!(b.admits(&k, 9));
+        assert!(
+            b.admits(&k, VersionStamp::ZERO),
+            "unknown keys are admitted"
+        );
+        assert!(b.note(k, stamp(3)), "first observation is news");
+        assert!(!b.note(k, stamp(2)), "lower stamps are not");
+        assert!(b.note(k, stamp(7)));
+        assert_eq!(b.highest(&k), Some(stamp(7)));
+        assert!(!b.admits(&k, stamp(6)));
+        assert!(b.admits(&k, stamp(7)));
+        assert!(b.admits(&k, stamp(9)));
         b.forget(&k);
-        assert!(b.admits(&k, 0));
+        assert!(b.admits(&k, VersionStamp::ZERO));
+    }
+
+    #[test]
+    fn book_orders_equal_seq_stamps_by_writer() {
+        // Two concurrent writers minting the same Lamport seq still have
+        // a total order: the higher writer id wins, exactly, on any node.
+        let mut b = FreshnessBook::new(0);
+        let k = sha1(b"k");
+        let (wa, wb) = (sha1(b"wa"), sha1(b"wb"));
+        let (lo, hi) = if wa < wb { (wa, wb) } else { (wb, wa) };
+        assert!(b.note(k, VersionStamp::new(5, lo)));
+        assert!(b.note(k, VersionStamp::new(5, hi)), "higher writer is news");
+        assert!(!b.admits(&k, VersionStamp::new(5, lo)));
+        assert!(b.admits(&k, VersionStamp::new(5, hi)));
     }
 
     #[test]
@@ -351,10 +510,41 @@ mod tests {
         let mut b = FreshnessBook::new(16);
         for i in 0..200u32 {
             let k = sha1(&i.to_le_bytes());
-            b.note(k, u64::from(i) + 1);
+            b.note(k, stamp(u64::from(i) + 1));
             assert!(b.len() <= 17, "len {} at i {i}", b.len());
             assert!(b.highest(&k).is_some(), "just-noted key survives the shed");
         }
+    }
+
+    #[test]
+    fn builder_validates_ranges_both_ways() {
+        let ok = FreshConfig::builder()
+            .digest_max(8)
+            .refresh_age_us(1_000_000)
+            .max_serve_age_us(2_000_000)
+            .push_on_write(true)
+            .push_fanout(4)
+            .build()
+            .expect("valid config");
+        assert!(ok.push_on_write);
+        assert_eq!(ok.push_fanout, 4);
+        assert!(FreshConfig::builder().digest_max(0).build().is_err());
+        assert!(FreshConfig::builder().warm_threshold(0.0).build().is_err());
+        assert!(FreshConfig::builder()
+            .refresh_age_us(10)
+            .max_serve_age_us(10)
+            .build()
+            .is_err());
+        assert!(FreshConfig::builder()
+            .push_on_write(true)
+            .push_fanout(0)
+            .build()
+            .is_err());
+        assert!(FreshConfig::builder()
+            .push_on_write(true)
+            .push_window_us(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -13,15 +13,16 @@
 //! payloads. Two staleness guards apply:
 //!
 //! * a TTL (`ttl_us`) bounds how long any cached view can be served;
-//! * a **version** tag (the origin node's storage version counter) plus
-//!   [`HotCache::invalidate_key`] remove every view of a key the moment the
-//!   caching node itself observes a write to it — read-your-writes for the
-//!   writer, monotone (never contradictory) views for everyone else.
+//! * a **version** tag (the write's origin stamp, [`VersionStamp`] — exact
+//!   across holders) plus [`HotCache::invalidate_key`] remove every view of
+//!   a key the moment the caching node itself observes a write to it —
+//!   read-your-writes for the writer, monotone (never contradictory) views
+//!   for everyone else.
 //!
 //! The structure is a slab (`Vec`) with intrusive doubly-linked lists; no
 //! per-operation allocation once warm.
 
-use dharma_types::{FxHashMap, Id160};
+use dharma_types::{FxHashMap, Id160, VersionStamp};
 
 use crate::sketch::FreqSketch;
 
@@ -78,7 +79,7 @@ const NIL: u32 = u32::MAX;
 struct Slot<V> {
     key: CacheKey,
     value: V,
-    version: u64,
+    version: VersionStamp,
     cached_at_us: u64,
     /// When this view (at this version) first entered the cache. Unlike
     /// `cached_at_us`, digest confirmations never move it — it anchors the
@@ -171,8 +172,8 @@ impl<V: Clone> HotCache<V> {
     /// Looks up a cached view. Touches the frequency sketch (misses count
     /// toward future admission — that is what lets a hot key eventually
     /// displace a colder resident), expires stale entries, and promotes
-    /// hits into the protected segment. Returns the view and its version.
-    pub fn get(&mut self, key: &CacheKey, now_us: u64) -> Option<(V, u64)> {
+    /// hits into the protected segment. Returns the view and its stamp.
+    pub fn get(&mut self, key: &CacheKey, now_us: u64) -> Option<(V, VersionStamp)> {
         self.sketch.touch(hash_key(key));
         let Some(&idx) = self.map.get(key) else {
             self.stats.misses += 1;
@@ -200,8 +201,8 @@ impl<V: Clone> HotCache<V> {
         self.slots[idx as usize].as_ref().map(|s| &s.value)
     }
 
-    /// The version tag of a cached view, if present (tests/diagnostics).
-    pub fn peek_version(&self, key: &CacheKey) -> Option<u64> {
+    /// The origin stamp of a cached view, if present (tests/diagnostics).
+    pub fn peek_version(&self, key: &CacheKey) -> Option<VersionStamp> {
         let &idx = self.map.get(key)?;
         self.slots[idx as usize].as_ref().map(|s| s.version)
     }
@@ -216,17 +217,16 @@ impl<V: Clone> HotCache<V> {
     }
 
     /// Offers a view for caching. Replaces an existing view of the same key
-    /// unless the resident is strictly *newer* (higher version) — an
+    /// unless the resident is strictly *newer* (higher origin stamp) — an
     /// equal-or-newer candidate wins and restamps the TTL clock, which is
     /// sound because callers only mint cache entries from freshly-read
-    /// authoritative views. Version tags are only a meaningful order for
-    /// views read from the same origin (the overlay's storage counters are
-    /// per-holder); across origins freshness is bounded by the TTL and by
-    /// [`HotCache::invalidate_key`] instead. When full, TinyLFU admission
-    /// compares the candidate's sketch frequency against the probation-LRU
-    /// victim's and keeps the likelier-to-be-read one. Returns true when
-    /// the value is resident afterwards.
-    pub fn insert(&mut self, key: CacheKey, version: u64, value: V, now_us: u64) -> bool {
+    /// authoritative views. Origin stamps compare exactly across holders,
+    /// so "newer" here is the true write order, not a per-holder guess.
+    /// When full, TinyLFU admission compares the candidate's sketch
+    /// frequency against the probation-LRU victim's and keeps the
+    /// likelier-to-be-read one. Returns true when the value is resident
+    /// afterwards.
+    pub fn insert(&mut self, key: CacheKey, version: VersionStamp, value: V, now_us: u64) -> bool {
         if self.cfg.capacity == 0 {
             return false;
         }
@@ -237,11 +237,11 @@ impl<V: Clone> HotCache<V> {
             let slot = self.slots[idx as usize].as_mut().expect("mapped slot");
             if version >= slot.version {
                 slot.value = value;
-                // The lifetime anchor moves only when the *version*
-                // advances: an equal-version re-insert refreshes the TTL
-                // clock but not the confirmation ceiling, so a replica
-                // whose per-holder counter coincides with a stale view
-                // cannot keep re-arming digest confirmations forever.
+                // The lifetime anchor moves only when the *stamp*
+                // advances: an equal-stamp re-insert refreshes the TTL
+                // clock but not the confirmation ceiling, so repeated
+                // confirmations of the same write can never re-arm the
+                // hard lifetime cap.
                 if version > slot.version {
                     slot.inserted_at_us = now_us;
                 }
@@ -318,11 +318,11 @@ impl<V: Clone> HotCache<V> {
     }
 
     /// Version-gossip revalidation, the *drop* half: removes every cached
-    /// view of block `id` whose version is strictly below `below` (a digest
+    /// view of block `id` whose stamp is strictly below `below` (a digest
     /// claimed a newer write exists, so these views must not be served
     /// again). Returns the `top_n` variants dropped, so the caller can
     /// refresh the ones worth refreshing.
-    pub fn invalidate_stale(&mut self, id: &Id160, below: u64) -> Vec<u32> {
+    pub fn invalidate_stale(&mut self, id: &Id160, below: VersionStamp) -> Vec<u32> {
         let Some(indices) = self.by_id.get(id).cloned() else {
             return Vec::new();
         };
@@ -344,16 +344,16 @@ impl<V: Clone> HotCache<V> {
 
     /// Version-gossip revalidation, the *keep* half: a digest confirmed
     /// `id` is still at `version`, so restamp the TTL clock of every
-    /// cached view holding exactly that version — still-valid entries
+    /// cached view holding exactly that stamp — still-valid entries
     /// outlive their TTL without widening the staleness window. The
     /// extension is capped: a view whose *first insertion* is more than
-    /// `max_lifetime_us` ago is not restamped (version counters are
-    /// per-holder, so an unlucky counter coincidence must not pin a view
-    /// forever). Returns how many views were restamped.
+    /// `max_lifetime_us` ago is not restamped (defence in depth — even a
+    /// buggy or hostile stamp must not pin a view forever). Returns how
+    /// many views were restamped.
     pub fn confirm_fresh(
         &mut self,
         id: &Id160,
-        version: u64,
+        version: VersionStamp,
         now_us: u64,
         max_lifetime_us: u64,
     ) -> usize {
@@ -478,6 +478,10 @@ mod tests {
         (sha1(&[n]), top)
     }
 
+    fn v(seq: u64) -> VersionStamp {
+        VersionStamp::new(seq, sha1(b"writer"))
+    }
+
     fn cache(capacity: usize, ttl_us: u64) -> HotCache<String> {
         HotCache::new(CacheConfig { capacity, ttl_us })
     }
@@ -485,8 +489,8 @@ mod tests {
     #[test]
     fn insert_get_roundtrip() {
         let mut c = cache(4, 1_000);
-        assert!(c.insert(key(1, 0), 1, "v".into(), 0));
-        assert_eq!(c.get(&key(1, 0), 10), Some(("v".into(), 1)));
+        assert!(c.insert(key(1, 0), v(1), "v".into(), 0));
+        assert_eq!(c.get(&key(1, 0), 10), Some(("v".into(), v(1))));
         assert_eq!(c.get(&key(1, 5), 10), None, "top_n is part of the key");
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
@@ -495,7 +499,7 @@ mod tests {
     #[test]
     fn ttl_expires_views() {
         let mut c = cache(4, 1_000);
-        c.insert(key(1, 0), 1, "v".into(), 0);
+        c.insert(key(1, 0), v(1), "v".into(), 0);
         assert!(c.get(&key(1, 0), 1_000).is_some(), "at the TTL edge");
         assert!(c.get(&key(1, 0), 1_001).is_none(), "past the TTL");
         assert_eq!(c.stats().expirations, 1);
@@ -505,18 +509,18 @@ mod tests {
     #[test]
     fn capacity_is_never_exceeded_and_hot_wins() {
         let mut c = cache(2, u64::MAX);
-        c.insert(key(1, 0), 1, "a".into(), 0);
-        c.insert(key(2, 0), 1, "b".into(), 0);
+        c.insert(key(1, 0), v(1), "a".into(), 0);
+        c.insert(key(2, 0), v(1), "b".into(), 0);
         // key 3 is cold: one touch. The probation victim has equal
         // frequency, so admission rejects the newcomer.
-        assert!(!c.insert(key(3, 0), 1, "c".into(), 0));
+        assert!(!c.insert(key(3, 0), v(1), "c".into(), 0));
         assert_eq!(c.len(), 2);
         // Heat key 3 up: repeated misses accumulate sketch frequency.
         for _ in 0..4 {
             let _ = c.get(&key(3, 0), 0);
         }
         assert!(
-            c.insert(key(3, 0), 1, "c".into(), 0),
+            c.insert(key(3, 0), v(1), "c".into(), 0),
             "hot candidate admitted"
         );
         assert_eq!(c.len(), 2, "capacity still respected");
@@ -526,9 +530,9 @@ mod tests {
     #[test]
     fn hits_protect_entries_from_eviction() {
         let mut c = cache(3, u64::MAX);
-        c.insert(key(1, 0), 1, "a".into(), 0);
-        c.insert(key(2, 0), 1, "b".into(), 0);
-        c.insert(key(3, 0), 1, "c".into(), 0);
+        c.insert(key(1, 0), v(1), "a".into(), 0);
+        c.insert(key(2, 0), v(1), "b".into(), 0);
+        c.insert(key(3, 0), v(1), "c".into(), 0);
         // Hit 1 twice: it moves to protected.
         let _ = c.get(&key(1, 0), 0);
         let _ = c.get(&key(1, 0), 0);
@@ -536,16 +540,16 @@ mod tests {
         for _ in 0..6 {
             let _ = c.get(&key(4, 0), 0);
         }
-        assert!(c.insert(key(4, 0), 1, "d".into(), 0));
+        assert!(c.insert(key(4, 0), v(1), "d".into(), 0));
         assert!(c.peek(&key(1, 0)).is_some(), "protected entry survives");
     }
 
     #[test]
     fn invalidate_key_drops_all_topn_variants() {
         let mut c = cache(8, u64::MAX);
-        c.insert(key(1, 0), 1, "full".into(), 0);
-        c.insert(key(1, 10), 1, "top10".into(), 0);
-        c.insert(key(2, 0), 1, "other".into(), 0);
+        c.insert(key(1, 0), v(1), "full".into(), 0);
+        c.insert(key(1, 10), v(1), "top10".into(), 0);
+        c.insert(key(2, 0), v(1), "other".into(), 0);
         assert_eq!(c.invalidate_key(&sha1(&[1])), 2);
         assert!(c.peek(&key(1, 0)).is_none());
         assert!(c.peek(&key(1, 10)).is_none());
@@ -556,19 +560,19 @@ mod tests {
     #[test]
     fn replacement_keeps_newest_version() {
         let mut c = cache(4, u64::MAX);
-        c.insert(key(1, 0), 5, "v5".into(), 0);
+        c.insert(key(1, 0), v(5), "v5".into(), 0);
         // An older snapshot must not clobber a newer cached view.
-        c.insert(key(1, 0), 3, "v3".into(), 1);
+        c.insert(key(1, 0), v(3), "v3".into(), 1);
         assert_eq!(c.peek(&key(1, 0)).map(String::as_str), Some("v5"));
-        assert_eq!(c.peek_version(&key(1, 0)), Some(5));
-        c.insert(key(1, 0), 8, "v8".into(), 2);
+        assert_eq!(c.peek_version(&key(1, 0)), Some(v(5)));
+        c.insert(key(1, 0), v(8), "v8".into(), 2);
         assert_eq!(c.peek(&key(1, 0)).map(String::as_str), Some("v8"));
     }
 
     #[test]
     fn zero_capacity_disables_cleanly() {
         let mut c = cache(0, 1_000);
-        assert!(!c.insert(key(1, 0), 1, "v".into(), 0));
+        assert!(!c.insert(key(1, 0), v(1), "v".into(), 0));
         assert!(c.get(&key(1, 0), 0).is_none());
         assert_eq!(c.len(), 0);
     }
@@ -576,37 +580,37 @@ mod tests {
     #[test]
     fn invalidate_stale_drops_only_older_versions() {
         let mut c = cache(8, u64::MAX);
-        c.insert(key(1, 0), 3, "v3-full".into(), 0);
-        c.insert(key(1, 10), 5, "v5-top10".into(), 0);
-        c.insert(key(2, 0), 1, "other".into(), 0);
-        let mut dropped = c.invalidate_stale(&sha1(&[1]), 5);
+        c.insert(key(1, 0), v(3), "v3-full".into(), 0);
+        c.insert(key(1, 10), v(5), "v5-top10".into(), 0);
+        c.insert(key(2, 0), v(1), "other".into(), 0);
+        let mut dropped = c.invalidate_stale(&sha1(&[1]), v(5));
         dropped.sort_unstable();
         assert_eq!(dropped, vec![0], "only the version-3 view is stale");
         assert!(c.peek(&key(1, 0)).is_none());
         assert!(c.peek(&key(1, 10)).is_some(), "equal version survives");
         assert!(c.peek(&key(2, 0)).is_some(), "other keys untouched");
-        assert!(c.invalidate_stale(&sha1(&[9]), 99).is_empty());
+        assert!(c.invalidate_stale(&sha1(&[9]), v(99)).is_empty());
     }
 
     #[test]
     fn confirm_fresh_extends_ttl_up_to_the_lifetime_cap() {
         let mut c = cache(4, 1_000);
-        c.insert(key(1, 0), 7, "v".into(), 0);
+        c.insert(key(1, 0), v(7), "v".into(), 0);
         // Confirmation at t=900 restamps the TTL clock: the view survives
         // past its original expiry at t=1000.
-        assert_eq!(c.confirm_fresh(&sha1(&[1]), 7, 900, 10_000), 1);
+        assert_eq!(c.confirm_fresh(&sha1(&[1]), v(7), 900, 10_000), 1);
         assert!(c.get(&key(1, 0), 1_800).is_some(), "outlives the TTL");
         // A mismatched version confirms nothing.
-        assert_eq!(c.confirm_fresh(&sha1(&[1]), 8, 1_900, 10_000), 0);
+        assert_eq!(c.confirm_fresh(&sha1(&[1]), v(8), 1_900, 10_000), 0);
         // Past the insertion-age cap, confirmations stop extending.
-        assert_eq!(c.confirm_fresh(&sha1(&[1]), 7, 11_000, 10_000), 0);
+        assert_eq!(c.confirm_fresh(&sha1(&[1]), v(7), 11_000, 10_000), 0);
     }
 
     #[test]
     fn slab_reuses_freed_slots() {
         let mut c = cache(2, u64::MAX);
         for round in 0..20u8 {
-            c.insert(key(round, 0), 1, format!("v{round}"), u64::from(round));
+            c.insert(key(round, 0), v(1), format!("v{round}"), u64::from(round));
             c.remove(&key(round, 0));
         }
         assert!(c.slots.len() <= 2, "slab must recycle: {}", c.slots.len());

@@ -12,13 +12,14 @@
 //!   frequency sketch ([`FreqSketch`]) decides whether a candidate is
 //!   likelier to be re-read than the eviction victim, and a segmented LRU
 //!   (probation + protected) preserves recency within the admitted set.
-//!   Entries carry a TTL and the origin's **storage version counter**, so a
-//!   cached view can never survive a local write to the same key: any
-//!   token append on the caching node invalidates its cached views of that
-//!   key, which preserves read-your-writes for writers while remote staleness
-//!   stays bounded by the TTL — consistent with the commutative
-//!   token-append semantics, where a stale view is merely an *older*
-//!   (never a contradictory) set of weights.
+//!   Entries carry a TTL and the write's **origin stamp**
+//!   ([`dharma_types::VersionStamp`]), so a cached view can never survive a
+//!   local write to the same key: any token append on the caching node
+//!   invalidates its cached views of that key, which preserves
+//!   read-your-writes for writers while remote staleness stays bounded by
+//!   the TTL — consistent with the commutative token-append semantics,
+//!   where a stale view is merely an *older* (never a contradictory) set
+//!   of weights.
 //!
 //! * [`PopularityEstimator`] — an exponentially-decayed per-key arrival
 //!   rate. Storage nodes feed every GET arrival into it; keys whose decayed
@@ -30,11 +31,16 @@
 //!
 //! * [`FreshnessBook`] / [`HitHistory`] ([`fresh`], the `dharma-fresh`
 //!   subsystem) — the requester-side state of **version gossip** and
-//!   **cache-aware lookup routing**: the highest gossiped write-version per
+//!   **cache-aware lookup routing**: the highest gossiped origin stamp per
 //!   key (the monotone-freshness serving gate, plus TTL extension on fresh
 //!   confirmations via [`HotCache::confirm_fresh`] and revalidation drops
 //!   via [`HotCache::invalidate_stale`]), and a decayed per-peer history of
 //!   who recently served each key (warm-peer shortlist seeding).
+//!
+//! * [`FetcherBook`] ([`fetchers`]) — the holder-side dual for
+//!   write-triggered invalidation push: who recently fetched each held
+//!   key, so an applied write can notify them directly (bounded fan-out)
+//!   instead of waiting for gossip to reach them.
 //!
 //! Everything here is deterministic and allocation-conscious: the cache is
 //! a slab with intrusive lists (no per-op allocation), the sketch is a few
@@ -44,12 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fetchers;
 pub mod fresh;
 pub mod hot;
 pub mod popularity;
 pub mod sketch;
 
-pub use fresh::{FreshConfig, FreshnessBook, HitHistory};
+pub use fetchers::FetcherBook;
+pub use fresh::{FreshConfig, FreshConfigBuilder, FreshnessBook, HitHistory};
 pub use hot::{CacheConfig, CacheKey, CacheStats, HotCache};
 pub use popularity::{PopularityConfig, PopularityEstimator};
 pub use sketch::FreqSketch;

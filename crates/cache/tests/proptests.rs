@@ -6,10 +6,16 @@
 use dharma_cache::{
     CacheConfig, FreqSketch, FreshnessBook, HotCache, PopularityConfig, PopularityEstimator,
 };
-use dharma_types::sha1;
+use dharma_types::{sha1, VersionStamp};
 use proptest::prelude::*;
 
 use std::collections::BTreeMap;
+
+/// Stamps a model version as an origin stamp from a fixed writer, so the
+/// `u64` reference model and the stamp-typed cache order identically.
+fn st(seq: u64) -> VersionStamp {
+    VersionStamp::new(seq, sha1(b"writer"))
+}
 
 /// One step of the randomized cache workout.
 #[derive(Clone, Debug)]
@@ -52,7 +58,7 @@ proptest! {
             now += 1;
             match op {
                 Op::Insert { key, top_n, version } => {
-                    cache.insert((sha1(&[key]), u32::from(top_n)), version, i as u64, now);
+                    cache.insert((sha1(&[key]), u32::from(top_n)), st(version), i as u64, now);
                 }
                 Op::Get { key, top_n } => {
                     let _ = cache.get(&(sha1(&[key]), u32::from(top_n)), now);
@@ -90,7 +96,7 @@ proptest! {
             let val = i as u64;
             match op {
                 Op::Insert { key, top_n, version } => {
-                    cache.insert((sha1(&[key]), u32::from(top_n)), version, val, now);
+                    cache.insert((sha1(&[key]), u32::from(top_n)), st(version), val, now);
                     let slot = model.entry((key, top_n)).or_insert((version, val));
                     if version >= slot.0 {
                         *slot = (version, val);
@@ -102,7 +108,7 @@ proptest! {
                     match (got, expect) {
                         (Some((v, ver)), Some(&(mver, mv))) => {
                             prop_assert_eq!(v, mv);
-                            prop_assert_eq!(ver, mver);
+                            prop_assert_eq!(ver, st(mver));
                         }
                         (Some(_), None) => prop_assert!(false, "cache returned an invalidated key"),
                         (None, _) => {} // misses are always allowed
@@ -153,31 +159,31 @@ proptest! {
                 // reply from a lagging holder); the serve-time gate must
                 // cover that case.
                 0 => {
-                    cache.insert(ck, version, i as u64, now);
+                    cache.insert(ck, st(version), i as u64, now);
                 }
                 // A digest arrives: note the book, then reconcile exactly
                 // like `KademliaNode::absorb_digest`.
                 1 => {
-                    book.note(id, version);
+                    book.note(id, st(version));
                     let h = highest.entry(key).or_insert(0);
                     *h = (*h).max(version);
-                    let dropped = cache.invalidate_stale(&id, version);
+                    let dropped = cache.invalidate_stale(&id, st(version));
                     if dropped.is_empty() {
-                        cache.confirm_fresh(&id, version, now, max_lifetime);
+                        cache.confirm_fresh(&id, st(version), now, max_lifetime);
                     }
                 }
                 // A read: serve only through the gate, dropping refusals.
                 _ => {
                     if let Some((_, served_version)) = cache.get(&ck, now) {
                         if book.admits(&id, served_version) {
-                            let bound = highest.get(&key).copied().unwrap_or(0);
+                            let bound = st(highest.get(&key).copied().unwrap_or(0));
                             prop_assert!(
                                 served_version >= bound,
-                                "served v{} below highest digest v{} for key {}",
+                                "served {:?} below highest digest {:?} for key {}",
                                 served_version, bound, key
                             );
                         } else {
-                            let bound = book.highest(&id).unwrap_or(0);
+                            let bound = book.highest(&id).unwrap_or(VersionStamp::ZERO);
                             cache.invalidate_stale(&id, bound);
                         }
                     }
@@ -192,7 +198,7 @@ proptest! {
     fn ttl_boundary_is_exact(ttl in 1u64..1_000_000, key in any::<u8>()) {
         let mut cache: HotCache<u64> = HotCache::new(CacheConfig { capacity: 4, ttl_us: ttl });
         let k = (sha1(&[key]), 0u32);
-        cache.insert(k, 1, 7, 0);
+        cache.insert(k, st(1), 7, 0);
         prop_assert!(cache.get(&k, ttl).is_some());
         prop_assert!(cache.get(&k, ttl + 1).is_none());
         prop_assert!(cache.is_empty());

@@ -16,7 +16,7 @@ use dharma_folksonomy::{ApproxPolicy, BPolicy};
 use dharma_kademlia::{KadOutput, KademliaNode, StoredEntry};
 use dharma_likir::{AuthenticatedRecord, Identity};
 use dharma_net::SimNet;
-use dharma_types::{block_key, BlockType, DharmaError, FxHashMap, Result};
+use dharma_types::{block_key, BlockType, DharmaError, FxHashMap, Id160, Result, VersionStamp};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -25,7 +25,13 @@ use rand::SeedableRng;
 use crate::cost::OpCost;
 
 /// Client configuration.
+///
+/// Marked `#[non_exhaustive]`: construct one with
+/// [`DharmaConfig::default`] or [`DharmaConfig::builder`] and adjust
+/// fields from there — new client knobs then stop being breaking struct
+/// literal changes for downstream crates.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct DharmaConfig {
     /// Approximation policy for tagging operations.
     pub policy: ApproxPolicy,
@@ -62,6 +68,135 @@ impl Default for DharmaConfig {
     }
 }
 
+impl DharmaConfig {
+    /// A range-validated builder starting from [`DharmaConfig::default()`].
+    pub fn builder() -> DharmaConfigBuilder {
+        DharmaConfigBuilder {
+            cfg: DharmaConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`DharmaConfig`] with validated ranges ([`DharmaConfig::builder()`]).
+#[derive(Clone, Debug)]
+pub struct DharmaConfigBuilder {
+    cfg: DharmaConfig,
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, v: $ty) -> Self {
+            self.cfg.$name = v;
+            self
+        }
+    };
+}
+
+impl DharmaConfigBuilder {
+    setter!(
+        /// See [`DharmaConfig::policy`].
+        policy: ApproxPolicy
+    );
+    setter!(
+        /// See [`DharmaConfig::search_top_n`].
+        search_top_n: u32
+    );
+    setter!(
+        /// See [`DharmaConfig::seed`].
+        seed: u64
+    );
+    setter!(
+        /// See [`DharmaConfig::max_events_per_op`].
+        max_events_per_op: u64
+    );
+    setter!(
+        /// See [`DharmaConfig::op_retries`].
+        op_retries: u32
+    );
+
+    /// See [`DharmaConfig::namespace`].
+    pub fn namespace(mut self, v: impl Into<String>) -> Self {
+        self.cfg.namespace = v.into();
+        self
+    }
+
+    /// Validates ranges and produces the config. Errors name the bad knob.
+    pub fn build(self) -> std::result::Result<DharmaConfig, String> {
+        let c = &self.cfg;
+        if c.namespace.is_empty() {
+            return Err("namespace must be non-empty (it scopes record signatures)".into());
+        }
+        if c.max_events_per_op == 0 {
+            return Err("max_events_per_op must be >= 1 (0 would time out every op)".into());
+        }
+        Ok(self.cfg)
+    }
+}
+
+/// The consistency level a [`DharmaClient::get`] read is served under.
+///
+/// [`Eventual`](Consistency::Eventual) is the classic read path — byte-
+/// identical behaviour to a plain overlay GET. The session levels enforce
+/// a *floor*: the read's served version must not fall below what this
+/// client session has already observed ([`SessionToken`]); a below-floor
+/// serve triggers one authoritative re-read
+/// ([`KademliaNode::get_fresh`]), and if even that stays below the floor
+/// the read surfaces [`DharmaError::StaleRead`] instead of silently going
+/// back in time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Consistency {
+    /// No session floor: caches serve freely, staleness is bounded only
+    /// by the overlay's freshness machinery (TTL, gossip, push).
+    #[default]
+    Eventual,
+    /// Reads reflect every write this client session has completed: a
+    /// GET of a key the session wrote never serves a pre-write view.
+    ReadYourWrites,
+    /// Successive reads of a key never move backwards within this
+    /// session, even across cache hits on different serving nodes.
+    MonotonicReads,
+}
+
+/// The per-session consistency floor: the highest origin stamp this
+/// client has observed for each key, through its own writes *and* reads.
+///
+/// One combined floor serves both session levels — it is the pointwise
+/// maximum of what read-your-writes (own writes) and monotonic reads
+/// (own reads) each require, so enforcing it yields both guarantees at
+/// once, never a wrong serve. Bounded only by the number of distinct
+/// keys the session touches; [`SessionToken::reset`] starts a new
+/// session.
+#[derive(Clone, Debug, Default)]
+pub struct SessionToken {
+    floors: FxHashMap<Id160, VersionStamp>,
+}
+
+impl SessionToken {
+    /// The floor for `key`: the highest stamp observed, or the
+    /// never-written [`VersionStamp::ZERO`] when the session has not
+    /// touched the key (every serve passes a zero floor).
+    pub fn floor(&self, key: &Id160) -> VersionStamp {
+        self.floors.get(key).copied().unwrap_or(VersionStamp::ZERO)
+    }
+
+    /// Folds an observed stamp into the floor (monotone: only raises).
+    pub fn observe(&mut self, key: Id160, stamp: VersionStamp) {
+        let slot = self.floors.entry(key).or_insert(VersionStamp::ZERO);
+        *slot = (*slot).max(stamp);
+    }
+
+    /// Number of keys this session has observed.
+    pub fn tracked(&self) -> usize {
+        self.floors.len()
+    }
+
+    /// Forgets every observation — the next read starts a fresh session.
+    pub fn reset(&mut self) {
+        self.floors.clear();
+    }
+}
+
 /// What a tagging operation reports beyond its cost.
 #[derive(Clone, Debug)]
 pub struct TagReceipt {
@@ -94,6 +229,9 @@ pub struct DharmaClient {
     rng: StdRng,
     /// Completions that arrived while waiting for other ops.
     stash: FxHashMap<u64, KadOutput>,
+    /// Session-consistency floor: highest stamp observed per key, fed by
+    /// every write receipt and every served read of this client.
+    session: SessionToken,
 }
 
 impl DharmaClient {
@@ -106,6 +244,7 @@ impl DharmaClient {
             cfg,
             rng: StdRng::seed_from_u64(seed),
             stash: FxHashMap::default(),
+            session: SessionToken::default(),
         }
     }
 
@@ -117,6 +256,92 @@ impl DharmaClient {
     /// The home node's transport address.
     pub fn home(&self) -> dharma_net::NodeAddr {
         self.home
+    }
+
+    /// The session-consistency floor accumulated so far (every write
+    /// receipt and served read raises it).
+    pub fn session(&self) -> &SessionToken {
+        &self.session
+    }
+
+    /// Starts a fresh session: forgets every observed stamp, so the next
+    /// session-level read passes vacuously.
+    pub fn reset_session(&mut self) {
+        self.session.reset();
+    }
+
+    /// Merges another session's floors into this one — the causal-handoff
+    /// path. A client resuming someone's session (same user, different
+    /// home node or process) imports the token; its session-level reads
+    /// then reflect everything the imported session observed.
+    pub fn import_session(&mut self, token: &SessionToken) {
+        // dharma-lint: allow(D3): observe() folds a max per key; order-independent
+        for (key, stamp) in &token.floors {
+            self.session.observe(*key, *stamp);
+        }
+    }
+
+    /// A consistency-levelled block read: fetch the weighted set at `key`
+    /// (index-side filtered to `top_n` heaviest entries when `top_n > 0`).
+    ///
+    /// [`Consistency::Eventual`] is exactly the read path every other
+    /// client operation uses. The session levels check the served version
+    /// against this session's floor ([`SessionToken`]); a below-floor
+    /// serve escalates once to an authoritative re-read (cache-bypassing,
+    /// one more accounted lookup), and surfaces
+    /// [`DharmaError::StaleRead`] if the overlay still cannot meet the
+    /// floor. Reads and writes by this client raise the floor as a side
+    /// effect, whatever level they run at.
+    pub fn get(
+        &mut self,
+        net: &mut SimNet<KademliaNode>,
+        key: Id160,
+        top_n: u32,
+        consistency: Consistency,
+    ) -> Result<(Option<BlockView>, OpCost)> {
+        let (served, cost) = self.get_stamped(net, key, top_n, consistency)?;
+        Ok((served.map(|(view, _)| view), cost))
+    }
+
+    /// [`DharmaClient::get`], but the served view keeps its origin stamp.
+    ///
+    /// The stamp is what the session floor is made of — callers that hand
+    /// a view to another process (or audit the consistency contract, as
+    /// the session proptests do) need it alongside the payload: a
+    /// successful session-level read always satisfies
+    /// `stamp >= self.session().floor(&key)` as observed before the call.
+    pub fn get_stamped(
+        &mut self,
+        net: &mut SimNet<KademliaNode>,
+        key: Id160,
+        top_n: u32,
+        consistency: Consistency,
+    ) -> Result<(Option<(BlockView, VersionStamp)>, OpCost)> {
+        let (served, mut cost) = self.run_get_stamped(net, key, top_n, false)?;
+        let floor = self.session.floor(&key);
+        let below = |s: &Option<(BlockView, VersionStamp)>| match s {
+            // A missing value is below any real floor: the session saw a
+            // write (or a written view) the responding holders lack.
+            None => !floor.is_zero(),
+            Some((_, stamp)) => *stamp < floor,
+        };
+        let enforce = matches!(
+            consistency,
+            Consistency::ReadYourWrites | Consistency::MonotonicReads
+        );
+        if !enforce || !below(&served) {
+            return Ok((served, cost));
+        }
+        // Escalate: re-read refusing caches end-to-end, then re-check.
+        let (served, retry_cost) = self.run_get_stamped(net, key, top_n, true)?;
+        cost.absorb(retry_cost);
+        if below(&served) {
+            return Err(DharmaError::StaleRead(format!(
+                "key {key:?}: authoritative re-read served {:?}, session floor is {floor:?}",
+                served.map(|(_, s)| s).unwrap_or(VersionStamp::ZERO)
+            )));
+        }
+        Ok((served, cost))
     }
 
     /// **Resource insertion** (§IV-A): publishes `r` with URI and tags,
@@ -149,7 +374,7 @@ impl DharmaClient {
             AuthenticatedRecord::sign(&self.identity, &self.cfg.namespace, uri.as_bytes().to_vec());
         let blob = dharma_types::WireEncode::encode_to_bytes(&record).to_vec();
         let key = block_key(resource, BlockType::ResourceUri);
-        cost.absorb(self.run_write(net, true, |n, ctx| n.put_blob(ctx, key, blob.clone()))?);
+        cost.absorb(self.run_write(net, key, true, |n, ctx| n.put_blob(ctx, key, blob.clone()))?);
 
         // 2. r̄ — all tags of the new resource in one block update.
         let key = block_key(resource, BlockType::ResourceTags);
@@ -160,7 +385,7 @@ impl DharmaClient {
                 weight: 1,
             })
             .collect();
-        cost.absorb(self.run_write(net, false, |n, ctx| {
+        cost.absorb(self.run_write(net, key, false, |n, ctx| {
             n.append_many(ctx, key, entries.clone())
         })?);
 
@@ -171,9 +396,9 @@ impl DharmaClient {
                 name: resource.to_owned(),
                 weight: 1,
             }];
-            cost.absorb(
-                self.run_write(net, false, |n, ctx| n.append_many(ctx, key, entry.clone()))?,
-            );
+            cost.absorb(self.run_write(net, key, false, |n, ctx| {
+                n.append_many(ctx, key, entry.clone())
+            })?);
 
             let key = block_key(t, BlockType::TagNeighbors);
             let arcs: Vec<StoredEntry> = unique
@@ -188,11 +413,13 @@ impl DharmaClient {
                 // Single-tag resource: the t̂ update would be empty; the
                 // paper still counts the lookup (the block is touched to
                 // ensure existence). We append a zero-entry update.
-                cost.absorb(self.run_write(net, false, |n, ctx| n.append_many(ctx, key, vec![]))?);
-            } else {
                 cost.absorb(
-                    self.run_write(net, false, |n, ctx| n.append_many(ctx, key, arcs.clone()))?,
+                    self.run_write(net, key, false, |n, ctx| n.append_many(ctx, key, vec![]))?,
                 );
+            } else {
+                cost.absorb(self.run_write(net, key, false, |n, ctx| {
+                    n.append_many(ctx, key, arcs.clone())
+                })?);
             }
         }
         Ok(cost)
@@ -228,7 +455,9 @@ impl DharmaClient {
             name: tag.to_owned(),
             weight: 1,
         }];
-        cost.absorb(self.run_write(net, false, |n, ctx| n.append_many(ctx, r_bar, e.clone()))?);
+        cost.absorb(self.run_write(net, r_bar, false, |n, ctx| {
+            n.append_many(ctx, r_bar, e.clone())
+        })?);
 
         // 2. u(t, r) += 1 on t̄.
         let t_bar = block_key(tag, BlockType::TagResources);
@@ -236,7 +465,9 @@ impl DharmaClient {
             name: resource.to_owned(),
             weight: 1,
         }];
-        cost.absorb(self.run_write(net, false, |n, ctx| n.append_many(ctx, t_bar, e.clone()))?);
+        cost.absorb(self.run_write(net, t_bar, false, |n, ctx| {
+            n.append_many(ctx, t_bar, e.clone())
+        })?);
 
         // 3. Fetch Tags(r) from r̄ (unfiltered: tagging needs the full set;
         //    resources carry few tags compared to popular tags' blocks).
@@ -283,7 +514,7 @@ impl DharmaClient {
         } else {
             Vec::new()
         };
-        cost.absorb(self.run_write(net, false, |n, ctx| {
+        cost.absorb(self.run_write(net, t_hat, false, |n, ctx| {
             n.append_many(ctx, t_hat, forward.clone())
         })?);
 
@@ -304,9 +535,9 @@ impl DharmaClient {
                 name: tag.to_owned(),
                 weight: 1,
             }];
-            cost.absorb(
-                self.run_write(net, false, |n, ctx| n.append_many(ctx, tau_hat, e.clone()))?,
-            );
+            cost.absorb(self.run_write(net, tau_hat, false, |n, ctx| {
+                n.append_many(ctx, tau_hat, e.clone())
+            })?);
             updated += 1;
         }
 
@@ -431,18 +662,24 @@ impl DharmaClient {
         }
     }
 
-    /// Issues a write op on the home node and runs the net to completion.
-    /// `retryable` must only be true for idempotent writes (blob PUTs,
-    /// replication pushes) — see [`DharmaClient::run_op`].
+    /// Issues a write op for `key` on the home node and runs the net to
+    /// completion. The write's origin stamp (minted by the coordinator)
+    /// raises this session's floor for the key — the read-your-writes
+    /// obligation. `retryable` must only be true for idempotent writes
+    /// (blob PUTs, replication pushes) — see [`DharmaClient::run_op`].
     fn run_write(
         &mut self,
         net: &mut SimNet<KademliaNode>,
+        key: Id160,
         retryable: bool,
         issue: impl FnMut(&mut KademliaNode, &mut dharma_net::Ctx<KadOutput>) -> u64,
     ) -> Result<OpCost> {
         let (out, cost) = self.run_op(net, retryable, false, issue)?;
         match out {
-            KadOutput::Written { .. } => Ok(cost),
+            KadOutput::Written { stamp, .. } => {
+                self.session.observe(key, stamp);
+                Ok(cost)
+            }
             other => Err(DharmaError::Protocol(format!(
                 "expected write completion, got {other:?}"
             ))),
@@ -454,19 +691,49 @@ impl DharmaClient {
     fn run_get(
         &mut self,
         net: &mut SimNet<KademliaNode>,
-        key: dharma_types::Id160,
+        key: Id160,
         top_n: u32,
     ) -> Result<(Option<BlockView>, OpCost)> {
-        let (out, cost) = self.run_op(net, true, true, |n, ctx| n.get(ctx, key, top_n))?;
+        let (served, cost) = self.run_get_stamped(net, key, top_n, false)?;
+        Ok((served.map(|(view, _)| view), cost))
+    }
+
+    /// The stamped GET underneath every client read. `fresh` requests the
+    /// cache-bypassing, authoritative-only lookup
+    /// ([`KademliaNode::get_fresh`] — the session-consistency
+    /// escalation). Every served version raises the session floor: a
+    /// later monotonic read may not go back behind it.
+    fn run_get_stamped(
+        &mut self,
+        net: &mut SimNet<KademliaNode>,
+        key: Id160,
+        top_n: u32,
+        fresh: bool,
+    ) -> Result<(Option<(BlockView, VersionStamp)>, OpCost)> {
+        let (out, cost) = self.run_op(net, true, true, |n, ctx| {
+            if fresh {
+                n.get_fresh(ctx, key, top_n)
+            } else {
+                n.get(ctx, key, top_n)
+            }
+        })?;
         match out {
-            KadOutput::Value { value, .. } => Ok((
-                value.map(|v| BlockView {
-                    entries: v.entries.into_iter().map(|e| (e.name, e.weight)).collect(),
-                    truncated: v.truncated,
-                    blob: v.blob,
-                }),
-                cost,
-            )),
+            KadOutput::Value { value, .. } => {
+                let served = value.map(|v| {
+                    (
+                        BlockView {
+                            entries: v.entries.into_iter().map(|e| (e.name, e.weight)).collect(),
+                            truncated: v.truncated,
+                            blob: v.blob,
+                        },
+                        v.version,
+                    )
+                });
+                if let Some((_, stamp)) = &served {
+                    self.session.observe(key, *stamp);
+                }
+                Ok((served, cost))
+            }
             other => Err(DharmaError::Protocol(format!(
                 "expected value completion, got {other:?}"
             ))),
@@ -711,6 +978,180 @@ mod tests {
         assert_eq!(nbrs.entries[0].0, "jazz");
         let (uri, _) = other.resolve_uri(&mut net, "kept").unwrap();
         assert!(uri.is_some(), "the URI record survives the departure");
+    }
+
+    /// Like [`overlay`], but with per-node hot caches enabled and enough
+    /// nodes that a client's home is usually *not* a holder — reads get
+    /// cached, and a later write elsewhere leaves those caches stale.
+    fn cached_overlay(n: usize, seed: u64) -> dharma_net::SimNet<KademliaNode> {
+        use dharma_kademlia::KadConfig;
+        use dharma_net::{SimConfig, SimNet};
+        use dharma_types::Id160;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut net = SimNet::new(SimConfig {
+            latency_min_us: 1_000,
+            latency_max_us: 8_000,
+            drop_rate: 0.0,
+            mtu: 64 * 1024,
+            seed,
+            shards: 1,
+            topology: None,
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = KadConfig {
+            k: 8,
+            alpha: 3,
+            rpc_timeout_us: 300_000,
+            reply_budget: 60_000,
+            cache: Some(dharma_cache::CacheConfig::default()),
+            counters: net.counters(),
+            ..KadConfig::default()
+        };
+        let mut first = None;
+        for i in 0..n {
+            let id = Id160::random(&mut rng);
+            let node = KademliaNode::new(id, i as u32, cfg.clone());
+            let addr = net.add_node(node);
+            if let Some(seed_contact) = &first {
+                net.node_mut(addr)
+                    .add_seed(dharma_kademlia::Contact::clone(seed_contact));
+                net.with_node(addr, |node, ctx| {
+                    node.bootstrap(ctx);
+                });
+            } else {
+                first = Some(net.node(addr).contact().clone());
+            }
+        }
+        net.run_until_idle(5_000_000);
+        net.take_completions();
+        net
+    }
+
+    #[test]
+    fn dharma_config_builder_validates_both_ways() {
+        assert!(DharmaConfig::builder().namespace("").build().is_err());
+        assert!(DharmaConfig::builder()
+            .max_events_per_op(0)
+            .build()
+            .is_err());
+        let cfg = DharmaConfig::builder()
+            .search_top_n(7)
+            .op_retries(0)
+            .seed(5)
+            .namespace("scoped")
+            .build()
+            .unwrap();
+        assert_eq!(cfg.search_top_n, 7);
+        assert_eq!(cfg.op_retries, 0);
+        assert_eq!(cfg.seed, 5);
+        assert_eq!(cfg.namespace, "scoped");
+    }
+
+    #[test]
+    fn session_floor_tracks_writes_and_reads() {
+        let mut net = overlay(12, 21);
+        let mut c = client(ApproxPolicy::EXACT, 1);
+        assert_eq!(c.session().tracked(), 0, "fresh session is empty");
+        c.insert_resource(&mut net, "res", "uri://x", &["rock"])
+            .unwrap();
+        let r_bar = block_key("res", BlockType::ResourceTags);
+        assert!(
+            !c.session().floor(&r_bar).is_zero(),
+            "a completed write must raise the session floor for its key"
+        );
+        // An eventual read observes too, and behaves exactly like the
+        // classic read path.
+        let (view, _) = c.get(&mut net, r_bar, 0, Consistency::Eventual).unwrap();
+        assert_eq!(view.unwrap().entries, vec![("rock".to_owned(), 1)]);
+        c.reset_session();
+        assert_eq!(c.session().tracked(), 0, "reset starts a new session");
+    }
+
+    #[test]
+    fn read_your_writes_escalates_past_a_stale_cache() {
+        let mut net = cached_overlay(40, 23);
+        let mut writer = client(ApproxPolicy::EXACT, 2);
+        let mut reader = client(ApproxPolicy::EXACT, 1);
+        writer
+            .insert_resource(&mut net, "shared", "uri://s", &["old"])
+            .unwrap();
+        let r_bar = block_key("shared", BlockType::ResourceTags);
+
+        // The reader's first read pins the pre-write view in its home
+        // node's cache.
+        let (view, _) = reader
+            .get(&mut net, r_bar, 0, Consistency::Eventual)
+            .unwrap();
+        assert_eq!(view.unwrap().entries.len(), 1);
+
+        // The writer tags the resource from a different home node — the
+        // reader's cached view is now stale (no freshness subsystem here
+        // to invalidate it).
+        writer.tag(&mut net, "shared", "brand-new").unwrap();
+
+        // Without the session floor, the reader keeps serving the stale
+        // cached view.
+        let (stale, _) = reader
+            .get(&mut net, r_bar, 0, Consistency::Eventual)
+            .unwrap();
+        let stale = stale.unwrap();
+        assert!(
+            !stale.entries.iter().any(|(n, _)| n == "brand-new"),
+            "precondition: the eventual read must still serve the stale cache \
+             (home node accidentally a holder? pick another seed)"
+        );
+
+        // Causal handoff: the reader resumes the writer's session. The
+        // session read detects the below-floor serve, escalates to an
+        // authoritative re-read, and returns the written view.
+        reader.import_session(writer.session());
+        let (fresh, cost) = reader
+            .get(&mut net, r_bar, 0, Consistency::ReadYourWrites)
+            .unwrap();
+        assert!(
+            fresh.unwrap().entries.iter().any(|(n, _)| n == "brand-new"),
+            "the session read must reflect the imported session's write"
+        );
+        assert_eq!(
+            cost.lookups, 2,
+            "one below-floor serve plus one authoritative escalation"
+        );
+
+        // The escalation re-pinned a current view: the next session read
+        // passes on the first serve.
+        let (_, cost) = reader
+            .get(&mut net, r_bar, 0, Consistency::MonotonicReads)
+            .unwrap();
+        assert_eq!(cost.lookups, 1, "no second escalation needed");
+    }
+
+    #[test]
+    fn unreachable_floor_surfaces_stale_read() {
+        let mut net = overlay(12, 24);
+        let mut c = client(ApproxPolicy::EXACT, 1);
+        c.insert_resource(&mut net, "res", "uri://x", &["rock"])
+            .unwrap();
+        let r_bar = block_key("res", BlockType::ResourceTags);
+        // A forged token claims a write no holder has ever seen: the
+        // session read escalates once, then refuses to serve below the
+        // floor rather than silently going back in time.
+        let mut forged = SessionToken::default();
+        forged.observe(
+            r_bar,
+            dharma_types::VersionStamp::new(u64::MAX, dharma_types::sha1(b"future")),
+        );
+        c.import_session(&forged);
+        let err = c
+            .get(&mut net, r_bar, 0, Consistency::MonotonicReads)
+            .unwrap_err();
+        assert!(
+            matches!(err, DharmaError::StaleRead(_)),
+            "expected StaleRead, got {err:?}"
+        );
+        // Eventual reads are unaffected by the floor.
+        let (view, _) = c.get(&mut net, r_bar, 0, Consistency::Eventual).unwrap();
+        assert!(view.is_some());
     }
 
     #[test]

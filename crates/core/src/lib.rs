@@ -37,7 +37,7 @@ pub mod search;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use client::{DharmaClient, DharmaConfig};
+pub use client::{Consistency, DharmaClient, DharmaConfig, DharmaConfigBuilder, SessionToken};
 pub use cost::{CostBook, OpCost, OpKind};
 pub use dharma_folksonomy::{ApproxPolicy, BPolicy};
 pub use search::DhtFacetedSearch;

@@ -111,10 +111,10 @@ mod tests {
         DharmaClient::new(
             home,
             ca.register("alice", 0),
-            DharmaConfig {
-                policy: ApproxPolicy::EXACT,
-                ..DharmaConfig::default()
-            },
+            DharmaConfig::builder()
+                .policy(ApproxPolicy::EXACT)
+                .build()
+                .expect("search test client config is in range"),
         )
     }
 

@@ -1,0 +1,289 @@
+//! Property tests for the session-guarantee client API.
+//!
+//! Two contracts are exercised over randomized overlays, workloads, and
+//! failure schedules:
+//!
+//! 1. **Session floors hold under churn + cache serving.** Whatever the
+//!    mix of writes, cached reads, crashes, and revivals, a successful
+//!    session-level read (`ReadYourWrites` / `MonotonicReads`) never
+//!    serves a stamp below the session floor observed before the call —
+//!    and because every served read raises the floor, the same assertion
+//!    proves monotonic reads never regress. Refusing with
+//!    `DharmaError::StaleRead` (or timing out under churn) is the
+//!    permitted degraded outcome; a silent below-floor serve is the bug.
+//!
+//! 2. **`InvalidatePush` loss degrades gracefully.** With write-triggered
+//!    invalidation push enabled and datagrams dropped at a random rate,
+//!    lost pushes may cost freshness (the cached view ages toward the
+//!    gossip/TTL bounds) but never correctness: the same floor invariant
+//!    holds at every loss rate, and at zero loss the session reads must
+//!    actually succeed — the contract is not allowed to hold vacuously.
+
+use dharma_cache::{CacheConfig, FreshConfig};
+use dharma_core::{Consistency, DharmaClient, DharmaConfig};
+use dharma_kademlia::{KadConfig, KademliaNode};
+use dharma_likir::CertificationAuthority;
+use dharma_net::{SimConfig, SimNet};
+use dharma_types::{block_key, BlockType, DharmaError, Id160, VersionStamp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds and bootstraps an `n`-node overlay with per-node hot caches and
+/// (optionally) the freshness subsystem, so reads get cached and writes
+/// leave stale views behind — the terrain the session floor defends.
+fn overlay(
+    n: usize,
+    seed: u64,
+    drop_rate: f64,
+    fresh: Option<FreshConfig>,
+) -> SimNet<KademliaNode> {
+    let mut net = SimNet::new(SimConfig {
+        latency_min_us: 1_000,
+        latency_max_us: 8_000,
+        drop_rate,
+        mtu: 64 * 1024,
+        seed,
+        shards: 1,
+        topology: None,
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = KadConfig {
+        k: 8,
+        alpha: 3,
+        rpc_timeout_us: 300_000,
+        reply_budget: 60_000,
+        cache: Some(CacheConfig::default()),
+        freshness: fresh,
+        counters: net.counters(),
+        ..KadConfig::default()
+    };
+    let mut first = None;
+    for i in 0..n {
+        let id = Id160::random(&mut rng);
+        let node = KademliaNode::new(id, i as u32, cfg.clone());
+        let addr = net.add_node(node);
+        if let Some(seed_contact) = &first {
+            net.node_mut(addr)
+                .add_seed(dharma_kademlia::Contact::clone(seed_contact));
+            net.with_node(addr, |node, ctx| {
+                node.bootstrap(ctx);
+            });
+        } else {
+            first = Some(net.node(addr).contact().clone());
+        }
+    }
+    net.run_until_idle(5_000_000);
+    net.take_completions();
+    net
+}
+
+fn client(name: &str, home: u32) -> DharmaClient {
+    let ca = CertificationAuthority::new(b"dharma-proptests");
+    let identity = ca.register(name, 0);
+    DharmaClient::new(home, identity, DharmaConfig::default())
+}
+
+/// The freshness configuration with write-triggered invalidation push on.
+fn push_fresh(fanout: usize) -> FreshConfig {
+    FreshConfig::builder()
+        .push_on_write(true)
+        .push_fanout(fanout)
+        .build()
+        .expect("push config is in range")
+}
+
+/// Issues one session-level read and checks the floor contract around it:
+/// a success must serve at or above the pre-read floor (`None` only under
+/// a zero floor), a `StaleRead` refusal or a churn casualty is graceful,
+/// and the floor itself only ever rises. Returns whether the read served.
+fn checked_session_read(
+    c: &mut DharmaClient,
+    net: &mut SimNet<KademliaNode>,
+    key: Id160,
+    level: Consistency,
+) -> bool {
+    let floor_before = c.session().floor(&key);
+    let served = match c.get_stamped(net, key, 0, level) {
+        Ok((Some((_view, stamp)), _)) => {
+            prop_assert!(
+                stamp >= floor_before,
+                "{level:?} read served stamp {stamp:?} below the session floor {floor_before:?}"
+            );
+            true
+        }
+        Ok((None, _)) => {
+            prop_assert!(
+                floor_before.is_zero(),
+                "{level:?} read served nothing under the nonzero floor {floor_before:?}"
+            );
+            false
+        }
+        // Refusing to go back in time is the contract's graceful outcome;
+        // timeouts and dead coordinators are churn/loss casualties, not
+        // consistency violations.
+        Err(DharmaError::StaleRead(_)) | Err(_) => false,
+    };
+    let floor_after = c.session().floor(&key);
+    prop_assert!(
+        floor_after >= floor_before,
+        "the session floor regressed: {floor_before:?} -> {floor_after:?}"
+    );
+    served
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Contract 1: random interleavings of writes, session reads from two
+    /// clients (one resuming the other's session), cached eventual reads,
+    /// and crash/revive churn. No successful session read ever dips below
+    /// its own pre-read floor, and floors are monotone throughout.
+    #[test]
+    fn session_reads_never_go_below_the_session_floor(
+        seed in 0u64..(1 << 48),
+        script in proptest::collection::vec((0u8..5, any::<u8>()), 4..12),
+    ) {
+        let n = 18usize;
+        let mut net = overlay(n, seed, 0.0, Some(push_fresh(4)));
+        let mut writer = client("writer", 1);
+        let mut reader = client("reader", 2);
+        let r_bar = block_key("res", BlockType::ResourceTags);
+
+        // Pre-churn anchor: with every node up the guarantee must hold
+        // non-vacuously — the insert raises the floor and the session
+        // read serves at or above it.
+        prop_assert!(writer.insert_resource(&mut net, "res", "uri://r", &["t0"]).is_ok());
+        prop_assert!(
+            checked_session_read(&mut writer, &mut net, r_bar, Consistency::ReadYourWrites),
+            "with no churn the session read must serve"
+        );
+
+        let mut crashed: Vec<u32> = Vec::new();
+        for (op, idx) in script {
+            match op {
+                // A write from the session owner; churn may legitimately
+                // fail it (no ack quorum), which must not poison the
+                // floor — checked by every read below.
+                0 => {
+                    let _ = writer.tag(&mut net, "res", &format!("t{idx}"));
+                }
+                // Crash a node that is neither client's home (a dead home
+                // fails fast with NodeUnavailable, tested elsewhere), or
+                // revive the longest-crashed one.
+                1 => {
+                    if crashed.len() >= 3 || (idx % 2 == 0 && !crashed.is_empty()) {
+                        net.revive(crashed.remove(0));
+                    } else {
+                        let victim = 3 + u32::from(idx) % (n as u32 - 3);
+                        if !crashed.contains(&victim) {
+                            net.crash(victim);
+                            crashed.push(victim);
+                        }
+                    }
+                }
+                2 => {
+                    checked_session_read(&mut writer, &mut net, r_bar, Consistency::ReadYourWrites);
+                }
+                // The handoff path: the reader resumes the writer's
+                // session, so its floor now includes writes it never made.
+                3 => {
+                    reader.import_session(writer.session());
+                    checked_session_read(&mut reader, &mut net, r_bar, Consistency::MonotonicReads);
+                }
+                // Eventual reads pin (possibly stale) views into caches
+                // along the path — the terrain session reads must not
+                // trust — and still observe into the floor.
+                _ => {
+                    checked_session_read(&mut reader, &mut net, r_bar, Consistency::Eventual);
+                }
+            }
+        }
+
+        // Full recovery: every node back up, the floor still binding.
+        for addr in crashed {
+            net.revive(addr);
+        }
+        checked_session_read(&mut writer, &mut net, r_bar, Consistency::ReadYourWrites);
+        checked_session_read(&mut reader, &mut net, r_bar, Consistency::MonotonicReads);
+    }
+
+    /// Contract 2: invalidation-push datagrams (like all others) are
+    /// dropped at a random rate. Lost pushes cost only freshness — the
+    /// floor contract holds at every rate, and at zero loss the session
+    /// reads must succeed outright, so the property cannot pass by
+    /// refusing every read.
+    #[test]
+    fn invalidate_push_loss_never_yields_a_wrong_serve(
+        seed in 0u64..(1 << 48),
+        drop_rate in prop_oneof![Just(0.0), 0.02f64..0.25],
+        fanout in 1usize..6,
+        rounds in 2usize..6,
+    ) {
+        let mut net = overlay(18, seed, drop_rate, Some(push_fresh(fanout)));
+        let mut writer = client("writer", 1);
+        let mut reader = client("reader", 2);
+        let mut audit = client("audit", 3);
+        let r_bar = block_key("res", BlockType::ResourceTags);
+        if writer.insert_resource(&mut net, "res", "uri://r", &["w0"]).is_err() {
+            // Heavy loss can starve the very first write of its quorum;
+            // nothing was observed, so there is nothing to guarantee.
+            prop_assume!(drop_rate > 0.0);
+            return;
+        }
+
+        for round in 0..rounds {
+            // The reader's eventual read registers it as a recent fetcher
+            // and pins the pre-write view in caches along the path…
+            checked_session_read(&mut reader, &mut net, r_bar, Consistency::Eventual);
+            // …the write then push-invalidates those fetchers (datagrams
+            // that may all be lost at this drop rate)…
+            let wrote = writer.tag(&mut net, "res", &format!("w{}", round + 1)).is_ok();
+            // …and whatever arrived, neither session level may serve
+            // below its floor afterwards.
+            let monotone =
+                checked_session_read(&mut reader, &mut net, r_bar, Consistency::MonotonicReads);
+            audit.import_session(writer.session());
+            let ryw =
+                checked_session_read(&mut audit, &mut net, r_bar, Consistency::ReadYourWrites);
+            if drop_rate == 0.0 {
+                prop_assert!(wrote, "lossless write must complete");
+                prop_assert!(
+                    monotone && ryw,
+                    "lossless session reads must serve, not refuse (round {round})"
+                );
+            }
+        }
+
+        // Graceful degradation, not wrongness: after the network settles
+        // (gossip and revalidation have caught up), a session read that
+        // succeeds still sits at or above everything the audit session
+        // observed through the writer's receipts.
+        net.run_until_idle(10_000_000);
+        net.take_completions();
+        audit.import_session(writer.session());
+        checked_session_read(&mut audit, &mut net, r_bar, Consistency::ReadYourWrites);
+    }
+}
+
+/// The stamp-ordering fact the floor contract leans on, pinned here so a
+/// refactor of `VersionStamp` ordering breaks loudly next to the session
+/// tests that depend on it: floors are pointwise maxima, so `observe` is
+/// commutative and idempotent.
+#[test]
+fn session_token_floor_is_a_pointwise_max() {
+    use dharma_core::SessionToken;
+    let key = block_key("res", BlockType::ResourceTags);
+    let low = VersionStamp::new(3, dharma_types::sha1(b"a"));
+    let high = VersionStamp::new(7, dharma_types::sha1(b"b"));
+    let mut forward = SessionToken::default();
+    forward.observe(key, low);
+    forward.observe(key, high);
+    let mut backward = SessionToken::default();
+    backward.observe(key, high);
+    backward.observe(key, low);
+    assert_eq!(forward.floor(&key), high);
+    assert_eq!(backward.floor(&key), high);
+    backward.observe(key, high);
+    assert_eq!(backward.floor(&key), high, "idempotent");
+}

@@ -35,7 +35,7 @@ pub mod rtt;
 pub mod storage;
 
 pub use messages::{Contact, DigestEntry, Message, StoredEntry};
-pub use node::{AdaptConfig, KadConfig, KadOutput, KademliaNode, MaintConfig};
+pub use node::{AdaptConfig, KadConfig, KadOutput, KademliaNode, MaintConfig, MaintConfigBuilder};
 pub use routing::{KBucket, NoteOutcome, RoutingTable};
-pub use rtt::{AlphaController, LatencyConfig, RttBook};
+pub use rtt::{AlphaController, LatencyConfig, LatencyConfigBuilder, RttBook};
 pub use storage::Storage;

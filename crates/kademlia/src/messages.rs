@@ -14,7 +14,9 @@
 
 use bytes::{Bytes, BytesMut};
 
-use dharma_types::{DharmaError, Id160, ReadBytes, Result, WireDecode, WireEncode, WriteBytes};
+use dharma_types::{
+    DharmaError, Id160, ReadBytes, Result, VersionStamp, WireDecode, WireEncode, WriteBytes,
+};
 
 /// A node's contact record: overlay id + transport address.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -65,33 +67,36 @@ impl WireDecode for StoredEntry {
 }
 
 /// One entry of a piggybacked version-gossip digest: a key the responder
-/// holds authoritatively, and its current write-version. Receivers compare
-/// digest entries against their cached views — a newer version triggers
+/// holds authoritatively, and its current origin stamp. Receivers compare
+/// digest entries against their cached views — a newer stamp triggers
 /// cheap revalidation (drop-or-refresh), an equal one confirms freshness
 /// and lets the view's TTL be restamped (the `dharma-fresh` subsystem).
+/// Because stamps are minted at the write's origin, entries from
+/// *different* holders compare exactly.
 ///
-/// Wire format: the 20 raw id bytes followed by the version as a varint —
-/// 21..=30 bytes per entry, so a full default digest (8 entries) adds well
-/// under 256 bytes to a reply.
+/// Wire format: the 20 raw key bytes, then the stamp (varint seq + 20
+/// writer bytes) — 41..=50 bytes per entry, so a full default digest
+/// (8 entries) adds at most ~400 bytes to a reply, well inside every
+/// reply budget the overlay uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct DigestEntry {
     /// The block key.
     pub key: Id160,
-    /// The responder's write-version of the block.
-    pub version: u64,
+    /// The block's origin stamp as held by the responder.
+    pub version: VersionStamp,
 }
 
 impl WireEncode for DigestEntry {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_id(&self.key);
-        buf.put_varint(self.version);
+        self.version.encode(buf);
     }
 }
 
 impl WireDecode for DigestEntry {
     fn decode(buf: &mut Bytes) -> Result<Self> {
         let key = buf.get_id()?;
-        let version = buf.get_varint()?;
+        let version = VersionStamp::decode(buf)?;
         Ok(DigestEntry { key, version })
     }
 }
@@ -105,8 +110,8 @@ pub struct FetchedValue {
     pub entries: Vec<StoredEntry>,
     /// True if the server truncated the entry list (filtering or MTU).
     pub truncated: bool,
-    /// The storing node's write-version of the value at read time.
-    pub version: u64,
+    /// The value's origin stamp at read time.
+    pub version: VersionStamp,
     /// True when the reply came from a hot-block cache rather than
     /// authoritative storage (possibly stale within the cache TTL).
     pub from_cache: bool,
@@ -182,8 +187,9 @@ pub enum Message {
         entries: Vec<StoredEntry>,
         /// Whether the entry list was truncated.
         truncated: bool,
-        /// Responder's write-version of the value (cache freshness tag).
-        version: u64,
+        /// The value's origin stamp (cache freshness tag; exact across
+        /// holders).
+        version: VersionStamp,
         /// True when served from the responder's hot-block cache.
         from_cache: bool,
         /// Version-gossip digest (empty when `dharma-fresh` is off, and
@@ -201,6 +207,8 @@ pub enum Message {
         key: Id160,
         /// Blob payload.
         blob: Vec<u8>,
+        /// The origin stamp minted for this write.
+        stamp: VersionStamp,
     },
     /// Append one-bit tokens to entries of the weighted set at `key`
     /// (creating entries at 0). A block update is **one** overlay operation
@@ -216,6 +224,8 @@ pub enum Message {
         key: Id160,
         /// Entries to add tokens to: `(name, tokens)` pairs.
         entries: Vec<StoredEntry>,
+        /// The origin stamp minted for this write.
+        stamp: VersionStamp,
     },
     /// Replication repair: a full value snapshot pushed during republish.
     /// Applied with **merge-max** semantics (idempotent), unlike `Append`.
@@ -230,6 +240,9 @@ pub enum Message {
         blob: Option<Vec<u8>>,
         /// Entry snapshot.
         entries: Vec<StoredEntry>,
+        /// The snapshot's *existing* origin stamp (replication repairs
+        /// holders that missed a write; it never mints a new version).
+        stamp: VersionStamp,
     },
     /// Store-on-path caching push (the classic Kademlia caching rule):
     /// after a successful value lookup the requester offers the filtered
@@ -251,11 +264,41 @@ pub enum Message {
         entries: Vec<StoredEntry>,
         /// Whether the entry list was truncated.
         truncated: bool,
-        /// The origin's write-version of the value.
-        version: u64,
+        /// The view's origin stamp.
+        version: VersionStamp,
+    },
+    /// Write-triggered invalidation push (`dharma-fresh`): a holder that
+    /// just applied a write sends the key's recent fetchers the *post-write
+    /// view* directly — stamp plus the entries re-filtered to the width the
+    /// fetcher originally asked with — so their cached slot is refreshed in
+    /// this one RTT with zero follow-up RPCs (a stamp-only invalidation
+    /// would cost every fetcher a drop-then-revalidate round trip). The
+    /// receiver notes the freshness book, installs the view in its cache
+    /// (unless it is itself authoritative or has a write in flight) and
+    /// answers [`Message::Ack`] — except when `rpc == 0`, which marks a
+    /// fire-and-forget push (senders ack-track only a liveness sample of
+    /// their fan-out; a lost push degrades to gossip-cadence staleness).
+    InvalidatePush {
+        /// Request id; `0` means no ack is expected.
+        rpc: u64,
+        /// Sender contact (the holder that applied the write).
+        from: Contact,
+        /// The written key.
+        key: Id160,
+        /// The fetcher's filter width, echoed from its tracked `FindValue`
+        /// (the receiver's cache slot is keyed by it).
+        top_n: u32,
+        /// Blob part of the post-write view, if any.
+        blob: Option<Vec<u8>>,
+        /// Weighted entries of the post-write view (holder-filtered).
+        entries: Vec<StoredEntry>,
+        /// Whether the entry list was truncated.
+        truncated: bool,
+        /// The key's origin stamp after the write.
+        stamp: VersionStamp,
     },
     /// Acknowledgement for [`Message::Store`] / [`Message::Append`] /
-    /// [`Message::Replicate`].
+    /// [`Message::Replicate`] / [`Message::InvalidatePush`].
     Ack {
         /// Echoed request id.
         rpc: u64,
@@ -289,6 +332,7 @@ impl Message {
             | Message::Append { rpc, .. }
             | Message::Replicate { rpc, .. }
             | Message::CachePush { rpc, .. }
+            | Message::InvalidatePush { rpc, .. }
             | Message::Ack { rpc, .. }
             | Message::Leave { rpc, .. } => *rpc,
         }
@@ -307,6 +351,7 @@ impl Message {
             | Message::Append { from, .. }
             | Message::Replicate { from, .. }
             | Message::CachePush { from, .. }
+            | Message::InvalidatePush { from, .. }
             | Message::Ack { from, .. }
             | Message::Leave { from, .. } => from,
         }
@@ -324,6 +369,7 @@ impl Message {
     const T_REPLICATE: u8 = 10;
     const T_CACHE_PUSH: u8 = 11;
     const T_LEAVE: u8 = 12;
+    const T_INVALIDATE_PUSH: u8 = 13;
 }
 
 impl WireEncode for Message {
@@ -395,7 +441,7 @@ impl WireEncode for Message {
                 }
                 entries.encode(buf);
                 buf.put_u8(u8::from(*truncated));
-                buf.put_varint(*version);
+                version.encode(buf);
                 buf.put_u8(u8::from(*from_cache));
                 digest.encode(buf);
             }
@@ -404,24 +450,28 @@ impl WireEncode for Message {
                 from,
                 key,
                 blob,
+                stamp,
             } => {
                 buf.put_u8(Self::T_STORE);
                 buf.put_varint(*rpc);
                 from.encode(buf);
                 buf.put_id(key);
                 buf.put_bytes_field(blob);
+                stamp.encode(buf);
             }
             Message::Append {
                 rpc,
                 from,
                 key,
                 entries,
+                stamp,
             } => {
                 buf.put_u8(Self::T_APPEND);
                 buf.put_varint(*rpc);
                 from.encode(buf);
                 buf.put_id(key);
                 entries.encode(buf);
+                stamp.encode(buf);
             }
             Message::Replicate {
                 rpc,
@@ -429,6 +479,7 @@ impl WireEncode for Message {
                 key,
                 blob,
                 entries,
+                stamp,
             } => {
                 buf.put_u8(Self::T_REPLICATE);
                 buf.put_varint(*rpc);
@@ -442,6 +493,7 @@ impl WireEncode for Message {
                     None => buf.put_u8(0),
                 }
                 entries.encode(buf);
+                stamp.encode(buf);
             }
             Message::CachePush {
                 rpc,
@@ -467,7 +519,33 @@ impl WireEncode for Message {
                 }
                 entries.encode(buf);
                 buf.put_u8(u8::from(*truncated));
-                buf.put_varint(*version);
+                version.encode(buf);
+            }
+            Message::InvalidatePush {
+                rpc,
+                from,
+                key,
+                top_n,
+                blob,
+                entries,
+                truncated,
+                stamp,
+            } => {
+                buf.put_u8(Self::T_INVALIDATE_PUSH);
+                buf.put_varint(*rpc);
+                from.encode(buf);
+                buf.put_id(key);
+                buf.put_varint(u64::from(*top_n));
+                match blob {
+                    Some(b) => {
+                        buf.put_u8(1);
+                        buf.put_bytes_field(b);
+                    }
+                    None => buf.put_u8(0),
+                }
+                entries.encode(buf);
+                buf.put_u8(u8::from(*truncated));
+                stamp.encode(buf);
             }
             Message::Ack { rpc, from } => {
                 buf.put_u8(Self::T_ACK);
@@ -538,7 +616,7 @@ impl WireDecode for Message {
                     return Err(DharmaError::Decode("truncated FoundValue flag".into()));
                 }
                 let truncated = buf.get_u8() == 1;
-                let version = buf.get_varint()?;
+                let version = VersionStamp::decode(buf)?;
                 if buf.is_empty() {
                     return Err(DharmaError::Decode(
                         "truncated FoundValue cache flag".into(),
@@ -561,12 +639,14 @@ impl WireDecode for Message {
                 from,
                 key: buf.get_id()?,
                 blob: buf.get_bytes_field()?,
+                stamp: VersionStamp::decode(buf)?,
             },
             Message::T_APPEND => Message::Append {
                 rpc,
                 from,
                 key: buf.get_id()?,
                 entries: Vec::<StoredEntry>::decode(buf)?,
+                stamp: VersionStamp::decode(buf)?,
             },
             Message::T_REPLICATE => {
                 let key = buf.get_id()?;
@@ -583,6 +663,7 @@ impl WireDecode for Message {
                     key,
                     blob,
                     entries: Vec::<StoredEntry>::decode(buf)?,
+                    stamp: VersionStamp::decode(buf)?,
                 }
             }
             Message::T_CACHE_PUSH => {
@@ -600,7 +681,7 @@ impl WireDecode for Message {
                     return Err(DharmaError::Decode("truncated CachePush flag".into()));
                 }
                 let truncated = buf.get_u8() == 1;
-                let version = buf.get_varint()?;
+                let version = VersionStamp::decode(buf)?;
                 Message::CachePush {
                     rpc,
                     from,
@@ -610,6 +691,33 @@ impl WireDecode for Message {
                     entries,
                     truncated,
                     version,
+                }
+            }
+            Message::T_INVALIDATE_PUSH => {
+                let key = buf.get_id()?;
+                let top_n = buf.get_varint()? as u32;
+                let blob = if buf.is_empty() {
+                    return Err(DharmaError::Decode("truncated InvalidatePush".into()));
+                } else if buf.get_u8() == 1 {
+                    Some(buf.get_bytes_field()?)
+                } else {
+                    None
+                };
+                let entries = Vec::<StoredEntry>::decode(buf)?;
+                if buf.is_empty() {
+                    return Err(DharmaError::Decode("truncated InvalidatePush flag".into()));
+                }
+                let truncated = buf.get_u8() == 1;
+                let stamp = VersionStamp::decode(buf)?;
+                Message::InvalidatePush {
+                    rpc,
+                    from,
+                    key,
+                    top_n,
+                    blob,
+                    entries,
+                    truncated,
+                    stamp,
                 }
             }
             Message::T_ACK => Message::Ack { rpc, from },
@@ -622,7 +730,13 @@ impl WireDecode for Message {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dharma_types::sha1;
+    use dharma_types::{sha1, ID160_BYTES};
+
+    /// Mints test stamps from a writer derived from the seq, so distinct
+    /// versions also differ in writer bytes (exercises both fields).
+    fn st(seq: u64) -> VersionStamp {
+        VersionStamp::new(seq, sha1(&seq.to_le_bytes()))
+    }
 
     fn contact(n: u8) -> Contact {
         Contact {
@@ -657,11 +771,11 @@ mod tests {
                 digest: vec![
                     DigestEntry {
                         key: sha1(b"hot"),
-                        version: 9,
+                        version: st(9),
                     },
                     DigestEntry {
                         key: sha1(b"news"),
-                        version: u64::MAX,
+                        version: st(u64::MAX),
                     },
                 ],
             },
@@ -676,7 +790,7 @@ mod tests {
                 contacts: vec![contact(3), contact(4)],
                 digest: vec![DigestEntry {
                     key: sha1(b"k"),
-                    version: 3,
+                    version: st(3),
                 }],
             },
             Message::FindValue {
@@ -708,11 +822,11 @@ mod tests {
                     },
                 ],
                 truncated: true,
-                version: 7,
+                version: st(7),
                 from_cache: false,
                 digest: vec![DigestEntry {
                     key: sha1(b"k"),
-                    version: 7,
+                    version: st(7),
                 }],
             },
             Message::FoundValue {
@@ -721,7 +835,7 @@ mod tests {
                 blob: None,
                 entries: vec![],
                 truncated: false,
-                version: 0,
+                version: VersionStamp::ZERO,
                 from_cache: true,
                 digest: vec![],
             },
@@ -730,6 +844,7 @@ mod tests {
                 from: contact(1),
                 key: sha1(b"k"),
                 blob: b"payload".to_vec(),
+                stamp: st(1),
             },
             Message::Append {
                 rpc: 13,
@@ -745,6 +860,7 @@ mod tests {
                         weight: 3,
                     },
                 ],
+                stamp: st(2),
             },
             Message::Replicate {
                 rpc: 15,
@@ -755,6 +871,7 @@ mod tests {
                     name: "rock".into(),
                     weight: 9,
                 }],
+                stamp: st(9),
             },
             Message::CachePush {
                 rpc: 17,
@@ -767,7 +884,20 @@ mod tests {
                     weight: 12,
                 }],
                 truncated: true,
-                version: 42,
+                version: st(42),
+            },
+            Message::InvalidatePush {
+                rpc: 18,
+                from: contact(2),
+                key: sha1(b"hot"),
+                top_n: 8,
+                blob: Some(vec![9, 9, 9]),
+                entries: vec![StoredEntry {
+                    name: "jazz".into(),
+                    weight: 3,
+                }],
+                truncated: false,
+                stamp: st(43),
             },
             Message::Ack {
                 rpc: 13,
@@ -857,23 +987,23 @@ mod tests {
     #[test]
     fn truncation_inside_digest_entries_fails_cleanly() {
         // The digest rides piggyback at the *tail* of Pong / FoundNodes /
-        // FoundValue, so a cut mid-`DigestEntry` (28 bytes: 20-byte key +
-        // 8-byte version) is exactly where an MTU clip lands. Walk every
+        // FoundValue, so a cut mid-`DigestEntry` (20-byte key + varint
+        // seq + 20-byte writer) is exactly where an MTU clip lands. Walk every
         // cut position inside the digest region specifically, not just
         // every prefix, and confirm the decoder neither panics nor yields
         // a message with a shortened digest.
         let digest = vec![
             DigestEntry {
                 key: sha1(b"a"),
-                version: 1,
+                version: st(1),
             },
             DigestEntry {
                 key: sha1(b"b"),
-                version: u64::MAX,
+                version: st(u64::MAX),
             },
             DigestEntry {
                 key: sha1(b"c"),
-                version: 0x0102_0304_0506_0708,
+                version: st(0x0102_0304_0506_0708),
             },
         ];
         let carriers = vec![
@@ -897,16 +1027,19 @@ mod tests {
                     weight: 2,
                 }],
                 truncated: false,
-                version: 3,
+                version: st(3),
                 from_cache: false,
                 digest: digest.clone(),
             },
         ];
         for m in &carriers {
             let enc = m.encode_to_bytes();
-            // The digest is encoded last: the final 3 entries occupy the
-            // trailing 3 * 28 bytes.
-            let digest_bytes = digest.len() * 28;
+            // The digest is encoded last: each entry is the 20 key bytes
+            // plus the stamp (varint seq + 20 writer bytes).
+            let digest_bytes: usize = digest
+                .iter()
+                .map(|e| ID160_BYTES + e.version.encoded_len())
+                .sum();
             assert!(enc.len() > digest_bytes);
             let digest_start = enc.len() - digest_bytes;
             for cut in digest_start..enc.len() {

@@ -90,11 +90,11 @@
 use bytes::Bytes;
 
 use dharma_cache::{
-    CacheConfig, CacheStats, FreshConfig, FreshnessBook, HitHistory, HotCache, PopularityConfig,
-    PopularityEstimator,
+    CacheConfig, CacheStats, FetcherBook, FreshConfig, FreshnessBook, HitHistory, HotCache,
+    PopularityConfig, PopularityEstimator,
 };
 use dharma_net::{Ctx, Instrumented, Metric, NetCounters, Node, NodeAddr};
-use dharma_types::{FxHashMap, FxHashSet, Id160, WireDecode, WireEncode};
+use dharma_types::{FxHashMap, FxHashSet, Id160, VersionStamp, WireDecode, WireEncode};
 
 use crate::lookup::LookupState;
 use crate::messages::{Contact, DigestEntry, FetchedValue, Message, StoredEntry};
@@ -161,6 +161,7 @@ impl Default for AdaptConfig {
 /// behaves exactly like the pre-maintenance protocol, which is what the
 /// static paper-reproduction experiments run.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct MaintConfig {
     /// Liveness-probe cadence, µs: each tick pings the least-recently-seen
     /// contact of the next non-empty bucket (round-robin). Ignored when
@@ -201,6 +202,13 @@ impl Default for MaintConfig {
 }
 
 impl MaintConfig {
+    /// A range-validated builder starting from [`MaintConfig::default()`].
+    pub fn builder() -> MaintConfigBuilder {
+        MaintConfigBuilder {
+            cfg: MaintConfig::default(),
+        }
+    }
+
     /// The tick the probe timer re-arms at: the adaptive loop re-evaluates
     /// every `probe_min_us` (doing work only when the current estimated
     /// interval has elapsed); the fixed loop ticks at its one interval.
@@ -219,6 +227,74 @@ impl MaintConfig {
             .map(|a| a.repair_min_us)
             .unwrap_or(self.repair_interval_us)
             .max(1)
+    }
+}
+
+/// Builder for [`MaintConfig`] with validated ranges ([`MaintConfig::builder()`]).
+#[derive(Clone, Debug)]
+pub struct MaintConfigBuilder {
+    cfg: MaintConfig,
+}
+
+macro_rules! maint_setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, v: $ty) -> Self {
+            self.cfg.$name = v;
+            self
+        }
+    };
+}
+
+impl MaintConfigBuilder {
+    maint_setter!(
+        /// See [`MaintConfig::probe_interval_us`].
+        probe_interval_us: u64
+    );
+    maint_setter!(
+        /// See [`MaintConfig::repair_interval_us`].
+        repair_interval_us: u64
+    );
+    maint_setter!(
+        /// See [`MaintConfig::join_handoff`].
+        join_handoff: bool
+    );
+    maint_setter!(
+        /// See [`MaintConfig::demote_interval_us`].
+        demote_interval_us: Option<u64>
+    );
+    maint_setter!(
+        /// See [`MaintConfig::adaptive`].
+        adaptive: Option<AdaptConfig>
+    );
+
+    /// Validates ranges and produces the config. Errors name the bad knob.
+    pub fn build(self) -> Result<MaintConfig, String> {
+        let c = &self.cfg;
+        if c.probe_interval_us == 0 {
+            return Err("probe_interval_us must be positive".into());
+        }
+        if c.repair_interval_us == 0 {
+            return Err("repair_interval_us must be positive".into());
+        }
+        if c.demote_interval_us == Some(0) {
+            return Err("demote_interval_us must be positive when set".into());
+        }
+        if let Some(a) = &c.adaptive {
+            if a.probe_min_us == 0 || a.probe_min_us > a.probe_max_us {
+                return Err(format!(
+                    "adaptive probe bounds {}..{} invalid: need 0 < min <= max",
+                    a.probe_min_us, a.probe_max_us
+                ));
+            }
+            if a.repair_min_us == 0 || a.repair_min_us > a.repair_max_us {
+                return Err(format!(
+                    "adaptive repair bounds {}..{} invalid: need 0 < min <= max",
+                    a.repair_min_us, a.repair_max_us
+                ));
+            }
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -354,6 +430,9 @@ pub enum KadOutput {
         acks: u32,
         /// Replicas targeted (including a local apply, which needs no ack).
         targets: u32,
+        /// The origin stamp the write was issued under — the client's
+        /// session token for read-your-writes consistency.
+        stamp: VersionStamp,
     },
 }
 
@@ -363,6 +442,10 @@ enum OpKind {
     FindNodes,
     Get {
         top_n: u32,
+        /// Refuse every cached view end-to-end (`no_cache` lookups): the
+        /// session-consistency escalation path for reads whose served
+        /// version fell below the client's session floor.
+        fresh: bool,
     },
     PutBlob {
         blob: Vec<u8>,
@@ -373,6 +456,9 @@ enum OpKind {
     Replicate {
         blob: Option<Vec<u8>>,
         entries: Vec<StoredEntry>,
+        /// The snapshot's existing origin stamp (republish/repair never
+        /// mint a new version).
+        stamp: VersionStamp,
     },
 }
 
@@ -383,6 +469,9 @@ enum Phase {
         acks: u32,
         pending: u32,
         targets: u32,
+        /// The origin stamp this write travels under (minted at phase
+        /// entry for client writes; the snapshot's own for replication).
+        stamp: VersionStamp,
     },
 }
 
@@ -452,6 +541,10 @@ const REPAIR_OP: u64 = u64::MAX;
 /// Sentinel operation id for version-gossip revalidation `FindValue`s
 /// (direct refresh of a digest-stale cached view).
 const REFRESH_OP: u64 = u64::MAX - 1;
+/// Sentinel operation id for write-triggered `InvalidatePush` sends: the
+/// ack settles the RPC, a timeout runs the standard suspect path (a
+/// fetcher that went silent is probed like any other suspect).
+const PUSH_OP: u64 = u64::MAX - 2;
 
 /// Bound on the digest news ring (recent effective local writes).
 const NEWS_CAP: usize = 32;
@@ -471,6 +564,13 @@ struct FreshState {
     /// In-flight revalidations: rpc id → the `(key, top_n)` view being
     /// refreshed (routes the reply and dedups refreshes per key).
     revalidating: FxHashMap<u64, (Id160, u32)>,
+    /// Holder-side recent-fetcher book: who to `InvalidatePush` when a
+    /// held key takes a write (populated only when
+    /// [`FreshConfig::push_on_write`] is set).
+    fetchers: FetcherBook,
+    /// Count of `push_invalidations` rounds sent — drives the 1-in-N
+    /// liveness-sampling rotation for ack-tracked pushes.
+    push_calls: u64,
 }
 
 /// The Kademlia node.
@@ -533,6 +633,11 @@ pub struct KademliaNode {
     /// The α the most recent adaptive-controller update settled on — an
     /// observability gauge (each lookup carries its own controller).
     last_alpha: usize,
+    /// Lamport write clock: the highest stamp `seq` this node has observed
+    /// anywhere (digests, replies, incoming writes). Minting a write stamp
+    /// uses `observed + 1`, so a new write always orders above everything
+    /// its coordinator causally saw.
+    write_seq: u64,
 }
 
 /// How long a `Leave` tombstone blocks re-insertion of the departed id —
@@ -571,6 +676,8 @@ impl KademliaNode {
             hits: HitHistory::new(&f),
             news: Vec::new(),
             revalidating: FxHashMap::default(),
+            fetchers: FetcherBook::new(f.max_tracked_keys, f.push_fanout.max(1), f.push_window_us),
+            push_calls: 0,
             cfg: f,
         });
         let rtt = cfg
@@ -607,6 +714,7 @@ impl KademliaNode {
             departed: FxHashMap::default(),
             rtt,
             last_alpha,
+            write_seq: 0,
         }
     }
 
@@ -813,6 +921,134 @@ impl KademliaNode {
 
     // ----- version gossip & cache-aware routing (`dharma-fresh`) -------
 
+    /// Folds an observed origin stamp into the Lamport write clock.
+    fn observe_stamp(&mut self, stamp: VersionStamp) {
+        self.write_seq = self.write_seq.max(stamp.seq);
+    }
+
+    /// Mints the origin stamp for a client write this node coordinates:
+    /// above everything observed — the write clock, the key's local
+    /// stored stamp, and the highest gossiped stamp for the key — so the
+    /// new write orders above every version its coordinator could know of.
+    ///
+    /// The clock is hybrid-logical: the mint also folds in the current
+    /// time (µs), so two coordinators that have *not* observed each other
+    /// still mint distinct, time-ordered sequence numbers. A pure Lamport
+    /// mint can collide under concurrent writers (`observed + 1` on the
+    /// same floor), and the losing write would merge its content into
+    /// holders without advancing their reported version — gossip digests
+    /// would then keep *confirming* cached views that are missing it.
+    fn mint_stamp(&mut self, key: &Id160, now_us: u64) -> VersionStamp {
+        let gossiped = self
+            .fresh
+            .as_ref()
+            .and_then(|f| f.book.highest(key))
+            .map(|s| s.seq)
+            .unwrap_or(0);
+        let floor = self
+            .write_seq
+            .max(self.storage.stamp(key).seq)
+            .max(gossiped);
+        self.write_seq = (floor + 1).max(now_us);
+        VersionStamp::new(self.write_seq, self.contact.id)
+    }
+
+    /// Write-triggered invalidation push: after a write raised `key`'s
+    /// stored stamp, send the key's recent fetchers the post-write view
+    /// directly (bounded fan-out), re-filtered to each fetcher's recorded
+    /// width, so their cached slot is refreshed in one RTT — no
+    /// drop-then-revalidate round trip. `exclude` suppresses the push to
+    /// the write's own sender (it already knows the version it just
+    /// wrote). Each push is tracked under [`PUSH_OP`] like a maintenance
+    /// RPC.
+    fn push_invalidations(
+        &mut self,
+        ctx: &mut Ctx<KadOutput>,
+        key: Id160,
+        exclude: Option<&Id160>,
+    ) {
+        let Some(f) = self.fresh.as_ref() else {
+            return;
+        };
+        if !f.cfg.push_on_write {
+            return;
+        }
+        let stamp = self.storage.stamp(&key);
+        if stamp.is_zero() {
+            return;
+        }
+        let own = self.contact.id;
+        let targets: Vec<(Id160, u32, u32)> = f
+            .fetchers
+            .recent(&key, ctx.now_us)
+            .into_iter()
+            .filter(|(id, _, _)| *id != own && exclude != Some(id))
+            .take(f.cfg.push_fanout)
+            .collect();
+        if targets.is_empty() {
+            return;
+        }
+        let round = {
+            let f = self.fresh.as_mut().expect("checked above");
+            f.push_calls += 1;
+            f.push_calls
+        };
+        for (i, (id, addr, top_n)) in targets.into_iter().enumerate() {
+            // The key was just written, so the read can only miss if it
+            // raced an expiry sweep — in which case there is nothing left
+            // to push.
+            let Some(read) = self
+                .storage
+                .read_filtered(&key, top_n, self.cfg.reply_budget)
+            else {
+                return;
+            };
+            // Liveness sampling: every third push round, the first (most
+            // recent) target is tracked like REPAIR_OP — its ack feeds the
+            // RTT estimator and its timeout evicts the fetcher from the
+            // book. Everything else goes unacked (`rpc == 0`):
+            // invalidation is loss-tolerant by contract (the gossip
+            // cadence backstops a lost push), so acking every duplicate
+            // would double the push overhead for no freshness gain.
+            let tracked = i == 0 && round % 3 == 0;
+            let rpc = if tracked {
+                let rpc = self.next_rpc;
+                self.next_rpc += 1;
+                rpc
+            } else {
+                0
+            };
+            self.cfg.counters.record_invalidate_pushes(1);
+            ctx.send(
+                addr,
+                Message::InvalidatePush {
+                    rpc,
+                    from: self.contact.clone(),
+                    key,
+                    top_n,
+                    blob: read.blob,
+                    entries: read.entries,
+                    truncated: read.truncated,
+                    stamp,
+                }
+                .encode_to_bytes(),
+            );
+            if tracked {
+                self.pending.insert(
+                    rpc,
+                    PendingRpc {
+                        op: PUSH_OP,
+                        to: Contact { id, addr },
+                        sent_at_us: ctx.now_us,
+                        timeout_us: self.cfg.rpc_timeout_us,
+                        first_sent_us: ctx.now_us,
+                    },
+                );
+                ctx.set_timer(self.cfg.rpc_timeout_us, rpc);
+            }
+        }
+    }
+
     /// Records an effective local write into the digest's news ring:
     /// the next few replies this node sends will gossip the key's new
     /// write-version, so peers with cached views learn of it without
@@ -829,7 +1065,7 @@ impl KademliaNode {
     }
 
     /// Builds the version digest piggybacked on a reply: up to
-    /// [`FreshConfig::digest_max`] `(held key, write-version)` pairs,
+    /// [`FreshConfig::digest_max`] `(held key, origin stamp)` pairs,
     /// picked as (1) recent local writes (the news ring, newest first) —
     /// the versions peers are most likely stale on; (2) the hottest held
     /// keys per the popularity tracker — the views most likely cached
@@ -837,6 +1073,30 @@ impl KademliaNode {
     /// keys nearest `around` (the lookup target) — what the requester is
     /// asking about. Empty when `dharma-fresh` is off, so disabled nodes
     /// gossip nothing.
+    /// True while this node still ranks within `k` of `key` per its own
+    /// routing view — the bar for speaking *authoritatively* about a
+    /// held copy: serving it as a holder and gossiping its stamp in
+    /// digests. A holder that membership turnover pushed outside a key's
+    /// replica set stops receiving that key's writes, so its copy — and
+    /// its origin stamp — silently freeze; exact stamps would then keep
+    /// *confirming* (and refresh-ahead would keep re-pinning) cached
+    /// views that miss every write since. Requires `k` strictly-closer
+    /// known contacts to conclude "outsider" (a sparse routing view
+    /// assumes authority). Stricter than the demotion sweep's `k + slack`
+    /// on purpose: deleting a copy too eagerly loses churn resilience,
+    /// while *declining to speak* merely sends the lookup one hop onward
+    /// to a current holder. Only consulted under `dharma-fresh`: without
+    /// version gossip, beyond-`k` copies are a deliberate churn safety
+    /// net and keep serving.
+    fn likely_authoritative(&self, key: &Id160) -> bool {
+        let closest = self.routing.closest(key, self.cfg.k);
+        if closest.len() < self.cfg.k {
+            return true;
+        }
+        let kth = closest.last().expect("len checked").id.distance(key);
+        kth >= self.contact.id.distance(key)
+    }
+
     fn build_digest(&self, around: Option<&Id160>, now_us: u64) -> Vec<DigestEntry> {
         let Some(f) = &self.fresh else {
             return Vec::new();
@@ -848,11 +1108,15 @@ impl KademliaNode {
         let mut out: Vec<DigestEntry> = Vec::new();
         let push = |out: &mut Vec<DigestEntry>, key: &Id160| {
             if out.len() < max && !out.iter().any(|e| e.key == *key) {
+                // A copy this node no longer speaks for must not gossip:
+                // its frozen stamp would confirm equally-stale views.
                 if let Some(state) = self.storage.get(key) {
-                    out.push(DigestEntry {
-                        key: *key,
-                        version: state.version,
-                    });
+                    if self.likely_authoritative(key) {
+                        out.push(DigestEntry {
+                            key: *key,
+                            version: state.version,
+                        });
+                    }
                 }
             }
         };
@@ -892,7 +1156,7 @@ impl KademliaNode {
 
     /// The monotone-freshness gate: may a cached view of `key` at
     /// `version` be served? False once any digest claimed a newer version.
-    fn fresh_admits(&self, key: &Id160, version: u64) -> bool {
+    fn fresh_admits(&self, key: &Id160, version: VersionStamp) -> bool {
         self.fresh
             .as_ref()
             .map(|f| f.book.admits(key, version))
@@ -904,7 +1168,7 @@ impl KademliaNode {
     /// refreshed within [`FreshConfig::max_serve_age_us`] is a miss even
     /// inside its TTL, which is what bounds the staleness window by the
     /// gossip cadence instead of the TTL.
-    fn fresh_serves(&self, key: &Id160, top_n: u32, version: u64, now_us: u64) -> bool {
+    fn fresh_serves(&self, key: &Id160, top_n: u32, version: VersionStamp, now_us: u64) -> bool {
         let Some(f) = &self.fresh else {
             return true;
         };
@@ -932,7 +1196,7 @@ impl KademliaNode {
             .fresh
             .as_ref()
             .and_then(|f| f.book.highest(key))
-            .unwrap_or(0);
+            .unwrap_or_default();
         let Some(cache) = &mut self.cache else {
             return 0;
         };
@@ -952,6 +1216,9 @@ impl KademliaNode {
     fn absorb_digest(&mut self, ctx: &mut Ctx<KadOutput>, from: &Contact, digest: &[DigestEntry]) {
         if digest.is_empty() || self.fresh.is_none() {
             return;
+        }
+        for e in digest {
+            self.observe_stamp(e.version);
         }
         let mut refresh: Vec<(Id160, u32)> = Vec::new();
         {
@@ -1096,7 +1363,7 @@ impl KademliaNode {
         let Some(extra) = extra else {
             return;
         };
-        let Some((blob, entries)) = self.snapshot_value(&key) else {
+        let Some((blob, entries, stamp)) = self.snapshot_value(&key) else {
             return;
         };
         let targets: Vec<Contact> = self
@@ -1122,14 +1389,18 @@ impl KademliaNode {
                     key,
                     blob: blob.clone(),
                     entries: entries.clone(),
+                    stamp,
                 }
                 .encode_to_bytes(),
             );
         }
     }
 
-    /// A `Replicate`-ready snapshot of one held value.
-    fn snapshot_value(&self, key: &Id160) -> Option<(Option<Vec<u8>>, Vec<StoredEntry>)> {
+    /// A `Replicate`-ready snapshot of one held value (with its stamp).
+    fn snapshot_value(
+        &self,
+        key: &Id160,
+    ) -> Option<(Option<Vec<u8>>, Vec<StoredEntry>, VersionStamp)> {
         self.storage.snapshot(key)
     }
 
@@ -1147,8 +1418,9 @@ impl KademliaNode {
         key: Id160,
         blob: Option<Vec<u8>>,
         entries: Vec<StoredEntry>,
+        stamp: VersionStamp,
     ) {
-        let rpc = self.send_replica_raw(ctx, to.addr, key, blob, entries);
+        let rpc = self.send_replica_raw(ctx, to.addr, key, blob, entries, stamp);
         self.pending.insert(
             rpc,
             PendingRpc {
@@ -1171,6 +1443,7 @@ impl KademliaNode {
         key: Id160,
         blob: Option<Vec<u8>>,
         entries: Vec<StoredEntry>,
+        stamp: VersionStamp,
     ) -> u64 {
         let rpc = self.next_rpc;
         self.next_rpc += 1;
@@ -1182,6 +1455,7 @@ impl KademliaNode {
                 key,
                 blob,
                 entries,
+                stamp,
             }
             .encode_to_bytes(),
         );
@@ -1286,6 +1560,7 @@ impl KademliaNode {
         if let Some(f) = self.fresh.as_mut() {
             // A departed peer must not be seeded into future shortlists.
             f.hits.forget_peer(&from.id);
+            f.fetchers.forget_peer(&from.id);
         }
         self.departed.insert(from.id, now_us);
         if self.departed.len() > DEPART_TOMBSTONE_CAP {
@@ -1348,7 +1623,7 @@ impl KademliaNode {
             if self.drop_if_expired(&key, now) {
                 continue;
             }
-            let Some((blob, entries)) = self.snapshot_value(&key) else {
+            let Some((blob, entries, stamp)) = self.snapshot_value(&key) else {
                 continue;
             };
             let mut targets = self.routing.closest(&key, keep_within);
@@ -1363,7 +1638,7 @@ impl KademliaNode {
             targets.truncate(self.cfg.k);
             pushes += targets.len() as u64;
             for t in targets {
-                self.send_replica_raw(ctx, t.addr, key, blob.clone(), entries.clone());
+                self.send_replica_raw(ctx, t.addr, key, blob.clone(), entries.clone(), stamp);
             }
         }
         if pushes > 0 {
@@ -1456,8 +1731,8 @@ impl KademliaNode {
             if self.drop_if_expired(&key, now) {
                 continue;
             }
-            if let Some((blob, entries)) = self.snapshot_value(&key) {
-                self.push_replica(ctx, &newcomer, key, blob, entries);
+            if let Some((blob, entries, stamp)) = self.snapshot_value(&key) {
+                self.push_replica(ctx, &newcomer, key, blob, entries, stamp);
                 handed += 1;
             }
         }
@@ -1506,13 +1781,13 @@ impl KademliaNode {
             if self.last_replicate_seen.contains_key(key) {
                 continue;
             }
-            let Some((blob, entries)) = self.snapshot_value(key) else {
+            let Some((blob, entries, stamp)) = self.snapshot_value(key) else {
                 continue;
             };
             let targets = self.routing.closest(key, self.cfg.k);
             pushes += targets.len() as u64;
             for t in targets {
-                self.push_replica(ctx, &t, *key, blob.clone(), entries.clone());
+                self.push_replica(ctx, &t, *key, blob.clone(), entries.clone(), stamp);
             }
         }
         if pushes > 0 {
@@ -1577,11 +1852,11 @@ impl KademliaNode {
             if self.drop_if_expired(&key, now) {
                 continue;
             }
-            let Some((blob, entries)) = self.snapshot_value(&key) else {
+            let Some((blob, entries, stamp)) = self.snapshot_value(&key) else {
                 continue;
             };
             for t in self.routing.closest(&key, self.cfg.k) {
-                self.push_replica(ctx, &t, key, blob.clone(), entries.clone());
+                self.push_replica(ctx, &t, key, blob.clone(), entries.clone(), stamp);
             }
             self.storage.remove(&key);
             self.invalidate_cached(&key);
@@ -1611,7 +1886,24 @@ impl KademliaNode {
     /// Starts a value lookup for `key`. `top_n` > 0 requests index-side
     /// filtering: only the heaviest `top_n` entries are returned.
     pub fn get(&mut self, ctx: &mut Ctx<KadOutput>, key: Id160, top_n: u32) -> u64 {
-        self.start_op(ctx, key, OpKind::Get { top_n })
+        self.start_op(
+            ctx,
+            key,
+            OpKind::Get {
+                top_n,
+                fresh: false,
+            },
+        )
+    }
+
+    /// Starts a value lookup that refuses cached views end-to-end: the
+    /// local hot cache is skipped and every `FindValue` goes out with
+    /// `no_cache`, so only authoritative holders may answer. This is the
+    /// escalation path behind session-consistency reads — when a served
+    /// version falls below the client's session floor, the client re-reads
+    /// through here before declaring the read stale.
+    pub fn get_fresh(&mut self, ctx: &mut Ctx<KadOutput>, key: Id160, top_n: u32) -> u64 {
+        self.start_op(ctx, key, OpKind::Get { top_n, fresh: true })
     }
 
     /// Stores a blob on the `k` nodes closest to `key`.
@@ -1660,8 +1952,16 @@ impl KademliaNode {
                 if self.drop_if_expired(&key, now) {
                     return None;
                 }
-                self.snapshot_value(&key).map(|(blob, entries)| {
-                    self.start_op(ctx, key, OpKind::Replicate { blob, entries })
+                self.snapshot_value(&key).map(|(blob, entries, stamp)| {
+                    self.start_op(
+                        ctx,
+                        key,
+                        OpKind::Replicate {
+                            blob,
+                            entries,
+                            stamp,
+                        },
+                    )
                 })
             })
             .collect()
@@ -1690,12 +1990,14 @@ impl KademliaNode {
         ) {
             self.note_written(target, ctx.now_us);
         }
-        let bypass_cache =
-            matches!(kind, OpKind::Get { .. }) && self.recently_wrote(&target, ctx.now_us);
+        let bypass_cache = match kind {
+            OpKind::Get { fresh, .. } => fresh || self.recently_wrote(&target, ctx.now_us),
+            _ => false,
+        };
 
         // Local fast path for reads: this node may itself hold the value
         // authoritatively, or (with caching on) hold a fresh cached view.
-        if let OpKind::Get { top_n } = &kind {
+        if let OpKind::Get { top_n, .. } = &kind {
             if let Some(read) = self
                 .storage
                 .read_filtered(&target, *top_n, self.cfg.reply_budget)
@@ -1841,7 +2143,7 @@ impl KademliaNode {
         let is_get = matches!(op.kind, OpKind::Get { .. });
         let no_cache = op.bypass_cache;
         let top_n = match op.kind {
-            OpKind::Get { top_n } => top_n,
+            OpKind::Get { top_n, .. } => top_n,
             _ => 0,
         };
         let mut sent = 0u32;
@@ -1946,28 +2248,51 @@ impl KademliaNode {
 
                 let kind = op.kind.clone();
                 let targets = replicas.len() as u32 + u32::from(include_self);
-                op.phase = Phase::Write {
-                    acks: 0,
-                    pending: replicas.len() as u32,
-                    targets,
+                // Client writes mint their origin stamp here, once the
+                // lookup fixed the replica set; replication re-sends the
+                // snapshot's existing stamp (repair never mints).
+                let stamp = match &kind {
+                    OpKind::Replicate { stamp, .. } => *stamp,
+                    _ => self.mint_stamp(&key, ctx.now_us),
                 };
+                if let Some(op) = self.ops.get_mut(&op_id) {
+                    op.phase = Phase::Write {
+                        acks: 0,
+                        pending: replicas.len() as u32,
+                        targets,
+                        stamp,
+                    };
+                }
 
                 if include_self {
+                    let before = self.storage.stamp(&key);
                     match &kind {
-                        OpKind::PutBlob { blob } => self.storage.put_blob(key, blob.clone()),
+                        OpKind::PutBlob { blob } => self.storage.put_blob(key, blob.clone(), stamp),
                         OpKind::Append { entries } => {
                             for e in entries {
-                                self.storage.append(key, &e.name, e.weight);
+                                self.storage.append(key, &e.name, e.weight, stamp);
                             }
                         }
-                        OpKind::Replicate { blob, entries } => {
-                            self.storage
-                                .merge_max(key, blob.as_deref(), entries, ctx.now_us);
+                        OpKind::Replicate {
+                            blob,
+                            entries,
+                            stamp,
+                        } => {
+                            self.storage.merge_max(
+                                key,
+                                blob.as_deref(),
+                                entries,
+                                *stamp,
+                                ctx.now_us,
+                            );
                         }
                         _ => unreachable!(),
                     }
                     self.invalidate_cached(&key);
                     self.note_news(key, ctx.now_us);
+                    if self.storage.stamp(&key) > before {
+                        self.push_invalidations(ctx, key, None);
+                    }
                 }
 
                 if replicas.is_empty() {
@@ -1976,7 +2301,14 @@ impl KademliaNode {
                         op.done = true;
                     }
                     self.note_write_done(key, ctx.now_us);
-                    ctx.complete(op_id, KadOutput::Written { acks, targets });
+                    ctx.complete(
+                        op_id,
+                        KadOutput::Written {
+                            acks,
+                            targets,
+                            stamp,
+                        },
+                    );
                     self.ops.remove(&op_id);
                     return;
                 }
@@ -1991,19 +2323,26 @@ impl KademliaNode {
                             from: self.contact.clone(),
                             key,
                             blob: blob.clone(),
+                            stamp,
                         },
                         OpKind::Append { entries } => Message::Append {
                             rpc,
                             from: self.contact.clone(),
                             key,
                             entries: entries.clone(),
+                            stamp,
                         },
-                        OpKind::Replicate { blob, entries } => Message::Replicate {
+                        OpKind::Replicate {
+                            blob,
+                            entries,
+                            stamp,
+                        } => Message::Replicate {
                             rpc,
                             from: self.contact.clone(),
                             key,
                             blob: blob.clone(),
                             entries: entries.clone(),
+                            stamp: *stamp,
                         },
                         _ => unreachable!(),
                     };
@@ -2039,6 +2378,7 @@ impl KademliaNode {
             acks,
             pending,
             targets,
+            stamp,
         } = &mut op.phase
         else {
             return;
@@ -2050,10 +2390,18 @@ impl KademliaNode {
         if *pending == 0 {
             let acks = *acks + 1; // count the local apply as durable
             let targets = *targets;
+            let stamp = *stamp;
             let key = op.lookup.target();
             op.done = true;
             self.note_write_done(key, ctx.now_us);
-            ctx.complete(op_id, KadOutput::Written { acks, targets });
+            ctx.complete(
+                op_id,
+                KadOutput::Written {
+                    acks,
+                    targets,
+                    stamp,
+                },
+            );
             self.ops.remove(&op_id);
         }
     }
@@ -2165,11 +2513,27 @@ impl Node for KademliaNode {
                 no_cache,
             } => {
                 self.gets_served += 1;
+                // Under `dharma-fresh`, a held copy this node has drifted
+                // out of the replica set for is no longer served as
+                // authoritative — it stopped receiving the key's writes,
+                // and an exact-stamp reply from it would re-pin stale
+                // views as "current". Answer with closer contacts so the
+                // requester reaches the live holders instead.
+                let speaks_for = self.fresh.is_none() || self.likely_authoritative(&key);
                 match self
                     .storage
                     .read_filtered(&key, top_n, self.cfg.reply_budget)
+                    .filter(|_| speaks_for)
                 {
                     Some(read) => {
+                        // Holder-side interest tracking for write-triggered
+                        // invalidation push: remember who fetched this key.
+                        if let Some(f) = self.fresh.as_mut() {
+                            if f.cfg.push_on_write {
+                                f.fetchers
+                                    .record(key, from.id, from.addr, top_n, ctx.now_us);
+                            }
+                        }
                         let digest = self.build_digest(Some(&key), ctx.now_us);
                         ctx.send(
                             from.addr,
@@ -2272,11 +2636,17 @@ impl Node for KademliaNode {
                 from,
                 key,
                 blob,
+                stamp,
             } => {
-                self.storage.put_blob(key, blob);
+                self.observe_stamp(stamp);
+                let before = self.storage.stamp(&key);
+                self.storage.put_blob(key, blob, stamp);
                 self.storage.touch(key, ctx.now_us);
                 self.invalidate_cached(&key);
                 self.note_news(key, ctx.now_us);
+                if self.storage.stamp(&key) > before {
+                    self.push_invalidations(ctx, key, Some(&from.id));
+                }
                 ctx.send(
                     from.addr,
                     Message::Ack {
@@ -2291,13 +2661,19 @@ impl Node for KademliaNode {
                 from,
                 key,
                 entries,
+                stamp,
             } => {
+                self.observe_stamp(stamp);
+                let before = self.storage.stamp(&key);
                 for e in &entries {
-                    self.storage.append(key, &e.name, e.weight);
+                    self.storage.append(key, &e.name, e.weight, stamp);
                 }
                 self.storage.touch(key, ctx.now_us);
                 self.invalidate_cached(&key);
                 self.note_news(key, ctx.now_us);
+                if self.storage.stamp(&key) > before {
+                    self.push_invalidations(ctx, key, Some(&from.id));
+                }
                 ctx.send(
                     from.addr,
                     Message::Ack {
@@ -2376,6 +2752,7 @@ impl Node for KademliaNode {
                 from_cache,
                 digest,
             } => {
+                self.observe_stamp(version);
                 self.absorb_digest(ctx, &from, &digest);
                 let Some(pend) = self.pending.remove(&rpc) else {
                     return;
@@ -2421,7 +2798,7 @@ impl Node for KademliaNode {
                 let Some(op) = self.ops.get(&pend.op) else {
                     return;
                 };
-                let OpKind::Get { top_n } = op.kind else {
+                let OpKind::Get { top_n, .. } = op.kind else {
                     return;
                 };
                 if op.done {
@@ -2540,6 +2917,7 @@ impl Node for KademliaNode {
                 version,
             } => {
                 let _ = (rpc, from);
+                self.observe_stamp(version);
                 // A pushed view may predate a write this node has in
                 // flight or just issued — never pin it over our own guard.
                 if self.recently_wrote(&key, ctx.now_us) {
@@ -2571,7 +2949,9 @@ impl Node for KademliaNode {
                 key,
                 blob,
                 entries,
+                stamp,
             } => {
+                self.observe_stamp(stamp);
                 // TTL accept gate: a record that already outlived
                 // `record_ttl_us` here is a zombie awaiting the expiry
                 // sweep — merging the incoming snapshot would re-wind its
@@ -2587,10 +2967,14 @@ impl Node for KademliaNode {
                     self.storage.remove(&key);
                     self.invalidate_cached(&key);
                 } else {
+                    let before = self.storage.stamp(&key);
                     self.storage
-                        .merge_max(key, blob.as_deref(), &entries, ctx.now_us);
+                        .merge_max(key, blob.as_deref(), &entries, stamp, ctx.now_us);
                     self.invalidate_cached(&key);
                     self.note_news(key, ctx.now_us);
+                    if self.storage.stamp(&key) > before {
+                        self.push_invalidations(ctx, key, Some(&from.id));
+                    }
                     // Repair suppression: someone just re-replicated this
                     // key, so our own next repair sweep can skip it.
                     if self.cfg.maintenance.is_some() {
@@ -2606,6 +2990,59 @@ impl Node for KademliaNode {
                     .encode_to_bytes(),
                 );
             }
+            Message::InvalidatePush {
+                rpc,
+                from,
+                key,
+                top_n,
+                blob,
+                entries,
+                truncated,
+                stamp,
+            } => {
+                // The push carries the holder's post-write view, so this
+                // fetcher's cache slot converges in the same RTT — unlike
+                // a digest entry, no revalidation RPC is ever needed.
+                self.observe_stamp(stamp);
+                if let Some(f) = self.fresh.as_mut() {
+                    // Raising the book floor retires every other cached
+                    // variant of the key at serve time (`fresh_admits`).
+                    f.book.note(key, stamp);
+                }
+                // Guards mirror `CachePush`: never pin a pushed view over
+                // an in-flight local write, and authoritative holders
+                // reconcile through `Replicate` merges, not pushes.
+                if !self.recently_wrote(&key, ctx.now_us) && !self.storage.contains(&key) {
+                    if let Some(cache) = &mut self.cache {
+                        let dropped = cache.invalidate_stale(&key, stamp);
+                        self.cfg.counters.record_stale_drops(dropped.len() as u64);
+                        cache.insert(
+                            (key, top_n),
+                            stamp,
+                            FetchedValue {
+                                blob,
+                                entries,
+                                truncated,
+                                version: stamp,
+                                from_cache: true,
+                            },
+                            ctx.now_us,
+                        );
+                    }
+                }
+                // `rpc == 0` marks an unacked push (the sender tracks only
+                // a liveness sample of its fan-out).
+                if rpc != 0 {
+                    ctx.send(
+                        from.addr,
+                        Message::Ack {
+                            rpc,
+                            from: self.contact.clone(),
+                        }
+                        .encode_to_bytes(),
+                    );
+                }
+            }
             Message::Ack { rpc, .. } => {
                 let Some(pend) = self.pending.remove(&rpc) else {
                     return;
@@ -2614,6 +3051,11 @@ impl Node for KademliaNode {
                 if pend.op == REPAIR_OP {
                     // A tracked maintenance push landed; nothing more to do
                     // (the replica is alive, the timeout is settled).
+                    return;
+                }
+                if pend.op == PUSH_OP {
+                    // An invalidation push was received; the fetcher's view
+                    // is reconciled and the timeout is settled.
                     return;
                 }
                 self.write_progress(ctx, pend.op, true);
@@ -2707,6 +3149,7 @@ impl Node for KademliaNode {
             }
             if let Some(f) = self.fresh.as_mut() {
                 f.hits.forget_peer(&pend.to.id);
+                f.fetchers.forget_peer(&pend.to.id);
             }
             return;
         }
@@ -2726,6 +3169,7 @@ impl Node for KademliaNode {
             self.note_departure(ctx.now_us, 1.0);
             if let Some(f) = self.fresh.as_mut() {
                 f.hits.forget_peer(&pend.to.id);
+                f.fetchers.forget_peer(&pend.to.id);
             }
         }
         let Some(op) = self.ops.get_mut(&pend.op) else {
@@ -2760,7 +3204,7 @@ impl Node for KademliaNode {
                     // within the conservative `rpc_timeout_us`.
                     let is_get = matches!(op.kind, OpKind::Get { .. });
                     let top_n = match op.kind {
-                        OpKind::Get { top_n } => top_n,
+                        OpKind::Get { top_n, .. } => top_n,
                         _ => 0,
                     };
                     let no_cache = op.bypass_cache;
@@ -3040,7 +3484,7 @@ mod tests {
         let completions = net.take_completions();
         let put = completions.iter().find(|(id, _)| *id == op_put).unwrap();
         match &put.1 {
-            KadOutput::Written { acks, targets } => {
+            KadOutput::Written { acks, targets, .. } => {
                 assert!(*acks >= 1, "at least one replica stored");
                 assert!(*targets >= 1);
             }
@@ -3869,6 +4313,7 @@ mod tests {
                 key,
                 blob: None,
                 entries: snapshot.clone(),
+                stamp: st(1),
             }
             .encode_to_bytes(),
         );
@@ -3889,6 +4334,7 @@ mod tests {
                 key: fresh,
                 blob: None,
                 entries: snapshot,
+                stamp: st(2),
             }
             .encode_to_bytes(),
         );
@@ -4060,6 +4506,12 @@ mod tests {
         }
     }
 
+    /// A minted-elsewhere stamp for hand-built test messages: `seq` with a
+    /// fixed foreign writer id, so ordering follows `seq`.
+    fn st(seq: u64) -> VersionStamp {
+        VersionStamp::new(seq, sha1(b"remote-writer"))
+    }
+
     fn push_view(node: &mut KademliaNode, ctx: &mut Ctx<KadOutput>, key: Id160, version: u64) {
         node.on_message(
             ctx,
@@ -4075,7 +4527,7 @@ mod tests {
                     weight: version,
                 }],
                 truncated: false,
-                version,
+                version: st(version),
             }
             .encode_to_bytes(),
         );
@@ -4131,7 +4583,10 @@ mod tests {
             Message::Pong {
                 rpc: 77,
                 from: contact(7),
-                digest: vec![DigestEntry { key, version: 5 }],
+                digest: vec![DigestEntry {
+                    key,
+                    version: st(5),
+                }],
             }
             .encode_to_bytes(),
         );
@@ -4175,7 +4630,7 @@ mod tests {
                     weight: 5,
                 }],
                 truncated: false,
-                version: 5,
+                version: st(5),
                 from_cache: false,
                 digest: vec![],
             }
@@ -4185,7 +4640,11 @@ mod tests {
             .expect("refreshed view serves locally")
             .expect("view present");
         assert!(v.from_cache);
-        assert_eq!(v.version, 5, "the refreshed view carries the new version");
+        assert_eq!(
+            v.version,
+            st(5),
+            "the refreshed view carries the new version"
+        );
     }
 
     #[test]
@@ -4203,7 +4662,10 @@ mod tests {
             Message::Pong {
                 rpc: 7,
                 from: contact(7),
-                digest: vec![DigestEntry { key, version: 4 }],
+                digest: vec![DigestEntry {
+                    key,
+                    version: st(4),
+                }],
             }
             .encode_to_bytes(),
         );
@@ -4244,7 +4706,7 @@ mod tests {
         for e in &digest {
             assert_eq!(
                 e.version,
-                node.storage().version(&e.key),
+                node.storage().stamp(&e.key),
                 "digest carries current write-versions"
             );
         }

@@ -36,6 +36,7 @@ use dharma_types::{FxHashMap, Id160};
 /// `None` there disables every consumer and keeps the protocol
 /// byte-identical to the latency-oblivious versions.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct LatencyConfig {
     /// Lower bound for lookup parallelism (the classic Kademlia α).
     pub alpha_min: usize,
@@ -82,6 +83,92 @@ impl Default for LatencyConfig {
             rto_beta: 3.0,
             rto_min_us: 10_000,
         }
+    }
+}
+
+impl LatencyConfig {
+    /// A range-validated builder starting from [`LatencyConfig::default()`].
+    pub fn builder() -> LatencyConfigBuilder {
+        LatencyConfigBuilder {
+            cfg: LatencyConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`LatencyConfig`] with validated ranges
+/// ([`LatencyConfig::builder()`]).
+#[derive(Clone, Debug)]
+pub struct LatencyConfigBuilder {
+    cfg: LatencyConfig,
+}
+
+macro_rules! lat_setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, v: $ty) -> Self {
+            self.cfg.$name = v;
+            self
+        }
+    };
+}
+
+impl LatencyConfigBuilder {
+    lat_setter!(
+        /// See [`LatencyConfig::alpha_min`].
+        alpha_min: usize
+    );
+    lat_setter!(
+        /// See [`LatencyConfig::alpha_max`].
+        alpha_max: usize
+    );
+    lat_setter!(
+        /// See [`LatencyConfig::rtt_half_life_us`].
+        rtt_half_life_us: u64
+    );
+    lat_setter!(
+        /// See [`LatencyConfig::pns`].
+        pns: bool
+    );
+    lat_setter!(
+        /// See [`LatencyConfig::bias_shortlist`].
+        bias_shortlist: bool
+    );
+    lat_setter!(
+        /// See [`LatencyConfig::adaptive_alpha`].
+        adaptive_alpha: bool
+    );
+    lat_setter!(
+        /// See [`LatencyConfig::adaptive_timeout`].
+        adaptive_timeout: bool
+    );
+    lat_setter!(
+        /// See [`LatencyConfig::rto_beta`].
+        rto_beta: f64
+    );
+    lat_setter!(
+        /// See [`LatencyConfig::rto_min_us`].
+        rto_min_us: u64
+    );
+
+    /// Validates ranges and produces the config. Errors name the bad knob.
+    pub fn build(self) -> Result<LatencyConfig, String> {
+        let c = &self.cfg;
+        if c.alpha_min == 0 || c.alpha_min > c.alpha_max {
+            return Err(format!(
+                "alpha bounds {}..{} invalid: need 0 < min <= max",
+                c.alpha_min, c.alpha_max
+            ));
+        }
+        if c.rtt_half_life_us == 0 {
+            return Err("rtt_half_life_us must be positive".into());
+        }
+        if !(c.rto_beta >= 1.0 && c.rto_beta.is_finite()) {
+            return Err(format!("rto_beta {} must be finite and >= 1", c.rto_beta));
+        }
+        if c.rto_min_us == 0 {
+            return Err("rto_min_us must be positive".into());
+        }
+        Ok(self.cfg)
     }
 }
 

@@ -27,7 +27,7 @@
 
 use std::collections::BTreeMap;
 
-use dharma_types::{Id160, NameInterner, Sym};
+use dharma_types::{Id160, NameInterner, Sym, VersionStamp};
 
 use crate::messages::StoredEntry;
 
@@ -40,14 +40,12 @@ pub struct ValueState {
     entries: Vec<(Sym, u64)>,
     /// Last write (or replication refresh) time, µs. Drives expiry.
     pub refreshed_us: u64,
-    /// Monotone write counter, bumped by every effective mutation. Cached
-    /// views of this key carry the version they were read at, so a cache
-    /// can tell an older view *from the same holder* from a newer one.
-    /// Caveat: the counter is per-holder — versions from different
-    /// responders are not comparable, so across holders cached-view
-    /// freshness is bounded by the cache TTL and write invalidation, not
-    /// by version ordering.
-    pub version: u64,
+    /// The highest origin stamp applied to this value. Every write carries
+    /// the [`VersionStamp`] minted at its origin, and holders keep the
+    /// max, so any two holders of the same key report *comparable*
+    /// versions: cached views, digests and stale-drops order exactly, with
+    /// no per-holder counter ambiguity.
+    pub version: VersionStamp,
 }
 
 impl ValueState {
@@ -119,8 +117,8 @@ pub struct FilteredRead {
     pub blob: Option<Vec<u8>>,
     /// True when entries were cut by `top_n` or the byte budget.
     pub truncated: bool,
-    /// The value's write-version at read time (cache freshness tag).
-    pub version: u64,
+    /// The value's origin stamp at read time (cache freshness tag).
+    pub version: VersionStamp,
 }
 
 impl Storage {
@@ -144,25 +142,29 @@ impl Storage {
         self.values.contains_key(key)
     }
 
-    /// Stores/replaces the blob at `key`.
-    pub fn put_blob(&mut self, key: Id160, blob: Vec<u8>) {
+    /// Stores/replaces the blob at `key`, raising the value's origin
+    /// stamp to `stamp` (stamps only ever go up — a late replay of an
+    /// older write cannot roll the version back).
+    pub fn put_blob(&mut self, key: Id160, blob: Vec<u8>, stamp: VersionStamp) {
         let state = self.values.entry(key).or_default();
         state.blob = Some(blob.into_boxed_slice());
-        state.version += 1;
+        state.version = state.version.max(stamp);
     }
 
-    /// Appends `tokens` to entry `name` at `key` (creating both as needed).
-    /// Returns the new weight.
-    pub fn append(&mut self, key: Id160, name: &str, tokens: u64) -> u64 {
+    /// Appends `tokens` to entry `name` at `key` (creating both as
+    /// needed), raising the value's origin stamp to `stamp`. Returns the
+    /// new weight.
+    pub fn append(&mut self, key: Id160, name: &str, tokens: u64, stamp: VersionStamp) -> u64 {
         let sym = self.names.intern(name);
         let state = self.values.entry(key).or_default();
-        state.version += 1;
+        state.version = state.version.max(stamp);
         state.add(sym, tokens)
     }
 
-    /// The write-version of `key` (0 when absent or never written).
-    pub fn version(&self, key: &Id160) -> u64 {
-        self.values.get(key).map(|v| v.version).unwrap_or(0)
+    /// The origin stamp of `key` ([`VersionStamp::ZERO`] when absent or
+    /// never written).
+    pub fn stamp(&self, key: &Id160) -> VersionStamp {
+        self.values.get(key).map(|v| v.version).unwrap_or_default()
     }
 
     /// Marks `key` as refreshed at `now_us` (writes and replication both
@@ -183,27 +185,24 @@ impl Storage {
         key: Id160,
         blob: Option<&[u8]>,
         entries: &[crate::messages::StoredEntry],
+        stamp: VersionStamp,
         now_us: u64,
     ) {
         let syms: Vec<Sym> = entries.iter().map(|e| self.names.intern(&e.name)).collect();
         let state = self.values.entry(key).or_default();
-        let mut changed = false;
         if state.blob.is_none() {
             if let Some(b) = blob {
                 state.blob = Some(b.to_vec().into_boxed_slice());
-                changed = true;
             }
         }
         for (e, sym) in entries.iter().zip(syms) {
-            changed |= state.raise_to(sym, e.weight);
+            state.raise_to(sym, e.weight);
         }
-        // Bump the version only when the merge changed something: no-op
-        // republish sweeps must not inflate it, or replicas' version
-        // counters drift apart for identical content (the counters are
-        // per-holder to begin with — see the caveat on [`ValueState`]).
-        if changed {
-            state.version += 1;
-        }
+        // The replica carries the *origin* stamp of the snapshot it came
+        // from; taking the max keeps re-replication idempotent (replaying
+        // the same snapshot never moves the version) while still letting a
+        // repair carry news to a holder that missed the write.
+        state.version = state.version.max(stamp);
         state.refreshed_us = state.refreshed_us.max(now_us);
     }
 
@@ -229,10 +228,15 @@ impl Storage {
         self.values.get(key)
     }
 
-    /// A `Replicate`-ready snapshot of one held value: the blob plus every
-    /// entry with its name resolved from the intern table. Entry order is
-    /// symbol order (deterministic; receivers re-rank by weight anyway).
-    pub fn snapshot(&self, key: &Id160) -> Option<(Option<Vec<u8>>, Vec<StoredEntry>)> {
+    /// A `Replicate`-ready snapshot of one held value: the blob, every
+    /// entry with its name resolved from the intern table, and the value's
+    /// origin stamp (replication forwards the *existing* stamp — repair
+    /// never mints). Entry order is symbol order (deterministic; receivers
+    /// re-rank by weight anyway).
+    pub fn snapshot(
+        &self,
+        key: &Id160,
+    ) -> Option<(Option<Vec<u8>>, Vec<StoredEntry>, VersionStamp)> {
         self.values.get(key).map(|state| {
             let entries: Vec<StoredEntry> = state
                 .entries
@@ -242,7 +246,11 @@ impl Storage {
                     weight,
                 })
                 .collect();
-            (state.blob.as_deref().map(<[u8]>::to_vec), entries)
+            (
+                state.blob.as_deref().map(<[u8]>::to_vec),
+                entries,
+                state.version,
+            )
         })
     }
 
@@ -336,13 +344,18 @@ mod tests {
     use super::*;
     use dharma_types::sha1;
 
+    /// Mints test stamps from one writer; seq order = write order.
+    fn st(seq: u64) -> VersionStamp {
+        VersionStamp::new(seq, sha1(b"writer"))
+    }
+
     #[test]
     fn append_creates_and_accumulates() {
         let mut s = Storage::new();
         let k = sha1(b"k");
-        assert_eq!(s.append(k, "rock", 1), 1);
-        assert_eq!(s.append(k, "rock", 2), 3);
-        assert_eq!(s.append(k, "pop", 1), 1);
+        assert_eq!(s.append(k, "rock", 1, st(1)), 1);
+        assert_eq!(s.append(k, "rock", 2, st(2)), 3);
+        assert_eq!(s.append(k, "pop", 1, st(3)), 1);
         assert_eq!(s.weight(&k, "rock"), 3);
         assert_eq!(s.weight(&k, "jazz"), 0);
         assert_eq!(s.len(), 1);
@@ -352,13 +365,13 @@ mod tests {
     fn append_commutes() {
         let k = sha1(b"k");
         let mut a = Storage::new();
-        a.append(k, "x", 1);
-        a.append(k, "y", 5);
-        a.append(k, "x", 2);
+        a.append(k, "x", 1, st(4));
+        a.append(k, "y", 5, st(5));
+        a.append(k, "x", 2, st(6));
         let mut b = Storage::new();
-        b.append(k, "x", 2);
-        b.append(k, "x", 1);
-        b.append(k, "y", 5);
+        b.append(k, "x", 2, st(7));
+        b.append(k, "x", 1, st(8));
+        b.append(k, "y", 5, st(9));
         assert_eq!(a.weight(&k, "x"), b.weight(&k, "x"));
         assert_eq!(a.weight(&k, "y"), b.weight(&k, "y"));
     }
@@ -367,10 +380,10 @@ mod tests {
     fn filtered_read_ranks_by_weight() {
         let mut s = Storage::new();
         let k = sha1(b"k");
-        s.append(k, "a", 5);
-        s.append(k, "b", 9);
-        s.append(k, "c", 5);
-        s.append(k, "d", 1);
+        s.append(k, "a", 5, st(10));
+        s.append(k, "b", 9, st(11));
+        s.append(k, "c", 5, st(12));
+        s.append(k, "d", 1, st(13));
         let r = s.read_filtered(&k, 3, usize::MAX).unwrap();
         let names: Vec<&str> = r.entries.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, vec!["b", "a", "c"]);
@@ -385,7 +398,7 @@ mod tests {
         let mut s = Storage::new();
         let k = sha1(b"k");
         for i in 0..100 {
-            s.append(k, &format!("entry-{i:03}"), 100 - i);
+            s.append(k, &format!("entry-{i:03}"), 100 - i, st(i + 1));
         }
         // Each entry is ~11 bytes; a 50-byte budget keeps only a few.
         let r = s.read_filtered(&k, 0, 50).unwrap();
@@ -399,8 +412,8 @@ mod tests {
     fn blob_and_set_coexist() {
         let mut s = Storage::new();
         let k = sha1(b"k");
-        s.put_blob(k, b"uri://thing".to_vec());
-        s.append(k, "rock", 1);
+        s.put_blob(k, b"uri://thing".to_vec(), st(20));
+        s.append(k, "rock", 1, st(14));
         let r = s.read_filtered(&k, 0, usize::MAX).unwrap();
         assert_eq!(r.blob.as_deref(), Some(b"uri://thing".as_slice()));
         assert_eq!(r.entries.len(), 1);
@@ -410,7 +423,7 @@ mod tests {
     fn merge_max_is_idempotent() {
         let mut s = Storage::new();
         let k = sha1(b"k");
-        s.append(k, "rock", 3);
+        s.append(k, "rock", 3, st(15));
         let snapshot = vec![
             StoredEntry {
                 name: "rock".into(),
@@ -421,14 +434,14 @@ mod tests {
                 weight: 2,
             },
         ];
-        s.merge_max(k, Some(b"uri"), &snapshot, 100);
-        s.merge_max(k, Some(b"uri"), &snapshot, 200);
+        s.merge_max(k, Some(b"uri"), &snapshot, st(50), 100);
+        s.merge_max(k, Some(b"uri"), &snapshot, st(50), 200);
         assert_eq!(s.weight(&k, "rock"), 5, "max, not sum");
         assert_eq!(s.weight(&k, "pop"), 2);
         assert_eq!(s.get(&k).unwrap().blob(), Some(b"uri".as_slice()));
         // Local value above the snapshot survives.
-        s.append(k, "rock", 10);
-        s.merge_max(k, None, &snapshot, 300);
+        s.append(k, "rock", 10, st(16));
+        s.merge_max(k, None, &snapshot, st(50), 300);
         assert_eq!(s.weight(&k, "rock"), 15);
     }
 
@@ -437,9 +450,9 @@ mod tests {
         let mut s = Storage::new();
         let old = sha1(b"old");
         let fresh = sha1(b"fresh");
-        s.append(old, "x", 1);
+        s.append(old, "x", 1, st(1));
         s.touch(old, 1_000);
-        s.append(fresh, "y", 1);
+        s.append(fresh, "y", 1, st(2));
         s.touch(fresh, 9_000);
         let dropped = s.expire(10_000, 5_000);
         assert_eq!(dropped, 1);
@@ -462,18 +475,18 @@ mod tests {
         let mut s = Storage::new();
         let k1 = sha1(b"k1");
         let k2 = sha1(b"k2");
-        s.append(k1, "rock", 3);
-        s.append(k1, "pop", 1);
+        s.append(k1, "rock", 3, st(17));
+        s.append(k1, "pop", 1, st(18));
         // Same names on another key: the intern table stores them once.
-        s.append(k2, "rock", 7);
-        s.put_blob(k2, b"uri://x".to_vec());
-        let (blob, entries) = s.snapshot(&k1).unwrap();
+        s.append(k2, "rock", 7, st(19));
+        s.put_blob(k2, b"uri://x".to_vec(), st(21));
+        let (blob, entries, _) = s.snapshot(&k1).unwrap();
         assert!(blob.is_none());
         let mut names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
         names.sort_unstable();
         assert_eq!(names, vec!["pop", "rock"]);
         assert_eq!(entries.iter().find(|e| e.name == "rock").unwrap().weight, 3);
-        let (blob, entries) = s.snapshot(&k2).unwrap();
+        let (blob, entries, _) = s.snapshot(&k2).unwrap();
         assert_eq!(blob.as_deref(), Some(b"uri://x".as_slice()));
         assert_eq!(entries.len(), 1);
         assert!(s.snapshot(&sha1(b"absent")).is_none());
@@ -488,7 +501,7 @@ mod tests {
         for i in 0..200u32 {
             let k = sha1(&i.to_be_bytes());
             for tag in ["rock", "pop", "jazz", "metal"] {
-                s.append(k, tag, u64::from(i) + 1);
+                s.append(k, tag, u64::from(i) + 1, st(u64::from(i) + 1));
             }
         }
         assert_eq!(s.len(), 200);
@@ -503,7 +516,12 @@ mod tests {
         for i in 0..200u32 {
             let k = sha1(&i.to_be_bytes());
             for tag in ["rock", "pop", "jazz", "metal"] {
-                unique.append(k, &format!("{tag}-{i}"), u64::from(i) + 1);
+                unique.append(
+                    k,
+                    &format!("{tag}-{i}"),
+                    u64::from(i) + 1,
+                    st(u64::from(i) + 1),
+                );
             }
         }
         assert!(s.heap_bytes() < unique.heap_bytes());

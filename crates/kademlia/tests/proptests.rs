@@ -4,8 +4,13 @@
 use bytes::Bytes;
 use dharma_kademlia::lookup::LookupState;
 use dharma_kademlia::{Contact, DigestEntry, Message, RoutingTable, Storage, StoredEntry};
-use dharma_types::{sha1, Id160, WireDecode, WireEncode};
+use dharma_types::{sha1, Id160, VersionStamp, WireDecode, WireEncode};
 use proptest::prelude::*;
+
+fn arb_stamp() -> impl Strategy<Value = VersionStamp> {
+    (any::<u64>(), any::<[u8; 20]>())
+        .prop_map(|(seq, w)| VersionStamp::new(seq, Id160::from_bytes(w)))
+}
 
 fn arb_contact() -> impl Strategy<Value = Contact> {
     (any::<[u8; 20]>(), any::<u32>()).prop_map(|(id, addr)| Contact {
@@ -16,7 +21,7 @@ fn arb_contact() -> impl Strategy<Value = Contact> {
 
 fn arb_digest() -> impl Strategy<Value = Vec<DigestEntry>> {
     proptest::collection::vec(
-        (any::<[u8; 20]>(), any::<u64>()).prop_map(|(k, version)| DigestEntry {
+        (any::<[u8; 20]>(), arb_stamp()).prop_map(|(k, version)| DigestEntry {
             key: Id160::from_bytes(k),
             version,
         }),
@@ -73,7 +78,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             arb_contact(),
             proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
             proptest::collection::vec(arb_entry(), 0..16),
-            (any::<bool>(), any::<u64>(), any::<bool>()),
+            (any::<bool>(), arb_stamp(), any::<bool>()),
             arb_digest()
         )
             .prop_map(
@@ -95,7 +100,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             arb_contact(),
             proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
             proptest::collection::vec(arb_entry(), 0..16),
-            (any::<[u8; 20]>(), any::<u32>(), any::<bool>(), any::<u64>())
+            (any::<[u8; 20]>(), any::<u32>(), any::<bool>(), arb_stamp())
         )
             .prop_map(
                 |(rpc, from, blob, entries, (k, top_n, truncated, version))| {
@@ -115,40 +120,69 @@ fn arb_message() -> impl Strategy<Value = Message> {
             rpc,
             arb_contact(),
             any::<[u8; 20]>(),
-            proptest::collection::vec(any::<u8>(), 0..512)
+            proptest::collection::vec(any::<u8>(), 0..512),
+            arb_stamp()
         )
-            .prop_map(|(rpc, from, k, blob)| Message::Store {
+            .prop_map(|(rpc, from, k, blob, stamp)| Message::Store {
                 rpc,
                 from,
                 key: Id160::from_bytes(k),
                 blob,
+                stamp,
             }),
         (
             rpc,
             arb_contact(),
             any::<[u8; 20]>(),
-            proptest::collection::vec(arb_entry(), 0..16)
+            proptest::collection::vec(arb_entry(), 0..16),
+            arb_stamp()
         )
-            .prop_map(|(rpc, from, k, entries)| Message::Append {
+            .prop_map(|(rpc, from, k, entries, stamp)| Message::Append {
                 rpc,
                 from,
                 key: Id160::from_bytes(k),
                 entries,
+                stamp,
             }),
         (
             rpc,
             arb_contact(),
             any::<[u8; 20]>(),
             proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
-            proptest::collection::vec(arb_entry(), 0..16)
+            proptest::collection::vec(arb_entry(), 0..16),
+            arb_stamp()
         )
-            .prop_map(|(rpc, from, k, blob, entries)| Message::Replicate {
+            .prop_map(|(rpc, from, k, blob, entries, stamp)| Message::Replicate {
                 rpc,
                 from,
                 key: Id160::from_bytes(k),
                 blob,
                 entries,
+                stamp,
             }),
+        (
+            (rpc, arb_contact(), any::<[u8; 20]>(), any::<u32>()),
+            (
+                proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
+                proptest::collection::vec(arb_entry(), 0..16),
+                any::<bool>(),
+                arb_stamp()
+            )
+        )
+            .prop_map(
+                |((rpc, from, k, top_n), (blob, entries, truncated, stamp))| {
+                    Message::InvalidatePush {
+                        rpc,
+                        from,
+                        key: Id160::from_bytes(k),
+                        top_n,
+                        blob,
+                        entries,
+                        truncated,
+                        stamp,
+                    }
+                }
+            ),
         (rpc, arb_contact()).prop_map(|(rpc, from)| Message::Ack { rpc, from }),
         (rpc, arb_contact()).prop_map(|(rpc, from)| Message::Leave { rpc, from }),
     ]
@@ -376,8 +410,10 @@ proptest! {
         use rand::SeedableRng;
         let apply = |ops: &[(u8, String, u64)]| {
             let mut s = Storage::new();
-            for (kb, name, tokens) in ops {
-                s.append(sha1(&[*kb]), name, *tokens);
+            for (i, (kb, name, tokens)) in ops.iter().enumerate() {
+                // The stamp rides along but weights merge commutatively
+                // regardless of stamp order; holders keep the max.
+                s.append(sha1(&[*kb]), name, *tokens, VersionStamp::new(i as u64 + 1, sha1(b"w")));
             }
             s
         };
@@ -415,11 +451,13 @@ proptest! {
             ttl_us: u64::MAX,
         });
         let mut now = 0u64;
+        let mut seq = 0u64;
         for (kb, name, tokens, top_n, is_write) in ops {
             now += 1;
             let key = sha1(&[kb]);
             if is_write {
-                storage.append(key, &name, tokens);
+                seq += 1;
+                storage.append(key, &name, tokens, VersionStamp::new(seq, sha1(b"w")));
                 cache.invalidate_key(&key);
             } else {
                 let authoritative = storage.read_filtered(&key, top_n, 10_000);
@@ -449,8 +487,8 @@ proptest! {
     ) {
         let mut s = Storage::new();
         let key = sha1(b"k");
-        for (name, w) in &entries {
-            s.append(key, name, *w);
+        for (i, (name, w)) in entries.iter().enumerate() {
+            s.append(key, name, *w, VersionStamp::new(i as u64 + 1, sha1(b"w")));
         }
         let read = s.read_filtered(&key, top_n, budget).unwrap();
         if top_n > 0 {

@@ -7,7 +7,7 @@
 //! |------|-------|---------------|
 //! | D1 | deterministic crates, non-test | wall-clock reads (`Instant::now`, `SystemTime::now`) |
 //! | D2 | deterministic crates, non-test | ambient randomness (`thread_rng`, `rand::random`, `RandomState`, `from_entropy`, `OsRng`, `getrandom`) |
-//! | D3 | deterministic crates, non-test | iteration over hash-ordered collections (`HashMap`/`HashSet`/`FxHashMap`/`FxHashSet`) |
+//! | D3 | deterministic crates, non-test | iteration over hash-ordered collections (`HashMap`/`HashSet`/`FxHashMap`/`FxHashSet`, plus the `FetcherBook` wrapper) |
 //! | D4 | workspace-wide | `unsafe` without a `// SAFETY:` comment |
 //! | D5 | workspace-wide | `unsafe` outside the sanctioned FFI modules (`net::sys`, `net::udp`, `dharma-par`) |
 //! | P0 | workspace-wide | malformed `dharma-lint:` pragma |
@@ -54,8 +54,17 @@ pub const RULES: &[&str] = &["D1", "D2", "D3", "D4", "D5"];
 /// Hash-ordered collection type names whose iteration D3 flags. The Fx
 /// variants hash deterministically (no `RandomState`), but their
 /// iteration order is still an artifact of insertion/capacity history —
-/// order must never escape without a total-order sort.
-const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+/// order must never escape without a total-order sort. `FetcherBook`
+/// (the holder-side recent-fetcher set behind `InvalidatePush`) wraps an
+/// `FxHashMap`, so iterating a binding of that type inherits the same
+/// hazard.
+const HASH_TYPES: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "FxHashMap",
+    "FxHashSet",
+    "FetcherBook",
+];
 
 /// Iterator-producing methods on hash collections that D3 flags.
 const ITER_METHODS: &[&str] = &[
@@ -642,6 +651,19 @@ mod tests {
         // Vec methods named like map methods are fine too.
         let ok2 = "fn f(v: &Vec<u32>) -> u32 { v.iter().sum() }";
         assert_eq!(rules_fired(DET, ok2), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn d3_covers_fetcher_book_bindings() {
+        // The recent-fetcher set wraps an FxHashMap; iterating a binding
+        // of the wrapper type is just as order-dependent.
+        let bad = "struct S { fetchers: FetcherBook }\n\
+                   impl S { fn f(&self) -> usize { self.fetchers.iter().count() } }";
+        assert_eq!(rules_fired(DET, bad), vec!["D3"]);
+        // Non-iterating use of the book stays clean.
+        let ok = "struct S { fetchers: FetcherBook }\n\
+                  impl S { fn f(&self) -> usize { self.fetchers.tracked() } }";
+        assert_eq!(rules_fired(DET, ok), Vec::<&str>::new());
     }
 
     #[test]

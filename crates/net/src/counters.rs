@@ -37,6 +37,7 @@ struct Inner {
     revalidations: AtomicU64,
     stale_drops: AtomicU64,
     warm_redirects: AtomicU64,
+    invalidate_pushes: AtomicU64,
     rtt_samples: AtomicU64,
     pns_evictions: AtomicU64,
     alpha_widened: AtomicU64,
@@ -215,6 +216,12 @@ impl NetCounters {
         self.inner.warm_redirects.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` write-triggered `InvalidatePush` messages sent to
+    /// recent fetchers of a just-written key.
+    pub fn record_invalidate_pushes(&self, n: u64) {
+        self.inner.invalidate_pushes.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records a round-trip time sample folded into a node's RTT book.
     pub fn record_rtt_sample(&self) {
         self.inner.rtt_samples.fetch_add(1, Ordering::Relaxed);
@@ -331,6 +338,11 @@ impl NetCounters {
     /// Lookup queries redirected to warm peers.
     pub fn warm_redirects(&self) -> u64 {
         self.inner.warm_redirects.load(Ordering::Relaxed)
+    }
+
+    /// Write-triggered invalidation pushes sent.
+    pub fn invalidate_pushes(&self) -> u64 {
+        self.inner.invalidate_pushes.load(Ordering::Relaxed)
     }
 
     /// RTT samples recorded.

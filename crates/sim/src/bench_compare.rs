@@ -2,9 +2,12 @@
 //! quality regressions beyond a tolerance band.
 //!
 //! The artifact is the hand-rolled two-level JSON `bench_ci` emits
-//! (`dharma-bench-ci/1`–`4` schema). The parser here is deliberately
-//! minimal — section-aware line scanning, no serde — because the format
-//! is machine-written by this repo with one `"key": value` pair per line.
+//! (`dharma-bench-ci/1`–`5` schema; v5 adds the push-enabled freshness
+//! arm: `freshness.push_hit_ratio`, `freshness.push_p99_staleness_us`,
+//! `freshness.push_msgs_per_get`, all gated by the substring rules
+//! below). The parser here is deliberately minimal — section-aware line
+//! scanning, no serde — because the format is machine-written by this
+//! repo with one `"key": value` pair per line.
 //!
 //! Only *quality* metrics are gated, direction-aware:
 //!
@@ -141,7 +144,10 @@ mod tests {
   },
   "freshness": {
     "gossip_p99_staleness_us": 100000,
-    "gossip_hops_per_get": 2.0000
+    "gossip_hops_per_get": 2.0000,
+    "push_hit_ratio": 0.400000,
+    "push_p99_staleness_us": 1700000,
+    "push_msgs_per_get": 12.0000
   },
   "latency": {
     "aware_p50_us": 12000,
@@ -215,6 +221,28 @@ mod tests {
         assert_eq!(compare(OLD, &slower).len(), 1, "33% p95 growth gates");
         let faster = tweak("aware_p50_us", "8000");
         assert!(compare(OLD, &faster).is_empty());
+    }
+
+    #[test]
+    fn push_freshness_fields_gate_both_directions() {
+        // Schema-v5 push arm: staleness and message cost are lower-better…
+        let staler = tweak("push_p99_staleness_us", "2100000");
+        assert_eq!(compare(OLD, &staler).len(), 1, "24% staleness growth gates");
+        let fresher = tweak("push_p99_staleness_us", "900000");
+        assert!(compare(OLD, &fresher).is_empty(), "improvement passes");
+        let chattier = tweak("push_msgs_per_get", "15.0000");
+        assert_eq!(
+            compare(OLD, &chattier).len(),
+            1,
+            "25% msgs/GET growth gates"
+        );
+        let quieter = tweak("push_msgs_per_get", "9.0000");
+        assert!(compare(OLD, &quieter).is_empty(), "improvement passes");
+        // …and the push arm's hit ratio is higher-better.
+        let colder = tweak("push_hit_ratio", "0.300000");
+        assert_eq!(compare(OLD, &colder).len(), 1, "25% hit drop gates");
+        let warmer = tweak("push_hit_ratio", "0.500000");
+        assert!(compare(OLD, &warmer).is_empty(), "improvement passes");
     }
 
     #[test]

@@ -100,30 +100,29 @@ fn main() {
         (6_000_000_000, 60_000_000)
     };
     let fixed_cfg = if smoke {
-        MaintConfig {
-            probe_interval_us: 1_000_000,
-            repair_interval_us: 6_000_000,
-            join_handoff: true,
-            demote_interval_us: None,
-            adaptive: None,
-        }
+        MaintConfig::builder()
+            .probe_interval_us(1_000_000)
+            .repair_interval_us(6_000_000)
+            .join_handoff(true)
+            .demote_interval_us(None)
+            .build()
+            .expect("smoke repair config is in range")
     } else {
         ChurnConfig::ablation_repair()
     };
     let adaptive_cfg = if smoke {
-        MaintConfig {
-            adaptive: Some(AdaptConfig {
-                probe_min_us: 1_000_000,
-                probe_max_us: 5_000_000,
-                repair_min_us: 6_000_000,
-                repair_max_us: 30_000_000,
-                half_life_us: 15_000_000,
-                hot_weight: 8.0,
-                leave_weight: 0.1,
-                repair_budget: 16,
-            }),
-            ..fixed_cfg.clone()
-        }
+        let mut cfg = fixed_cfg.clone();
+        cfg.adaptive = Some(AdaptConfig {
+            probe_min_us: 1_000_000,
+            probe_max_us: 5_000_000,
+            repair_min_us: 6_000_000,
+            repair_max_us: 30_000_000,
+            half_life_us: 15_000_000,
+            hot_weight: 8.0,
+            leave_weight: 0.1,
+            repair_budget: 16,
+        });
+        cfg
     } else {
         ChurnConfig::ablation_adaptive()
     };

@@ -89,13 +89,13 @@ fn main() {
         ]
     };
     let repair_cfg = if smoke {
-        dharma_kademlia::MaintConfig {
-            probe_interval_us: 1_000_000,
-            repair_interval_us: 6_000_000,
-            join_handoff: true,
-            demote_interval_us: None,
-            adaptive: None,
-        }
+        dharma_kademlia::MaintConfig::builder()
+            .probe_interval_us(1_000_000)
+            .repair_interval_us(6_000_000)
+            .join_handoff(true)
+            .demote_interval_us(None)
+            .build()
+            .expect("smoke repair config is in range")
     } else {
         ChurnConfig::ablation_repair()
     };

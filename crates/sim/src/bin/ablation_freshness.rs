@@ -1,7 +1,8 @@
 //! **A8 — ablation**: TTL-only cache expiry vs version gossip vs gossip
-//! plus cache-aware (warm-peer) lookup routing (`dharma-fresh`).
+//! plus cache-aware (warm-peer) lookup routing vs write-triggered
+//! invalidation push (`dharma-fresh`).
 //!
-//! Three configurations replay the same Zipf(1.2) GET workload with a
+//! Four configurations replay the same Zipf(1.2) GET workload with a
 //! steady write trickle over a 64-node overlay, all with the same short
 //! cache TTL:
 //!
@@ -9,14 +10,20 @@
 //! * **gossip** — version digests piggybacked on replies revalidate
 //!   cached views (drop-or-refresh on stale, TTL restamp on confirmed);
 //! * **gossip+warm** — additionally seeds GET shortlists with peers that
-//!   recently served the key and prefers them during the lookup.
+//!   recently served the key and prefers them during the lookup;
+//! * **gossip+push** — additionally, holders push `InvalidatePush` to a
+//!   key's recent fetchers on every applied write, so hot cached views
+//!   converge in one RTT instead of waiting out a gossip interval.
 //!
 //! Acceptance bar (checked and enforced here, so CI fails fast on a
 //! freshness-path regression): vs ttl-only, gossip+warm must deliver
 //! **≥ 10 % higher cache hit ratio** *and* a **strictly smaller p99
 //! staleness window**, and its warm-redirect routing must reduce the mean
 //! lookup hops per GET below both the ttl-only row and the routing-less
-//! gossip row.
+//! gossip row. The push arm has its own bar: **p99 staleness below one
+//! gossip interval (2 s)** for the hot-key workload, at **≤ 10 % extra
+//! messages per GET** over the warm arm and a **hit ratio ≥ 0.34** — push
+//! must buy exactness without giving the cache back.
 //!
 //! `--smoke` shrinks the overlay and op count for the CI job. Besides the
 //! CSV series, the run writes `fresh.json` (the schema documented in
@@ -35,6 +42,7 @@ fn report_row(mode: &str, rep: &FreshSimReport) -> Vec<String> {
         rep.stale_drops.to_string(),
         rep.revalidations.to_string(),
         rep.warm_redirects.to_string(),
+        rep.invalidate_pushes.to_string(),
     ]
 }
 
@@ -53,7 +61,8 @@ fn json_object(mode: &str, rep: &FreshSimReport) -> String {
             "      \"messages_per_get\": {:.4},\n",
             "      \"stale_drops\": {},\n",
             "      \"revalidations\": {},\n",
-            "      \"warm_redirects\": {}\n",
+            "      \"warm_redirects\": {},\n",
+            "      \"invalidate_pushes\": {}\n",
             "    }}"
         ),
         mode,
@@ -67,6 +76,7 @@ fn json_object(mode: &str, rep: &FreshSimReport) -> String {
         rep.stale_drops,
         rep.revalidations,
         rep.warm_redirects,
+        rep.invalidate_pushes,
     )
 }
 
@@ -113,6 +123,7 @@ fn main() {
     let ttl_only = run(None, false);
     let gossip = run(Some(FreshSimConfig::ablation_freshness()), false);
     let warm = run(Some(FreshSimConfig::ablation_freshness()), true);
+    let push = run(Some(FreshSimConfig::ablation_freshness_push()), true);
 
     let mut table = TextTable::new([
         "config",
@@ -123,11 +134,13 @@ fn main() {
         "stale drops",
         "revalidations",
         "warm redirects",
+        "pushes",
     ]);
     let rows = vec![
         report_row("ttl-only", &ttl_only),
         report_row("gossip", &gossip),
         report_row("gossip+warm", &warm),
+        report_row("gossip+push", &push),
     ];
     for r in &rows {
         table.row(r.clone());
@@ -171,6 +184,33 @@ fn main() {
     if gossip.stale_drops == 0 {
         failures.push("gossip never caught a stale view".to_string());
     }
+    // ----- the invalidation-push bar ----------------------------------
+    // One gossip interval is the staleness cadence push is meant to beat:
+    // a pushed invalidation lands in one RTT, so hot-key staleness must
+    // collapse below the 2 s digest cadence, and the pushes must pay for
+    // themselves — no more than 10% message overhead per GET over the
+    // warm arm, without giving back the cache hit ratio.
+    if push.p99_staleness_us >= 2_000_000 {
+        failures.push(format!(
+            "push p99 staleness {} µs not below one gossip interval (2_000_000 µs)",
+            push.p99_staleness_us
+        ));
+    }
+    if push.messages_per_get > warm.messages_per_get * 1.10 {
+        failures.push(format!(
+            "push messages/GET {:.4} exceeds 110% of the warm arm's {:.4}",
+            push.messages_per_get, warm.messages_per_get
+        ));
+    }
+    if push.hit_ratio < 0.34 {
+        failures.push(format!(
+            "push hit ratio {:.3} below the 0.34 floor",
+            push.hit_ratio
+        ));
+    }
+    if push.invalidate_pushes == 0 {
+        failures.push("push arm never sent an InvalidatePush".to_string());
+    }
 
     let sink = CsvSink::new(&args.out, "ablation_freshness").expect("output dir");
     let path = sink
@@ -185,6 +225,7 @@ fn main() {
                 "stale_drops",
                 "revalidations",
                 "warm_redirects",
+                "invalidate_pushes",
             ],
             rows,
         )
@@ -192,12 +233,13 @@ fn main() {
     println!("wrote {}", path.display());
 
     let json = format!(
-        "{{\n  \"experiment\": \"ablation_freshness\",\n  \"smoke\": {},\n  \"seed\": {},\n  \"configs\": {{\n{},\n{},\n{}\n  }}\n}}\n",
+        "{{\n  \"experiment\": \"ablation_freshness\",\n  \"smoke\": {},\n  \"seed\": {},\n  \"configs\": {{\n{},\n{},\n{},\n{}\n  }}\n}}\n",
         smoke,
         args.seed,
         json_object("ttl_only", &ttl_only),
         json_object("gossip", &gossip),
         json_object("gossip_warm", &warm),
+        json_object("gossip_push", &push),
     );
     let json_path = std::path::Path::new(&args.out)
         .join("ablation_freshness")

@@ -116,10 +116,12 @@ fn main() {
     };
 
     let baseline = run(None);
-    let pns_bias = run(Some(LatencyConfig {
-        adaptive_alpha: false,
-        ..LatencyConfig::default()
-    }));
+    let pns_bias = run(Some(
+        LatencyConfig::builder()
+            .adaptive_alpha(false)
+            .build()
+            .expect("pns+bias config is in range"),
+    ));
     let full = run(Some(LatencyConfig::default()));
 
     let mut table = TextTable::new([

@@ -116,6 +116,17 @@ fn main() {
         freshness: Some(FreshSimConfig::ablation_freshness()),
         ..fresh_base.clone()
     });
+    // The push-enabled arm (gossip + warm routing + write-triggered
+    // invalidation push) — the A8 arm whose staleness/message budget the
+    // trend gate watches.
+    let fresh_push = simulate_freshness(&FreshSimConfig {
+        freshness: Some({
+            let mut f = FreshSimConfig::ablation_freshness_push();
+            f.cache_aware_routing = true;
+            f
+        }),
+        ..fresh_base.clone()
+    });
 
     // ----- latency-aware lookups (A9 smoke scale) ---------------------
     let latency_base = LatencySimConfig {
@@ -153,7 +164,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"dharma-bench-ci/4\",\n",
+            "  \"schema\": \"dharma-bench-ci/5\",\n",
             "  \"seed\": {seed},\n",
             "  \"cache\": {{\n",
             "    \"hit_ratio\": {hit:.6},\n",
@@ -171,7 +182,10 @@ fn main() {
             "    \"ttl_only_p99_staleness_us\": {ftp},\n",
             "    \"gossip_p99_staleness_us\": {fgp},\n",
             "    \"ttl_only_hops_per_get\": {fthop:.4},\n",
-            "    \"gossip_hops_per_get\": {fghop:.4}\n",
+            "    \"gossip_hops_per_get\": {fghop:.4},\n",
+            "    \"push_hit_ratio\": {fph:.6},\n",
+            "    \"push_p99_staleness_us\": {fpp},\n",
+            "    \"push_msgs_per_get\": {fpm:.4}\n",
             "  }},\n",
             "  \"latency\": {{\n",
             "    \"baseline_p50_us\": {lbp50},\n",
@@ -214,6 +228,9 @@ fn main() {
         fgp = fresh_gossip.p99_staleness_us,
         fthop = fresh_ttl.mean_hops_per_get,
         fghop = fresh_gossip.mean_hops_per_get,
+        fph = fresh_push.hit_ratio,
+        fpp = fresh_push.p99_staleness_us,
+        fpm = fresh_push.messages_per_get,
         lbp50 = lat_blind.p50_us,
         lbp95 = lat_blind.p95_us,
         lbmpg = lat_blind.messages_per_get,

@@ -34,11 +34,11 @@ fn main() {
     let mut client = DharmaClient::new(
         1,
         identity.clone(),
-        DharmaConfig {
-            policy: ApproxPolicy::EXACT,
-            seed: args.seed,
-            ..DharmaConfig::default()
-        },
+        DharmaConfig::builder()
+            .policy(ApproxPolicy::EXACT)
+            .seed(args.seed)
+            .build()
+            .expect("table1 exact client config is in range"),
     );
     for m in [1usize, 2, 5, 10, 25] {
         let tags: Vec<String> = (0..m).map(|i| format!("ins-m{m}-t{i}")).collect();
@@ -79,11 +79,11 @@ fn main() {
         let mut approx_client = DharmaClient::new(
             2,
             identity.clone(),
-            DharmaConfig {
-                policy: ApproxPolicy::paper(k),
-                seed: args.seed ^ k as u64,
-                ..DharmaConfig::default()
-            },
+            DharmaConfig::builder()
+                .policy(ApproxPolicy::paper(k))
+                .seed(args.seed ^ k as u64)
+                .build()
+                .expect("table1 approx client config is in range"),
         );
         let degree = 20usize;
         let tags: Vec<String> = (0..degree).map(|i| format!("apx{k}-t{i}")).collect();

@@ -135,13 +135,13 @@ impl ChurnConfig {
     /// [`MaintConfig::demote_interval_us`] exposes; long-running
     /// deployments want it on, which is the [`MaintConfig`] default).
     pub fn ablation_repair() -> MaintConfig {
-        MaintConfig {
-            probe_interval_us: 2_000_000,
-            repair_interval_us: 15_000_000,
-            join_handoff: true,
-            demote_interval_us: None,
-            adaptive: None,
-        }
+        MaintConfig::builder()
+            .probe_interval_us(2_000_000)
+            .repair_interval_us(15_000_000)
+            .join_handoff(true)
+            .demote_interval_us(None)
+            .build()
+            .expect("ablation repair config is in range")
     }
 
     /// The churn-adaptive counterpart of [`Self::ablation_repair`]: same
@@ -151,12 +151,12 @@ impl ChurnConfig {
     /// departure/s observed per node) pins the cadence to the min bounds
     /// while a near-idle overlay coasts at the max.
     pub fn ablation_adaptive() -> MaintConfig {
-        MaintConfig {
-            probe_interval_us: 2_000_000, // unused: adaptive cadence below
-            repair_interval_us: 15_000_000,
-            join_handoff: true,
-            demote_interval_us: None,
-            adaptive: Some(dharma_kademlia::AdaptConfig {
+        MaintConfig::builder()
+            .probe_interval_us(2_000_000) // unused: adaptive cadence below
+            .repair_interval_us(15_000_000)
+            .join_handoff(true)
+            .demote_interval_us(None)
+            .adaptive(Some(dharma_kademlia::AdaptConfig {
                 probe_min_us: 2_000_000,
                 probe_max_us: 6_000_000,
                 repair_min_us: 15_000_000,
@@ -165,8 +165,9 @@ impl ChurnConfig {
                 hot_weight: 5.0,
                 leave_weight: 0.1,
                 repair_budget: 16,
-            }),
-        }
+            }))
+            .build()
+            .expect("ablation adaptive config is in range")
     }
 }
 
@@ -664,13 +665,13 @@ mod tests {
     }
 
     fn fast_repair() -> MaintConfig {
-        MaintConfig {
-            probe_interval_us: 1_000_000,
-            repair_interval_us: 6_000_000,
-            join_handoff: true,
-            demote_interval_us: None,
-            adaptive: None,
-        }
+        MaintConfig::builder()
+            .probe_interval_us(1_000_000)
+            .repair_interval_us(6_000_000)
+            .join_handoff(true)
+            .demote_interval_us(None)
+            .build()
+            .expect("fast repair config is in range")
     }
 
     #[test]

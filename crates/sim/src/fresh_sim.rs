@@ -102,29 +102,48 @@ impl FreshSimConfig {
 
     /// The freshness configuration of the gossip rows.
     pub fn ablation_freshness() -> FreshConfig {
-        FreshConfig {
-            digest_max: 8,
-            news_window_us: 10_000_000,
-            hit_half_life_us: 30_000_000,
-            warm_threshold: 0.5,
-            max_view_lifetime_us: 60_000_000, // 12 TTLs: the hard ceiling
-            refresh_age_us: 1_750_000,        // refresh well before the bar
-            max_serve_age_us: 3_500_000,      // 70% of the TTL: the staleness bound
-            ..FreshConfig::default()
-        }
+        FreshConfig::builder()
+            .digest_max(8)
+            .news_window_us(10_000_000)
+            .hit_half_life_us(30_000_000)
+            .warm_threshold(0.5)
+            .max_view_lifetime_us(60_000_000) // 12 TTLs: the hard ceiling
+            .refresh_age_us(1_750_000) // refresh well before the bar
+            .max_serve_age_us(3_500_000) // 70% of the TTL: the staleness bound
+            .build()
+            .expect("ablation freshness config is in range")
+    }
+
+    /// The gossip configuration plus write-triggered invalidation push:
+    /// holders notify a key's recent fetchers directly on every applied
+    /// write, so hot cached views converge in one RTT instead of a gossip
+    /// interval.
+    pub fn ablation_freshness_push() -> FreshConfig {
+        let mut cfg = FreshSimConfig::ablation_freshness();
+        cfg.push_on_write = true;
+        // Push only to fetchers whose cached views could still be served
+        // stale: past the serve-age bar a view needs a fresh confirmation
+        // anyway, so invalidating it buys nothing — and the window is
+        // what keeps the push overhead within the 10% messages/GET bar.
+        cfg.push_window_us = cfg.max_serve_age_us;
+        // One extra slot of fan-out over the default: unacked pushes cost
+        // one datagram, so wider coverage is what buys the sub-interval
+        // p99 at both the full and the --smoke scale.
+        cfg.push_fanout = 5;
+        cfg
     }
 
     /// A light liveness loop (probes every 2 s, repair effectively off):
     /// its only role here is carrying `Pong` digests, and it runs in every
     /// configuration so the comparison stays fair.
     pub fn ablation_maintenance() -> MaintConfig {
-        MaintConfig {
-            probe_interval_us: 2_000_000,
-            repair_interval_us: 3_600_000_000,
-            join_handoff: false,
-            demote_interval_us: None,
-            adaptive: None,
-        }
+        MaintConfig::builder()
+            .probe_interval_us(2_000_000)
+            .repair_interval_us(3_600_000_000)
+            .join_handoff(false)
+            .demote_interval_us(None)
+            .build()
+            .expect("ablation maintenance config is in range")
     }
 
     /// Popularity tracking with promotion disabled (an impossibly high
@@ -164,6 +183,8 @@ pub struct FreshSimReport {
     pub stale_drops: u64,
     /// Lookup queries redirected to warm peers.
     pub warm_redirects: u64,
+    /// Write-triggered `InvalidatePush` messages sent by holders.
+    pub invalidate_pushes: u64,
     /// Holder departures + replacement joins executed.
     pub turnovers: u64,
     /// GETs that found no value at all (churn casualties).
@@ -344,6 +365,7 @@ pub fn simulate_freshness(cfg: &FreshSimConfig) -> FreshSimReport {
         revalidations: counters.revalidations(),
         stale_drops: counters.stale_drops(),
         warm_redirects: counters.warm_redirects(),
+        invalidate_pushes: counters.invalidate_pushes(),
         turnovers,
         lookup_failures,
     }

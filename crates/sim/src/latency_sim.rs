@@ -94,13 +94,13 @@ impl LatencySimConfig {
     /// cycle's re-discovery those nodes decay into isolation and drag
     /// the success ratio down identically in every arm.
     pub fn ablation_maintenance() -> MaintConfig {
-        MaintConfig {
-            probe_interval_us: 2_000_000,
-            repair_interval_us: 3_600_000_000,
-            join_handoff: false,
-            demote_interval_us: None,
-            adaptive: None,
-        }
+        MaintConfig::builder()
+            .probe_interval_us(2_000_000)
+            .repair_interval_us(3_600_000_000)
+            .join_handoff(false)
+            .demote_interval_us(None)
+            .build()
+            .expect("ablation maintenance config is in range")
     }
 }
 

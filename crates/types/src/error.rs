@@ -33,6 +33,12 @@ pub enum DharmaError {
     InvalidArgument(String),
     /// An I/O error (UDP transport, dataset files).
     Io(String),
+    /// A session-consistency read could not be satisfied: even the
+    /// authoritative re-read returned a version below the client's
+    /// session floor for the key. The overlay has not (yet) converged on
+    /// a write this session already observed — retrying later, or against
+    /// a different home node, may succeed.
+    StaleRead(String),
 }
 
 impl fmt::Display for DharmaError {
@@ -49,6 +55,7 @@ impl fmt::Display for DharmaError {
             DharmaError::Protocol(m) => write!(f, "protocol error: {m}"),
             DharmaError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             DharmaError::Io(m) => write!(f, "io error: {m}"),
+            DharmaError::StaleRead(m) => write!(f, "stale read: {m}"),
         }
     }
 }

@@ -30,6 +30,7 @@ pub mod id;
 pub mod intern;
 pub mod keys;
 pub mod sha1;
+pub mod stamp;
 pub mod wire;
 
 pub use error::{DharmaError, Result};
@@ -38,4 +39,5 @@ pub use id::{Distance, Id160, ID160_BITS, ID160_BYTES};
 pub use intern::{KeyInterner, Kid, NameInterner, Sym};
 pub use keys::{block_key, node_id_for_user, BlockType};
 pub use sha1::{sha1, Sha1};
+pub use stamp::VersionStamp;
 pub use wire::{ReadBytes, WireDecode, WireEncode, WriteBytes};

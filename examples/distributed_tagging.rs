@@ -28,11 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             DharmaClient::new(
                 (i as u32) * 7 + 1,
                 ca.register(name, 0),
-                DharmaConfig {
-                    policy: ApproxPolicy::paper(2),
-                    seed: i as u64,
-                    ..DharmaConfig::default()
-                },
+                DharmaConfig::builder()
+                    .policy(ApproxPolicy::paper(2))
+                    .seed(i as u64)
+                    .build()
+                    .expect("example client config is in range"),
             )
         })
         .collect();
@@ -95,10 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut naive = DharmaClient::new(
         40,
         ca.register("dave", 0),
-        DharmaConfig {
-            policy: ApproxPolicy::EXACT,
-            ..DharmaConfig::default()
-        },
+        DharmaConfig::builder()
+            .policy(ApproxPolicy::EXACT)
+            .build()
+            .expect("example client config is in range"),
     );
     let n = naive.tag(&mut net, "compilation", "mixtape")?;
     let a = users[0].tag(&mut net, "compilation", "various")?;

@@ -26,10 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut client = DharmaClient::new(
         3,
         alice,
-        DharmaConfig {
-            policy: ApproxPolicy::paper(1),
-            ..DharmaConfig::default()
-        },
+        DharmaConfig::builder()
+            .policy(ApproxPolicy::paper(1))
+            .build()
+            .expect("quickstart client config is in range"),
     );
 
     // 3. Publish a few resources with tags. Each insert costs 2 + 2m lookups.

@@ -76,13 +76,15 @@ fn gossip_beats_ttl_only_on_both_sides_of_the_tradeoff() {
 fn gossip_keeps_cached_staleness_bounded_through_holder_turnover() {
     let churn_cfg = |freshness: bool| FreshSimConfig {
         turnover_every: 60, // one holder of the hot key replaced per ~2 s
-        maintenance: Some(dharma_kademlia::MaintConfig {
-            probe_interval_us: 1_000_000,
-            repair_interval_us: 4_000_000,
-            join_handoff: true,
-            demote_interval_us: None,
-            adaptive: None,
-        }),
+        maintenance: Some(
+            dharma_kademlia::MaintConfig::builder()
+                .probe_interval_us(1_000_000)
+                .repair_interval_us(4_000_000)
+                .join_handoff(true)
+                .demote_interval_us(None)
+                .build()
+                .expect("turnover maintenance config is in range"),
+        ),
         freshness: freshness.then(FreshSimConfig::ablation_freshness),
         ..base()
     };

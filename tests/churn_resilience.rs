@@ -29,13 +29,13 @@ fn scenario(repair: Option<MaintConfig>, seed: u64) -> ChurnConfig {
 }
 
 fn repair_cfg() -> MaintConfig {
-    MaintConfig {
-        probe_interval_us: 1_000_000,
-        repair_interval_us: 8_000_000,
-        join_handoff: true,
-        demote_interval_us: None,
-        adaptive: None,
-    }
+    MaintConfig::builder()
+        .probe_interval_us(1_000_000)
+        .repair_interval_us(8_000_000)
+        .join_handoff(true)
+        .demote_interval_us(None)
+        .build()
+        .expect("repair config is in range")
 }
 
 #[test]
@@ -94,19 +94,18 @@ fn churn_replay_is_bit_deterministic() {
 }
 
 fn adaptive_cfg() -> MaintConfig {
-    MaintConfig {
-        adaptive: Some(AdaptConfig {
-            probe_min_us: 1_000_000,
-            probe_max_us: 5_000_000,
-            repair_min_us: 8_000_000,
-            repair_max_us: 32_000_000,
-            half_life_us: 15_000_000,
-            hot_weight: 6.0,
-            leave_weight: 0.1,
-            repair_budget: 16,
-        }),
-        ..repair_cfg()
-    }
+    let mut cfg = repair_cfg();
+    cfg.adaptive = Some(AdaptConfig {
+        probe_min_us: 1_000_000,
+        probe_max_us: 5_000_000,
+        repair_min_us: 8_000_000,
+        repair_max_us: 32_000_000,
+        half_life_us: 15_000_000,
+        hot_weight: 6.0,
+        leave_weight: 0.1,
+        repair_budget: 16,
+    });
+    cfg
 }
 
 /// The adaptive-cadence dial: a quiet overlay pays several times less
@@ -173,13 +172,15 @@ fn probe_rounds_purge_departed_contacts_across_seeds() {
             nodes: 18,
             k: 6,
             seed,
-            maintenance: Some(MaintConfig {
-                probe_interval_us: 300_000,
-                repair_interval_us: 60_000_000_000,
-                join_handoff: false,
-                demote_interval_us: None,
-                adaptive: None,
-            }),
+            maintenance: Some(
+                MaintConfig::builder()
+                    .probe_interval_us(300_000)
+                    .repair_interval_us(60_000_000_000)
+                    .join_handoff(false)
+                    .demote_interval_us(None)
+                    .build()
+                    .expect("probe-purge maintenance config is in range"),
+            ),
             ..OverlayConfig::default()
         });
         let departed: Vec<u32> = vec![3, 8, 13];
@@ -214,13 +215,13 @@ fn probe_rounds_purge_departed_contacts_across_seeds() {
 #[test]
 fn data_outlives_every_original_holder() {
     use dharma_kademlia::{KadConfig, KademliaNode};
-    let maint = MaintConfig {
-        probe_interval_us: 500_000,
-        repair_interval_us: 3_000_000,
-        join_handoff: true,
-        demote_interval_us: None,
-        adaptive: None,
-    };
+    let maint = MaintConfig::builder()
+        .probe_interval_us(500_000)
+        .repair_interval_us(3_000_000)
+        .join_handoff(true)
+        .demote_interval_us(None)
+        .build()
+        .expect("handoff maintenance config is in range");
     let mut net = build_overlay(&OverlayConfig {
         nodes: 16,
         k: 4,

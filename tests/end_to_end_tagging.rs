@@ -17,19 +17,19 @@ fn full_stack_publish_tag_search_resolve() {
     let mut alice = DharmaClient::new(
         1,
         ca.register("alice", 0),
-        DharmaConfig {
-            policy: ApproxPolicy::paper(2),
-            ..DharmaConfig::default()
-        },
+        DharmaConfig::builder()
+            .policy(ApproxPolicy::paper(2))
+            .build()
+            .expect("e2e client config is in range"),
     );
     let mut bob = DharmaClient::new(
         17,
         ca.register("bob", 0),
-        DharmaConfig {
-            policy: ApproxPolicy::paper(2),
-            seed: 9,
-            ..DharmaConfig::default()
-        },
+        DharmaConfig::builder()
+            .policy(ApproxPolicy::paper(2))
+            .seed(9)
+            .build()
+            .expect("e2e client config is in range"),
     );
 
     // Alice publishes; Bob tags.
@@ -93,11 +93,11 @@ fn concurrent_tagging_merges_commutatively() {
             DharmaClient::new(
                 (i * 5 + 2) as u32,
                 ca.register(&format!("user-{i}"), 0),
-                DharmaConfig {
-                    policy: ApproxPolicy::paper(1),
-                    seed: i as u64,
-                    ..DharmaConfig::default()
-                },
+                DharmaConfig::builder()
+                    .policy(ApproxPolicy::paper(1))
+                    .seed(i as u64)
+                    .build()
+                    .expect("e2e client config is in range"),
             )
         })
         .collect();
@@ -124,10 +124,10 @@ fn search_respects_index_side_filtering() {
     let mut client = DharmaClient::new(
         2,
         ca.register("alice", 0),
-        DharmaConfig {
-            search_top_n: 5,
-            ..DharmaConfig::default()
-        },
+        DharmaConfig::builder()
+            .search_top_n(5)
+            .build()
+            .expect("e2e client config is in range"),
     );
     let tags: Vec<String> = (0..12).map(|i| format!("co-{i}")).collect();
     let mut all: Vec<&str> = tags.iter().map(String::as_str).collect();

@@ -71,10 +71,10 @@ fn exact_policy_model_and_dht_agree_arc_for_arc() {
     let mut client = DharmaClient::new(
         1,
         ca.register("driver", 0),
-        DharmaConfig {
-            policy: ApproxPolicy::EXACT,
-            ..DharmaConfig::default()
-        },
+        DharmaConfig::builder()
+            .policy(ApproxPolicy::EXACT)
+            .build()
+            .expect("equivalence client config is in range"),
     );
     for (r, tags) in &w.inserts {
         let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
@@ -177,10 +177,10 @@ fn unit_b_policy_also_agrees_when_k_covers_all() {
     let mut client = DharmaClient::new(
         1,
         ca.register("driver", 0),
-        DharmaConfig {
-            policy,
-            ..DharmaConfig::default()
-        },
+        DharmaConfig::builder()
+            .policy(policy)
+            .build()
+            .expect("equivalence client config is in range"),
     );
     for (r, tags) in &w.inserts {
         let refs: Vec<&str> = tags.iter().map(String::as_str).collect();

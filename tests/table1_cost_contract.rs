@@ -10,11 +10,11 @@ fn client(policy: ApproxPolicy, home: u32, seed: u64) -> DharmaClient {
     DharmaClient::new(
         home,
         ca.register("prober", 0),
-        DharmaConfig {
-            policy,
-            seed,
-            ..DharmaConfig::default()
-        },
+        DharmaConfig::builder()
+            .policy(policy)
+            .seed(seed)
+            .build()
+            .expect("cost-contract client config is in range"),
     )
 }
 
